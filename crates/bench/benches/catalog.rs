@@ -1,0 +1,75 @@
+//! §III-B NSDF-Catalog: ingest and query throughput for the lightweight
+//! index; records/s here extrapolate to the production 1.59 B-record scale
+//! in `reproduce -- catalog`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsdf_bench::fast_criterion;
+use nsdf_catalog::{Catalog, Record};
+
+fn make_records(n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            Record::new(
+                i,
+                format!("repo/ds-{:03}/obj-{i:07}", i % 100),
+                ["dataverse", "materials-commons"][(i % 2) as usize],
+                1024,
+                i % 997,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn ingest(c: &mut Criterion) {
+    let records = make_records(100_000);
+    let mut g = c.benchmark_group("catalog/ingest");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    for shards in [1usize, 16, 256] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &s| {
+            b.iter(|| {
+                let cat = Catalog::new(s).unwrap();
+                cat.ingest(records.iter().cloned())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn queries(c: &mut Criterion) {
+    let cat = Catalog::new(64).unwrap();
+    cat.ingest(make_records(200_000));
+    let mut g = c.benchmark_group("catalog/query");
+    g.bench_function("point_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 200_000;
+            cat.get(i).is_some()
+        })
+    });
+    g.bench_function("prefix_scan", |b| {
+        b.iter(|| cat.find_by_prefix("repo/ds-042/").len())
+    });
+    g.bench_function("stats_full_scan", |b| b.iter(|| cat.stats().records));
+    g.finish();
+}
+
+fn persistence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("catalog/log");
+    g.bench_function("flush_and_replay_50k", |b| {
+        b.iter(|| {
+            let cat = Catalog::new(16).unwrap();
+            cat.ingest(make_records(50_000));
+            let seg = cat.flush_segment().unwrap();
+            Catalog::replay(16, &[seg]).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = ingest, queries, persistence
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §III / Fig. 2 computing services: NSDF-Cloud ad-hoc cluster
+//! provisioning and bag-of-jobs execution across the federation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsdf_bench::fast_criterion;
+use nsdf_cloud::{provision, Cluster, ClusterRequest, Job, Provider};
+use nsdf_util::SimClock;
+
+fn provisioning(c: &mut Criterion) {
+    let providers = Provider::nsdf_federation();
+    let mut g = c.benchmark_group("cloud/provision");
+    for nodes in [4u32, 16, 36, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                provision(&providers, &ClusterRequest { nodes: n, max_cost_per_hour: 50.0 })
+                    .unwrap()
+                    .nodes
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn scheduling(c: &mut Criterion) {
+    let providers = Provider::nsdf_federation();
+    let cluster: Cluster =
+        provision(&providers, &ClusterRequest { nodes: 36, max_cost_per_hour: 0.0 }).unwrap();
+    let mut g = c.benchmark_group("cloud/schedule");
+    for jobs in [100usize, 1000, 10_000] {
+        let bag: Vec<Job> =
+            (0..jobs).map(|id| Job { id: id as u64, work: 60.0 + (id % 17) as f64 }).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &bag, |b, bag| {
+            b.iter(|| cluster.run_jobs(bag, &SimClock::new()).unwrap().makespan_secs)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = provisioning, scheduling
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! §III-A/IV-B: codec palette throughput and ratio on terrain rasters —
+//! the compression table behind "supports ZIP/ZLIB/ZFP with varying
+//! precision bits" and the TIFF→IDX size-reduction claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsdf_bench::{bench_dem, fast_criterion, raster_bytes};
+use nsdf_compress::Codec;
+
+fn all_codecs() -> Vec<Codec> {
+    vec![
+        Codec::PackBits,
+        Codec::Lz4,
+        Codec::Lzss,
+        Codec::ShuffleLzss { sample_size: 4 },
+        Codec::LzssHuff { sample_size: 4 },
+        Codec::FixedRate { bits: 16 },
+        Codec::FixedRate { bits: 8 },
+    ]
+}
+
+fn encode_throughput(c: &mut Criterion) {
+    let raw = raster_bytes(&bench_dem(512));
+    let mut g = c.benchmark_group("compress/encode");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    for codec in all_codecs() {
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, codec| {
+            b.iter(|| codec.encode(black_box(&raw)).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn decode_throughput(c: &mut Criterion) {
+    let raw = raster_bytes(&bench_dem(512));
+    let mut g = c.benchmark_group("compress/decode");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    for codec in all_codecs() {
+        let enc = codec.encode(&raw).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, codec| {
+            b.iter(|| codec.decode(black_box(&enc), raw.len()).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn precision_sweep(c: &mut Criterion) {
+    // ZFP-class "varying precision bits": encode cost across the rate knob.
+    let raw = raster_bytes(&bench_dem(256));
+    let mut g = c.benchmark_group("compress/fixedrate_bits");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    for bits in [4u8, 8, 12, 16, 24] {
+        let codec = Codec::FixedRate { bits };
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &codec, |b, codec| {
+            b.iter(|| codec.encode(black_box(&raw)).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = encode_throughput, decode_throughput, precision_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 3: the data-conversion flow across storage environments — the
+//! TIFF→IDX pipeline routed through each simulated endpoint, measured in
+//! wall time (the virtual-time side is reported by `reproduce -- fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsdf_bench::fast_criterion;
+use nsdf_core::{run_tutorial, NsdfClient, TutorialConfig};
+
+fn pipeline_per_endpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conversion/endpoint");
+    g.sample_size(10);
+    for endpoint in ["local", "dataverse", "seal"] {
+        g.bench_with_input(BenchmarkId::from_parameter(endpoint), &endpoint, |b, ep| {
+            b.iter(|| {
+                let client = NsdfClient::simulated(7);
+                let mut cfg = TutorialConfig::small(7);
+                cfg.width = 128;
+                cfg.height = 64;
+                cfg.tiles = (2, 2);
+                cfg.storage_endpoint = ep.to_string();
+                run_tutorial(&client, &cfg).unwrap().idx_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn pipeline_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conversion/grid_size");
+    for size in [64usize, 128, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| {
+                let client = NsdfClient::simulated(7);
+                let mut cfg = TutorialConfig::small(7);
+                cfg.width = s;
+                cfg.height = s;
+                cfg.tiles = (2, 2);
+                cfg.storage_endpoint = "local".into();
+                run_tutorial(&client, &cfg).unwrap().tiff_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = pipeline_per_endpoint, pipeline_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Fig. 7: dashboard interaction cost — frame rendering at the auto level,
+//! zoomed navigation, progressive refinement, slices, and the snip tool,
+//! over local storage (wall time; the WAN side is virtual-time territory
+//! covered by `reproduce -- fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsdf_bench::{bench_dem, fast_criterion, publish_idx};
+use nsdf_compress::Codec;
+use nsdf_dashboard::{Colormap, Dashboard, RangeMode};
+use nsdf_util::Box2i;
+use std::sync::Arc;
+
+fn session_dashboard() -> Dashboard {
+    let dem = bench_dem(512);
+    let ds = publish_idx(&dem, Codec::ShuffleLzss { sample_size: 4 }, 12);
+    let mut dash = Dashboard::new();
+    dash.add_dataset("bench", Arc::new(ds));
+    dash.select_dataset("bench").unwrap();
+    dash.set_viewport_px(256).unwrap();
+    dash.set_colormap(Colormap::Terrain);
+    dash
+}
+
+fn frame_rendering(c: &mut Criterion) {
+    let dash = session_dashboard();
+    let mut g = c.benchmark_group("dashboard/frame");
+    g.bench_function("overview", |b| b.iter(|| dash.render_frame().unwrap().1.level));
+    let mut zoomed = session_dashboard();
+    zoomed.zoom(8.0).unwrap();
+    g.bench_function("zoom_8x", |b| b.iter(|| zoomed.render_frame().unwrap().1.level));
+    g.finish();
+}
+
+fn progressive(c: &mut Criterion) {
+    let dash = session_dashboard();
+    let mut g = c.benchmark_group("dashboard/progressive");
+    g.bench_function("refine_from_level4", |b| {
+        b.iter(|| dash.render_progressive(4).unwrap().len())
+    });
+    g.finish();
+}
+
+fn analysis_tools(c: &mut Criterion) {
+    let dash = session_dashboard();
+    let mut g = c.benchmark_group("dashboard/tools");
+    g.bench_function("horizontal_slice", |b| {
+        b.iter(|| dash.horizontal_slice(0.5).unwrap().len())
+    });
+    g.bench_function("snip_64x64", |b| {
+        b.iter(|| dash.snip(Box2i::new(100, 100, 164, 164)).unwrap().raster.len())
+    });
+    g.finish();
+}
+
+fn render_cost_by_viewport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dashboard/viewport_px");
+    for px in [128usize, 256, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(px), &px, |b, &px| {
+            let mut dash = session_dashboard();
+            dash.set_viewport_px(px).unwrap();
+            dash.set_range(RangeMode::Manual(0.0, 4000.0)).unwrap();
+            b.iter(|| dash.render_frame().unwrap().0.rgb.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = frame_rendering, progressive, analysis_tools, render_cost_by_viewport
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! §III-B NSDF-FUSE: mapping packages under small-file and large-file op
+//! mixes. The interesting output is virtual seconds per workload (request
+//! economics), which the bench exposes as the measured return value while
+//! wall time tracks the in-process overhead of each mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsdf_bench::fast_criterion;
+use nsdf_fuse::{run_workload, Mapping, OpMix};
+use nsdf_storage::NetworkProfile;
+
+fn small_files(c: &mut Criterion) {
+    let mix = OpMix { files: 50, file_bytes: 16 * 1024, read_passes: 1, delete: true };
+    let mut g = c.benchmark_group("fuse/small_files");
+    for mapping in Mapping::palette() {
+        g.bench_with_input(BenchmarkId::from_parameter(mapping.name()), &mapping, |b, &m| {
+            b.iter(|| {
+                run_workload(m, NetworkProfile::public_dataverse(), mix, 3)
+                    .unwrap()
+                    .store_write_ops
+            })
+        });
+    }
+    g.finish();
+}
+
+fn large_files(c: &mut Criterion) {
+    let mix = OpMix { files: 2, file_bytes: 4 << 20, read_passes: 1, delete: false };
+    let mut g = c.benchmark_group("fuse/large_files");
+    for mapping in Mapping::palette() {
+        g.bench_with_input(BenchmarkId::from_parameter(mapping.name()), &mapping, |b, &m| {
+            b.iter(|| {
+                run_workload(m, NetworkProfile::private_seal(), mix, 3).unwrap().store_read_ops
+            })
+        });
+    }
+    g.finish();
+}
+
+fn chunk_size_ablation(c: &mut Criterion) {
+    let mix = OpMix { files: 2, file_bytes: 4 << 20, read_passes: 1, delete: false };
+    let mut g = c.benchmark_group("fuse/chunk_bytes");
+    for chunk in [64usize << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let mapping = Mapping::Chunked { chunk_bytes: chunk };
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &mapping, |b, &m| {
+            b.iter(|| {
+                run_workload(m, NetworkProfile::private_seal(), mix, 3).unwrap().store_write_ops
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = small_files, large_files, chunk_size_ablation
+}
+criterion_main!(benches);

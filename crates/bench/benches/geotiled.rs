@@ -1,0 +1,86 @@
+//! Fig. 5: GEOtiled terrain generation — DEM synthesis, per-parameter
+//! kernels, and the tiled/parallel pipeline against the sequential
+//! baseline (the crate's headline speedup), plus the halo-width ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsdf_bench::{bench_dem, fast_criterion, BENCH_SEED};
+use nsdf_geotiled::{compute_terrain, compute_terrain_tiled, DemConfig, Sun, TerrainParam, TilePlan};
+
+fn dem_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geotiled/dem");
+    for size in [256usize, 512] {
+        g.throughput(Throughput::Elements((size * size) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| DemConfig::conus_like(s, s, BENCH_SEED).generate().len())
+        });
+    }
+    g.finish();
+}
+
+fn kernels(c: &mut Criterion) {
+    let dem = bench_dem(512);
+    let mut g = c.benchmark_group("geotiled/kernel");
+    g.throughput(Throughput::Elements(dem.len() as u64));
+    for param in TerrainParam::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(param.name()), &param, |b, &p| {
+            b.iter(|| compute_terrain(&dem, p, Sun::default()).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn tiled_vs_sequential(c: &mut Criterion) {
+    let dem = bench_dem(1024);
+    let mut g = c.benchmark_group("geotiled/parallel");
+    g.throughput(Throughput::Elements(dem.len() as u64));
+    g.bench_function("sequential_1x1", |b| {
+        let plan = TilePlan::new(1, 1, 1).unwrap();
+        b.iter(|| {
+            compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 1)
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+    for tiles in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("tiled_parallel", format!("{tiles}x{tiles}")),
+            &tiles,
+            |b, &t| {
+                let plan = TilePlan::new(t, t, 1).unwrap();
+                let threads = nsdf_util::par::num_threads();
+                b.iter(|| {
+                    compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, threads)
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn halo_ablation(c: &mut Criterion) {
+    let dem = bench_dem(512);
+    let mut g = c.benchmark_group("geotiled/halo");
+    for halo in [0usize, 1, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(halo), &halo, |b, &h| {
+            let plan = TilePlan::new(8, 8, h).unwrap();
+            b.iter(|| {
+                compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 8)
+                    .unwrap()
+                    .1
+                    .pixels_computed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = dem_synthesis, kernels, tiled_vs_sequential, halo_ablation
+}
+criterion_main!(benches);

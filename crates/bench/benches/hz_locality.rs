@@ -1,0 +1,89 @@
+//! §III-A claim: HZ reorganisation keeps spatially close data together and
+//! serves coarse levels from few blocks. Measures (a) raw curve arithmetic,
+//! (b) block-touch counts per layout via timed query planning, and (c) end
+//! -to-end region reads at several levels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsdf_bench::{bench_dem, fast_criterion, publish_idx};
+use nsdf_compress::Codec;
+use nsdf_hz::{hz_from_z, z_from_hz, HzCurve};
+use nsdf_idx::{blocks_touched, Layout};
+use nsdf_util::Box2i;
+
+fn curve_arithmetic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hz/arithmetic");
+    let n = 20u32;
+    g.bench_function("hz_from_z_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..1_000_000u64 {
+                acc ^= hz_from_z(black_box(z), n);
+            }
+            acc
+        })
+    });
+    g.bench_function("z_from_hz_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for h in 0..1_000_000u64 {
+                acc ^= z_from_hz(black_box(h), n);
+            }
+            acc
+        })
+    });
+    let curve = HzCurve::for_dims_2d(4096, 4096).unwrap();
+    g.bench_function("coords_roundtrip_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                let h = curve.hz_from_coords(&[i % 4096, (i * 7) % 4096]).unwrap();
+                acc ^= h;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn layout_planning(c: &mut Criterion) {
+    let curve = HzCurve::for_dims_2d(1024, 1024).unwrap();
+    let mut g = c.benchmark_group("hz/blocks_touched");
+    let overview = Box2i::new(0, 0, 1024, 1024);
+    let level = curve.max_level() - 6;
+    for layout in Layout::all() {
+        g.bench_with_input(
+            BenchmarkId::new("overview", layout.name()),
+            &layout,
+            |b, &layout| {
+                b.iter(|| blocks_touched(&curve, layout, black_box(overview), level, 12).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn region_reads(c: &mut Criterion) {
+    let dem = bench_dem(512);
+    let ds = publish_idx(&dem, Codec::Raw, 12);
+    let mut g = c.benchmark_group("hz/region_read");
+    let max = ds.max_level();
+    for &delta in &[0u32, 2, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("full_view_level", max - delta), &delta, |b, &d| {
+            b.iter(|| {
+                ds.read_box::<f32>("v", 0, ds.bounds(), max - d).unwrap().1.blocks_touched
+            })
+        });
+    }
+    let window = Box2i::new(200, 200, 264, 264);
+    g.bench_function("64x64_window_full_res", |b| {
+        b.iter(|| ds.read_box::<f32>("v", 0, black_box(window), max).unwrap().1.bytes_fetched)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = curve_arithmetic, layout_planning, region_reads
+}
+criterion_main!(benches);

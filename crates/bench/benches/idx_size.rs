@@ -1,0 +1,70 @@
+//! Fig. 6 / §IV-B: TIFF→IDX conversion — write cost per codec and block
+//! size, plus the read-back validation cost (Step 3's comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nsdf_bench::{bench_dem, fast_criterion, publish_idx};
+use nsdf_compress::Codec;
+use nsdf_tiff::{write_tiff, TiffCompression};
+use nsdf_util::AccuracyReport;
+
+fn conversion_write(c: &mut Criterion) {
+    let dem = bench_dem(256);
+    let bytes = (dem.len() * 4) as u64;
+    let mut g = c.benchmark_group("idx_size/write");
+    g.throughput(Throughput::Bytes(bytes));
+    for codec in [
+        Codec::Raw,
+        Codec::Lz4,
+        Codec::ShuffleLzss { sample_size: 4 },
+        Codec::FixedRate { bits: 16 },
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            b.iter(|| publish_idx(&dem, codec, 12).meta().codec)
+        });
+    }
+    g.finish();
+}
+
+fn block_size_ablation(c: &mut Criterion) {
+    let dem = bench_dem(256);
+    let mut g = c.benchmark_group("idx_size/bits_per_block");
+    for bpb in [8u32, 10, 12, 14, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(bpb), &bpb, |b, &bpb| {
+            b.iter(|| publish_idx(&dem, Codec::Lz4, bpb).meta().bits_per_block)
+        });
+    }
+    g.finish();
+}
+
+fn tiff_write_baseline(c: &mut Criterion) {
+    let dem = bench_dem(256);
+    let mut g = c.benchmark_group("idx_size/tiff_baseline");
+    g.throughput(Throughput::Bytes((dem.len() * 4) as u64));
+    g.bench_function("tiff_uncompressed", |b| {
+        b.iter(|| write_tiff(&dem, TiffCompression::None).unwrap().len())
+    });
+    g.bench_function("tiff_packbits", |b| {
+        b.iter(|| write_tiff(&dem, TiffCompression::PackBits).unwrap().len())
+    });
+    g.finish();
+}
+
+fn validation_read(c: &mut Criterion) {
+    let dem = bench_dem(256);
+    let ds = publish_idx(&dem, Codec::ShuffleLzss { sample_size: 4 }, 12);
+    let mut g = c.benchmark_group("idx_size/validate");
+    g.bench_function("read_full_and_compare", |b| {
+        b.iter(|| {
+            let (back, _) = ds.read_full::<f32>("v", 0).unwrap();
+            AccuracyReport::compare(&dem, &back).unwrap().is_exact()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = conversion_write, block_size_ablation, tiff_write_baseline, validation_read
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §III-B NSDF-Plugin: probe-campaign cost and entry-point selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsdf_bench::fast_criterion;
+use nsdf_plugin::{run_campaign, select_entry_point, Testbed};
+
+fn campaign(c: &mut Criterion) {
+    let tb = Testbed::nsdf_default();
+    let mut g = c.benchmark_group("plugin/campaign");
+    for probes in [10u32, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(probes), &probes, |b, &p| {
+            b.iter(|| run_campaign(&tb, p, 1).unwrap().pairs.len())
+        });
+    }
+    g.finish();
+}
+
+fn selection(c: &mut Criterion) {
+    let tb = Testbed::nsdf_default();
+    let matrix = run_campaign(&tb, 100, 1).unwrap();
+    let replicas = ["utah", "sdsc", "mghpcc", "tacc"];
+    let mut g = c.benchmark_group("plugin/select");
+    g.bench_function("entry_point_4_replicas", |b| {
+        b.iter(|| select_entry_point(&matrix, "utk", &replicas, 1 << 30).unwrap().1)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = campaign, selection
+}
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! The sharded in-memory index with an append-only persistent log.
+//!
+//! Design goals mirror NSDF-Catalog (ref \[4\]): *lightweight* — a record is
+//! a few dozen bytes and ingest is append-plus-hash-insert — and *scalable*
+//! — the id space is sharded so concurrent ingest from multiple harvesters
+//! does not contend on one lock. Durability comes from write-ahead log
+//! segments; `Catalog::replay` rebuilds the index from them.
+
+use crate::record::Record;
+use nsdf_util::{NsdfError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+
+/// Tombstone marker prefix in log segments.
+const DELETE_PREFIX: &str = "-";
+
+/// Aggregate catalog statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogStats {
+    /// Live records.
+    pub records: u64,
+    /// Total indexed bytes.
+    pub total_bytes: u64,
+    /// Records per source repository.
+    pub per_source: BTreeMap<String, u64>,
+    /// Checksums seen in more than one record (cross-repo duplicates).
+    pub duplicate_checksums: u64,
+}
+
+struct Shard {
+    by_id: HashMap<u64, Record>,
+}
+
+/// The indexing service.
+pub struct Catalog {
+    shards: Vec<RwLock<Shard>>,
+    /// Pending (not yet flushed) log lines.
+    wal: Mutex<Vec<String>>,
+}
+
+impl Catalog {
+    /// Catalog with `shards` id-space shards (power of two recommended).
+    pub fn new(shards: usize) -> Result<Catalog> {
+        if shards == 0 || shards > 4096 {
+            return Err(NsdfError::invalid("shard count must be in 1..=4096"));
+        }
+        Ok(Catalog {
+            shards: (0..shards)
+                .map(|_| RwLock::new(Shard { by_id: HashMap::new() }))
+                .collect(),
+            wal: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn shard_of(&self, id: u64) -> &RwLock<Shard> {
+        &self.shards[(nsdf_util::splitmix64(id) % self.shards.len() as u64) as usize]
+    }
+
+    /// Insert or replace a record. Returns `true` when the id was new.
+    pub fn upsert(&self, record: Record) -> bool {
+        self.wal.lock().push(record.to_line());
+        self.shard_of(record.id)
+            .write()
+            .by_id
+            .insert(record.id, record)
+            .is_none()
+    }
+
+    /// Bulk ingest; returns the number of *new* ids.
+    pub fn ingest(&self, records: impl IntoIterator<Item = Record>) -> u64 {
+        let mut new = 0;
+        for r in records {
+            if self.upsert(r) {
+                new += 1;
+            }
+        }
+        new
+    }
+
+    /// Look up a record by id.
+    pub fn get(&self, id: u64) -> Option<Record> {
+        self.shard_of(id).read().by_id.get(&id).cloned()
+    }
+
+    /// Delete by id. Returns `true` when the record existed.
+    pub fn delete(&self, id: u64) -> bool {
+        let removed = self.shard_of(id).write().by_id.remove(&id).is_some();
+        if removed {
+            self.wal.lock().push(format!("{DELETE_PREFIX}{id}"));
+        }
+        removed
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().by_id.len() as u64).sum()
+    }
+
+    /// True when the catalog holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All records whose name starts with `prefix`, sorted by id.
+    /// A full scan by design — NSDF-Catalog favours ingest speed and a tiny
+    /// footprint over secondary indexes.
+    pub fn find_by_prefix(&self, prefix: &str) -> Vec<Record> {
+        let mut out: Vec<Record> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .by_id
+                    .values()
+                    .filter(|r| r.name.starts_with(prefix))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// All records from `source`, sorted by id.
+    pub fn find_by_source(&self, source: &str) -> Vec<Record> {
+        let mut out: Vec<Record> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .by_id
+                    .values()
+                    .filter(|r| r.source == source)
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Aggregate statistics (full scan).
+    pub fn stats(&self) -> CatalogStats {
+        let mut stats = CatalogStats::default();
+        let mut checksums: HashMap<u64, u64> = HashMap::new();
+        for shard in &self.shards {
+            for r in shard.read().by_id.values() {
+                stats.records += 1;
+                stats.total_bytes += r.size;
+                *stats.per_source.entry(r.source.clone()).or_insert(0) += 1;
+                *checksums.entry(r.checksum).or_insert(0) += 1;
+            }
+        }
+        stats.duplicate_checksums = checksums.values().filter(|&&c| c > 1).count() as u64;
+        stats
+    }
+
+    /// Drain pending log lines into a segment body (call periodically and
+    /// store the result durably; [`Catalog::replay`] consumes them in order).
+    pub fn flush_segment(&self) -> Option<String> {
+        let mut wal = self.wal.lock();
+        if wal.is_empty() {
+            return None;
+        }
+        let mut body = String::with_capacity(wal.len() * 48);
+        for line in wal.drain(..) {
+            body.push_str(&line);
+            body.push('\n');
+        }
+        Some(body)
+    }
+
+    /// Rebuild a catalog by replaying log segments in write order.
+    pub fn replay(shards: usize, segments: &[String]) -> Result<Catalog> {
+        let cat = Catalog::new(shards)?;
+        for seg in segments {
+            for line in seg.lines() {
+                if let Some(id) = line.strip_prefix(DELETE_PREFIX) {
+                    let id: u64 =
+                        id.parse().map_err(|_| NsdfError::corrupt("bad tombstone id"))?;
+                    cat.shard_of(id).write().by_id.remove(&id);
+                } else {
+                    let r = Record::from_line(line)?;
+                    cat.shard_of(r.id).write().by_id.insert(r.id, r);
+                }
+            }
+        }
+        cat.wal.lock().clear(); // replay must not re-log
+        Ok(cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, name: &str, source: &str) -> Record {
+        Record::new(id, name, source, 100 + id, id % 7).unwrap()
+    }
+
+    #[test]
+    fn upsert_get_delete() {
+        let cat = Catalog::new(16).unwrap();
+        assert!(cat.upsert(rec(1, "a/b", "s1")));
+        assert!(!cat.upsert(rec(1, "a/b2", "s1"))); // replace
+        assert_eq!(cat.get(1).unwrap().name, "a/b2");
+        assert!(cat.delete(1));
+        assert!(!cat.delete(1));
+        assert!(cat.get(1).is_none());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn prefix_and_source_queries() {
+        let cat = Catalog::new(8).unwrap();
+        cat.ingest((0..100).map(|i| {
+            rec(i, &format!("soil/t{i:02}"), if i % 2 == 0 { "dv" } else { "mc" })
+        }));
+        assert_eq!(cat.len(), 100);
+        let q = cat.find_by_prefix("soil/t0");
+        assert_eq!(q.len(), 10);
+        assert!(q.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(cat.find_by_source("dv").len(), 50);
+        assert!(cat.find_by_prefix("nomatch").is_empty());
+    }
+
+    #[test]
+    fn stats_count_duplicates() {
+        let cat = Catalog::new(4).unwrap();
+        cat.upsert(Record::new(1, "a", "s1", 10, 0xAA).unwrap());
+        cat.upsert(Record::new(2, "b", "s2", 20, 0xAA).unwrap()); // dup checksum
+        cat.upsert(Record::new(3, "c", "s1", 30, 0xBB).unwrap());
+        let st = cat.stats();
+        assert_eq!(st.records, 3);
+        assert_eq!(st.total_bytes, 60);
+        assert_eq!(st.per_source["s1"], 2);
+        assert_eq!(st.duplicate_checksums, 1);
+    }
+
+    #[test]
+    fn log_replay_reconstructs_state() {
+        let cat = Catalog::new(4).unwrap();
+        cat.ingest((0..20).map(|i| rec(i, &format!("n{i}"), "s")));
+        let seg1 = cat.flush_segment().unwrap();
+        cat.delete(5);
+        cat.upsert(rec(20, "late", "s"));
+        let seg2 = cat.flush_segment().unwrap();
+        assert!(cat.flush_segment().is_none());
+
+        let rebuilt = Catalog::replay(8, &[seg1, seg2]).unwrap();
+        assert_eq!(rebuilt.len(), 20);
+        assert!(rebuilt.get(5).is_none());
+        assert_eq!(rebuilt.get(20).unwrap().name, "late");
+        // Replay is idempotent w.r.t. its own wal.
+        assert!(rebuilt.flush_segment().is_none());
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_segments() {
+        assert!(Catalog::replay(4, &["not a record line\n".to_string()]).is_err());
+        assert!(Catalog::replay(4, &["-notanumber\n".to_string()]).is_err());
+    }
+
+    #[test]
+    fn concurrent_ingest_across_shards() {
+        let cat = std::sync::Arc::new(Catalog::new(32).unwrap());
+        crossbeam::scope(|s| {
+            for t in 0..8u64 {
+                let cat = cat.clone();
+                s.spawn(move |_| {
+                    for i in 0..500u64 {
+                        cat.upsert(rec(t * 10_000 + i, &format!("t{t}/r{i}"), "src"));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cat.len(), 4000);
+        assert_eq!(cat.stats().records, 4000);
+    }
+
+    #[test]
+    fn shard_bounds() {
+        assert!(Catalog::new(0).is_err());
+        assert!(Catalog::new(5000).is_err());
+        assert!(Catalog::new(1).is_ok());
+    }
+}

@@ -1,0 +1,94 @@
+//! Durable catalog storage over an [`ObjectStore`].
+//!
+//! Log segments flushed by [`Catalog::flush_segment`] are written as
+//! numbered objects under a prefix; [`load_catalog`] replays them in
+//! order. This is how the catalog rides the same storage substrate as the
+//! data it indexes — one bucket can hold IDX blocks, FUSE packs, *and*
+//! its own catalog.
+
+use crate::catalog::Catalog;
+use nsdf_storage::ObjectStore;
+use nsdf_util::{NsdfError, Result};
+
+fn segment_key(prefix: &str, n: u64) -> String {
+    format!("{prefix}/log-{n:08}.seg")
+}
+
+/// Flush any pending log lines of `catalog` as the next numbered segment
+/// under `prefix`. Returns the segment key, or `None` when nothing was
+/// pending.
+pub fn persist_catalog(
+    catalog: &Catalog,
+    store: &dyn ObjectStore,
+    prefix: &str,
+) -> Result<Option<String>> {
+    let Some(body) = catalog.flush_segment() else {
+        return Ok(None);
+    };
+    let existing = store.list(&format!("{prefix}/log-"))?;
+    let next = existing.len() as u64;
+    let key = segment_key(prefix, next);
+    store.put(&key, body.as_bytes())?;
+    Ok(Some(key))
+}
+
+/// Rebuild a catalog by replaying every segment under `prefix` in order.
+pub fn load_catalog(store: &dyn ObjectStore, prefix: &str, shards: usize) -> Result<Catalog> {
+    let mut segments = Vec::new();
+    for meta in store.list(&format!("{prefix}/log-"))? {
+        let body = store.get(&meta.key)?;
+        segments.push(
+            String::from_utf8(body)
+                .map_err(|_| NsdfError::corrupt(format!("segment {} not UTF-8", meta.key)))?,
+        );
+    }
+    Catalog::replay(shards, &segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use nsdf_storage::MemoryStore;
+
+    fn rec(id: u64) -> Record {
+        Record::new(id, format!("obj-{id}"), "src", id * 10, id ^ 0xFF).unwrap()
+    }
+
+    #[test]
+    fn persist_and_load_roundtrip() {
+        let store = MemoryStore::new();
+        let cat = Catalog::new(8).unwrap();
+        cat.ingest((0..100).map(rec));
+        let key1 = persist_catalog(&cat, &store, "meta/catalog").unwrap().unwrap();
+        assert!(key1.ends_with("log-00000000.seg"));
+
+        cat.delete(7);
+        cat.upsert(rec(200));
+        let key2 = persist_catalog(&cat, &store, "meta/catalog").unwrap().unwrap();
+        assert!(key2.ends_with("log-00000001.seg"));
+
+        // Nothing pending: no new segment.
+        assert!(persist_catalog(&cat, &store, "meta/catalog").unwrap().is_none());
+
+        let loaded = load_catalog(&store, "meta/catalog", 4).unwrap();
+        assert_eq!(loaded.len(), 100);
+        assert!(loaded.get(7).is_none());
+        assert_eq!(loaded.get(200).unwrap().name, "obj-200");
+    }
+
+    #[test]
+    fn empty_prefix_loads_empty_catalog() {
+        let store = MemoryStore::new();
+        let loaded = load_catalog(&store, "nothing/here", 4).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn corrupt_segment_rejected() {
+        let store = MemoryStore::new();
+        use nsdf_storage::ObjectStore as _;
+        store.put("c/log-00000000.seg", b"garbage line\n").unwrap();
+        assert!(load_catalog(&store, "c", 4).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Catalog records: the lightweight per-object metadata NSDF-Catalog
+//! indexes (paper §III-B: "a centralized repository that indexes over
+//! 1.59 billion records").
+
+use nsdf_util::{NsdfError, Result};
+
+/// One indexed data object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Unique record id.
+    pub id: u64,
+    /// Object name (path-like, searchable by prefix).
+    pub name: String,
+    /// Source repository (e.g. `"materials-commons"`, `"dataverse"`).
+    pub source: String,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Content checksum, used for cross-repository duplicate detection.
+    pub checksum: u64,
+}
+
+impl Record {
+    /// Construct with validation.
+    pub fn new(
+        id: u64,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        size: u64,
+        checksum: u64,
+    ) -> Result<Record> {
+        let name = name.into();
+        let source = source.into();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(NsdfError::invalid(format!("bad record name {name:?}")));
+        }
+        if source.is_empty() || source.contains(char::is_whitespace) {
+            return Err(NsdfError::invalid(format!("bad record source {source:?}")));
+        }
+        Ok(Record { id, name, source, size, checksum })
+    }
+
+    /// One-line log serialization (whitespace-separated, stable order).
+    pub fn to_line(&self) -> String {
+        format!("{} {} {} {} {:016x}", self.id, self.source, self.size, self.name, self.checksum)
+    }
+
+    /// Parse a line produced by [`Record::to_line`].
+    pub fn from_line(line: &str) -> Result<Record> {
+        let mut it = line.split_whitespace();
+        let (Some(id), Some(source), Some(size), Some(name), Some(ck)) =
+            (it.next(), it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(NsdfError::corrupt(format!("bad record line {line:?}")));
+        };
+        Record::new(
+            id.parse().map_err(|_| NsdfError::corrupt("bad record id"))?,
+            name,
+            source,
+            size.parse().map_err(|_| NsdfError::corrupt("bad record size"))?,
+            u64::from_str_radix(ck, 16).map_err(|_| NsdfError::corrupt("bad checksum"))?,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrip() {
+        let r = Record::new(42, "soil/moisture/t01.idx", "dataverse", 1_234_567, 0xdeadbeef).unwrap();
+        let back = Record::from_line(&r.to_line()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Record::new(1, "", "s", 0, 0).is_err());
+        assert!(Record::new(1, "has space", "s", 0, 0).is_err());
+        assert!(Record::new(1, "n", "two words", 0, 0).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(Record::from_line("only three fields").is_err());
+        assert!(Record::from_line("x src 10 name ff").is_err());
+        assert!(Record::from_line("1 src ten name ff").is_err());
+        assert!(Record::from_line("1 src 10 name zz-not-hex").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Bit-level I/O used by the fixed-rate float codec.
+
+use nsdf_util::{NsdfError, Result};
+
+/// Append-only MSB-first bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte (0..8).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `n` bits of `value`, most significant first. `n <= 64`.
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.used == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.used;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let bits = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let last = self.buf.last_mut().expect("byte pushed above");
+            *last |= bits << (free - take);
+            self.used = (self.used + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Finish, returning the byte buffer (final byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader positioned at the first bit of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos_bits: 0 }
+    }
+
+    /// Read `n` bits (`n <= 64`), MSB first.
+    pub fn read_bits(&mut self, n: u8) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if self.pos_bits + n as usize > self.buf.len() * 8 {
+            return Err(NsdfError::corrupt("bit stream exhausted"));
+        }
+        let mut out = 0u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.buf[self.pos_bits / 8];
+            let bit_in_byte = (self.pos_bits % 8) as u8;
+            let avail = 8 - bit_in_byte;
+            let take = avail.min(remaining);
+            let bits = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | bits as u64;
+            self.pos_bits += take as usize;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Bits remaining in the stream.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_aligned_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        w.write_bits(0xCD, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0xAB, 0xCD]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bits(8).unwrap(), 0xCD);
+    }
+
+    #[test]
+    fn roundtrip_unaligned_fields() {
+        let fields: &[(u64, u8)] = &[(0b101, 3), (0b1, 1), (0x3FF, 10), (0, 5), (0xFFFF_FFFF, 32)];
+        let mut w = BitWriter::new();
+        for &(v, n) in fields {
+            w.write_bits(v, n);
+        }
+        assert_eq!(w.bit_len(), 51);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in fields {
+            assert_eq!(r.read_bits(n).unwrap(), v, "field width {n}");
+        }
+    }
+
+    #[test]
+    fn write_64_bit_value() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn overread_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn remaining_bits_tracks_position() {
+        let mut r = BitReader::new(&[0, 0]);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(3).unwrap();
+        assert_eq!(r.remaining_bits(), 13);
+    }
+}

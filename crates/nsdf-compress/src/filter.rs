@@ -1,0 +1,135 @@
+//! Reversible pre-compression filters.
+//!
+//! Smooth geospatial rasters compress poorly as raw little-endian floats
+//! because the noisy mantissa bytes interleave with the highly regular sign
+//! and exponent bytes. Byte **shuffle** transposes the buffer so each byte
+//! plane is contiguous, and **delta** coding turns slowly varying planes
+//! into near-zero runs — together they are what lets the LZ codecs reach
+//! the "IDX is ~20 % smaller than TIFF" regime the paper quotes (§IV-B).
+
+use nsdf_util::{NsdfError, Result};
+
+/// Transpose `src` (a sequence of `sample_size`-byte samples) so all first
+/// bytes come first, then all second bytes, and so on.
+pub fn shuffle(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
+    check_sample_size(src.len(), sample_size)?;
+    let n = src.len() / sample_size;
+    let mut out = vec![0u8; src.len()];
+    for plane in 0..sample_size {
+        for i in 0..n {
+            out[plane * n + i] = src[i * sample_size + plane];
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`shuffle`].
+pub fn unshuffle(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
+    check_sample_size(src.len(), sample_size)?;
+    let n = src.len() / sample_size;
+    let mut out = vec![0u8; src.len()];
+    for plane in 0..sample_size {
+        for i in 0..n {
+            out[i * sample_size + plane] = src[plane * n + i];
+        }
+    }
+    Ok(out)
+}
+
+/// Byte-wise delta coding: each output byte is the wrapping difference from
+/// the previous input byte. Applied after [`shuffle`], slowly varying byte
+/// planes become runs of zeros.
+pub fn delta_encode(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len());
+    let mut prev = 0u8;
+    for &b in src {
+        out.push(b.wrapping_sub(prev));
+        prev = b;
+    }
+    out
+}
+
+/// Inverse of [`delta_encode`].
+pub fn delta_decode(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len());
+    let mut prev = 0u8;
+    for &d in src {
+        prev = prev.wrapping_add(d);
+        out.push(prev);
+    }
+    out
+}
+
+fn check_sample_size(len: usize, sample_size: usize) -> Result<()> {
+    if sample_size == 0 {
+        return Err(NsdfError::invalid("sample size must be positive"));
+    }
+    if !len.is_multiple_of(sample_size) {
+        return Err(NsdfError::invalid(format!(
+            "buffer length {len} not a multiple of sample size {sample_size}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_layout_example() {
+        // Two 4-byte samples: [a0 a1 a2 a3][b0 b1 b2 b3]
+        let src = [0xA0, 0xA1, 0xA2, 0xA3, 0xB0, 0xB1, 0xB2, 0xB3];
+        let shuf = shuffle(&src, 4).unwrap();
+        assert_eq!(shuf, [0xA0, 0xB0, 0xA1, 0xB1, 0xA2, 0xB2, 0xA3, 0xB3]);
+        assert_eq!(unshuffle(&shuf, 4).unwrap(), src);
+    }
+
+    #[test]
+    fn shuffle_roundtrip_various_sizes() {
+        let src: Vec<u8> = (0..240).map(|i| (i * 7 % 256) as u8).collect();
+        for size in [1, 2, 3, 4, 8] {
+            let s = shuffle(&src, size).unwrap();
+            assert_eq!(unshuffle(&s, size).unwrap(), src, "size {size}");
+        }
+    }
+
+    #[test]
+    fn shuffle_validates_input() {
+        assert!(shuffle(&[1, 2, 3], 2).is_err());
+        assert!(shuffle(&[1, 2], 0).is_err());
+        assert!(shuffle(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let src: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        assert_eq!(delta_decode(&delta_encode(&src)), src);
+        assert!(delta_encode(&[]).is_empty());
+    }
+
+    #[test]
+    fn delta_on_smooth_data_yields_runs() {
+        let src: Vec<u8> = (0..100).map(|i| 50 + i / 10).collect();
+        let d = delta_encode(&src);
+        let zeros = d.iter().filter(|&&b| b == 0).count();
+        assert!(zeros >= 85, "zeros={zeros}");
+    }
+
+    #[test]
+    fn delta_wraps_correctly() {
+        let src = [255u8, 0, 255, 1];
+        assert_eq!(delta_decode(&delta_encode(&src)), src);
+    }
+
+    #[test]
+    fn shuffled_floats_compress_better_than_raw() {
+        // Smooth f32 ramp: shuffle+delta must beat raw under LZSS.
+        let floats: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.001).sin() * 100.0).collect();
+        let raw: Vec<u8> = floats.iter().flat_map(|f| f.to_le_bytes()).collect();
+        let filtered = delta_encode(&shuffle(&raw, 4).unwrap());
+        let raw_c = crate::lzss::lzss_encode(&raw).len();
+        let filt_c = crate::lzss::lzss_encode(&filtered).len();
+        assert!(filt_c < raw_c, "filtered {filt_c} vs raw {raw_c}");
+    }
+}

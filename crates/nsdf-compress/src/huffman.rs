@@ -1,0 +1,342 @@
+//! Canonical Huffman entropy coding.
+//!
+//! The LZ stages in this crate emit literal bytes verbatim; real zlib
+//! follows LZ77 with a Huffman stage, which is where much of its ratio on
+//! filtered float data comes from. This module supplies that stage: a
+//! canonical, length-limited Huffman coder over bytes with a compact
+//! code-length header, used by [`crate::codec::Codec::LzssHuff`] to form
+//! the workspace's full "zlib-class" pipeline.
+//!
+//! Codes are canonical (assigned by (length, symbol) order), so the header
+//! only stores 4-bit code lengths per symbol, RLE-compressed. Maximum code
+//! length is 15, enforced by the same package-merge-free heuristic zlib
+//! uses in spirit: depths beyond the limit are clamped and the Kraft sum
+//! repaired by deepening the shallowest leaves.
+
+use crate::bits::{BitReader, BitWriter};
+use nsdf_util::{NsdfError, Result};
+
+/// Maximum code length in bits.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Build Huffman code lengths for the given symbol frequencies.
+///
+/// Returns 256 code lengths (0 = symbol absent). Guarantees the Kraft
+/// inequality holds with equality when at least two symbols are present.
+fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    let mut lens = [0u8; 256];
+    let present: Vec<u16> = (0..256u16).filter(|&s| freqs[s as usize] > 0).collect();
+    match present.len() {
+        0 => return lens,
+        1 => {
+            lens[present[0] as usize] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Standard heap-based Huffman tree over (freq, node) pairs.
+    #[derive(Clone)]
+    struct Node {
+        freq: u64,
+        // Leaf symbol or internal children indices.
+        sym: Option<u16>,
+        kids: Option<(usize, usize)>,
+    }
+    let mut nodes: Vec<Node> = present
+        .iter()
+        .map(|&s| Node { freq: freqs[s as usize], sym: Some(s), kids: None })
+        .collect();
+    // Binary heap of (freq, idx) with smallest first.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        nodes.iter().enumerate().map(|(i, n)| std::cmp::Reverse((n.freq, i))).collect();
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+        let idx = nodes.len();
+        nodes.push(Node { freq: fa + fb, sym: None, kids: Some((a, b)) });
+        heap.push(std::cmp::Reverse((fa + fb, idx)));
+    }
+    let root = heap.pop().expect("one root").0 .1;
+
+    // Depth-first depth assignment.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        let node = nodes[idx].clone();
+        match (node.sym, node.kids) {
+            (Some(s), _) => lens[s as usize] = depth.max(1),
+            (None, Some((a, b))) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+            _ => unreachable!("node is leaf or internal"),
+        }
+    }
+
+    // Length-limit: clamp and repair the Kraft sum.
+    limit_lengths(&mut lens);
+    lens
+}
+
+/// Clamp code lengths to [`MAX_CODE_LEN`] and repair the Kraft inequality.
+fn limit_lengths(lens: &mut [u8; 256]) {
+    let over: bool = lens.iter().any(|&l| l > MAX_CODE_LEN);
+    if !over {
+        return;
+    }
+    for l in lens.iter_mut() {
+        if *l > MAX_CODE_LEN {
+            *l = MAX_CODE_LEN;
+        }
+    }
+    // Kraft sum in units of 2^-MAX_CODE_LEN.
+    let unit = 1u64 << MAX_CODE_LEN;
+    let mut kraft: u64 = lens
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| unit >> l)
+        .sum();
+    // While oversubscribed, deepen the deepest non-max leaf... the classic
+    // fix is to find a leaf with l < MAX and increment it (halving its
+    // contribution).
+    while kraft > unit {
+        let idx = (0..256)
+            .filter(|&i| lens[i] > 0 && lens[i] < MAX_CODE_LEN)
+            .max_by_key(|&i| lens[i])
+            .expect("a repairable leaf exists");
+        kraft -= unit >> lens[idx];
+        lens[idx] += 1;
+        kraft += unit >> lens[idx];
+    }
+}
+
+/// Canonical codes from code lengths: `codes[s]` is the code for symbol
+/// `s`, MSB-aligned within `lens[s]` bits.
+fn canonical_codes(lens: &[u8; 256]) -> [u32; 256] {
+    let mut codes = [0u32; 256];
+    // Count codes per length.
+    let mut count = [0u32; (MAX_CODE_LEN + 1) as usize];
+    for &l in lens.iter() {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next = [0u32; (MAX_CODE_LEN + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=MAX_CODE_LEN as usize {
+        code = (code + count[bits - 1]) << 1;
+        next[bits] = code;
+    }
+    for s in 0..256 {
+        let l = lens[s] as usize;
+        if l > 0 {
+            codes[s] = next[l];
+            next[l] += 1;
+        }
+    }
+    codes
+}
+
+/// Serialize code lengths: run-length over the 256 nibbles.
+fn write_lengths(w: &mut BitWriter, lens: &[u8; 256]) {
+    let mut i = 0usize;
+    while i < 256 {
+        let l = lens[i];
+        let mut run = 1usize;
+        while i + run < 256 && lens[i + run] == l && run < 64 {
+            run += 1;
+        }
+        w.write_bits(l as u64, 4);
+        w.write_bits((run - 1) as u64, 6);
+        i += run;
+    }
+}
+
+fn read_lengths(r: &mut BitReader) -> Result<[u8; 256]> {
+    let mut lens = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let l = r.read_bits(4)? as u8;
+        let run = r.read_bits(6)? as usize + 1;
+        if i + run > 256 {
+            return Err(NsdfError::corrupt("huffman: length run overflows table"));
+        }
+        lens[i..i + run].fill(l);
+        i += run;
+    }
+    Ok(lens)
+}
+
+/// Compress `src` with a one-pass canonical Huffman coder.
+///
+/// Output layout: `[lengths header][bitstream]`. Empty input encodes to an
+/// empty buffer.
+pub fn huffman_encode(src: &[u8]) -> Vec<u8> {
+    if src.is_empty() {
+        return Vec::new();
+    }
+    let mut freqs = [0u64; 256];
+    for &b in src {
+        freqs[b as usize] += 1;
+    }
+    let lens = code_lengths(&freqs);
+    let codes = canonical_codes(&lens);
+    let mut w = BitWriter::new();
+    write_lengths(&mut w, &lens);
+    for &b in src {
+        w.write_bits(codes[b as usize] as u64, lens[b as usize]);
+    }
+    w.into_bytes()
+}
+
+/// Decompress `src` into exactly `dst_len` bytes.
+pub fn huffman_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
+    if dst_len == 0 {
+        return Ok(Vec::new());
+    }
+    let mut r = BitReader::new(src);
+    let lens = read_lengths(&mut r)?;
+    let codes = canonical_codes(&lens);
+
+    // Build a decode table: for canonical codes, decoding walks lengths in
+    // increasing order comparing the accumulated prefix.
+    // first_code[l] and first_sym_index[l] over symbols sorted by (len, sym).
+    let mut symbols: Vec<u16> = (0..256u16).filter(|&s| lens[s as usize] > 0).collect();
+    if symbols.is_empty() {
+        return Err(NsdfError::corrupt("huffman: empty code table"));
+    }
+    symbols.sort_by_key(|&s| (lens[s as usize], s));
+    let mut first_code = [0u32; (MAX_CODE_LEN + 1) as usize];
+    let mut first_index = [0usize; (MAX_CODE_LEN + 1) as usize];
+    {
+        let mut idx = 0usize;
+        for l in 1..=MAX_CODE_LEN {
+            first_index[l as usize] = idx;
+            first_code[l as usize] = codes[symbols.get(idx).map(|&s| s as usize).unwrap_or(0)];
+            // Only meaningful when symbols of this length exist; decoder
+            // checks counts below.
+            while idx < symbols.len() && lens[symbols[idx] as usize] == l {
+                idx += 1;
+            }
+        }
+    }
+    let mut count_per_len = [0usize; (MAX_CODE_LEN + 1) as usize];
+    for &s in &symbols {
+        count_per_len[lens[s as usize] as usize] += 1;
+    }
+
+    let mut out = Vec::with_capacity(dst_len);
+    while out.len() < dst_len {
+        let mut code = 0u32;
+        let mut len = 0u8;
+        loop {
+            code = (code << 1) | r.read_bits(1)? as u32;
+            len += 1;
+            if len > MAX_CODE_LEN {
+                return Err(NsdfError::corrupt("huffman: code longer than limit"));
+            }
+            let n = count_per_len[len as usize];
+            if n > 0 {
+                let first = first_code[len as usize];
+                if code >= first && (code - first) < n as u32 {
+                    let sym = symbols[first_index[len as usize] + (code - first) as usize];
+                    out.push(sym as u8);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &[u8]) -> usize {
+        let enc = huffman_encode(src);
+        let dec = huffman_decode(&enc, src.len()).unwrap();
+        assert_eq!(dec, src, "roundtrip failed, len {}", src.len());
+        enc.len()
+    }
+
+    #[test]
+    fn empty_and_single_symbol() {
+        roundtrip(&[]);
+        roundtrip(b"a");
+        roundtrip(&vec![7u8; 10_000]); // single symbol, 1-bit codes
+    }
+
+    #[test]
+    fn two_symbols() {
+        let src: Vec<u8> = (0..1000).map(|i| if i % 3 == 0 { 1 } else { 0 }).collect();
+        let n = roundtrip(&src);
+        // ~1 bit/symbol + header.
+        assert!(n < 300, "{n}");
+    }
+
+    #[test]
+    fn skewed_text_compresses() {
+        let src = b"the quick brown fox jumps over the lazy dog ".repeat(100);
+        let n = roundtrip(&src);
+        assert!(n < src.len() * 5 / 8, "{n} of {}", src.len());
+    }
+
+    #[test]
+    fn uniform_random_stays_near_raw() {
+        let mut x = 1u64;
+        let src: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let n = roundtrip(&src);
+        assert!(n <= src.len() + 300, "{n}");
+    }
+
+    #[test]
+    fn all_256_symbols() {
+        let src: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        roundtrip(&src);
+    }
+
+    #[test]
+    fn extreme_skew_hits_length_limit() {
+        // Exponential-ish frequencies force deep trees; the limiter must
+        // keep codes <= 15 bits and decoding exact.
+        let mut src = Vec::new();
+        for s in 0..30u8 {
+            let reps = 1usize << (30 - s as usize).min(20);
+            src.extend(std::iter::repeat_n(s, reps / 1024 + 1));
+        }
+        roundtrip(&src);
+    }
+
+    #[test]
+    fn garbage_input_errors_not_panics() {
+        for dst in [1usize, 100] {
+            let _ = huffman_decode(&[0xFF, 0x00, 0xAB], dst);
+            let _ = huffman_decode(&[], dst);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let enc = huffman_encode(b"hello hello hello");
+        assert!(huffman_decode(&enc[..enc.len() - 1], 17).is_err() ||
+                huffman_decode(&enc[..enc.len() - 1], 17).unwrap() != b"hello hello hello");
+    }
+
+    #[test]
+    fn lengths_satisfy_kraft() {
+        let mut freqs = [0u64; 256];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 + 1) * (i as u64 + 1);
+        }
+        let lens = code_lengths(&freqs);
+        let unit = 1u64 << MAX_CODE_LEN;
+        let kraft: u64 = lens.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
+        assert!(kraft <= unit);
+        assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
+    }
+}

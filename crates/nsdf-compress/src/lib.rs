@@ -1,0 +1,28 @@
+//! # nsdf-compress
+//!
+//! From-scratch compression codecs covering the roles the paper assigns to
+//! ZIP/ZLIB, LZ4, and ZFP in the OpenVisus data stack (§III-A, §IV-B):
+//!
+//! * [`rle`] — PackBits run-length coding (also used by the TIFF writer);
+//! * [`lzss`] — LZ77/LZSS with hash chains, the "zlib-class" codec;
+//! * [`lz4like`] — token-format fast byte LZ, the "lz4-class" codec;
+//! * [`filter`] — byte shuffle and delta pre-filters for float rasters;
+//! * [`huffman`] — canonical Huffman entropy stage ("zlib" pipeline tail);
+//! * [`fixedrate`] — block fixed-rate lossy float codec, the "zfp-class"
+//!   codec with a precision-bits knob;
+//! * [`codec`] — the unified [`Codec`] palette with stable textual names;
+//! * [`bits`] — MSB-first bit I/O underlying the fixed-rate codec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod codec;
+pub mod filter;
+pub mod fixedrate;
+pub mod huffman;
+pub mod lz4like;
+pub mod lzss;
+pub mod rle;
+
+pub use codec::{Codec, CompressionStats};

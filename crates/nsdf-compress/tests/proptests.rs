@@ -1,0 +1,103 @@
+//! Property-based round-trip guarantees for every codec in the palette.
+
+use nsdf_compress::codec::Codec;
+use nsdf_compress::filter::{delta_decode, delta_encode, shuffle, unshuffle};
+use nsdf_compress::fixedrate::{fixedrate_decode_f32, fixedrate_encode_f32};
+use proptest::prelude::*;
+
+/// Byte buffers with a bias toward runs and structure (worst case for
+/// branchy token coders) as well as pure noise.
+fn byte_buffers() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..4096),
+        proptest::collection::vec(0u8..4, 0..4096),
+        (any::<u8>(), 0usize..4096).prop_map(|(b, n)| vec![b; n]),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|motif| motif.iter().copied().cycle().take(3000).collect()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn packbits_roundtrips(src in byte_buffers()) {
+        let enc = Codec::PackBits.encode(&src).unwrap();
+        prop_assert_eq!(Codec::PackBits.decode(&enc, src.len()).unwrap(), src);
+    }
+
+    #[test]
+    fn lzss_roundtrips(src in byte_buffers()) {
+        let enc = Codec::Lzss.encode(&src).unwrap();
+        prop_assert_eq!(Codec::Lzss.decode(&enc, src.len()).unwrap(), src);
+    }
+
+    #[test]
+    fn lz4_roundtrips(src in byte_buffers()) {
+        let enc = Codec::Lz4.encode(&src).unwrap();
+        prop_assert_eq!(Codec::Lz4.decode(&enc, src.len()).unwrap(), src);
+    }
+
+    #[test]
+    fn shuffle_lzss_roundtrips(words in proptest::collection::vec(any::<u32>(), 0..1024)) {
+        let src: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let codec = Codec::ShuffleLzss { sample_size: 4 };
+        let enc = codec.encode(&src).unwrap();
+        prop_assert_eq!(codec.decode(&enc, src.len()).unwrap(), src);
+    }
+
+    #[test]
+    fn lzss_huff_roundtrips(words in proptest::collection::vec(any::<u32>(), 0..1024)) {
+        let src: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let codec = Codec::LzssHuff { sample_size: 4 };
+        let enc = codec.encode(&src).unwrap();
+        prop_assert_eq!(codec.decode(&enc, src.len()).unwrap(), src);
+    }
+
+    #[test]
+    fn filters_are_involutions(src in byte_buffers(), size in 1usize..9) {
+        let padded: Vec<u8> = {
+            let mut v = src.clone();
+            v.truncate(v.len() / size * size);
+            v
+        };
+        let s = shuffle(&padded, size).unwrap();
+        prop_assert_eq!(unshuffle(&s, size).unwrap(), padded.clone());
+        prop_assert_eq!(delta_decode(&delta_encode(&padded)), padded);
+    }
+
+    #[test]
+    fn fixedrate_error_bounded(
+        values in proptest::collection::vec(-1.0e6f32..1.0e6, 1..512),
+        bits in 8u8..24,
+    ) {
+        let enc = fixedrate_encode_f32(&values, bits).unwrap();
+        let dec = fixedrate_decode_f32(&enc, bits, values.len()).unwrap();
+        prop_assert_eq!(dec.len(), values.len());
+        for (block, dblock) in values.chunks(64).zip(dec.chunks(64)) {
+            let e_max = block
+                .iter()
+                .filter(|v| **v != 0.0)
+                .map(|v| v.abs().log2().floor() as i32)
+                .max();
+            let Some(e_max) = e_max else { continue };
+            let bound = nsdf_compress::fixedrate::error_bound(e_max, bits) * 1.0001;
+            for (a, b) in block.iter().zip(dblock) {
+                prop_assert!(
+                    ((*a as f64) - (*b as f64)).abs() <= bound,
+                    "a={a} b={b} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoding_random_garbage_never_panics(
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+        dst_len in 0usize..2048,
+    ) {
+        // Any result is fine; the property is "no panic, no OOM".
+        let _ = Codec::PackBits.decode(&garbage, dst_len);
+        let _ = Codec::Lzss.decode(&garbage, dst_len);
+        let _ = Codec::Lz4.decode(&garbage, dst_len);
+        let _ = Codec::FixedRate { bits: 12 }.decode(&garbage, dst_len.next_multiple_of(4));
+    }
+}

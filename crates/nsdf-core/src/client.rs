@@ -1,0 +1,191 @@
+//! The NSDF client: named storage endpoints over one virtual timeline.
+//!
+//! Mirrors the paper's entry-point model (§III, Fig. 2): a user session
+//! reaches NSDF through an entry point that can address several storage
+//! services — local scratch, a public commons (Dataverse-class), and a
+//! private cloud (Seal-class) — all fronted by caches. In this
+//! reproduction the remote services are the deterministic WAN simulation
+//! from `nsdf-storage`, sharing a single [`SimClock`] so cross-service
+//! workflows report coherent end-to-end times.
+
+use nsdf_storage::{CachedStore, CloudStore, MemoryStore, NetworkProfile, ObjectStore};
+use nsdf_util::{derive_seed, NsdfError, Result, SimClock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Classes of storage endpoint the tutorial distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// Local scratch (Option A in tutorial Steps 3–4).
+    Local,
+    /// Public commons, Dataverse-class.
+    PublicCommons,
+    /// Private cloud, Seal-class (Option B in tutorial Steps 3–4).
+    PrivateCloud,
+}
+
+/// One named storage endpoint.
+pub struct StorageEndpoint {
+    /// Endpoint name (e.g. `"seal"`).
+    pub name: String,
+    /// Endpoint class.
+    pub kind: EndpointKind,
+    /// The store, already wrapped in WAN simulation and caching as
+    /// appropriate for its class.
+    pub store: Arc<dyn ObjectStore>,
+}
+
+impl std::fmt::Debug for StorageEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageEndpoint")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("store", &self.store.describe())
+            .finish()
+    }
+}
+
+/// The client session.
+pub struct NsdfClient {
+    clock: SimClock,
+    endpoints: BTreeMap<String, StorageEndpoint>,
+}
+
+impl NsdfClient {
+    /// A fully simulated client with the tutorial's three endpoints:
+    /// `"local"`, `"dataverse"` (public), and `"seal"` (private), the two
+    /// remote ones behind WAN models and a 256 MiB read cache each.
+    pub fn simulated(seed: u64) -> NsdfClient {
+        let clock = SimClock::new();
+        let mut client = NsdfClient { clock: clock.clone(), endpoints: BTreeMap::new() };
+
+        client.add_endpoint(StorageEndpoint {
+            name: "local".into(),
+            kind: EndpointKind::Local,
+            store: Arc::new(MemoryStore::new()),
+        });
+        for (name, kind, profile, label) in [
+            (
+                "dataverse",
+                EndpointKind::PublicCommons,
+                NetworkProfile::public_dataverse(),
+                "wan-dataverse",
+            ),
+            ("seal", EndpointKind::PrivateCloud, NetworkProfile::private_seal(), "wan-seal"),
+        ] {
+            let wan = Arc::new(CloudStore::new(
+                Arc::new(MemoryStore::new()),
+                profile,
+                clock.clone(),
+                derive_seed(seed, label),
+            ));
+            let cached = Arc::new(CachedStore::new(wan, 256 << 20));
+            client.add_endpoint(StorageEndpoint {
+                name: name.into(),
+                kind,
+                store: cached,
+            });
+        }
+        client
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Register an endpoint (replacing any existing one with the name).
+    pub fn add_endpoint(&mut self, ep: StorageEndpoint) {
+        self.endpoints.insert(ep.name.clone(), ep);
+    }
+
+    /// Endpoint names, sorted.
+    pub fn endpoint_names(&self) -> Vec<String> {
+        self.endpoints.keys().cloned().collect()
+    }
+
+    /// Look up an endpoint.
+    pub fn endpoint(&self, name: &str) -> Result<&StorageEndpoint> {
+        self.endpoints
+            .get(name)
+            .ok_or_else(|| NsdfError::not_found(format!("endpoint {name:?}")))
+    }
+
+    /// The store behind an endpoint.
+    pub fn store(&self, name: &str) -> Result<Arc<dyn ObjectStore>> {
+        Ok(self.endpoint(name)?.store.clone())
+    }
+
+    /// Upload bytes to an endpoint. Returns the stored size.
+    pub fn upload(&self, endpoint: &str, key: &str, data: &[u8]) -> Result<u64> {
+        let meta = self.store(endpoint)?.put(key, data)?;
+        Ok(meta.size)
+    }
+
+    /// Download bytes from an endpoint.
+    pub fn download(&self, endpoint: &str, key: &str) -> Result<Vec<u8>> {
+        self.store(endpoint)?.get(key)
+    }
+
+    /// Copy one object between endpoints (download then upload, which is
+    /// how a client-side transfer actually moves bytes). Returns the size.
+    pub fn transfer(&self, from: &str, key: &str, to: &str, to_key: &str) -> Result<u64> {
+        let data = self.download(from, key)?;
+        self.upload(to, to_key, &data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_client_has_three_endpoints() {
+        let c = NsdfClient::simulated(1);
+        assert_eq!(c.endpoint_names(), vec!["dataverse", "local", "seal"]);
+        assert_eq!(c.endpoint("local").unwrap().kind, EndpointKind::Local);
+        assert_eq!(c.endpoint("seal").unwrap().kind, EndpointKind::PrivateCloud);
+        assert!(c.endpoint("gcs").unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn upload_download_roundtrip_charges_time_on_remote() {
+        let c = NsdfClient::simulated(2);
+        let t0 = c.clock().now_ns();
+        c.upload("local", "a", b"payload").unwrap();
+        assert_eq!(c.clock().now_ns(), t0, "local is free");
+        c.upload("seal", "a", &vec![0u8; 1 << 20]).unwrap();
+        assert!(c.clock().now_ns() > t0, "seal upload costs virtual time");
+        assert_eq!(c.download("seal", "a").unwrap().len(), 1 << 20);
+    }
+
+    #[test]
+    fn transfer_moves_between_endpoints() {
+        let c = NsdfClient::simulated(3);
+        c.upload("dataverse", "dem.tif", b"tiff-bytes").unwrap();
+        let n = c.transfer("dataverse", "dem.tif", "local", "scratch/dem.tif").unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(c.download("local", "scratch/dem.tif").unwrap(), b"tiff-bytes");
+    }
+
+    #[test]
+    fn remote_reads_are_cached() {
+        let c = NsdfClient::simulated(4);
+        c.upload("seal", "blob", &vec![7u8; 4 << 20]).unwrap();
+        let t0 = c.clock().now_ns();
+        c.download("seal", "blob").unwrap(); // warm (put populated cache)
+        assert_eq!(c.clock().now_ns(), t0, "cached read skips the WAN");
+    }
+
+    #[test]
+    fn deterministic_virtual_time() {
+        let run = |seed| {
+            let c = NsdfClient::simulated(seed);
+            c.upload("dataverse", "x", &vec![1u8; 123_456]).unwrap();
+            c.transfer("dataverse", "x", "seal", "x").unwrap();
+            c.clock().now_ns()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,19 @@
+//! # nsdf-core
+//!
+//! The top of the NSDF stack: a client session over named storage
+//! endpoints ([`client`]), the paper's four-step tutorial workflow as an
+//! instrumented pipeline ([`pipeline`]), and the tutorial-delivery /
+//! survey simulation behind Table I and Fig. 8 ([`tutorial`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod pipeline;
+pub mod tutorial;
+
+pub use client::{EndpointKind, NsdfClient, StorageEndpoint};
+pub use pipeline::{run_tutorial, Interaction, TutorialConfig, TutorialReport};
+pub use tutorial::{
+    format_table1, Background, Modality, QuestionTally, Session, SurveyModel, SurveyQuestion,
+};

@@ -1,0 +1,421 @@
+//! The four-step tutorial workflow (paper §IV, Figs. 3–4): data
+//! generation → conversion to IDX → static visualization/validation →
+//! interactive visualization & analysis — as one executable, instrumented
+//! pipeline over an [`NsdfClient`].
+//!
+//! Timing model: storage operations charge the shared virtual clock
+//! through the WAN simulation automatically; compute stages charge their
+//! *measured wall time* to the same clock, so the provenance log reads as
+//! one coherent end-to-end timeline.
+
+use crate::client::NsdfClient;
+use nsdf_compress::Codec;
+use nsdf_dashboard::{Colormap, Dashboard, FrameInfo, RangeMode};
+use nsdf_geotiled::{compute_terrain_tiled, DemConfig, Sun, TerrainParam, TilePlan};
+use nsdf_idx::{Field, IdxDataset, IdxMeta};
+use nsdf_tiff::{read_tiff, write_tiff, TiffCompression};
+use nsdf_util::{AccuracyReport, Box2i, DType, NsdfError, Raster, Result};
+use nsdf_workflow::{Artifact, Provenance, RunContext, Workflow};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one tutorial run.
+#[derive(Debug, Clone)]
+pub struct TutorialConfig {
+    /// DEM width in pixels.
+    pub width: usize,
+    /// DEM height in pixels.
+    pub height: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// GEOtiled tile grid.
+    pub tiles: (usize, usize),
+    /// Worker threads for tiled computation.
+    pub threads: usize,
+    /// Block codec for the IDX dataset.
+    pub codec: Codec,
+    /// log2 samples per IDX block.
+    pub bits_per_block: u32,
+    /// Storage endpoint holding the TIFFs and the IDX dataset
+    /// (`"local"`, `"dataverse"`, or `"seal"` on a simulated client).
+    pub storage_endpoint: String,
+    /// Dashboard viewport size in pixels.
+    pub viewport_px: usize,
+}
+
+impl TutorialConfig {
+    /// A Tennessee-scale run that completes in seconds.
+    pub fn small(seed: u64) -> TutorialConfig {
+        TutorialConfig {
+            width: 512,
+            height: 256,
+            seed,
+            tiles: (4, 2),
+            threads: 4,
+            codec: Codec::LzssHuff { sample_size: 4 },
+            bits_per_block: 12,
+            storage_endpoint: "seal".into(),
+            viewport_px: 256,
+        }
+    }
+}
+
+/// One recorded dashboard interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interaction {
+    /// Interaction label (`"overview"`, `"zoom"`, ...).
+    pub label: String,
+    /// Virtual seconds the interaction took (storage time).
+    pub virtual_secs: f64,
+    /// Frame metadata, when the interaction rendered one.
+    pub frame: Option<FrameInfo>,
+}
+
+/// Everything a tutorial run produces.
+#[derive(Debug)]
+pub struct TutorialReport {
+    /// Provenance log with per-step artifacts and timings.
+    pub provenance: Provenance,
+    /// Total bytes of the four TIFFs (Step 1 output).
+    pub tiff_bytes: u64,
+    /// Total stored bytes of the IDX dataset (Step 2 output).
+    pub idx_bytes: u64,
+    /// Per-parameter accuracy of IDX-read-back vs the original rasters
+    /// (Step 3's validation).
+    pub accuracy: Vec<(TerrainParam, AccuracyReport)>,
+    /// Scripted dashboard interactions (Step 4).
+    pub interactions: Vec<Interaction>,
+    /// End-to-end virtual seconds.
+    pub total_virtual_secs: f64,
+}
+
+impl TutorialReport {
+    /// IDX size as a fraction of TIFF size — the §IV-B "~20 % smaller"
+    /// number is `1 - size_ratio`.
+    pub fn size_ratio(&self) -> f64 {
+        if self.tiff_bytes == 0 {
+            1.0
+        } else {
+            self.idx_bytes as f64 / self.tiff_bytes as f64
+        }
+    }
+
+    /// True when every parameter validated bit-exactly in Step 3.
+    pub fn validation_exact(&self) -> bool {
+        !self.accuracy.is_empty() && self.accuracy.iter().all(|(_, r)| r.is_exact())
+    }
+}
+
+/// Run the four-step workflow. See module docs for the timing model.
+pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<TutorialReport> {
+    if cfg.width == 0 || cfg.height == 0 {
+        return Err(NsdfError::invalid("tutorial grid must be non-empty"));
+    }
+    let store = client.store(&cfg.storage_endpoint)?;
+    let clock = client.clock().clone();
+    let t_start = clock.now_secs();
+
+    let mut wf = Workflow::new("nsdf-tutorial");
+    let cfg1 = cfg.clone();
+    let store1 = store.clone();
+
+    // ---- Step 1: data generation (GEOtiled) -------------------------------
+    wf.add_step("1-data-generation", &[], &[], move |ctx| {
+        let wall = Instant::now();
+        let dem = DemConfig::conus_like(cfg1.width, cfg1.height, cfg1.seed).generate();
+        let plan = TilePlan::new(cfg1.tiles.0, cfg1.tiles.1, 1)?;
+        let mut artifacts = Vec::new();
+        let mut rasters = Vec::new();
+        for param in TerrainParam::all() {
+            let (raster, _) =
+                compute_terrain_tiled(&dem, param, Sun::default(), &plan, cfg1.threads)?;
+            rasters.push((param, raster));
+        }
+        ctx.clock().advance_secs(wall.elapsed().as_secs_f64());
+        // Write the TIFFs to storage (WAN time charged by the store).
+        for (param, raster) in &rasters {
+            let tiff = write_tiff(raster, TiffCompression::None)?;
+            let key = format!("tutorial/tiff/{}.tif", param.name());
+            store1.put(&key, &tiff)?;
+            artifacts.push(Artifact::of_bytes(format!("{}.tif", param.name()), &tiff, &key));
+        }
+        ctx.put("rasters", rasters);
+        Ok(artifacts)
+    })?;
+
+    // ---- Step 2: conversion to IDX ----------------------------------------
+    let cfg2 = cfg.clone();
+    let store2 = store.clone();
+    wf.add_step(
+        "2-convert-to-idx",
+        &["1-data-generation"],
+        &["elevation.tif", "slope.tif", "aspect.tif", "hillshade.tif"],
+        move |ctx| {
+            // Read the TIFFs back from storage — the conversion consumes the
+            // stored artifacts, as in Fig. 3, not in-memory shortcuts.
+            let mut fields = Vec::new();
+            for param in TerrainParam::all() {
+                fields.push(Field::new(param.name(), DType::F32)?);
+            }
+            let rasters = ctx.get::<Vec<(TerrainParam, Raster<f32>)>>("rasters")?;
+            let geo = rasters[0].1.geo;
+            let mut meta = IdxMeta::new_2d(
+                "tutorial-terrain",
+                cfg2.width as u64,
+                cfg2.height as u64,
+                fields,
+                cfg2.bits_per_block,
+                cfg2.codec,
+            )?;
+            if let Some(g) = geo {
+                meta = meta.with_geo(g);
+            }
+            let ds = IdxDataset::create(store2.clone(), "tutorial/idx", meta)?;
+            let mut artifacts = Vec::new();
+            let mut total_stored = 0u64;
+            for param in TerrainParam::all() {
+                let key = format!("tutorial/tiff/{}.tif", param.name());
+                let tiff_bytes = store2.get(&key)?;
+                let wall = Instant::now();
+                let raster = read_tiff::<f32>(&tiff_bytes)?;
+                let stats = ds.write_raster(param.name(), 0, &raster)?;
+                ctx.clock().advance_secs(wall.elapsed().as_secs_f64());
+                total_stored += stats.bytes_stored;
+                artifacts.push(Artifact::of_size(
+                    format!("{}.idx-blocks", param.name()),
+                    stats.bytes_stored,
+                    format!("tutorial/idx/f{}", param.name()),
+                ));
+            }
+            ctx.put("idx_bytes", total_stored);
+            Ok(artifacts)
+        },
+    )?;
+
+    // ---- Step 3: static visualization & validation -------------------------
+    let store3 = store.clone();
+    wf.add_step(
+        "3-static-visualization",
+        &["2-convert-to-idx"],
+        &["elevation.idx-blocks", "slope.idx-blocks", "aspect.idx-blocks", "hillshade.idx-blocks"],
+        move |ctx| {
+            let ds = IdxDataset::open(store3.clone(), "tutorial/idx")?;
+            let rasters = ctx.get::<Vec<(TerrainParam, Raster<f32>)>>("rasters")?;
+            let mut accuracy = Vec::new();
+            let mut artifacts = Vec::new();
+            for (param, original) in rasters {
+                let (from_idx, _) = ds.read_full::<f32>(param.name(), 0)?;
+                let wall = Instant::now();
+                let report = AccuracyReport::compare(original, &from_idx)?;
+                let img = nsdf_dashboard::render(
+                    &from_idx,
+                    Colormap::Terrain,
+                    RangeMode::Dynamic,
+                )?;
+                ctx.clock().advance_secs(wall.elapsed().as_secs_f64());
+                let ppm = img.to_ppm();
+                artifacts.push(Artifact::of_bytes(
+                    format!("{}.ppm", param.name()),
+                    &ppm,
+                    format!("tutorial/static/{}.ppm", param.name()),
+                ));
+                accuracy.push((*param, report));
+            }
+            ctx.put("accuracy", accuracy);
+            Ok(artifacts)
+        },
+    )?;
+
+    // ---- Step 4: interactive visualization & analysis ----------------------
+    let store4 = store.clone();
+    let cfg4 = cfg.clone();
+    let clock4 = clock.clone();
+    wf.add_step(
+        "4-interactive-dashboard",
+        &["3-static-visualization"],
+        &["elevation.idx-blocks"],
+        move |ctx| {
+            let ds = Arc::new(IdxDataset::open(store4.clone(), "tutorial/idx")?);
+            let mut dash = Dashboard::new();
+            dash.add_dataset("tutorial-terrain", ds.clone());
+            dash.select_dataset("tutorial-terrain")?;
+            dash.set_viewport_px(cfg4.viewport_px)?;
+            dash.set_colormap(Colormap::Terrain);
+
+            let mut interactions = Vec::new();
+            let mut record = |label: &str, frame: Option<FrameInfo>, t0: f64| {
+                interactions.push(Interaction {
+                    label: label.to_string(),
+                    virtual_secs: clock4.now_secs() - t0,
+                    frame,
+                });
+            };
+
+            let t = clock4.now_secs();
+            let (_, info) = dash.render_frame()?;
+            record("overview", Some(info), t);
+
+            let t = clock4.now_secs();
+            dash.zoom(4.0)?;
+            let (_, info) = dash.render_frame()?;
+            record("zoom-4x", Some(info), t);
+
+            let t = clock4.now_secs();
+            dash.pan((cfg4.width / 8) as i64, 0)?;
+            let (_, info) = dash.render_frame()?;
+            record("pan", Some(info), t);
+
+            let t = clock4.now_secs();
+            dash.select_field("slope")?;
+            let (_, info) = dash.render_frame()?;
+            record("switch-field", Some(info), t);
+
+            let t = clock4.now_secs();
+            let region = dash.region();
+            let quarter = Box2i::new(
+                region.x0,
+                region.y0,
+                region.x0 + (region.width() / 2).max(1),
+                region.y0 + (region.height() / 2).max(1),
+            );
+            let snip = dash.snip(quarter)?;
+            record("snip", None, t);
+
+            let artifacts = vec![
+                Artifact::of_bytes(
+                    "snippet.py",
+                    snip.python_script.as_bytes(),
+                    "tutorial/snippets/extract.py",
+                ),
+                Artifact::of_size(
+                    "snippet.npy",
+                    (snip.raster.len() * 4) as u64,
+                    "tutorial/snippets/region.npy",
+                ),
+            ];
+            ctx.put("interactions", interactions);
+            Ok(artifacts)
+        },
+    )?;
+
+    let mut ctx = RunContext::new(clock.clone());
+    let provenance = wf.run(&mut ctx);
+    if !provenance.succeeded() {
+        let failed = provenance
+            .steps
+            .iter()
+            .find_map(|s| s.error.clone())
+            .unwrap_or_else(|| "unknown step failure".into());
+        return Err(NsdfError::invalid(format!("tutorial workflow failed: {failed}")));
+    }
+
+    let tiff_bytes = provenance.steps[0].produced.iter().map(|a| a.bytes).sum();
+    let idx_bytes: u64 = ctx.take("idx_bytes")?;
+    let accuracy: Vec<(TerrainParam, AccuracyReport)> = ctx.take("accuracy")?;
+    let interactions: Vec<Interaction> = ctx.take("interactions")?;
+    Ok(TutorialReport {
+        provenance,
+        tiff_bytes,
+        idx_bytes,
+        accuracy,
+        interactions,
+        total_virtual_secs: clock.now_secs() - t_start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_small(endpoint: &str) -> TutorialReport {
+        let client = NsdfClient::simulated(5);
+        let mut cfg = TutorialConfig::small(5);
+        cfg.width = 128;
+        cfg.height = 64;
+        cfg.tiles = (2, 2);
+        cfg.storage_endpoint = endpoint.into();
+        run_tutorial(&client, &cfg).unwrap()
+    }
+
+    #[test]
+    fn four_steps_all_succeed() {
+        let report = run_small("seal");
+        assert_eq!(report.provenance.steps.len(), 4);
+        assert!(report.provenance.succeeded());
+        let names: Vec<&str> =
+            report.provenance.steps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "1-data-generation",
+                "2-convert-to-idx",
+                "3-static-visualization",
+                "4-interactive-dashboard"
+            ]
+        );
+    }
+
+    #[test]
+    fn idx_is_smaller_than_tiff_and_lossless() {
+        let report = run_small("seal");
+        assert!(report.tiff_bytes > 0 && report.idx_bytes > 0);
+        assert!(
+            report.size_ratio() < 1.0,
+            "IDX {} vs TIFF {}",
+            report.idx_bytes,
+            report.tiff_bytes
+        );
+        assert!(report.validation_exact(), "lossless codec must validate exactly");
+        assert_eq!(report.accuracy.len(), 4);
+    }
+
+    #[test]
+    fn dashboard_interactions_recorded_with_time() {
+        let report = run_small("dataverse");
+        let labels: Vec<&str> =
+            report.interactions.iter().map(|i| i.label.as_str()).collect();
+        assert_eq!(labels, vec!["overview", "zoom-4x", "pan", "switch-field", "snip"]);
+        // Step 2's write-through cache keeps step-4 reads warm (that is the
+        // caching behaviour §III-A advertises), so interactions are nearly
+        // free; the uploads earlier in the run must still have cost time.
+        assert!(report.interactions.iter().all(|i| i.virtual_secs >= 0.0));
+        assert!(report.total_virtual_secs > 0.0);
+        assert!(report.interactions[0].frame.as_ref().unwrap().stats.blocks_touched > 0);
+    }
+
+    #[test]
+    fn local_endpoint_has_zero_storage_time_for_interactions() {
+        let report = run_small("local");
+        // All data local: interactions only cost (tiny) recorded wall time
+        // for reads, which the memory store does not charge.
+        assert!(report.interactions.iter().all(|i| i.virtual_secs < 0.5));
+        assert!(report.validation_exact());
+    }
+
+    #[test]
+    fn provenance_lineage_links_steps() {
+        let report = run_small("seal");
+        let p = &report.provenance;
+        assert_eq!(p.producer_of("elevation.tif").unwrap().name, "1-data-generation");
+        let consumers = p.consumers_of("elevation.idx-blocks");
+        assert_eq!(consumers.len(), 2); // steps 3 and 4
+    }
+
+    #[test]
+    fn lossy_codec_reports_inexact_validation() {
+        let client = NsdfClient::simulated(6);
+        let mut cfg = TutorialConfig::small(6);
+        cfg.width = 64;
+        cfg.height = 64;
+        cfg.tiles = (2, 2);
+        cfg.codec = Codec::FixedRate { bits: 12 };
+        cfg.storage_endpoint = "local".into();
+        let report = run_tutorial(&client, &cfg).unwrap();
+        assert!(!report.validation_exact());
+        // But still close: PSNR above 40 dB for 12-bit terrain.
+        for (p, acc) in &report.accuracy {
+            assert!(acc.psnr_db > 40.0, "{}: {} dB", p.name(), acc.psnr_db);
+        }
+        assert!(report.size_ratio() < 0.5);
+    }
+}

@@ -1,0 +1,583 @@
+//! The headless dashboard engine.
+//!
+//! Every interaction the paper's dashboard walkthrough lists (§III-A) is a
+//! method here: a dataset dropdown, field selection, a time slider with
+//! playback and speed control, zoom/pan, horizontal/vertical slices, a
+//! snipping tool that extracts a region as an array plus a Python script,
+//! palette selection, manual/dynamic colormap ranges, and a resolution
+//! slider. "Headless" means frames are returned as [`Image`]s instead of
+//! being pushed to a browser — everything else behaves like the real thing,
+//! including progressive streaming through the IDX store underneath.
+//!
+//! Fields are expected to be `float32` (the tutorial's terrain parameters).
+
+use crate::colormap::Colormap;
+use crate::render::{render, Image, RangeMode};
+use nsdf_idx::{IdxDataset, QueryStats};
+use nsdf_util::{Box2i, NsdfError, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Playback controller state (the time slider's play button and speed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Playback {
+    /// Whether playback is running.
+    pub playing: bool,
+    /// Timesteps advanced per second of wall/virtual time.
+    pub speed: f64,
+    /// Fractional timestep accumulator.
+    accum: f64,
+}
+
+impl Default for Playback {
+    fn default() -> Self {
+        Playback { playing: false, speed: 1.0, accum: 0.0 }
+    }
+}
+
+/// Metadata about one rendered frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameInfo {
+    /// Resolution level the frame was read at.
+    pub level: u32,
+    /// Raster shape backing the frame.
+    pub raster_width: usize,
+    /// Raster height backing the frame.
+    pub raster_height: usize,
+    /// IDX query accounting.
+    pub stats: QueryStats,
+}
+
+/// Result of the snipping tool: the selected region as data plus a script
+/// for later re-extraction (paper §III-A: "enabling the download of a
+/// NumPy array or a Python script for future data extraction").
+#[derive(Debug, Clone)]
+pub struct Snippet {
+    /// Extracted full-resolution data.
+    pub raster: nsdf_util::Raster<f32>,
+    /// The region extracted.
+    pub region: Box2i,
+    /// A Python script that would re-extract the same region via
+    /// OpenVisusPy-style calls.
+    pub python_script: String,
+}
+
+/// The dashboard.
+pub struct Dashboard {
+    datasets: BTreeMap<String, Arc<IdxDataset>>,
+    selected: Option<String>,
+    field: Option<String>,
+    time: u32,
+    region: Box2i,
+    /// Levels subtracted from the auto-chosen resolution (the slider).
+    resolution_bias: u32,
+    /// Target viewport width/height in pixels.
+    viewport_px: usize,
+    colormap: Colormap,
+    range: RangeMode,
+    playback: Playback,
+}
+
+impl Dashboard {
+    /// An empty dashboard with a `512 px` viewport, viridis, dynamic range.
+    pub fn new() -> Dashboard {
+        Dashboard {
+            datasets: BTreeMap::new(),
+            selected: None,
+            field: None,
+            time: 0,
+            region: Box2i::new(0, 0, 1, 1),
+            resolution_bias: 0,
+            viewport_px: 512,
+            colormap: Colormap::Viridis,
+            range: RangeMode::Dynamic,
+            playback: Playback::default(),
+        }
+    }
+
+    // ---- dataset dropdown -------------------------------------------------
+
+    /// Register a dataset under a display name.
+    pub fn add_dataset(&mut self, name: impl Into<String>, ds: Arc<IdxDataset>) {
+        self.datasets.insert(name.into(), ds);
+    }
+
+    /// Names in the dropdown, sorted.
+    pub fn list_datasets(&self) -> Vec<String> {
+        self.datasets.keys().cloned().collect()
+    }
+
+    /// Select a dataset; resets field, time, and viewport.
+    pub fn select_dataset(&mut self, name: &str) -> Result<()> {
+        let ds = self
+            .datasets
+            .get(name)
+            .ok_or_else(|| NsdfError::not_found(format!("dataset {name:?}")))?;
+        self.region = ds.bounds();
+        self.field = Some(ds.meta().fields[0].name.clone());
+        self.time = 0;
+        self.selected = Some(name.to_string());
+        Ok(())
+    }
+
+    fn current(&self) -> Result<&Arc<IdxDataset>> {
+        let name = self
+            .selected
+            .as_ref()
+            .ok_or_else(|| NsdfError::invalid("no dataset selected"))?;
+        Ok(&self.datasets[name])
+    }
+
+    // ---- field dropdown ---------------------------------------------------
+
+    /// Fields of the selected dataset.
+    pub fn list_fields(&self) -> Result<Vec<String>> {
+        Ok(self.current()?.meta().fields.iter().map(|f| f.name.clone()).collect())
+    }
+
+    /// Switch the displayed field.
+    pub fn select_field(&mut self, field: &str) -> Result<()> {
+        self.current()?.meta().field_index(field)?;
+        self.field = Some(field.to_string());
+        Ok(())
+    }
+
+    // ---- time slider & playback -------------------------------------------
+
+    /// Number of timesteps in the selected dataset.
+    pub fn timesteps(&self) -> Result<u32> {
+        Ok(self.current()?.meta().timesteps)
+    }
+
+    /// Current timestep.
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Move the time slider.
+    pub fn set_time(&mut self, t: u32) -> Result<()> {
+        let n = self.timesteps()?;
+        if t >= n {
+            return Err(NsdfError::invalid(format!("timestep {t} out of range 0..{n}")));
+        }
+        self.time = t;
+        Ok(())
+    }
+
+    /// Start/stop playback.
+    pub fn set_playing(&mut self, playing: bool) {
+        self.playback.playing = playing;
+    }
+
+    /// Set playback speed (timesteps per second); must be positive.
+    pub fn set_speed(&mut self, speed: f64) -> Result<()> {
+        if speed <= 0.0 || speed.is_nan() {
+            return Err(NsdfError::invalid("playback speed must be positive"));
+        }
+        self.playback.speed = speed;
+        Ok(())
+    }
+
+    /// Current playback state.
+    pub fn playback(&self) -> Playback {
+        self.playback
+    }
+
+    /// Advance playback by `dt_secs`; wraps around the time range.
+    /// Returns the (possibly unchanged) current timestep.
+    pub fn tick(&mut self, dt_secs: f64) -> Result<u32> {
+        if self.playback.playing && dt_secs > 0.0 {
+            let n = self.timesteps()? as f64;
+            self.playback.accum += dt_secs * self.playback.speed;
+            let steps = self.playback.accum.floor();
+            if steps >= 1.0 {
+                self.playback.accum -= steps;
+                self.time = ((self.time as f64 + steps) % n) as u32;
+            }
+        }
+        Ok(self.time)
+    }
+
+    // ---- viewport: zoom & pan ----------------------------------------------
+
+    /// Current viewport region in dataset coordinates.
+    pub fn region(&self) -> Box2i {
+        self.region
+    }
+
+    /// Viewport target size in screen pixels.
+    pub fn set_viewport_px(&mut self, px: usize) -> Result<()> {
+        if px == 0 || px > 8192 {
+            return Err(NsdfError::invalid("viewport must be 1..=8192 px"));
+        }
+        self.viewport_px = px;
+        Ok(())
+    }
+
+    /// Zoom by `factor` (> 1 zooms in) about the viewport centre.
+    pub fn zoom(&mut self, factor: f64) -> Result<()> {
+        if factor <= 0.0 || factor.is_nan() {
+            return Err(NsdfError::invalid("zoom factor must be positive"));
+        }
+        let bounds = self.current()?.bounds();
+        let cx = (self.region.x0 + self.region.x1) as f64 / 2.0;
+        let cy = (self.region.y0 + self.region.y1) as f64 / 2.0;
+        let hw = (self.region.width() as f64 / (2.0 * factor)).max(1.0);
+        let hh = (self.region.height() as f64 / (2.0 * factor)).max(1.0);
+        let new = Box2i::new(
+            (cx - hw).round() as i64,
+            (cy - hh).round() as i64,
+            (cx + hw).round() as i64,
+            (cy + hh).round() as i64,
+        );
+        self.region = new.intersect(&bounds).unwrap_or(bounds);
+        Ok(())
+    }
+
+    /// Pan by `(dx, dy)` dataset cells, clamped to the dataset bounds.
+    pub fn pan(&mut self, dx: i64, dy: i64) -> Result<()> {
+        let bounds = self.current()?.bounds();
+        let (w, h) = (self.region.width(), self.region.height());
+        let x0 = (self.region.x0 + dx).clamp(bounds.x0, bounds.x1 - w);
+        let y0 = (self.region.y0 + dy).clamp(bounds.y0, bounds.y1 - h);
+        self.region = Box2i::new(x0, y0, x0 + w, y0 + h);
+        Ok(())
+    }
+
+    /// Reset the viewport to the full dataset.
+    pub fn reset_view(&mut self) -> Result<()> {
+        self.region = self.current()?.bounds();
+        Ok(())
+    }
+
+    // ---- appearance --------------------------------------------------------
+
+    /// Choose the palette.
+    pub fn set_colormap(&mut self, c: Colormap) {
+        self.colormap = c;
+    }
+
+    /// Choose the range mode (dynamic per frame, or fixed).
+    pub fn set_range(&mut self, r: RangeMode) -> Result<()> {
+        if let RangeMode::Manual(lo, hi) = r {
+            if hi <= lo || hi.is_nan() || lo.is_nan() {
+                return Err(NsdfError::invalid("manual range requires hi > lo"));
+            }
+        }
+        self.range = r;
+        Ok(())
+    }
+
+    /// Bias the auto resolution down by `levels` (the resolution slider;
+    /// 0 = sharpest the viewport warrants).
+    pub fn set_resolution_bias(&mut self, levels: u32) {
+        self.resolution_bias = levels;
+    }
+
+    // ---- rendering ---------------------------------------------------------
+
+    /// The level the auto-resolution logic would read the current viewport
+    /// at (before progressive refinement): the coarsest level whose sample
+    /// spacing still fills the viewport, minus the resolution bias.
+    pub fn auto_level(&self) -> Result<u32> {
+        let ds = self.current()?;
+        let span = self.region.width().max(self.region.height()).max(1) as f64;
+        // Want stride <= span / viewport_px.
+        let want_stride = (span / self.viewport_px as f64).max(1.0);
+        let mask = ds.curve().mask();
+        let mut level = ds.max_level();
+        for l in 0..=ds.max_level() {
+            let s = mask.level_strides(l)?;
+            if (s[0].max(s[1]) as f64) <= want_stride {
+                level = l;
+                break;
+            }
+        }
+        Ok(level.saturating_sub(self.resolution_bias))
+    }
+
+    /// Render the current view at the auto-chosen level.
+    pub fn render_frame(&self) -> Result<(Image, FrameInfo)> {
+        self.render_at_level(self.auto_level()?)
+    }
+
+    /// Smallest level `>= level` whose cumulative sample grid intersects
+    /// the current viewport. A deeply zoomed region plus a large
+    /// resolution bias can otherwise land between coarse samples and have
+    /// nothing to draw; the dashboard always falls forward to the first
+    /// level that does.
+    fn min_renderable_level(&self, level: u32) -> Result<u32> {
+        let ds = self.current()?;
+        let mask = ds.curve().mask();
+        let r = self.region;
+        for l in level..=ds.max_level() {
+            let strides = mask.level_strides(l)?;
+            let sx = strides[0] as i64;
+            let sy = strides.get(1).copied().unwrap_or(1) as i64;
+            let first_x = r.x0.max(0).div_euclid(sx) * sx + if r.x0.max(0) % sx == 0 { 0 } else { sx };
+            let first_y = r.y0.max(0).div_euclid(sy) * sy + if r.y0.max(0) % sy == 0 { 0 } else { sy };
+            if first_x < r.x1 && first_y < r.y1 {
+                return Ok(l);
+            }
+        }
+        Ok(ds.max_level())
+    }
+
+    /// Render the current view at an explicit level (clamped up to the
+    /// first renderable level for the viewport).
+    pub fn render_at_level(&self, level: u32) -> Result<(Image, FrameInfo)> {
+        let level = self.min_renderable_level(level)?;
+        let ds = self.current()?;
+        let field = self.field.as_ref().expect("field set on select");
+        let (raster, stats) = ds.read_box::<f32>(field, self.time, self.region, level)?;
+        let (rw, rh) = raster.shape();
+        let img = render(&raster, self.colormap, self.range)?;
+        Ok((img, FrameInfo { level, raster_width: rw, raster_height: rh, stats }))
+    }
+
+    /// Progressive refinement of the current view: frames from `start_level`
+    /// up to the auto level — what a user sees while data streams in.
+    pub fn render_progressive(&self, start_level: u32) -> Result<Vec<(Image, FrameInfo)>> {
+        let end = self.auto_level()?;
+        let start = start_level.min(end);
+        (start..=end).map(|l| self.render_at_level(l)).collect()
+    }
+
+    // ---- analysis tools ----------------------------------------------------
+
+    /// Horizontal slice: the data profile along the row at fraction
+    /// `fy in [0, 1]` of the current viewport, at the auto level.
+    pub fn horizontal_slice(&self, fy: f64) -> Result<Vec<f64>> {
+        if !(0.0..=1.0).contains(&fy) {
+            return Err(NsdfError::invalid("slice fraction must be in [0, 1]"));
+        }
+        let ds = self.current()?;
+        let field = self.field.as_ref().expect("field set on select");
+        let level = self.min_renderable_level(self.auto_level()?)?;
+        let (raster, _) = ds.read_box::<f32>(field, self.time, self.region, level)?;
+        let y = ((raster.height() - 1) as f64 * fy).round() as usize;
+        Ok(raster.row(y).iter().map(|&v| v as f64).collect())
+    }
+
+    /// Vertical slice at fraction `fx in [0, 1]` of the current viewport.
+    pub fn vertical_slice(&self, fx: f64) -> Result<Vec<f64>> {
+        if !(0.0..=1.0).contains(&fx) {
+            return Err(NsdfError::invalid("slice fraction must be in [0, 1]"));
+        }
+        let ds = self.current()?;
+        let field = self.field.as_ref().expect("field set on select");
+        let level = self.min_renderable_level(self.auto_level()?)?;
+        let (raster, _) = ds.read_box::<f32>(field, self.time, self.region, level)?;
+        let x = ((raster.width() - 1) as f64 * fx).round() as usize;
+        Ok((0..raster.height()).map(|y| raster.get(x, y) as f64).collect())
+    }
+
+    /// Snip a rectangle (in dataset coordinates) at full resolution.
+    pub fn snip(&self, region: Box2i) -> Result<Snippet> {
+        let ds = self.current()?;
+        let field = self.field.as_ref().expect("field set on select");
+        let region = region
+            .intersect(&ds.bounds())
+            .ok_or_else(|| NsdfError::invalid("snip region outside dataset"))?;
+        let (raster, _) = ds.read_box::<f32>(field, self.time, region, ds.max_level())?;
+        let name = self.selected.as_deref().unwrap_or("dataset");
+        let python_script = format!(
+            concat!(
+                "# Auto-generated by the NSDF dashboard snipping tool.\n",
+                "# Re-extracts the selected region from the IDX dataset.\n",
+                "import OpenVisus as ov\n",
+                "db = ov.LoadDataset('{name}/dataset.idx')\n",
+                "data = db.read(x=[{x0}, {x1}], y=[{y0}, {y1}], time={time}, field='{field}')\n",
+                "print(data.shape)  # ({h}, {w})\n",
+            ),
+            name = name,
+            x0 = region.x0,
+            x1 = region.x1,
+            y0 = region.y0,
+            y1 = region.y1,
+            time = self.time,
+            field = field,
+            w = raster.width(),
+            h = raster.height(),
+        );
+        Ok(Snippet { raster, region, python_script })
+    }
+}
+
+impl Default for Dashboard {
+    fn default() -> Self {
+        Dashboard::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsdf_compress::Codec;
+    use nsdf_idx::{Field, IdxMeta};
+    use nsdf_storage::{MemoryStore, ObjectStore};
+    use nsdf_util::{DType, Raster};
+
+    fn dashboard_with_data() -> Dashboard {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let meta = IdxMeta::new_2d(
+            "terrain",
+            256,
+            128,
+            vec![
+                Field::new("elevation", DType::F32).unwrap(),
+                Field::new("slope", DType::F32).unwrap(),
+            ],
+            10,
+            Codec::Raw,
+        )
+        .unwrap()
+        .with_timesteps(4)
+        .unwrap();
+        let ds = IdxDataset::create(store, "dash/terrain", meta).unwrap();
+        for t in 0..4 {
+            let elev = Raster::<f32>::from_fn(256, 128, move |x, y| {
+                (x + y) as f32 + t as f32 * 1000.0
+            });
+            ds.write_raster("elevation", t, &elev).unwrap();
+            ds.write_raster("slope", t, &elev.map(|v: f32| v * 0.1)).unwrap();
+        }
+        let mut d = Dashboard::new();
+        d.add_dataset("conus", Arc::new(ds));
+        d.select_dataset("conus").unwrap();
+        d
+    }
+
+    #[test]
+    fn dataset_and_field_dropdowns() {
+        let mut d = dashboard_with_data();
+        assert_eq!(d.list_datasets(), vec!["conus"]);
+        assert_eq!(d.list_fields().unwrap(), vec!["elevation", "slope"]);
+        d.select_field("slope").unwrap();
+        assert!(d.select_field("aspect").is_err());
+        assert!(d.select_dataset("missing").is_err());
+    }
+
+    #[test]
+    fn render_frame_fills_viewport_scale() {
+        let mut d = dashboard_with_data();
+        d.set_viewport_px(128).unwrap();
+        let (img, info) = d.render_frame().unwrap();
+        assert_eq!(img.width, info.raster_width);
+        // 256-wide dataset, 128 px viewport: stride 2 suffices.
+        assert!(info.raster_width >= 128 && info.raster_width <= 256);
+        assert!(info.stats.blocks_touched > 0);
+    }
+
+    #[test]
+    fn zoom_raises_auto_level_detail() {
+        let mut d = dashboard_with_data();
+        d.set_viewport_px(128).unwrap();
+        let coarse = d.auto_level().unwrap();
+        d.zoom(4.0).unwrap();
+        let fine = d.auto_level().unwrap();
+        assert!(fine >= coarse, "zoomed level {fine} < overview level {coarse}");
+        let r = d.region();
+        assert!(r.width() <= 256 / 4 + 2);
+    }
+
+    #[test]
+    fn pan_clamps_to_bounds() {
+        let mut d = dashboard_with_data();
+        d.zoom(4.0).unwrap();
+        let w = d.region().width();
+        d.pan(-10_000, -10_000).unwrap();
+        assert_eq!(d.region().x0, 0);
+        assert_eq!(d.region().y0, 0);
+        assert_eq!(d.region().width(), w);
+        d.pan(10_000, 10_000).unwrap();
+        assert_eq!(d.region().x1, 256);
+        assert_eq!(d.region().y1, 128);
+        d.reset_view().unwrap();
+        assert_eq!(d.region(), Box2i::new(0, 0, 256, 128));
+    }
+
+    #[test]
+    fn time_slider_and_playback() {
+        let mut d = dashboard_with_data();
+        assert_eq!(d.timesteps().unwrap(), 4);
+        d.set_time(2).unwrap();
+        assert!(d.set_time(4).is_err());
+        // Frame content changes with time (offset +1000 per step) — use a
+        // fixed range so the offset is visible through the colormap.
+        d.set_range(RangeMode::Manual(0.0, 4000.0)).unwrap();
+        let (img_t2, _) = d.render_frame().unwrap();
+        d.set_time(0).unwrap();
+        let (img_t0, _) = d.render_frame().unwrap();
+        assert_ne!(img_t0.rgb, img_t2.rgb);
+
+        d.set_playing(true);
+        d.set_speed(2.0).unwrap(); // 2 steps/sec
+        assert_eq!(d.tick(1.0).unwrap(), 2);
+        assert_eq!(d.tick(1.0).unwrap(), 0); // wraps 4 -> 0
+        d.set_playing(false);
+        assert_eq!(d.tick(10.0).unwrap(), 0);
+        assert!(d.set_speed(0.0).is_err());
+    }
+
+    #[test]
+    fn progressive_rendering_refines() {
+        let mut d = dashboard_with_data();
+        d.set_viewport_px(256).unwrap();
+        let frames = d.render_progressive(2).unwrap();
+        assert!(frames.len() > 1);
+        let mut prev = 0;
+        for (_, info) in &frames {
+            assert!(info.raster_width * info.raster_height >= prev);
+            prev = info.raster_width * info.raster_height;
+        }
+    }
+
+    #[test]
+    fn resolution_bias_lowers_level() {
+        let mut d = dashboard_with_data();
+        let base = d.auto_level().unwrap();
+        d.set_resolution_bias(3);
+        assert_eq!(d.auto_level().unwrap(), base.saturating_sub(3));
+    }
+
+    #[test]
+    fn slices_have_viewport_extent() {
+        let d = dashboard_with_data();
+        let h = d.horizontal_slice(0.5).unwrap();
+        let v = d.vertical_slice(0.25).unwrap();
+        assert!(!h.is_empty() && !v.is_empty());
+        // Elevation x+y: horizontal slice strictly increasing.
+        assert!(h.windows(2).all(|w| w[1] > w[0]));
+        assert!(d.horizontal_slice(1.5).is_err());
+    }
+
+    #[test]
+    fn snip_extracts_full_resolution_and_script() {
+        let d = dashboard_with_data();
+        let snip = d.snip(Box2i::new(10, 20, 42, 52)).unwrap();
+        assert_eq!(snip.raster.shape(), (32, 32));
+        assert_eq!(snip.raster.get(0, 0), 30.0); // x+y at (10,20)
+        assert!(snip.python_script.contains("OpenVisus"));
+        assert!(snip.python_script.contains("x=[10, 42]"));
+        assert!(snip.python_script.contains("field='elevation'"));
+        assert!(d.snip(Box2i::new(-50, -50, -10, -10)).is_err());
+    }
+
+    #[test]
+    fn colormap_and_range_controls() {
+        let mut d = dashboard_with_data();
+        d.set_colormap(Colormap::Terrain);
+        d.set_range(RangeMode::Manual(0.0, 500.0)).unwrap();
+        assert!(d.set_range(RangeMode::Manual(5.0, 5.0)).is_err());
+        let (img, _) = d.render_frame().unwrap();
+        assert!(!img.rgb.is_empty());
+    }
+
+    #[test]
+    fn no_dataset_selected_errors() {
+        let d = Dashboard::new();
+        assert!(d.render_frame().is_err());
+        assert!(d.list_fields().is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Raster → RGB image rendering and PPM/PGM output.
+
+use crate::colormap::Colormap;
+use nsdf_util::{NsdfError, Raster, Result, Sample};
+
+/// How the colormap range is chosen — the dashboard's "manually adjusted or
+/// set dynamically" control (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeMode {
+    /// Use the raster's own min/max each frame.
+    Dynamic,
+    /// Fixed `[lo, hi]` range.
+    Manual(f64, f64),
+    /// Robust stretch between two percentiles of the frame's values
+    /// (e.g. `Percentile(2.0, 98.0)`), which keeps outlier pixels from
+    /// washing out the palette.
+    Percentile(f64, f64),
+}
+
+/// A dense 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGB triples (`3 * width * height` bytes).
+    pub rgb: Vec<u8>,
+}
+
+impl Image {
+    /// The pixel at `(x, y)`.
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.width + x) * 3;
+        [self.rgb[i], self.rgb[i + 1], self.rgb[i + 2]]
+    }
+
+    /// Serialize as binary PPM (P6), viewable everywhere.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.rgb);
+        out
+    }
+}
+
+/// Render a raster through a colormap.
+pub fn render<T: Sample>(
+    raster: &Raster<T>,
+    colormap: Colormap,
+    range: RangeMode,
+) -> Result<Image> {
+    if raster.is_empty() {
+        return Err(NsdfError::invalid("cannot render an empty raster"));
+    }
+    let (lo, hi) = match range {
+        RangeMode::Manual(lo, hi) => {
+            if hi <= lo || hi.is_nan() || lo.is_nan() {
+                return Err(NsdfError::invalid("manual range requires hi > lo"));
+            }
+            (lo, hi)
+        }
+        RangeMode::Dynamic => {
+            let (lo, hi) = raster
+                .min_max()
+                .ok_or_else(|| NsdfError::invalid("all-NaN raster"))?;
+            if hi > lo {
+                (lo, hi)
+            } else {
+                (lo, lo + 1.0) // constant raster: avoid div-by-zero
+            }
+        }
+        RangeMode::Percentile(ql, qh) => {
+            if !(0.0..=100.0).contains(&ql) || !(0.0..=100.0).contains(&qh) || qh <= ql {
+                return Err(NsdfError::invalid("percentile range requires 0 <= lo < hi <= 100"));
+            }
+            let values: Vec<f64> = raster
+                .data()
+                .iter()
+                .map(|v| v.to_f64())
+                .filter(|v| !v.is_nan())
+                .collect();
+            if values.is_empty() {
+                return Err(NsdfError::invalid("all-NaN raster"));
+            }
+            let lo = nsdf_util::stats::percentile(&values, ql)?;
+            let hi = nsdf_util::stats::percentile(&values, qh)?;
+            if hi > lo {
+                (lo, hi)
+            } else {
+                (lo, lo + 1.0)
+            }
+        }
+    };
+    let span = hi - lo;
+    let (w, h) = raster.shape();
+    let mut rgb = Vec::with_capacity(w * h * 3);
+    for &v in raster.data() {
+        let t = (v.to_f64() - lo) / span;
+        rgb.extend_from_slice(&colormap.map(t));
+    }
+    Ok(Image { width: w, height: h, rgb })
+}
+
+/// Render the signed difference `candidate - reference` through a
+/// diverging palette centred on zero — the visual form of the Fig. 6
+/// TIFF-vs-IDX comparison. The range is symmetric at the largest absolute
+/// deviation (or `1` when the rasters are identical, yielding a uniform
+/// midpoint image).
+pub fn render_difference<T: Sample, U: Sample>(
+    reference: &Raster<T>,
+    candidate: &Raster<U>,
+    colormap: Colormap,
+) -> Result<Image> {
+    if reference.shape() != candidate.shape() {
+        return Err(NsdfError::invalid(format!(
+            "difference render: shape {:?} vs {:?}",
+            reference.shape(),
+            candidate.shape()
+        )));
+    }
+    let diff = reference.zip_map(candidate, |a, b| b.to_f64() - a.to_f64())?;
+    let max_abs = diff
+        .data()
+        .iter()
+        .map(|d| d.abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    render(&diff, colormap, RangeMode::Manual(-max_abs, max_abs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_dynamic_range() {
+        let r = Raster::<f32>::from_fn(4, 2, |x, _| x as f32);
+        let img = render(&r, Colormap::Gray, RangeMode::Dynamic).unwrap();
+        assert_eq!((img.width, img.height), (4, 2));
+        assert_eq!(img.rgb.len(), 24);
+        assert_eq!(img.pixel(0, 0), [0, 0, 0]);
+        assert_eq!(img.pixel(3, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn manual_range_clamps() {
+        let r = Raster::<f32>::from_fn(3, 1, |x, _| x as f32 * 100.0);
+        let img = render(&r, Colormap::Gray, RangeMode::Manual(0.0, 100.0)).unwrap();
+        assert_eq!(img.pixel(1, 0), [255, 255, 255]);
+        assert_eq!(img.pixel(2, 0), [255, 255, 255]); // 200 clamps to hi
+        assert!(render(&r, Colormap::Gray, RangeMode::Manual(5.0, 5.0)).is_err());
+    }
+
+    #[test]
+    fn constant_raster_renders() {
+        let r = Raster::<f32>::filled(2, 2, 7.0);
+        let img = render(&r, Colormap::Viridis, RangeMode::Dynamic).unwrap();
+        assert_eq!(img.pixel(0, 0), img.pixel(1, 1));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let r = Raster::<u8>::filled(5, 3, 100);
+        let img = render(&r, Colormap::Gray, RangeMode::Manual(0.0, 255.0)).unwrap();
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n5 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 45);
+    }
+
+    #[test]
+    fn percentile_range_ignores_outliers() {
+        // 98 smooth values plus two wild outliers; a 2-98% stretch keeps
+        // the smooth ramp spread across the palette.
+        let mut r = Raster::<f32>::from_fn(10, 10, |x, y| (y * 10 + x) as f32);
+        r.set(0, 0, -1.0e6);
+        r.set(9, 9, 1.0e6);
+        let robust = render(&r, Colormap::Gray, RangeMode::Percentile(2.0, 98.0)).unwrap();
+        let naive = render(&r, Colormap::Gray, RangeMode::Dynamic).unwrap();
+        // Under dynamic range everything but the outliers collapses to the
+        // same bucket; the percentile stretch differentiates mid values.
+        let mid_naive = naive.pixel(5, 5)[0] as i32 - naive.pixel(5, 4)[0] as i32;
+        let mid_robust = robust.pixel(5, 5)[0] as i32 - robust.pixel(5, 4)[0] as i32;
+        assert_eq!(mid_naive, 0);
+        assert!(mid_robust.abs() >= 1, "robust stretch must separate mid values");
+        assert!(render(&r, Colormap::Gray, RangeMode::Percentile(98.0, 2.0)).is_err());
+        assert!(render(&r, Colormap::Gray, RangeMode::Percentile(-1.0, 50.0)).is_err());
+    }
+
+    #[test]
+    fn difference_render_is_neutral_for_identical_inputs() {
+        let r = Raster::<f32>::from_fn(8, 8, |x, y| (x + y) as f32);
+        let img = render_difference(&r, &r.clone(), Colormap::CoolWarm).unwrap();
+        let mid = Colormap::CoolWarm.map(0.5);
+        assert!(img.rgb.chunks(3).all(|p| p == mid), "identical inputs -> uniform midpoint");
+    }
+
+    #[test]
+    fn difference_render_highlights_deviation() {
+        let r = Raster::<f32>::from_fn(8, 8, |x, y| (x + y) as f32);
+        let mut c = r.clone();
+        c.set(3, 3, 100.0);
+        let img = render_difference(&r, &c, Colormap::CoolWarm).unwrap();
+        let hot = img.pixel(3, 3);
+        let calm = img.pixel(0, 0);
+        assert_ne!(hot, calm);
+        let bad = Raster::<f32>::zeros(4, 4);
+        assert!(render_difference(&r, &bad, Colormap::CoolWarm).is_err());
+    }
+
+    #[test]
+    fn empty_raster_rejected() {
+        let r = Raster::<f32>::zeros(0, 0);
+        assert!(render(&r, Colormap::Gray, RangeMode::Dynamic).is_err());
+    }
+}

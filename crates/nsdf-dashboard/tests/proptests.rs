@@ -1,0 +1,155 @@
+//! Property tests for the dashboard: under any sequence of interactions
+//! the viewport stays inside the dataset, frames always render, and the
+//! auto-level stays within range.
+
+use nsdf_compress::Codec;
+use nsdf_dashboard::{Colormap, Dashboard, RangeMode};
+use nsdf_idx::{Field, IdxDataset, IdxMeta};
+use nsdf_storage::{MemoryStore, ObjectStore};
+use nsdf_util::{DType, Raster};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Interaction {
+    ZoomIn(u8),
+    ZoomOut(u8),
+    Pan(i16, i16),
+    Reset,
+    Time(u8),
+    Field(bool),
+    Viewport(u16),
+    Bias(u8),
+    Colormap(u8),
+    Tick(u8),
+}
+
+fn interaction() -> impl Strategy<Value = Interaction> {
+    prop_oneof![
+        (1u8..16).prop_map(Interaction::ZoomIn),
+        (1u8..16).prop_map(Interaction::ZoomOut),
+        (any::<i16>(), any::<i16>()).prop_map(|(dx, dy)| Interaction::Pan(dx, dy)),
+        Just(Interaction::Reset),
+        any::<u8>().prop_map(Interaction::Time),
+        any::<bool>().prop_map(Interaction::Field),
+        (16u16..1024).prop_map(Interaction::Viewport),
+        (0u8..20).prop_map(Interaction::Bias),
+        any::<u8>().prop_map(Interaction::Colormap),
+        (1u8..10).prop_map(Interaction::Tick),
+    ]
+}
+
+fn dashboard() -> Dashboard {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let meta = IdxMeta::new_2d(
+        "prop",
+        96,
+        64,
+        vec![
+            Field::new("a", DType::F32).unwrap(),
+            Field::new("b", DType::F32).unwrap(),
+        ],
+        8,
+        Codec::Raw,
+    )
+    .unwrap()
+    .with_timesteps(3)
+    .unwrap();
+    let ds = IdxDataset::create(store, "p", meta).unwrap();
+    let r = Raster::<f32>::from_fn(96, 64, |x, y| (x * 7 + y * 3) as f32);
+    for t in 0..3 {
+        ds.write_raster("a", t, &r).unwrap();
+        ds.write_raster("b", t, &r).unwrap();
+    }
+    let mut d = Dashboard::new();
+    d.add_dataset("prop", Arc::new(ds));
+    d.select_dataset("prop").unwrap();
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_interaction_sequence_keeps_rendering(
+        seq in proptest::collection::vec(interaction(), 0..40),
+    ) {
+        let mut d = dashboard();
+        d.set_playing(true);
+        let bounds = nsdf_util::Box2i::new(0, 0, 96, 64);
+        let maps = Colormap::all();
+        for i in seq {
+            match i {
+                Interaction::ZoomIn(f) => d.zoom(f as f64).unwrap(),
+                Interaction::ZoomOut(f) => d.zoom(1.0 / f as f64).unwrap(),
+                Interaction::Pan(dx, dy) => d.pan(dx as i64, dy as i64).unwrap(),
+                Interaction::Reset => d.reset_view().unwrap(),
+                Interaction::Time(t) => {
+                    let _ = d.set_time(t as u32); // out-of-range rejected, state intact
+                }
+                Interaction::Field(b) => d.select_field(if b { "a" } else { "b" }).unwrap(),
+                Interaction::Viewport(px) => d.set_viewport_px(px as usize).unwrap(),
+                Interaction::Bias(levels) => d.set_resolution_bias(levels as u32),
+                Interaction::Colormap(c) => d.set_colormap(maps[c as usize % maps.len()]),
+                Interaction::Tick(dt) => {
+                    d.tick(dt as f64).unwrap();
+                }
+            }
+            // Invariants after every interaction.
+            let r = d.region();
+            prop_assert!(bounds.contains_box(&r), "viewport {r:?} escaped {bounds:?}");
+            prop_assert!(!r.is_empty(), "viewport collapsed");
+            prop_assert!(d.time() < 3);
+            let level = d.auto_level().unwrap();
+            prop_assert!(level <= 13); // 96x64 -> 128x64 padded = 13 bits
+            let (img, info) = d.render_frame().unwrap();
+            prop_assert!(img.width > 0 && img.height > 0);
+            prop_assert_eq!(img.rgb.len(), img.width * img.height * 3);
+            prop_assert!(info.raster_width > 0);
+        }
+    }
+
+    #[test]
+    fn snips_always_match_region_shape(
+        x0 in 0i64..90,
+        y0 in 0i64..60,
+        w in 1i64..40,
+        h in 1i64..40,
+    ) {
+        let d = dashboard();
+        let region = nsdf_util::Box2i::new(x0, y0, x0 + w, y0 + h);
+        let snip = d.snip(region).unwrap();
+        let clipped = region.intersect(&nsdf_util::Box2i::new(0, 0, 96, 64)).unwrap();
+        prop_assert_eq!(
+            (snip.raster.width() as i64, snip.raster.height() as i64),
+            (clipped.width(), clipped.height())
+        );
+        prop_assert!(snip.python_script.contains("db.read"));
+    }
+
+    #[test]
+    fn slices_render_for_any_fraction(fy in 0.0f64..=1.0, fx in 0.0f64..=1.0) {
+        let d = dashboard();
+        let hs = d.horizontal_slice(fy).unwrap();
+        let vs = d.vertical_slice(fx).unwrap();
+        prop_assert!(!hs.is_empty() && !vs.is_empty());
+        prop_assert!(hs.iter().all(|v| v.is_finite()));
+        prop_assert!(vs.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn range_modes_render_consistently() {
+    let d = dashboard();
+    for mode in [
+        RangeMode::Dynamic,
+        RangeMode::Manual(0.0, 1000.0),
+        RangeMode::Percentile(2.0, 98.0),
+    ] {
+        let mut d2 = dashboard();
+        d2.set_range(mode).unwrap();
+        let (img, _) = d2.render_frame().unwrap();
+        assert!(!img.rgb.is_empty());
+    }
+    drop(d);
+}

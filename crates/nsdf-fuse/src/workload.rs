@@ -1,0 +1,151 @@
+//! NSDF-FUSE-style synthetic workloads: the op mixes whose cost the
+//! mapping packages trade off against each other.
+
+use crate::mapping::Mapping;
+use crate::vfs::VirtualFs;
+use nsdf_storage::{CloudStore, MemoryStore, NetworkProfile, ObjectStore};
+use nsdf_util::{Result, SimClock};
+use std::sync::Arc;
+
+/// A create/read/delete workload over `files` files of `file_bytes` each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Number of files.
+    pub files: usize,
+    /// Size of each file in bytes.
+    pub file_bytes: usize,
+    /// Read passes over all files after the create pass.
+    pub read_passes: usize,
+    /// Whether to delete everything at the end.
+    pub delete: bool,
+}
+
+impl OpMix {
+    /// "Many small files" — the regime where packing wins.
+    pub fn small_files() -> Self {
+        OpMix { files: 200, file_bytes: 16 * 1024, read_passes: 1, delete: true }
+    }
+
+    /// "Few large files" — the regime where chunking wins.
+    pub fn large_files() -> Self {
+        OpMix { files: 4, file_bytes: 16 << 20, read_passes: 1, delete: true }
+    }
+}
+
+/// Result of running one workload against one mapping over one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuseBenchResult {
+    /// Mapping under test.
+    pub mapping: Mapping,
+    /// Network profile name.
+    pub network: String,
+    /// File operations issued (creates + reads + deletes).
+    pub file_ops: u64,
+    /// Object-store requests those file ops expanded to.
+    pub store_read_ops: u64,
+    /// Object-store write requests.
+    pub store_write_ops: u64,
+    /// Total virtual seconds the workload took.
+    pub virtual_secs: f64,
+}
+
+/// Run `mix` against a fresh filesystem using `mapping` over a simulated
+/// `profile` network, returning virtual-time accounting.
+pub fn run_workload(
+    mapping: Mapping,
+    profile: NetworkProfile,
+    mix: OpMix,
+    seed: u64,
+) -> Result<FuseBenchResult> {
+    let clock = SimClock::new();
+    let cloud = Arc::new(CloudStore::new(
+        Arc::new(MemoryStore::new()),
+        profile.clone(),
+        clock.clone(),
+        seed,
+    ));
+    let fs = VirtualFs::new(cloud.clone() as Arc<dyn ObjectStore>, "bench", mapping)?;
+
+    let payload: Vec<u8> = (0..mix.file_bytes).map(|i| (i % 251) as u8).collect();
+    let mut file_ops = 0u64;
+    let t0 = clock.now_secs();
+
+    for i in 0..mix.files {
+        fs.write_file(&format!("w/{i:06}.dat"), &payload)?;
+        file_ops += 1;
+    }
+    fs.sync()?;
+    for _ in 0..mix.read_passes {
+        for i in 0..mix.files {
+            let data = fs.read_file(&format!("w/{i:06}.dat"))?;
+            debug_assert_eq!(data.len(), mix.file_bytes);
+            file_ops += 1;
+        }
+    }
+    if mix.delete {
+        for i in 0..mix.files {
+            fs.delete_file(&format!("w/{i:06}.dat"))?;
+            file_ops += 1;
+        }
+        fs.sync()?;
+    }
+
+    let log = cloud.transfer_log();
+    Ok(FuseBenchResult {
+        mapping,
+        network: profile.name,
+        file_ops,
+        store_read_ops: log.read_ops,
+        store_write_ops: log.write_ops,
+        virtual_secs: clock.now_secs() - t0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_file_workload_packed_beats_one_to_one() {
+        let mix = OpMix { files: 50, file_bytes: 8 * 1024, read_passes: 1, delete: false };
+        let profile = NetworkProfile::public_dataverse();
+        let o2o = run_workload(Mapping::OneToOne, profile.clone(), mix, 1).unwrap();
+        let packed =
+            run_workload(Mapping::Packed { pack_target_bytes: 4 << 20 }, profile, mix, 1).unwrap();
+        // Packing collapses 50 small PUTs into a handful of pack PUTs.
+        assert!(
+            packed.store_write_ops < o2o.store_write_ops / 4,
+            "packed {} vs o2o {}",
+            packed.store_write_ops,
+            o2o.store_write_ops
+        );
+        assert!(packed.virtual_secs < o2o.virtual_secs);
+    }
+
+    #[test]
+    fn chunked_splits_large_files_into_many_requests() {
+        let mix = OpMix { files: 2, file_bytes: 4 << 20, read_passes: 1, delete: false };
+        let profile = NetworkProfile::private_seal();
+        let o2o = run_workload(Mapping::OneToOne, profile.clone(), mix, 2).unwrap();
+        let chunked =
+            run_workload(Mapping::Chunked { chunk_bytes: 1 << 20 }, profile, mix, 2).unwrap();
+        assert!(chunked.store_write_ops > o2o.store_write_ops);
+        assert_eq!(o2o.file_ops, chunked.file_ops);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let mix = OpMix { files: 10, file_bytes: 1024, read_passes: 1, delete: true };
+        let a = run_workload(Mapping::OneToOne, NetworkProfile::campus(), mix, 9).unwrap();
+        let b = run_workload(Mapping::OneToOne, NetworkProfile::campus(), mix, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_counts_ops() {
+        let mix = OpMix { files: 5, file_bytes: 64, read_passes: 2, delete: true };
+        let r = run_workload(Mapping::OneToOne, NetworkProfile::local(), mix, 3).unwrap();
+        assert_eq!(r.file_ops, 5 + 10 + 5);
+        assert!(r.virtual_secs > 0.0);
+    }
+}

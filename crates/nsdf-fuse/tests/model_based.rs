@@ -1,0 +1,117 @@
+//! Model-based property testing: every mapping package must behave
+//! identically to a plain in-memory map of `path -> bytes` under arbitrary
+//! interleavings of write/read/delete/overwrite/sync/compact/reopen.
+
+use nsdf_fuse::{Mapping, VirtualFs};
+use nsdf_storage::{MemoryStore, ObjectStore};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, Vec<u8>),
+    Read(u8),
+    Delete(u8),
+    Stat(u8),
+    List,
+    Sync,
+    Compact,
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(k, v)| Op::Write(k, v)),
+        (0u8..12).prop_map(Op::Read),
+        (0u8..12).prop_map(Op::Delete),
+        (0u8..12).prop_map(Op::Stat),
+        Just(Op::List),
+        Just(Op::Sync),
+        Just(Op::Compact),
+        Just(Op::Reopen),
+    ]
+}
+
+fn path(k: u8) -> String {
+    format!("dir{}/file-{k:02}.dat", k % 3)
+}
+
+fn run_model(mapping: Mapping, ops: Vec<Op>) {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let mut fs = VirtualFs::new(store.clone(), "mbt", mapping).unwrap();
+    let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+    for op in ops {
+        match op {
+            Op::Write(k, data) => {
+                fs.write_file(&path(k), &data).unwrap();
+                model.insert(path(k), data);
+            }
+            Op::Read(k) => {
+                let got = fs.read_file(&path(k));
+                match model.get(&path(k)) {
+                    Some(want) => assert_eq!(&got.unwrap(), want, "{}", mapping.name()),
+                    None => assert!(got.unwrap_err().is_not_found(), "{}", mapping.name()),
+                }
+            }
+            Op::Delete(k) => {
+                let got = fs.delete_file(&path(k));
+                if model.remove(&path(k)).is_some() {
+                    got.unwrap();
+                } else {
+                    assert!(got.unwrap_err().is_not_found());
+                }
+            }
+            Op::Stat(k) => {
+                let got = fs.stat(&path(k));
+                match model.get(&path(k)) {
+                    Some(want) => {
+                        assert_eq!(got.unwrap().size, want.len() as u64, "{}", mapping.name())
+                    }
+                    None => assert!(got.unwrap_err().is_not_found()),
+                }
+            }
+            Op::List => {
+                let mut got: Vec<String> =
+                    fs.list_files("").unwrap().into_iter().map(|f| f.path).collect();
+                got.sort();
+                let mut want: Vec<String> = model.keys().cloned().collect();
+                want.sort();
+                assert_eq!(got, want, "{}", mapping.name());
+            }
+            Op::Sync => fs.sync().unwrap(),
+            Op::Compact => {
+                fs.compact().unwrap();
+            }
+            Op::Reopen => {
+                // Durability boundary: everything must survive a restart.
+                fs.sync().unwrap();
+                fs = VirtualFs::new(store.clone(), "mbt", mapping).unwrap();
+            }
+        }
+    }
+    // Final full check.
+    for (p, want) in &model {
+        assert_eq!(&fs.read_file(p).unwrap(), want, "final state, {}", mapping.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn one_to_one_matches_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        run_model(Mapping::OneToOne, ops);
+    }
+
+    #[test]
+    fn chunked_matches_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        run_model(Mapping::Chunked { chunk_bytes: 64 }, ops);
+    }
+
+    #[test]
+    fn packed_matches_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        run_model(Mapping::Packed { pack_target_bytes: 256 }, ops);
+    }
+}

@@ -1,0 +1,271 @@
+//! Terrain parameter kernels: elevation, slope, aspect, hillshade — the
+//! four parameters the tutorial computes for CONUS at 30 m (paper §IV-A).
+//!
+//! All gradient-based parameters use Horn's third-order finite difference
+//! over the 3x3 neighbourhood (the standard GDAL/ESRI formulation), with
+//! clamp-to-edge boundary handling. Raster rows grow southward, so the
+//! northward derivative is the negated row derivative.
+
+use nsdf_util::{NsdfError, Raster, Result};
+
+/// Terrain parameter selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TerrainParam {
+    /// Elevation passthrough (metres).
+    Elevation,
+    /// Slope in degrees from horizontal, `[0, 90)`.
+    Slope,
+    /// Aspect: downslope direction in degrees clockwise from north,
+    /// `[0, 360)`; flat cells yield `-1` (the GDAL convention).
+    Aspect,
+    /// Hillshade: illumination in `[0, 255]` for the configured sun.
+    Hillshade,
+}
+
+impl TerrainParam {
+    /// All four parameters, in the tutorial's order.
+    pub fn all() -> [TerrainParam; 4] {
+        [TerrainParam::Elevation, TerrainParam::Slope, TerrainParam::Aspect, TerrainParam::Hillshade]
+    }
+
+    /// Lowercase name used for dataset fields and file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TerrainParam::Elevation => "elevation",
+            TerrainParam::Slope => "slope",
+            TerrainParam::Aspect => "aspect",
+            TerrainParam::Hillshade => "hillshade",
+        }
+    }
+
+    /// Parse a name produced by [`TerrainParam::name`].
+    pub fn parse(s: &str) -> Result<TerrainParam> {
+        match s {
+            "elevation" => Ok(TerrainParam::Elevation),
+            "slope" => Ok(TerrainParam::Slope),
+            "aspect" => Ok(TerrainParam::Aspect),
+            "hillshade" => Ok(TerrainParam::Hillshade),
+            other => Err(NsdfError::invalid(format!("unknown terrain parameter {other:?}"))),
+        }
+    }
+}
+
+/// Sun position for hillshading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sun {
+    /// Azimuth in degrees clockwise from north.
+    pub azimuth_deg: f64,
+    /// Altitude above the horizon in degrees.
+    pub altitude_deg: f64,
+}
+
+impl Default for Sun {
+    /// The conventional cartographic sun: NW at 45°.
+    fn default() -> Self {
+        Sun { azimuth_deg: 315.0, altitude_deg: 45.0 }
+    }
+}
+
+/// Horn gradient at `(x, y)`: returns `(dz/dx_east, dz/dy_north)` in
+/// elevation units per ground unit.
+#[inline]
+fn horn_gradient(dem: &Raster<f32>, x: i64, y: i64, cell_m: f64) -> (f64, f64) {
+    let g = |dx: i64, dy: i64| dem.get_clamped(x + dx, y + dy) as f64;
+    // Neighbourhood letters (GDAL docs):  a b c / d e f / g h i
+    let (a, b, c) = (g(-1, -1), g(0, -1), g(1, -1));
+    let (d, f) = (g(-1, 0), g(1, 0));
+    let (gg, h, i) = (g(-1, 1), g(0, 1), g(1, 1));
+    let dzdx = ((c + 2.0 * f + i) - (a + 2.0 * d + gg)) / (8.0 * cell_m);
+    // Row derivative points south; negate for north.
+    let dzdy_south = ((gg + 2.0 * h + i) - (a + 2.0 * b + c)) / (8.0 * cell_m);
+    (dzdx, -dzdy_south)
+}
+
+/// Compute one terrain parameter over a DEM.
+///
+/// `cell_m` (ground size of one pixel) is taken from the DEM's
+/// geotransform when present, else defaults to 1.0.
+pub fn compute_terrain(dem: &Raster<f32>, param: TerrainParam, sun: Sun) -> Result<Raster<f32>> {
+    if dem.is_empty() {
+        return Err(NsdfError::invalid("empty DEM"));
+    }
+    let cell_m = dem.geo.map(|g| g.dx.abs()).unwrap_or(1.0);
+    if cell_m <= 0.0 {
+        return Err(NsdfError::invalid("non-positive cell size"));
+    }
+    let (w, h) = dem.shape();
+    let out = match param {
+        TerrainParam::Elevation => dem.clone(),
+        TerrainParam::Slope => Raster::from_fn(w, h, |x, y| {
+            let (gx, gy) = horn_gradient(dem, x as i64, y as i64, cell_m);
+            (gx.hypot(gy)).atan().to_degrees() as f32
+        }),
+        TerrainParam::Aspect => Raster::from_fn(w, h, |x, y| {
+            let (gx, gy) = horn_gradient(dem, x as i64, y as i64, cell_m);
+            aspect_deg(gx, gy) as f32
+        }),
+        TerrainParam::Hillshade => {
+            let zen = (90.0 - sun.altitude_deg).to_radians();
+            let az = sun.azimuth_deg.to_radians();
+            Raster::from_fn(w, h, |x, y| {
+                let (gx, gy) = horn_gradient(dem, x as i64, y as i64, cell_m);
+                let slope = gx.hypot(gy).atan();
+                let aspect = downslope_rad(gx, gy);
+                let shade =
+                    zen.cos() * slope.cos() + zen.sin() * slope.sin() * (az - aspect).cos();
+                (255.0 * shade.max(0.0)) as f32
+            })
+        }
+    };
+    let mut out = out;
+    out.geo = dem.geo;
+    Ok(out)
+}
+
+/// Downslope direction in radians clockwise from north for a gradient in
+/// (east, north) components; 0 for flat cells.
+#[inline]
+fn downslope_rad(gx: f64, gy: f64) -> f64 {
+    if gx == 0.0 && gy == 0.0 {
+        return 0.0;
+    }
+    // Steepest descent points along -gradient.
+    let (de, dn) = (-gx, -gy);
+    let mut a = de.atan2(dn); // clockwise from north
+    if a < 0.0 {
+        a += std::f64::consts::TAU;
+    }
+    a
+}
+
+/// Aspect in degrees with the GDAL flat convention (`-1`).
+#[inline]
+fn aspect_deg(gx: f64, gy: f64) -> f64 {
+    const FLAT_EPS: f64 = 1e-12;
+    if gx.abs() < FLAT_EPS && gy.abs() < FLAT_EPS {
+        return -1.0;
+    }
+    downslope_rad(gx, gy).to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dem::{DemConfig, DemKind};
+    use nsdf_util::GeoTransform;
+
+    fn plane(gx: f64, gy: f64, cell: f64) -> Raster<f32> {
+        DemConfig {
+            width: 32,
+            height: 32,
+            seed: 0,
+            relief_m: 0.0,
+            kind: DemKind::Plane { gx, gy },
+            pixel_size_m: cell,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn flat_dem_has_zero_slope_and_flat_aspect() {
+        let dem = Raster::<f32>::filled(16, 16, 500.0)
+            .with_geo(GeoTransform::north_up(0.0, 0.0, 30.0));
+        let slope = compute_terrain(&dem, TerrainParam::Slope, Sun::default()).unwrap();
+        assert!(slope.data().iter().all(|&v| v == 0.0));
+        let aspect = compute_terrain(&dem, TerrainParam::Aspect, Sun::default()).unwrap();
+        assert!(aspect.data().iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn plane_slope_matches_closed_form() {
+        // z = 3x per 1m cell: slope = atan(3) ≈ 71.565°, everywhere.
+        let dem = plane(3.0, 0.0, 1.0);
+        let slope = compute_terrain(&dem, TerrainParam::Slope, Sun::default()).unwrap();
+        let expect = (3.0f64).atan().to_degrees() as f32;
+        for y in 1..31 {
+            for x in 1..31 {
+                assert!((slope.get(x, y) - expect).abs() < 1e-3, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn slope_scales_with_cell_size() {
+        // Same per-pixel gradient at 30 m cells: slope = atan(3/30).
+        let dem = plane(3.0, 0.0, 30.0);
+        let slope = compute_terrain(&dem, TerrainParam::Slope, Sun::default()).unwrap();
+        let expect = (0.1f64).atan().to_degrees() as f32;
+        assert!((slope.get(16, 16) - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn aspect_points_downslope() {
+        // Rising eastward (gx>0): downslope faces west = 270°.
+        let dem = plane(2.0, 0.0, 1.0);
+        let aspect = compute_terrain(&dem, TerrainParam::Aspect, Sun::default()).unwrap();
+        assert!((aspect.get(16, 16) - 270.0).abs() < 1e-3);
+        // Rising southward (gy>0 in row coords = down toward south):
+        // downslope faces north = 0°.
+        let dem = plane(0.0, 2.0, 1.0);
+        let aspect = compute_terrain(&dem, TerrainParam::Aspect, Sun::default()).unwrap();
+        let a = aspect.get(16, 16);
+        assert!(a.min(360.0 - a) < 1e-3, "aspect {a}");
+        // Rising northward: downslope faces south = 180°.
+        let dem = plane(0.0, -2.0, 1.0);
+        let aspect = compute_terrain(&dem, TerrainParam::Aspect, Sun::default()).unwrap();
+        assert!((aspect.get(16, 16) - 180.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hillshade_brightest_facing_the_sun() {
+        // Sun from the west at 45°: a west-facing slope outshines an
+        // east-facing one.
+        let sun = Sun { azimuth_deg: 270.0, altitude_deg: 45.0 };
+        let west_facing = plane(1.0, 0.0, 1.0); // rises east, faces west
+        let east_facing = plane(-1.0, 0.0, 1.0);
+        let hw = compute_terrain(&west_facing, TerrainParam::Hillshade, sun).unwrap();
+        let he = compute_terrain(&east_facing, TerrainParam::Hillshade, sun).unwrap();
+        assert!(hw.get(16, 16) > he.get(16, 16) + 50.0);
+        // Values stay in [0, 255].
+        assert!(hw.data().iter().all(|&v| (0.0..=255.0).contains(&v)));
+    }
+
+    #[test]
+    fn elevation_is_identity() {
+        let dem = DemConfig::conus_like(24, 24, 3).generate();
+        let out = compute_terrain(&dem, TerrainParam::Elevation, Sun::default()).unwrap();
+        assert_eq!(out.data(), dem.data());
+    }
+
+    #[test]
+    fn gaussian_hill_slope_matches_analytic_gradient() {
+        use crate::dem::AnalyticHill;
+        let hill = AnalyticHill { cx: 32.0, cy: 32.0, sigma: 10.0, amp: 200.0 };
+        let dem = hill.rasterise(64, 64, 1.0);
+        let slope = compute_terrain(&dem, TerrainParam::Slope, Sun::default()).unwrap();
+        // Compare at interior points away from the peak (where gradient ~ 0).
+        for &(x, y) in &[(20usize, 32usize), (32, 45), (40, 40)] {
+            let (gx, gy) = hill.gradient(x as f64, y as f64);
+            let expect = gx.hypot(gy).atan().to_degrees();
+            let got = slope.get(x, y) as f64;
+            assert!(
+                (got - expect).abs() < 0.35,
+                "({x},{y}): got {got}, analytic {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_names_roundtrip() {
+        for p in TerrainParam::all() {
+            assert_eq!(TerrainParam::parse(p.name()).unwrap(), p);
+        }
+        assert!(TerrainParam::parse("curvature").is_err());
+    }
+
+    #[test]
+    fn empty_dem_rejected() {
+        let dem = Raster::<f32>::zeros(0, 0);
+        assert!(compute_terrain(&dem, TerrainParam::Slope, Sun::default()).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the GEOtiled pipeline: the accuracy-preservation
+//! claim must hold for arbitrary grids, tile plans, and terrain, and tile
+//! plans must always partition the DEM exactly.
+
+use nsdf_geotiled::{
+    compute_terrain, compute_terrain_tiled, DemConfig, DemKind, Sun, TerrainParam, TilePlan,
+};
+use proptest::prelude::*;
+
+fn any_param() -> impl Strategy<Value = TerrainParam> {
+    prop_oneof![
+        Just(TerrainParam::Elevation),
+        Just(TerrainParam::Slope),
+        Just(TerrainParam::Aspect),
+        Just(TerrainParam::Hillshade),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tile_plans_partition_exactly(
+        w in 1usize..200,
+        h in 1usize..200,
+        tx in 1usize..9,
+        ty in 1usize..9,
+    ) {
+        prop_assume!(tx <= w && ty <= h);
+        let plan = TilePlan::new(tx, ty, 1).unwrap();
+        let tiles = plan.tiles(w, h);
+        prop_assert_eq!(tiles.len(), tx * ty);
+        let area: i64 = tiles.iter().map(|b| b.area()).sum();
+        prop_assert_eq!(area, (w * h) as i64);
+        for (i, a) in tiles.iter().enumerate() {
+            for b in tiles.iter().skip(i + 1) {
+                prop_assert_eq!(a.intersect(b), None);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_is_bit_exact_for_any_plan(
+        size in 16usize..64,
+        tx in 1usize..5,
+        ty in 1usize..5,
+        halo in 1usize..4,
+        seed in any::<u64>(),
+        param in any_param(),
+    ) {
+        let dem = DemConfig::conus_like(size, size, seed).generate();
+        let reference = compute_terrain(&dem, param, Sun::default()).unwrap();
+        let plan = TilePlan::new(tx, ty, halo).unwrap();
+        let (tiled, _) = compute_terrain_tiled(&dem, param, Sun::default(), &plan, 4).unwrap();
+        prop_assert_eq!(tiled.data(), reference.data());
+    }
+
+    #[test]
+    fn slope_bounded_and_aspect_in_domain(seed in any::<u64>(), size in 8usize..48) {
+        let dem = DemConfig::conus_like(size, size, seed).generate();
+        let slope = compute_terrain(&dem, TerrainParam::Slope, Sun::default()).unwrap();
+        for &s in slope.data() {
+            prop_assert!((0.0..90.0).contains(&s), "slope {s}");
+        }
+        let aspect = compute_terrain(&dem, TerrainParam::Aspect, Sun::default()).unwrap();
+        for &a in aspect.data() {
+            prop_assert!(a == -1.0 || (0.0..360.0).contains(&a), "aspect {a}");
+        }
+        let hs = compute_terrain(&dem, TerrainParam::Hillshade, Sun::default()).unwrap();
+        for &v in hs.data() {
+            prop_assert!((0.0..=255.0).contains(&v), "hillshade {v}");
+        }
+    }
+
+    #[test]
+    fn plane_slope_closed_form(gx in -5.0f64..5.0, gy in -5.0f64..5.0) {
+        let cfg = DemConfig {
+            width: 16,
+            height: 16,
+            seed: 0,
+            relief_m: 0.0,
+            kind: DemKind::Plane { gx, gy },
+            pixel_size_m: 1.0,
+        };
+        let dem = cfg.generate();
+        let slope = compute_terrain(&dem, TerrainParam::Slope, Sun::default()).unwrap();
+        let expect = gx.hypot(gy).atan().to_degrees();
+        // Interior point, away from clamped borders.
+        let got = slope.get(8, 8) as f64;
+        prop_assert!((got - expect).abs() < 1e-3, "got {got}, want {expect}");
+    }
+}

@@ -1,0 +1,428 @@
+//! The hierarchical Z (HZ) order itself.
+//!
+//! HZ order rearranges the Z (Morton) order into resolution levels: level 0
+//! is the single coarsest sample, and each level ℓ ≥ 1 holds the 2^(ℓ-1)
+//! samples that refine level ℓ-1 — exactly the layout the OpenVisus IDX
+//! format stores on disk. Consecutive HZ addresses within a level are
+//! spatially coherent, which is what makes progressive region queries touch
+//! few, contiguous blocks.
+//!
+//! For a grid with `n` address bits the mapping is the classic one from
+//! Pascucci et al.: a sample with Z address `z > 0` whose binary expansion
+//! ends in `t` zeros sits at level `n - t`, and its in-level rank is `z`
+//! with the trailing zeros *and* the lowest set bit stripped.
+
+use crate::bitmask::BitMask;
+use nsdf_util::{Box2i, NsdfError, Result};
+
+/// HZ address from a Z (Morton) address on an `n`-bit grid.
+#[inline]
+pub fn hz_from_z(z: u64, n: u32) -> u64 {
+    debug_assert!(n < 64 && (n == 63 || z < (1u64 << n)));
+    if z == 0 {
+        return 0;
+    }
+    let t = z.trailing_zeros();
+    let level = n - t;
+    (1u64 << (level - 1)) + (z >> (t + 1))
+}
+
+/// Inverse of [`hz_from_z`].
+#[inline]
+pub fn z_from_hz(h: u64, n: u32) -> u64 {
+    debug_assert!(n < 64 && (n == 63 || h < (1u64 << n)));
+    if h == 0 {
+        return 0;
+    }
+    let level = 64 - h.leading_zeros(); // floor(log2(h)) + 1
+    let rank = h - (1u64 << (level - 1));
+    (rank << (n - level + 1)) | (1u64 << (n - level))
+}
+
+/// Resolution level of an HZ address: 0 for the root, else `floor(log2)+1`.
+#[inline]
+pub fn hz_level(h: u64) -> u32 {
+    if h == 0 {
+        0
+    } else {
+        64 - h.leading_zeros()
+    }
+}
+
+/// First HZ address of level `level` (inclusive).
+#[inline]
+pub fn level_start(level: u32) -> u64 {
+    if level == 0 {
+        0
+    } else {
+        1u64 << (level - 1)
+    }
+}
+
+/// One past the last HZ address of level `level`.
+#[inline]
+pub fn level_end(level: u32) -> u64 {
+    1u64 << level
+}
+
+/// A [`BitMask`] bundled with the HZ arithmetic: the full address machinery
+/// for one dataset shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HzCurve {
+    mask: BitMask,
+}
+
+impl HzCurve {
+    /// Curve over the given mask.
+    pub fn new(mask: BitMask) -> Self {
+        HzCurve { mask }
+    }
+
+    /// Curve for a 2-D grid of the given logical size.
+    pub fn for_dims_2d(width: u64, height: u64) -> Result<Self> {
+        Ok(HzCurve::new(BitMask::for_dims_2d(width, height)?))
+    }
+
+    /// The interleaving mask.
+    pub fn mask(&self) -> &BitMask {
+        &self.mask
+    }
+
+    /// Total address bits; also the finest resolution level.
+    pub fn max_level(&self) -> u32 {
+        self.mask.num_bits()
+    }
+
+    /// Total number of addresses on the padded grid.
+    pub fn num_addresses(&self) -> u64 {
+        1u64 << self.mask.num_bits()
+    }
+
+    /// HZ address of a sample at the given coordinates.
+    pub fn hz_from_coords(&self, coords: &[u64]) -> Result<u64> {
+        Ok(hz_from_z(self.mask.encode(coords)?, self.mask.num_bits()))
+    }
+
+    /// Coordinates of the sample with the given HZ address.
+    pub fn coords_from_hz(&self, h: u64) -> Vec<u64> {
+        self.mask.decode(z_from_hz(h, self.mask.num_bits()))
+    }
+
+    /// Iterate the HZ addresses of all level-`level` samples (exactly that
+    /// level, not cumulative) whose 2-D coordinates fall inside `region`.
+    ///
+    /// Yields `(x, y, hz)` tuples. Samples of level ℓ lie on the cumulative
+    /// level-ℓ grid but *off* the level-(ℓ-1) grid, which the iterator
+    /// enforces by stepping the finer strides and skipping coarser points.
+    pub fn level_samples_in_region(
+        &self,
+        level: u32,
+        region: Box2i,
+    ) -> Result<Vec<(u64, u64, u64)>> {
+        if self.mask.num_axes() > 2 {
+            return Err(NsdfError::unsupported("region iteration is 2-D only"));
+        }
+        if level > self.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.max_level()
+            )));
+        }
+        let strides = self.mask.level_strides(level)?;
+        let (sx, sy) = (strides[0] as i64, strides.get(1).copied().unwrap_or(1) as i64);
+        let coarser = if level == 0 { None } else { Some(self.mask.level_strides(level - 1)?) };
+        let padded = self.mask.padded_dims();
+        let max_x = padded[0] as i64;
+        let max_y = padded.get(1).copied().unwrap_or(1) as i64;
+
+        let x0 = align_up(region.x0.max(0), sx);
+        let y0 = align_up(region.y0.max(0), sy);
+        let x1 = region.x1.min(max_x);
+        let y1 = region.y1.min(max_y);
+
+        let mut out = Vec::new();
+        let mut y = y0;
+        while y < y1 {
+            let mut x = x0;
+            while x < x1 {
+                let on_coarser = coarser.as_ref().is_some_and(|c| {
+                    x % c[0] as i64 == 0 && y % c.get(1).copied().unwrap_or(1) as i64 == 0
+                });
+                if !on_coarser {
+                    let h = self
+                        .hz_from_coords(&[x as u64, y as u64])
+                        .expect("in-range coordinates");
+                    debug_assert_eq!(hz_level(h), level);
+                    out.push((x as u64, y as u64, h));
+                }
+                x += sx;
+            }
+            y += sy;
+        }
+        Ok(out)
+    }
+}
+
+impl HzCurve {
+    /// Curve for a 3-D grid of the given logical size.
+    pub fn for_dims_3d(width: u64, height: u64, depth: u64) -> Result<Self> {
+        Ok(HzCurve::new(BitMask::for_dims(&[width, height, depth])?))
+    }
+
+    /// 3-D analogue of [`HzCurve::level_samples_in_region`]: iterate the
+    /// samples of exactly `level` whose coordinates fall inside `region`,
+    /// yielding `(x, y, z, hz)`.
+    pub fn level_samples_in_box3(
+        &self,
+        level: u32,
+        region: nsdf_util::Box3i,
+    ) -> Result<Vec<(u64, u64, u64, u64)>> {
+        if level > self.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.max_level()
+            )));
+        }
+        let strides = self.mask.level_strides(level)?;
+        let stride = |a: usize| strides.get(a).copied().unwrap_or(1) as i64;
+        let (sx, sy, sz) = (stride(0), stride(1), stride(2));
+        let coarser = if level == 0 { None } else { Some(self.mask.level_strides(level - 1)?) };
+        let cstride = |c: &Vec<u64>, a: usize| c.get(a).copied().unwrap_or(1) as i64;
+        let padded = self.mask.padded_dims();
+        let pad = |a: usize| padded.get(a).copied().unwrap_or(1) as i64;
+
+        let x0 = align_up(region.x0.max(0), sx);
+        let y0 = align_up(region.y0.max(0), sy);
+        let z0 = align_up(region.z0.max(0), sz);
+        let (x1, y1, z1) = (region.x1.min(pad(0)), region.y1.min(pad(1)), region.z1.min(pad(2)));
+
+        let mut out = Vec::new();
+        let mut z = z0;
+        while z < z1 {
+            let mut y = y0;
+            while y < y1 {
+                let mut x = x0;
+                while x < x1 {
+                    let on_coarser = coarser.as_ref().is_some_and(|c| {
+                        x % cstride(c, 0) == 0 && y % cstride(c, 1) == 0 && z % cstride(c, 2) == 0
+                    });
+                    if !on_coarser {
+                        let h = self
+                            .hz_from_coords(&[x as u64, y as u64, z as u64])
+                            .expect("in-range coordinates");
+                        out.push((x as u64, y as u64, z as u64, h));
+                    }
+                    x += sx;
+                }
+                y += sy;
+            }
+            z += sz;
+        }
+        Ok(out)
+    }
+}
+
+/// Smallest multiple of `m` that is `>= v`, for non-negative `v`.
+fn align_up(v: i64, m: i64) -> i64 {
+    debug_assert!(v >= 0 && m > 0);
+    let r = v % m;
+    if r == 0 {
+        v
+    } else {
+        v + (m - r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hz_1d_classic_ordering() {
+        // 8-sample 1-D grid: HZ visits 0, 4, 2, 6, 1, 3, 5, 7.
+        let expected = [(0u64, 0u64), (4, 1), (2, 2), (6, 3), (1, 4), (3, 5), (5, 6), (7, 7)];
+        for &(z, h) in &expected {
+            assert_eq!(hz_from_z(z, 3), h, "z={z}");
+            assert_eq!(z_from_hz(h, 3), z, "h={h}");
+        }
+    }
+
+    #[test]
+    fn hz_is_bijective() {
+        for n in 1..=12u32 {
+            let size = 1u64 << n;
+            let mut seen = vec![false; size as usize];
+            for z in 0..size {
+                let h = hz_from_z(z, n);
+                assert!(h < size);
+                assert!(!seen[h as usize], "n={n} collision at h={h}");
+                seen[h as usize] = true;
+                assert_eq!(z_from_hz(h, n), z);
+            }
+        }
+    }
+
+    #[test]
+    fn hz_levels_partition_addresses() {
+        let n = 10u32;
+        for h in 0..(1u64 << n) {
+            let l = hz_level(h);
+            assert!(l <= n);
+            assert!(h >= level_start(l) && h < level_end(l));
+        }
+        // Level sizes: 1, 1, 2, 4, ...
+        assert_eq!(level_end(0) - level_start(0), 1);
+        assert_eq!(level_end(1) - level_start(1), 1);
+        assert_eq!(level_end(5) - level_start(5), 16);
+    }
+
+    #[test]
+    fn curve_roundtrips_coordinates() {
+        let c = HzCurve::for_dims_2d(32, 8).unwrap();
+        for y in 0..8u64 {
+            for x in 0..32u64 {
+                let h = c.hz_from_coords(&[x, y]).unwrap();
+                assert_eq!(c.coords_from_hz(h), vec![x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn level_zero_sample_is_origin() {
+        let c = HzCurve::for_dims_2d(16, 16).unwrap();
+        assert_eq!(c.hz_from_coords(&[0, 0]).unwrap(), 0);
+        assert_eq!(c.coords_from_hz(0), vec![0, 0]);
+    }
+
+    #[test]
+    fn level_samples_cover_whole_grid_once() {
+        let c = HzCurve::for_dims_2d(8, 8).unwrap();
+        let full = Box2i::new(0, 0, 8, 8);
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for level in 0..=c.max_level() {
+            for (x, y, h) in c.level_samples_in_region(level, full).unwrap() {
+                assert!(seen.insert((x, y)), "duplicate sample ({x},{y})");
+                assert_eq!(hz_level(h), level);
+                total += 1;
+            }
+        }
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn level_samples_respect_region() {
+        let c = HzCurve::for_dims_2d(16, 16).unwrap();
+        let region = Box2i::new(4, 4, 9, 9);
+        for level in 0..=c.max_level() {
+            for (x, y, _) in c.level_samples_in_region(level, region).unwrap() {
+                assert!(region.contains(x as i64, y as i64));
+            }
+        }
+        // Finest level inside a 5x5 region: every off-coarse cell appears;
+        // cumulative count across levels must equal the region area.
+        let total: usize = (0..=c.max_level())
+            .map(|l| c.level_samples_in_region(l, region).unwrap().len())
+            .sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn level_samples_clip_to_padded_grid() {
+        let c = HzCurve::for_dims_2d(8, 8).unwrap();
+        let region = Box2i::new(-10, -10, 100, 100);
+        let total: usize = (0..=c.max_level())
+            .map(|l| c.level_samples_in_region(l, region).unwrap().len())
+            .sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn level_samples_rejects_overflow_level() {
+        let c = HzCurve::for_dims_2d(8, 8).unwrap();
+        assert!(c.level_samples_in_region(7, Box2i::new(0, 0, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn hz_addresses_within_level_are_spatially_coherent() {
+        // The first half of the finest level on a square grid must stay in
+        // the left half... not exactly; instead verify a weaker, true
+        // property: consecutive finest-level HZ addresses differ by a bounded
+        // spatial distance on average compared to random order.
+        let c = HzCurve::for_dims_2d(32, 32).unwrap();
+        let samples = c.level_samples_in_region(c.max_level(), Box2i::new(0, 0, 32, 32)).unwrap();
+        let mut by_h = samples.clone();
+        by_h.sort_by_key(|&(_, _, h)| h);
+        let mean_jump: f64 = by_h
+            .windows(2)
+            .map(|w| {
+                let (x0, y0, _) = w[0];
+                let (x1, y1, _) = w[1];
+                ((x0 as f64 - x1 as f64).powi(2) + (y0 as f64 - y1 as f64).powi(2)).sqrt()
+            })
+            .sum::<f64>()
+            / (by_h.len() - 1) as f64;
+        // Random order over a 32x32 grid would average ~16.9; HZ stays small.
+        assert!(mean_jump < 6.0, "mean consecutive jump {mean_jump}");
+    }
+}
+
+#[cfg(test)]
+mod tests3d {
+    use super::*;
+    use nsdf_util::Box3i;
+
+    #[test]
+    fn curve_3d_roundtrips() {
+        let c = HzCurve::for_dims_3d(8, 8, 8).unwrap();
+        assert_eq!(c.max_level(), 9);
+        for z in 0..8u64 {
+            for y in 0..8u64 {
+                for x in 0..8u64 {
+                    let h = c.hz_from_coords(&[x, y, z]).unwrap();
+                    assert_eq!(c.coords_from_hz(h), vec![x, y, z]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_samples_cover_volume_once() {
+        let c = HzCurve::for_dims_3d(8, 8, 8).unwrap();
+        let full = Box3i::of_size(8, 8, 8);
+        let mut seen = std::collections::HashSet::new();
+        for level in 0..=c.max_level() {
+            for (x, y, z, h) in c.level_samples_in_box3(level, full).unwrap() {
+                assert!(seen.insert((x, y, z)), "duplicate ({x},{y},{z})");
+                assert_eq!(hz_level(h), level);
+            }
+        }
+        assert_eq!(seen.len(), 512);
+    }
+
+    #[test]
+    fn box3_region_respected() {
+        let c = HzCurve::for_dims_3d(16, 16, 16).unwrap();
+        let region = Box3i::new(4, 4, 4, 9, 9, 9);
+        let total: usize = (0..=c.max_level())
+            .map(|l| c.level_samples_in_box3(l, region).unwrap().len())
+            .sum();
+        assert_eq!(total, 125);
+        for level in 0..=c.max_level() {
+            for (x, y, z, _) in c.level_samples_in_box3(level, region).unwrap() {
+                assert!(region.contains(x as i64, y as i64, z as i64));
+            }
+        }
+        assert!(c.level_samples_in_box3(99, region).is_err());
+    }
+
+    #[test]
+    fn rectangular_volume_covered() {
+        let c = HzCurve::for_dims_3d(8, 4, 2).unwrap();
+        let full = Box3i::of_size(8, 4, 2);
+        let total: usize = (0..=c.max_level())
+            .map(|l| c.level_samples_in_box3(l, full).unwrap().len())
+            .sum();
+        assert_eq!(total, 64);
+    }
+}

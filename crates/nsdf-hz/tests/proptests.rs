@@ -1,0 +1,78 @@
+//! Property tests for the space-filling curve layer: bijectivity and level
+//! structure must hold for arbitrary (not just square) grid shapes.
+
+use nsdf_hz::{hz_from_z, hz_level, z_from_hz, BitMask, HzCurve};
+use nsdf_util::Box2i;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hz_z_bijection(n in 1u32..20, samples in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let size = 1u64 << n;
+        for s in samples {
+            let z = s % size;
+            let h = hz_from_z(z, n);
+            prop_assert!(h < size);
+            prop_assert_eq!(z_from_hz(h, n), z);
+            prop_assert!(hz_level(h) <= n);
+        }
+    }
+
+    #[test]
+    fn mask_encode_is_bijective_for_random_shapes(w in 1u64..40, h in 1u64..40) {
+        let mask = BitMask::for_dims_2d(w, h).unwrap();
+        let padded = mask.padded_dims();
+        let (pw, ph) = (padded[0], padded.get(1).copied().unwrap_or(1));
+        let mut seen = HashSet::new();
+        for y in 0..ph {
+            for x in 0..pw {
+                let z = mask.encode(&[x, y]).unwrap();
+                prop_assert!(seen.insert(z), "collision at ({x},{y})");
+                // Degenerate axes own no mask bits and are dropped by decode.
+                let mut want = vec![x, y];
+                want.truncate(mask.num_axes());
+                prop_assert_eq!(mask.decode(z), want);
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, pw * ph);
+    }
+
+    #[test]
+    fn level_samples_partition_random_grids(w in 2u64..24, h in 2u64..24) {
+        let curve = HzCurve::for_dims_2d(w, h).unwrap();
+        let full = Box2i::new(0, 0, w as i64, h as i64);
+        let mut seen = HashSet::new();
+        for level in 0..=curve.max_level() {
+            for (x, y, hz) in curve.level_samples_in_region(level, full).unwrap() {
+                prop_assert!(seen.insert((x, y)));
+                prop_assert_eq!(hz_level(hz), level);
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, w * h);
+    }
+
+    #[test]
+    fn strides_are_monotone_in_level(w in 2u64..64, h in 2u64..64) {
+        let mask = BitMask::for_dims_2d(w, h).unwrap();
+        let mut prev = u64::MAX;
+        for level in 0..=mask.num_bits() {
+            let s = mask.level_strides(level).unwrap();
+            let max_stride = s.iter().copied().max().unwrap();
+            prop_assert!(max_stride <= prev, "level {level}");
+            prev = max_stride;
+        }
+        // Finest level has unit strides.
+        let finest = mask.level_strides(mask.num_bits()).unwrap();
+        prop_assert!(finest.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn text_roundtrip_random_masks(w in 1u64..100, h in 1u64..100) {
+        let mask = BitMask::for_dims_2d(w, h).unwrap();
+        let back = BitMask::parse(&mask.to_text()).unwrap();
+        prop_assert_eq!(back, mask);
+    }
+}

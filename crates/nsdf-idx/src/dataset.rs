@@ -1,0 +1,758 @@
+//! The IDX dataset: HZ-ordered, block-compressed, multi-resolution array
+//! storage over any [`ObjectStore`] — this crate's reproduction of the
+//! OpenVisus data fabric the NSDF dashboard streams from (paper §III-A).
+//!
+//! Layout: one text header object (`<base>/dataset.idx`) plus one object
+//! per block per field per timestep (`<base>/f<F>/t<T>/b<BLOCK>.bin`).
+//! Samples live at their HZ address; block `b` covers HZ addresses
+//! `[b * 2^bits_per_block, (b+1) * 2^bits_per_block)`. Because HZ order is
+//! resolution-major, a coarse query touches only the first few blocks, and
+//! because it is spatially coherent, a small region at full resolution
+//! touches few blocks — those two properties are the whole point of the
+//! format and are benchmarked in `bench/hz_locality.rs`.
+
+use crate::meta::IdxMeta;
+use nsdf_hz::{hz_from_z, HzCurve};
+use nsdf_storage::ObjectStore;
+use nsdf_util::{bytes_to_samples, samples_to_bytes, Box2i, NsdfError, Raster, Result, Sample};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Accounting for one write ("convert to IDX") operation — the size numbers
+/// behind the paper's "~20 % smaller than TIFF" claim (§IV-B).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WriteStats {
+    /// Blocks written.
+    pub blocks_written: u64,
+    /// Blocks skipped because they hold only power-of-two padding.
+    pub blocks_skipped: u64,
+    /// Uncompressed payload bytes.
+    pub bytes_raw: u64,
+    /// Stored (compressed) bytes.
+    pub bytes_stored: u64,
+}
+
+impl WriteStats {
+    /// Stored size as a fraction of raw size.
+    pub fn compression_fraction(&self) -> f64 {
+        if self.bytes_raw == 0 {
+            1.0
+        } else {
+            self.bytes_stored as f64 / self.bytes_raw as f64
+        }
+    }
+}
+
+/// Accounting for one box query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Distinct blocks the query needed.
+    pub blocks_touched: u64,
+    /// Blocks that were missing from storage (padding or never written).
+    pub blocks_missing: u64,
+    /// Compressed bytes fetched from the store.
+    pub bytes_fetched: u64,
+    /// Samples produced in the output raster.
+    pub samples_out: u64,
+}
+
+/// An open IDX dataset bound to an object store.
+pub struct IdxDataset {
+    store: Arc<dyn ObjectStore>,
+    base: String,
+    meta: IdxMeta,
+    curve: HzCurve,
+}
+
+impl IdxDataset {
+    /// Create a new dataset under `base`, writing the header object.
+    pub fn create(store: Arc<dyn ObjectStore>, base: &str, meta: IdxMeta) -> Result<IdxDataset> {
+        if meta.dims.len() != 2 {
+            return Err(NsdfError::unsupported("IdxDataset currently supports 2-D datasets"));
+        }
+        let header_key = format!("{base}/dataset.idx");
+        store.put(&header_key, meta.to_text().as_bytes())?;
+        let curve = HzCurve::new(meta.bitmask.clone());
+        Ok(IdxDataset { store, base: base.to_string(), meta, curve })
+    }
+
+    /// Open an existing dataset by reading its header object.
+    pub fn open(store: Arc<dyn ObjectStore>, base: &str) -> Result<IdxDataset> {
+        let header_key = format!("{base}/dataset.idx");
+        let text = store.get(&header_key)?;
+        let text = String::from_utf8(text)
+            .map_err(|_| NsdfError::format("dataset.idx is not valid UTF-8"))?;
+        let meta = IdxMeta::from_text(&text)?;
+        let curve = HzCurve::new(meta.bitmask.clone());
+        Ok(IdxDataset { store, base: base.to_string(), meta, curve })
+    }
+
+    /// Dataset metadata.
+    pub fn meta(&self) -> &IdxMeta {
+        &self.meta
+    }
+
+    /// The HZ curve for this dataset's grid.
+    pub fn curve(&self) -> &HzCurve {
+        &self.curve
+    }
+
+    /// Finest resolution level (= number of address bits).
+    pub fn max_level(&self) -> u32 {
+        self.curve.max_level()
+    }
+
+    /// Full-grid bounding box.
+    pub fn bounds(&self) -> Box2i {
+        Box2i::new(0, 0, self.meta.dims[0] as i64, self.meta.dims[1] as i64)
+    }
+
+    /// Storage key of one block.
+    pub fn block_key(&self, field_idx: usize, time: u32, block: u64) -> String {
+        format!("{}/f{field_idx}/t{time}/b{block:08}.bin", self.base)
+    }
+
+    fn check_time(&self, time: u32) -> Result<()> {
+        if time >= self.meta.timesteps {
+            return Err(NsdfError::invalid(format!(
+                "timestep {time} out of range (dataset has {})",
+                self.meta.timesteps
+            )));
+        }
+        Ok(())
+    }
+
+    /// Write a full-resolution raster into `field` at `time`.
+    ///
+    /// The raster shape must equal the dataset's logical dims and `T` must
+    /// match the field dtype. All samples are scattered to their HZ address
+    /// and stored block by block; blocks consisting purely of power-of-two
+    /// padding are skipped.
+    pub fn write_raster<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+        raster: &Raster<T>,
+    ) -> Result<WriteStats> {
+        self.check_time(time)?;
+        let field_idx = self.meta.field_index(field)?;
+        if self.meta.fields[field_idx].dtype != T::DTYPE {
+            return Err(NsdfError::invalid(format!(
+                "field {field:?} holds {}, raster has {}",
+                self.meta.fields[field_idx].dtype,
+                T::DTYPE
+            )));
+        }
+        let (w, h) = (self.meta.dims[0] as usize, self.meta.dims[1] as usize);
+        if raster.shape() != (w, h) {
+            return Err(NsdfError::invalid(format!(
+                "raster shape {:?} does not match dataset dims ({w}, {h})",
+                raster.shape()
+            )));
+        }
+
+        let n_bits = self.curve.max_level();
+        let block_samples = self.meta.block_samples() as usize;
+        let mask = self.curve.mask();
+
+        // Scatter row-major samples into per-block HZ-ordered buffers.
+        let mut blocks: BTreeMap<u64, Vec<T>> = BTreeMap::new();
+        for y in 0..h {
+            for x in 0..w {
+                let z = mask.encode(&[x as u64, y as u64])?;
+                let hz = hz_from_z(z, n_bits);
+                let block = hz / block_samples as u64;
+                let offset = (hz % block_samples as u64) as usize;
+                blocks
+                    .entry(block)
+                    .or_insert_with(|| vec![T::ZERO; block_samples])[offset] = v_at(raster, x, y);
+            }
+        }
+
+        let total_blocks = self.meta.blocks_per_field();
+        let mut stats = WriteStats {
+            blocks_skipped: total_blocks - blocks.len() as u64,
+            ..WriteStats::default()
+        };
+
+        // Encode blocks in parallel, then store.
+        let entries: Vec<(u64, Vec<T>)> = blocks.into_iter().collect();
+        let encoded = nsdf_util::par::par_map(&entries, nsdf_util::par::num_threads(), |(block, samples)| {
+            let raw = samples_to_bytes(samples);
+            let enc = self.meta.codec.encode(&raw)?;
+            Ok::<(u64, usize, Vec<u8>), NsdfError>((*block, raw.len(), enc))
+        });
+        for item in encoded {
+            let (block, raw_len, enc) = item?;
+            let key = self.block_key(field_idx, time, block);
+            self.store.put(&key, &enc)?;
+            stats.blocks_written += 1;
+            stats.bytes_raw += raw_len as u64;
+            stats.bytes_stored += enc.len() as u64;
+        }
+        Ok(stats)
+    }
+
+    /// Write a raster into a sub-region of the dataset at full resolution,
+    /// with its top-left corner at `(x0, y0)` — a partial update that
+    /// read-modify-writes only the affected blocks (how a tile-by-tile
+    /// ingest pipeline appends to a large IDX dataset without ever holding
+    /// the full grid in memory).
+    pub fn write_box<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+        x0: u64,
+        y0: u64,
+        raster: &Raster<T>,
+    ) -> Result<WriteStats> {
+        self.check_time(time)?;
+        let field_idx = self.meta.field_index(field)?;
+        if self.meta.fields[field_idx].dtype != T::DTYPE {
+            return Err(NsdfError::invalid(format!(
+                "field {field:?} holds {}, raster has {}",
+                self.meta.fields[field_idx].dtype,
+                T::DTYPE
+            )));
+        }
+        let (rw, rh) = raster.shape();
+        let target = Box2i::new(
+            x0 as i64,
+            y0 as i64,
+            x0 as i64 + rw as i64,
+            y0 as i64 + rh as i64,
+        );
+        if !self.bounds().contains_box(&target) {
+            return Err(NsdfError::invalid(format!(
+                "write box {target:?} exceeds dataset bounds {:?}",
+                self.bounds()
+            )));
+        }
+        let n_bits = self.curve.max_level();
+        let block_samples = self.meta.block_samples() as usize;
+        let sample_size = T::DTYPE.size_bytes();
+        let mask = self.curve.mask();
+
+        // Group incoming samples by block.
+        let mut touched: BTreeMap<u64, Vec<(usize, T)>> = BTreeMap::new();
+        for y in 0..rh {
+            for x in 0..rw {
+                let z = mask.encode(&[x0 + x as u64, y0 + y as u64])?;
+                let hz = hz_from_z(z, n_bits);
+                let block = hz / block_samples as u64;
+                let offset = (hz % block_samples as u64) as usize;
+                touched.entry(block).or_default().push((offset, raster.get(x, y)));
+            }
+        }
+
+        let mut stats = WriteStats::default();
+        for (block, updates) in touched {
+            let key = self.block_key(field_idx, time, block);
+            // Read-modify-write: merge into the existing block (or a fresh
+            // zero block when it does not exist yet).
+            let mut samples: Vec<T> = match self.store.get(&key) {
+                Ok(enc) => {
+                    let raw = self.meta.codec.decode(&enc, block_samples * sample_size)?;
+                    bytes_to_samples(&raw)?
+                }
+                Err(e) if e.is_not_found() => vec![T::ZERO; block_samples],
+                Err(e) => return Err(e),
+            };
+            for (offset, v) in updates {
+                samples[offset] = v;
+            }
+            let raw = samples_to_bytes(&samples);
+            let enc = self.meta.codec.encode(&raw)?;
+            self.store.put(&key, &enc)?;
+            stats.blocks_written += 1;
+            stats.bytes_raw += raw.len() as u64;
+            stats.bytes_stored += enc.len() as u64;
+        }
+        Ok(stats)
+    }
+
+    /// Set of blocks a box query at `level` must read.
+    pub fn blocks_for_query(&self, region: Box2i, level: u32) -> Result<Vec<u64>> {
+        let mut blocks = std::collections::BTreeSet::new();
+        let block_samples = self.meta.block_samples();
+        for l in 0..=level {
+            for (_, _, hz) in self.curve.level_samples_in_region(l, region)? {
+                blocks.insert(hz / block_samples);
+            }
+        }
+        Ok(blocks.into_iter().collect())
+    }
+
+    /// Read a rectangular region at resolution `level` (0 = coarsest,
+    /// [`IdxDataset::max_level`] = full resolution).
+    ///
+    /// Returns the decimated raster — sample `(i, j)` holds the stored
+    /// full-resolution value at `(x0 + i*sx, y0 + j*sy)` where `(sx, sy)`
+    /// are the level strides — plus per-query accounting.
+    pub fn read_box<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+        region: Box2i,
+        level: u32,
+    ) -> Result<(Raster<T>, QueryStats)> {
+        self.check_time(time)?;
+        let field_idx = self.meta.field_index(field)?;
+        if self.meta.fields[field_idx].dtype != T::DTYPE {
+            return Err(NsdfError::invalid(format!(
+                "field {field:?} holds {}, requested {}",
+                self.meta.fields[field_idx].dtype,
+                T::DTYPE
+            )));
+        }
+        if level > self.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.max_level()
+            )));
+        }
+        let region = region
+            .intersect(&self.bounds())
+            .ok_or_else(|| NsdfError::invalid("query region does not intersect dataset"))?;
+
+        let strides = self.curve.mask().level_strides(level)?;
+        // Degenerate axes (e.g. a 100x1 dataset) own no mask bits and report
+        // a single-axis stride vector; their stride is 1.
+        let (sx, sy) = (strides[0] as i64, strides.get(1).copied().unwrap_or(1) as i64);
+        let x0 = align_up(region.x0, sx);
+        let y0 = align_up(region.y0, sy);
+        if x0 >= region.x1 || y0 >= region.y1 {
+            return Err(NsdfError::invalid(
+                "query region contains no samples at the requested level",
+            ));
+        }
+        let out_w = ((region.x1 - x0) as u64).div_ceil(sx as u64) as usize;
+        let out_h = ((region.y1 - y0) as u64).div_ceil(sy as u64) as usize;
+
+        // Which blocks, fetched once each.
+        let needed = self.blocks_for_query(region, level)?;
+        let block_samples = self.meta.block_samples() as usize;
+        let sample_size = T::DTYPE.size_bytes();
+        let mut stats = QueryStats::default();
+        let mut fetched: BTreeMap<u64, Option<Vec<T>>> = BTreeMap::new();
+        for block in needed {
+            let key = self.block_key(field_idx, time, block);
+            stats.blocks_touched += 1;
+            match self.store.get(&key) {
+                Ok(enc) => {
+                    stats.bytes_fetched += enc.len() as u64;
+                    let raw = self.meta.codec.decode(&enc, block_samples * sample_size)?;
+                    fetched.insert(block, Some(bytes_to_samples::<T>(&raw)?));
+                }
+                Err(e) if e.is_not_found() => {
+                    stats.blocks_missing += 1;
+                    fetched.insert(block, None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Gather output samples.
+        let n_bits = self.curve.max_level();
+        let mask = self.curve.mask();
+        let mut out = Raster::<T>::zeros(out_w, out_h);
+        for j in 0..out_h {
+            let y = y0 + j as i64 * sy;
+            for i in 0..out_w {
+                let x = x0 + i as i64 * sx;
+                let z = mask.encode(&[x as u64, y as u64])?;
+                let hz = hz_from_z(z, n_bits);
+                let block = hz / block_samples as u64;
+                let offset = (hz % block_samples as u64) as usize;
+                if let Some(Some(samples)) = fetched.get(&block) {
+                    out.set(i, j, samples[offset]);
+                }
+            }
+        }
+        stats.samples_out = (out_w * out_h) as u64;
+        out.geo = self.meta.geo.map(|g| {
+            let windowed = g.for_window(x0, y0);
+            nsdf_util::GeoTransform {
+                x0: windowed.x0,
+                y0: windowed.y0,
+                dx: windowed.dx * sx as f64,
+                dy: windowed.dy * sy as f64,
+            }
+        });
+        Ok((out, stats))
+    }
+
+    /// Read the entire grid at full resolution.
+    pub fn read_full<T: Sample>(&self, field: &str, time: u32) -> Result<(Raster<T>, QueryStats)> {
+        self.read_box(field, time, self.bounds(), self.max_level())
+    }
+
+    /// Progressive read: the same region at every level in
+    /// `min_level..=max_level`, coarse to fine — the refinement sequence a
+    /// dashboard viewport displays while data streams in.
+    pub fn read_progressive<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+        region: Box2i,
+        min_level: u32,
+        max_level: u32,
+    ) -> Result<Vec<(u32, Raster<T>, QueryStats)>> {
+        if min_level > max_level || max_level > self.max_level() {
+            return Err(NsdfError::invalid("bad progressive level range"));
+        }
+        let mut out = Vec::new();
+        for level in min_level..=max_level {
+            let (raster, stats) = self.read_box::<T>(field, time, region, level)?;
+            out.push((level, raster, stats));
+        }
+        Ok(out)
+    }
+}
+
+#[inline]
+fn v_at<T: Sample>(raster: &Raster<T>, x: usize, y: usize) -> T {
+    raster.get(x, y)
+}
+
+/// Smallest multiple of `m` that is `>= v` (`v >= 0`).
+fn align_up(v: i64, m: i64) -> i64 {
+    debug_assert!(v >= 0 && m > 0);
+    let r = v % m;
+    if r == 0 {
+        v
+    } else {
+        v + (m - r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::Field;
+    use nsdf_compress::Codec;
+    use nsdf_storage::MemoryStore;
+    use nsdf_util::{DType, GeoTransform};
+
+    fn make_dataset(w: u64, h: u64, codec: Codec) -> (Arc<MemoryStore>, IdxDataset) {
+        let store = Arc::new(MemoryStore::new());
+        let meta = IdxMeta::new_2d(
+            "test",
+            w,
+            h,
+            vec![Field::new("v", DType::F32).unwrap()],
+            8, // small blocks (256 samples) to exercise multi-block paths
+            codec,
+        )
+        .unwrap();
+        let ds = IdxDataset::create(store.clone() as Arc<dyn ObjectStore>, "data/test", meta)
+            .unwrap();
+        (store, ds)
+    }
+
+    fn ramp(w: usize, h: usize) -> Raster<f32> {
+        Raster::from_fn(w, h, |x, y| (y * w + x) as f32)
+    }
+
+    #[test]
+    fn full_resolution_roundtrip_square() {
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let r = ramp(64, 64);
+        let stats = ds.write_raster("v", 0, &r).unwrap();
+        assert!(stats.blocks_written > 1);
+        let (back, q) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(back.data(), r.data());
+        assert_eq!(q.samples_out, 64 * 64);
+        assert_eq!(q.blocks_missing, 0);
+    }
+
+    #[test]
+    fn full_resolution_roundtrip_rectangular_non_pow2() {
+        let (_s, ds) = make_dataset(100, 37, Codec::Lzss);
+        let r = ramp(100, 37);
+        let stats = ds.write_raster("v", 0, &r).unwrap();
+        // 128x64 padded grid = 8192 addresses = 32 blocks; some all-padding.
+        assert!(stats.blocks_skipped > 0 || stats.blocks_written == 32);
+        let (back, _) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(back.data(), r.data());
+    }
+
+    #[test]
+    fn open_reads_header_back() {
+        let (store, ds) = make_dataset(32, 32, Codec::Lz4);
+        ds.write_raster("v", 0, &ramp(32, 32)).unwrap();
+        let reopened = IdxDataset::open(store as Arc<dyn ObjectStore>, "data/test").unwrap();
+        assert_eq!(reopened.meta(), ds.meta());
+        let (back, _) = reopened.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(back.get(5, 7), ramp(32, 32).get(5, 7));
+    }
+
+    #[test]
+    fn coarse_level_is_strided_subsample() {
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let r = ramp(64, 64);
+        ds.write_raster("v", 0, &r).unwrap();
+        let max = ds.max_level();
+        let (coarse, _) = ds.read_box::<f32>("v", 0, ds.bounds(), max - 2).unwrap();
+        // Level max-2 has strides (2, 2): out 32x32, values at (2i, 2j).
+        assert_eq!(coarse.shape(), (32, 32));
+        for j in 0..32 {
+            for i in 0..32 {
+                assert_eq!(coarse.get(i, j), r.get(i * 2, j * 2), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_levels_touch_fewer_blocks() {
+        let (_s, ds) = make_dataset(128, 128, Codec::Raw);
+        ds.write_raster("v", 0, &ramp(128, 128)).unwrap();
+        let max = ds.max_level();
+        let (_, q_full) = ds.read_box::<f32>("v", 0, ds.bounds(), max).unwrap();
+        let (_, q_coarse) = ds.read_box::<f32>("v", 0, ds.bounds(), max - 4).unwrap();
+        assert!(
+            q_coarse.blocks_touched < q_full.blocks_touched / 4,
+            "coarse {} vs full {}",
+            q_coarse.blocks_touched,
+            q_full.blocks_touched
+        );
+    }
+
+    #[test]
+    fn small_region_touches_few_blocks() {
+        let (_s, ds) = make_dataset(128, 128, Codec::Raw);
+        ds.write_raster("v", 0, &ramp(128, 128)).unwrap();
+        let max = ds.max_level();
+        let region = Box2i::new(40, 40, 56, 56); // 16x16 of 128x128
+        let (out, q) = ds.read_box::<f32>("v", 0, region, max).unwrap();
+        assert_eq!(out.shape(), (16, 16));
+        assert_eq!(out.get(0, 0), ramp(128, 128).get(40, 40));
+        let (_, q_full) = ds.read_box::<f32>("v", 0, ds.bounds(), max).unwrap();
+        assert!(q.blocks_touched < q_full.blocks_touched / 2);
+    }
+
+    #[test]
+    fn progressive_read_refines() {
+        let (_s, ds) = make_dataset(64, 64, Codec::ShuffleLzss { sample_size: 4 });
+        let r = ramp(64, 64);
+        ds.write_raster("v", 0, &r).unwrap();
+        let seq = ds
+            .read_progressive::<f32>("v", 0, ds.bounds(), 4, ds.max_level())
+            .unwrap();
+        assert_eq!(seq.len() as u32, ds.max_level() - 4 + 1);
+        let mut prev_samples = 0;
+        for (level, raster, stats) in &seq {
+            assert!(stats.samples_out >= prev_samples, "level {level}");
+            prev_samples = stats.samples_out;
+            // Every sample at every level is a true stored value.
+            let strides = ds.curve.mask().level_strides(*level).unwrap();
+            assert_eq!(raster.get(0, 0), r.get(0, 0));
+            let (w, _) = raster.shape();
+            assert_eq!(
+                raster.get(w - 1, 0),
+                r.get((w - 1) * strides[0] as usize, 0)
+            );
+        }
+        assert!(ds.read_progressive::<f32>("v", 0, ds.bounds(), 5, 4).is_err());
+    }
+
+    #[test]
+    fn multiple_fields_and_timesteps_are_independent() {
+        let store = Arc::new(MemoryStore::new());
+        let meta = IdxMeta::new_2d(
+            "multi",
+            32,
+            32,
+            vec![
+                Field::new("a", DType::F32).unwrap(),
+                Field::new("b", DType::F32).unwrap(),
+            ],
+            8,
+            Codec::Raw,
+        )
+        .unwrap()
+        .with_timesteps(2)
+        .unwrap();
+        let ds = IdxDataset::create(store, "m", meta).unwrap();
+        let ra = ramp(32, 32);
+        let rb = ra.map(|v: f32| -v);
+        ds.write_raster("a", 0, &ra).unwrap();
+        ds.write_raster("b", 0, &rb).unwrap();
+        ds.write_raster("a", 1, &rb).unwrap();
+        assert_eq!(ds.read_full::<f32>("a", 0).unwrap().0.data(), ra.data());
+        assert_eq!(ds.read_full::<f32>("b", 0).unwrap().0.data(), rb.data());
+        assert_eq!(ds.read_full::<f32>("a", 1).unwrap().0.data(), rb.data());
+        assert!(ds.write_raster("a", 2, &ra).is_err());
+        assert!(ds.read_full::<f32>("missing", 0).is_err());
+    }
+
+    #[test]
+    fn dtype_and_shape_mismatches_rejected() {
+        let (_s, ds) = make_dataset(32, 32, Codec::Raw);
+        assert!(ds.write_raster("v", 0, &Raster::<u16>::zeros(32, 32)).is_err());
+        assert!(ds.write_raster("v", 0, &ramp(16, 32)).is_err());
+        ds.write_raster("v", 0, &ramp(32, 32)).unwrap();
+        assert!(ds.read_full::<u16>("v", 0).is_err());
+        assert!(ds
+            .read_box::<f32>("v", 0, Box2i::new(0, 0, 8, 8), 99)
+            .is_err());
+        assert!(ds
+            .read_box::<f32>("v", 0, Box2i::new(500, 500, 600, 600), 5)
+            .is_err());
+    }
+
+    #[test]
+    fn unwritten_region_reads_as_fill() {
+        let (_s, ds) = make_dataset(32, 32, Codec::Raw);
+        // Never write; all blocks missing -> zeros, counted in stats.
+        let (out, q) = ds.read_full::<f32>("v", 0).unwrap();
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        assert_eq!(q.blocks_missing, q.blocks_touched);
+    }
+
+    #[test]
+    fn compression_reduces_stored_bytes_on_smooth_data() {
+        let smooth = Raster::<f32>::from_fn(64, 64, |x, y| {
+            ((x as f32) * 0.05).sin() * 100.0 + (y as f32) * 0.02
+        });
+        let (_s1, raw_ds) = make_dataset(64, 64, Codec::Raw);
+        let (_s2, lz_ds) = make_dataset(64, 64, Codec::ShuffleLzss { sample_size: 4 });
+        let raw = raw_ds.write_raster("v", 0, &smooth).unwrap();
+        let lz = lz_ds.write_raster("v", 0, &smooth).unwrap();
+        assert_eq!(raw.bytes_raw, lz.bytes_raw);
+        assert!(lz.bytes_stored < raw.bytes_stored);
+        assert!(lz.compression_fraction() < 0.9);
+        let (back, _) = lz_ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(back.data(), smooth.data());
+    }
+
+    #[test]
+    fn geo_propagates_with_window_and_stride() {
+        let store = Arc::new(MemoryStore::new());
+        let meta = IdxMeta::new_2d(
+            "geo",
+            64,
+            64,
+            vec![Field::new("v", DType::F32).unwrap()],
+            8,
+            Codec::Raw,
+        )
+        .unwrap()
+        .with_geo(GeoTransform::north_up(100.0, 200.0, 30.0));
+        let ds = IdxDataset::create(store, "g", meta).unwrap();
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        let (out, _) = ds
+            .read_box::<f32>("v", 0, Box2i::new(8, 8, 40, 40), ds.max_level() - 2)
+            .unwrap();
+        let g = out.geo.unwrap();
+        assert_eq!(g.x0, 100.0 + 8.0 * 30.0);
+        assert_eq!(g.y0, 200.0 - 8.0 * 30.0);
+        assert_eq!(g.dx, 60.0); // stride 2 at level max-2
+        assert_eq!(g.dy, -60.0);
+    }
+}
+
+#[cfg(test)]
+mod write_box_tests {
+    use super::*;
+    use crate::meta::Field;
+    use nsdf_compress::Codec;
+    use nsdf_storage::MemoryStore;
+    use nsdf_util::DType;
+
+    fn dataset(codec: Codec) -> IdxDataset {
+        let store = Arc::new(MemoryStore::new());
+        let meta = IdxMeta::new_2d(
+            "wb",
+            64,
+            64,
+            vec![Field::new("v", DType::F32).unwrap()],
+            8,
+            codec,
+        )
+        .unwrap();
+        IdxDataset::create(store, "wb", meta).unwrap()
+    }
+
+    fn ramp(w: usize, h: usize, offset: f32) -> Raster<f32> {
+        Raster::from_fn(w, h, move |x, y| (y * w + x) as f32 + offset)
+    }
+
+    #[test]
+    fn tile_by_tile_ingest_equals_whole_write() {
+        let whole = dataset(Codec::Lz4);
+        let full = ramp(64, 64, 0.0);
+        whole.write_raster("v", 0, &full).unwrap();
+
+        let tiled = dataset(Codec::Lz4);
+        for ty in 0..4u64 {
+            for tx in 0..4u64 {
+                let window = full
+                    .window(Box2i::new(
+                        (tx * 16) as i64,
+                        (ty * 16) as i64,
+                        (tx * 16 + 16) as i64,
+                        (ty * 16 + 16) as i64,
+                    ))
+                    .unwrap();
+                tiled.write_box("v", 0, tx * 16, ty * 16, &window).unwrap();
+            }
+        }
+        let (a, _) = whole.read_full::<f32>("v", 0).unwrap();
+        let (b, _) = tiled.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn partial_update_preserves_surroundings() {
+        let ds = dataset(Codec::ShuffleLzss { sample_size: 4 });
+        let base = ramp(64, 64, 0.0);
+        ds.write_raster("v", 0, &base).unwrap();
+        // Punch a 10x10 patch of 9999s into the middle.
+        let patch = Raster::<f32>::filled(10, 10, 9999.0);
+        let stats = ds.write_box("v", 0, 27, 30, &patch).unwrap();
+        assert!(stats.blocks_written > 0);
+        let (back, _) = ds.read_full::<f32>("v", 0).unwrap();
+        for y in 0..64usize {
+            for x in 0..64usize {
+                let expect = if (27..37).contains(&x) && (30..40).contains(&y) {
+                    9999.0
+                } else {
+                    base.get(x, y)
+                };
+                assert_eq!(back.get(x, y), expect, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_single_pixel_update() {
+        let ds = dataset(Codec::Raw);
+        ds.write_raster("v", 0, &ramp(64, 64, 0.0)).unwrap();
+        let px = Raster::<f32>::filled(1, 1, -5.0);
+        ds.write_box("v", 0, 63, 0, &px).unwrap();
+        let (back, _) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(back.get(63, 0), -5.0);
+        assert_eq!(back.get(62, 0), 62.0);
+    }
+
+    #[test]
+    fn out_of_bounds_write_rejected() {
+        let ds = dataset(Codec::Raw);
+        let patch = Raster::<f32>::filled(10, 10, 1.0);
+        assert!(ds.write_box("v", 0, 60, 60, &patch).is_err());
+        assert!(ds.write_box("missing", 0, 0, 0, &patch).is_err());
+        assert!(ds.write_box("v", 9, 0, 0, &patch).is_err());
+    }
+
+    #[test]
+    fn write_into_empty_dataset_fills_rest_with_zero() {
+        let ds = dataset(Codec::Lzss);
+        let patch = ramp(8, 8, 100.0);
+        ds.write_box("v", 0, 8, 8, &patch).unwrap();
+        let (back, _) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(back.get(8, 8), 100.0);
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(40, 40), 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! 3-D IDX datasets — volumetric storage for the tutorial's "advanced
+//! applications" tier (massive scientific volumes explored through slices
+//! and sub-boxes), with the same HZ block layout, codecs, and progressive
+//! query semantics as the 2-D [`crate::IdxDataset`].
+
+use crate::meta::{Field, IdxMeta};
+use nsdf_hz::{hz_from_z, HzCurve};
+use nsdf_storage::ObjectStore;
+use nsdf_util::{
+    bytes_to_samples, samples_to_bytes, Box3i, NsdfError, Raster, Result, Sample, Volume,
+};
+use nsdf_compress::Codec;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+impl IdxMeta {
+    /// Build metadata for a 3-D dataset, deriving the bitmask from the
+    /// volume dimensions.
+    pub fn new_3d(
+        name: impl Into<String>,
+        width: u64,
+        height: u64,
+        depth: u64,
+        fields: Vec<Field>,
+        bits_per_block: u32,
+        codec: Codec,
+    ) -> Result<IdxMeta> {
+        let mut meta = IdxMeta::new_2d(name, width, height, fields, bits_per_block, codec)?;
+        meta.dims = vec![width, height, depth];
+        meta.bitmask = nsdf_hz::BitMask::for_dims(&[width, height, depth])?;
+        Ok(meta)
+    }
+}
+
+/// An open 3-D IDX dataset bound to an object store.
+pub struct IdxVolume {
+    store: Arc<dyn ObjectStore>,
+    base: String,
+    meta: IdxMeta,
+    curve: HzCurve,
+}
+
+impl IdxVolume {
+    /// Create a new volumetric dataset under `base`.
+    pub fn create(store: Arc<dyn ObjectStore>, base: &str, meta: IdxMeta) -> Result<IdxVolume> {
+        if meta.dims.len() != 3 {
+            return Err(NsdfError::invalid("IdxVolume requires 3-D metadata (IdxMeta::new_3d)"));
+        }
+        store.put(&format!("{base}/dataset.idx"), meta.to_text().as_bytes())?;
+        let curve = HzCurve::new(meta.bitmask.clone());
+        Ok(IdxVolume { store, base: base.to_string(), meta, curve })
+    }
+
+    /// Open an existing volumetric dataset.
+    pub fn open(store: Arc<dyn ObjectStore>, base: &str) -> Result<IdxVolume> {
+        let text = store.get(&format!("{base}/dataset.idx"))?;
+        let text = String::from_utf8(text)
+            .map_err(|_| NsdfError::format("dataset.idx is not valid UTF-8"))?;
+        let meta = IdxMeta::from_text(&text)?;
+        if meta.dims.len() != 3 {
+            return Err(NsdfError::invalid(format!(
+                "dataset at {base:?} is {}-dimensional, not 3-D",
+                meta.dims.len()
+            )));
+        }
+        let curve = HzCurve::new(meta.bitmask.clone());
+        Ok(IdxVolume { store, base: base.to_string(), meta, curve })
+    }
+
+    /// Dataset metadata.
+    pub fn meta(&self) -> &IdxMeta {
+        &self.meta
+    }
+
+    /// Finest resolution level.
+    pub fn max_level(&self) -> u32 {
+        self.curve.max_level()
+    }
+
+    /// Full-volume bounding box.
+    pub fn bounds(&self) -> Box3i {
+        Box3i::of_size(
+            self.meta.dims[0] as usize,
+            self.meta.dims[1] as usize,
+            self.meta.dims[2] as usize,
+        )
+    }
+
+    fn block_key(&self, field_idx: usize, time: u32, block: u64) -> String {
+        format!("{}/f{field_idx}/t{time}/b{block:08}.bin", self.base)
+    }
+
+    fn field_checked<T: Sample>(&self, field: &str) -> Result<usize> {
+        let idx = self.meta.field_index(field)?;
+        if self.meta.fields[idx].dtype != T::DTYPE {
+            return Err(NsdfError::invalid(format!(
+                "field {field:?} holds {}, requested {}",
+                self.meta.fields[idx].dtype,
+                T::DTYPE
+            )));
+        }
+        Ok(idx)
+    }
+
+    /// Write a full-resolution volume into `field` at `time`.
+    pub fn write_volume<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+        volume: &Volume<T>,
+    ) -> Result<crate::dataset::WriteStats> {
+        if time >= self.meta.timesteps {
+            return Err(NsdfError::invalid("timestep out of range"));
+        }
+        let field_idx = self.field_checked::<T>(field)?;
+        let (w, h, d) = (
+            self.meta.dims[0] as usize,
+            self.meta.dims[1] as usize,
+            self.meta.dims[2] as usize,
+        );
+        if volume.shape() != (w, h, d) {
+            return Err(NsdfError::invalid(format!(
+                "volume shape {:?} does not match dataset dims ({w}, {h}, {d})",
+                volume.shape()
+            )));
+        }
+        let n_bits = self.curve.max_level();
+        let block_samples = self.meta.block_samples() as usize;
+        let mask = self.curve.mask();
+
+        let mut blocks: BTreeMap<u64, Vec<T>> = BTreeMap::new();
+        for z in 0..d {
+            for y in 0..h {
+                for x in 0..w {
+                    let zaddr = mask.encode(&[x as u64, y as u64, z as u64])?;
+                    let hz = hz_from_z(zaddr, n_bits);
+                    let block = hz / block_samples as u64;
+                    let offset = (hz % block_samples as u64) as usize;
+                    blocks.entry(block).or_insert_with(|| vec![T::ZERO; block_samples])[offset] =
+                        volume.get(x, y, z);
+                }
+            }
+        }
+        let total_blocks = self.meta.blocks_per_field();
+        let mut stats = crate::dataset::WriteStats {
+            blocks_skipped: total_blocks - blocks.len() as u64,
+            ..Default::default()
+        };
+        for (block, samples) in blocks {
+            let raw = samples_to_bytes(&samples);
+            let enc = self.meta.codec.encode(&raw)?;
+            self.store.put(&self.block_key(field_idx, time, block), &enc)?;
+            stats.blocks_written += 1;
+            stats.bytes_raw += raw.len() as u64;
+            stats.bytes_stored += enc.len() as u64;
+        }
+        Ok(stats)
+    }
+
+    /// Read a sub-box at resolution `level`; sample `(i, j, k)` of the
+    /// result is the stored value at `(x0 + i*sx, y0 + j*sy, z0 + k*sz)`.
+    pub fn read_box<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+        region: Box3i,
+        level: u32,
+    ) -> Result<(Volume<T>, crate::dataset::QueryStats)> {
+        if time >= self.meta.timesteps {
+            return Err(NsdfError::invalid("timestep out of range"));
+        }
+        let field_idx = self.field_checked::<T>(field)?;
+        if level > self.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.max_level()
+            )));
+        }
+        let region = region
+            .intersect(&self.bounds())
+            .ok_or_else(|| NsdfError::invalid("query region does not intersect dataset"))?;
+
+        let block_samples = self.meta.block_samples() as usize;
+        let sample_size = T::DTYPE.size_bytes();
+        let mut stats = crate::dataset::QueryStats::default();
+
+        // Collect the needed samples level-by-level (cumulative).
+        let mut samples: Vec<(u64, u64, u64, u64)> = Vec::new();
+        for l in 0..=level {
+            samples.extend(self.curve.level_samples_in_box3(l, region)?);
+        }
+        let mut needed: BTreeMap<u64, Option<Vec<T>>> = BTreeMap::new();
+        for &(_, _, _, hz) in &samples {
+            needed.entry(hz / block_samples as u64).or_insert(None);
+        }
+        for (block, slot) in &mut needed {
+            let key = self.block_key(field_idx, time, *block);
+            stats.blocks_touched += 1;
+            match self.store.get(&key) {
+                Ok(enc) => {
+                    stats.bytes_fetched += enc.len() as u64;
+                    let raw = self.meta.codec.decode(&enc, block_samples * sample_size)?;
+                    *slot = Some(bytes_to_samples::<T>(&raw)?);
+                }
+                Err(e) if e.is_not_found() => stats.blocks_missing += 1,
+                Err(e) => return Err(e),
+            }
+        }
+
+        let strides = self.curve.mask().level_strides(level)?;
+        let stride = |a: usize| strides.get(a).copied().unwrap_or(1) as i64;
+        let (sx, sy, sz) = (stride(0), stride(1), stride(2));
+        let x0 = align_up(region.x0, sx);
+        let y0 = align_up(region.y0, sy);
+        let z0 = align_up(region.z0, sz);
+        if x0 >= region.x1 || y0 >= region.y1 || z0 >= region.z1 {
+            return Err(NsdfError::invalid(
+                "query region contains no samples at the requested level",
+            ));
+        }
+        let ow = ((region.x1 - x0) as u64).div_ceil(sx as u64) as usize;
+        let oh = ((region.y1 - y0) as u64).div_ceil(sy as u64) as usize;
+        let od = ((region.z1 - z0) as u64).div_ceil(sz as u64) as usize;
+        let mut out = Volume::<T>::zeros(ow, oh, od);
+        let n_bits = self.curve.max_level();
+        let mask = self.curve.mask();
+        for k in 0..od {
+            let z = z0 + k as i64 * sz;
+            for j in 0..oh {
+                let y = y0 + j as i64 * sy;
+                for i in 0..ow {
+                    let x = x0 + i as i64 * sx;
+                    let zaddr = mask.encode(&[x as u64, y as u64, z as u64])?;
+                    let hz = hz_from_z(zaddr, n_bits);
+                    let block = hz / block_samples as u64;
+                    let offset = (hz % block_samples as u64) as usize;
+                    if let Some(Some(data)) = needed.get(&block) {
+                        out.set(i, j, k, data[offset]);
+                    }
+                }
+            }
+        }
+        stats.samples_out = (ow * oh * od) as u64;
+        Ok((out, stats))
+    }
+
+    /// Read the entire volume at full resolution.
+    pub fn read_full<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+    ) -> Result<(Volume<T>, crate::dataset::QueryStats)> {
+        self.read_box(field, time, self.bounds(), self.max_level())
+    }
+
+    /// Read the z-slice at depth `z` as a 2-D raster at resolution `level`
+    /// — the dashboard's volumetric slice view (paper §III-A's "horizontal
+    /// and vertical slices").
+    pub fn read_slice_z<T: Sample>(
+        &self,
+        field: &str,
+        time: u32,
+        z: i64,
+        level: u32,
+    ) -> Result<(Raster<T>, crate::dataset::QueryStats)> {
+        let b = self.bounds();
+        if z < 0 || z >= b.z1 {
+            return Err(NsdfError::invalid(format!("slice z={z} outside volume")));
+        }
+        // Snap the plane to the level's z-stride so it holds samples.
+        let strides = self.curve.mask().level_strides(level)?;
+        let sz = strides.get(2).copied().unwrap_or(1) as i64;
+        let z_snapped = (z / sz) * sz;
+        let region = Box3i::new(b.x0, b.y0, z_snapped, b.x1, b.y1, z_snapped + 1);
+        let (vol, stats) = self.read_box::<T>(field, time, region, level)?;
+        Ok((vol.slice_z(0)?, stats))
+    }
+}
+
+/// Smallest multiple of `m` that is `>= v` (`v >= 0`).
+fn align_up(v: i64, m: i64) -> i64 {
+    debug_assert!(v >= 0 && m > 0);
+    let r = v % m;
+    if r == 0 {
+        v
+    } else {
+        v + (m - r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsdf_storage::MemoryStore;
+    use nsdf_util::DType;
+
+    fn make_volume(w: u64, h: u64, d: u64, codec: Codec) -> (IdxVolume, Volume<f32>) {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let meta = IdxMeta::new_3d(
+            "vol",
+            w,
+            h,
+            d,
+            vec![Field::new("density", DType::F32).unwrap()],
+            8,
+            codec,
+        )
+        .unwrap();
+        let ds = IdxVolume::create(store, "vols/test", meta).unwrap();
+        let data = Volume::from_fn(w as usize, h as usize, d as usize, |x, y, z| {
+            ((z * h as usize + y) * w as usize + x) as f32
+        });
+        ds.write_volume("density", 0, &data).unwrap();
+        (ds, data)
+    }
+
+    #[test]
+    fn full_resolution_roundtrip() {
+        let (ds, data) = make_volume(16, 16, 16, Codec::Raw);
+        let (back, q) = ds.read_full::<f32>("density", 0).unwrap();
+        assert_eq!(back.data(), data.data());
+        assert_eq!(q.samples_out, 4096);
+        assert_eq!(q.blocks_missing, 0);
+    }
+
+    #[test]
+    fn rectangular_non_pow2_roundtrip_compressed() {
+        let (ds, data) = make_volume(20, 12, 6, Codec::LzssHuff { sample_size: 4 });
+        let (back, _) = ds.read_full::<f32>("density", 0).unwrap();
+        assert_eq!(back.data(), data.data());
+    }
+
+    #[test]
+    fn subbox_matches_window() {
+        let (ds, data) = make_volume(16, 16, 16, Codec::Lz4);
+        let region = Box3i::new(3, 5, 7, 11, 13, 15);
+        let (sub, _) = ds.read_box::<f32>("density", 0, region, ds.max_level()).unwrap();
+        let window = data.window(region).unwrap();
+        assert_eq!(sub.data(), window.data());
+    }
+
+    #[test]
+    fn coarse_level_is_strided_subsample() {
+        let (ds, data) = make_volume(16, 16, 16, Codec::Raw);
+        let level = ds.max_level() - 3; // strides (2,2,2)
+        let (coarse, _) = ds.read_box::<f32>("density", 0, ds.bounds(), level).unwrap();
+        assert_eq!(coarse.shape(), (8, 8, 8));
+        for k in 0..8 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    assert_eq!(coarse.get(i, j, k), data.get(i * 2, j * 2, k * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_levels_touch_fewer_blocks() {
+        let (ds, _) = make_volume(32, 32, 32, Codec::Raw);
+        let (_, full) = ds.read_full::<f32>("density", 0).unwrap();
+        let (_, coarse) = ds
+            .read_box::<f32>("density", 0, ds.bounds(), ds.max_level() - 6)
+            .unwrap();
+        assert!(coarse.blocks_touched * 4 <= full.blocks_touched);
+    }
+
+    #[test]
+    fn z_slice_reads_one_plane() {
+        let (ds, data) = make_volume(16, 16, 16, Codec::Raw);
+        let (slice, q) = ds.read_slice_z::<f32>("density", 0, 5, ds.max_level()).unwrap();
+        assert_eq!(slice.shape(), (16, 16));
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(slice.get(x, y), data.get(x, y, 5));
+            }
+        }
+        // A plane needs far fewer blocks than the whole volume.
+        let (_, full) = ds.read_full::<f32>("density", 0).unwrap();
+        assert!(q.blocks_touched < full.blocks_touched / 2);
+        assert!(ds.read_slice_z::<f32>("density", 0, 16, ds.max_level()).is_err());
+    }
+
+    #[test]
+    fn reopen_from_store() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let meta = IdxMeta::new_3d(
+            "vol",
+            8,
+            8,
+            8,
+            vec![Field::new("v", DType::F32).unwrap()],
+            6,
+            Codec::Raw,
+        )
+        .unwrap();
+        let ds = IdxVolume::create(store.clone(), "v", meta).unwrap();
+        let data = Volume::from_fn(8, 8, 8, |x, y, z| (x + y + z) as f32);
+        ds.write_volume("v", 0, &data).unwrap();
+        let ds2 = IdxVolume::open(store, "v").unwrap();
+        let (back, _) = ds2.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(back.data(), data.data());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        // 2-D meta rejected by IdxVolume.
+        let meta2d = IdxMeta::new_2d(
+            "flat",
+            8,
+            8,
+            vec![Field::new("v", DType::F32).unwrap()],
+            6,
+            Codec::Raw,
+        )
+        .unwrap();
+        assert!(IdxVolume::create(store.clone(), "x", meta2d).is_err());
+        let (ds, _) = make_volume(8, 8, 8, Codec::Raw);
+        assert!(ds.write_volume("v", 0, &Volume::<f32>::zeros(8, 8, 8)).is_err()); // bad field
+        assert!(ds
+            .write_volume("density", 0, &Volume::<f32>::zeros(4, 8, 8))
+            .is_err()); // bad shape
+        assert!(ds.read_full::<u16>("density", 0).is_err()); // bad dtype
+        assert!(ds
+            .read_box::<f32>("density", 0, Box3i::new(99, 99, 99, 120, 120, 120), 2)
+            .is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests: IDX round-trips and query/window agreement over random
+//! shapes, codecs, regions, and levels.
+
+use nsdf_compress::Codec;
+use nsdf_idx::{Field, IdxDataset, IdxMeta};
+use nsdf_storage::{MemoryStore, ObjectStore};
+use nsdf_util::{Box2i, DType, Raster};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn any_codec() -> impl Strategy<Value = Codec> {
+    prop_oneof![
+        Just(Codec::Raw),
+        Just(Codec::PackBits),
+        Just(Codec::Lz4),
+        Just(Codec::Lzss),
+        Just(Codec::ShuffleLzss { sample_size: 4 }),
+        Just(Codec::LzssHuff { sample_size: 4 }),
+    ]
+}
+
+fn publish(r: &Raster<f32>, codec: Codec) -> IdxDataset {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let (w, h) = r.shape();
+    let meta = IdxMeta::new_2d(
+        "prop",
+        w as u64,
+        h as u64,
+        vec![Field::new("v", DType::F32).unwrap()],
+        6, // tiny blocks exercise multi-block paths hard
+        codec,
+    )
+    .unwrap();
+    let ds = IdxDataset::create(store, "prop", meta).unwrap();
+    ds.write_raster("v", 0, r).unwrap();
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn full_roundtrip_any_shape_any_codec(
+        w in 1usize..70,
+        h in 1usize..70,
+        codec in any_codec(),
+        seed in any::<u32>(),
+    ) {
+        let r = Raster::<f32>::from_fn(w, h, |x, y| {
+            let v = (x as u32).wrapping_mul(31).wrapping_add((y as u32).wrapping_mul(17)).wrapping_add(seed);
+            (v % 1000) as f32 * 0.5
+        });
+        let ds = publish(&r, codec);
+        let (back, _) = ds.read_full::<f32>("v", 0).unwrap();
+        prop_assert_eq!(back.data(), r.data());
+    }
+
+    #[test]
+    fn region_query_equals_window(
+        w in 8usize..64,
+        h in 8usize..64,
+        fx0 in 0.0f64..1.0,
+        fy0 in 0.0f64..1.0,
+        fx1 in 0.0f64..1.0,
+        fy1 in 0.0f64..1.0,
+    ) {
+        let r = Raster::<f32>::from_fn(w, h, |x, y| (y * w + x) as f32);
+        let ds = publish(&r, Codec::Lz4);
+        let x0 = (fx0 * (w - 1) as f64) as i64;
+        let y0 = (fy0 * (h - 1) as f64) as i64;
+        let x1 = (fx1 * w as f64).ceil() as i64;
+        let y1 = (fy1 * h as f64).ceil() as i64;
+        let region = Box2i::new(x0.min(x1), y0.min(y1), x0.max(x1).max(x0.min(x1) + 1), y0.max(y1).max(y0.min(y1) + 1));
+        let Some(region) = region.intersect(&ds.bounds()) else { return Ok(()); };
+        let (got, _) = ds.read_box::<f32>("v", 0, region, ds.max_level()).unwrap();
+        let want = r.window(region).unwrap();
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn every_level_subsamples_consistently(
+        w in 4usize..40,
+        h in 4usize..40,
+        level_frac in 0.0f64..1.0,
+    ) {
+        let r = Raster::<f32>::from_fn(w, h, |x, y| (x * 1000 + y) as f32);
+        let ds = publish(&r, Codec::Raw);
+        let level = (level_frac * ds.max_level() as f64) as u32;
+        let (coarse, _) = ds.read_box::<f32>("v", 0, ds.bounds(), level).unwrap();
+        let strides = ds.curve().mask().level_strides(level).unwrap();
+        let sy = strides.get(1).copied().unwrap_or(1) as usize;
+        for (i, j, v) in coarse.iter_cells() {
+            prop_assert_eq!(v, r.get(i * strides[0] as usize, j * sy));
+        }
+    }
+}

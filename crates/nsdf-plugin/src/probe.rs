@@ -1,0 +1,196 @@
+//! Probe campaigns: the measurement methodology of NSDF-Plugin.
+//!
+//! The real service runs periodic latency and throughput probes between
+//! every pair of entry points and publishes the constraint matrix
+//! (ref \[12\]). Here the probes sample the testbed's link model with
+//! deterministic measurement noise, so the produced matrices have the same
+//! shape and statistics as the published ones while being reproducible.
+
+use crate::testbed::Testbed;
+use nsdf_util::{derive_seed, splitmix64, NsdfError, OnlineStats, Result};
+
+/// Statistics of one probed site pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairMeasurement {
+    /// Source site.
+    pub from: String,
+    /// Destination site.
+    pub to: String,
+    /// Mean measured RTT (ms).
+    pub rtt_mean_ms: f64,
+    /// RTT standard deviation (ms).
+    pub rtt_stddev_ms: f64,
+    /// Mean measured throughput (Gbit/s).
+    pub throughput_mean_gbps: f64,
+    /// Number of probes aggregated.
+    pub probes: u32,
+}
+
+/// Full all-pairs measurement campaign.
+#[derive(Debug, Clone)]
+pub struct ProbeMatrix {
+    /// Row-major `sites x sites` measurements, diagonal included.
+    pub pairs: Vec<PairMeasurement>,
+    /// Site names in matrix order.
+    pub site_names: Vec<String>,
+}
+
+impl ProbeMatrix {
+    /// Measurement for a specific pair.
+    pub fn pair(&self, from: &str, to: &str) -> Option<&PairMeasurement> {
+        self.pairs.iter().find(|p| p.from == from && p.to == to)
+    }
+}
+
+/// Run `probes_per_pair` latency/throughput probes over every ordered site
+/// pair. Noise is multiplicative, deterministic in `seed`, and scaled like
+/// real WAN variance (RTT ±10 %, throughput ±20 %).
+pub fn run_campaign(testbed: &Testbed, probes_per_pair: u32, seed: u64) -> Result<ProbeMatrix> {
+    if probes_per_pair == 0 {
+        return Err(NsdfError::invalid("need at least one probe per pair"));
+    }
+    let names: Vec<String> = testbed.sites().iter().map(|s| s.name.clone()).collect();
+    let mut pairs = Vec::with_capacity(names.len() * names.len());
+    for from in &names {
+        for to in &names {
+            let base_rtt = testbed.rtt_ms(from, to)?;
+            let base_bw = testbed.bandwidth_gbps(from, to)?;
+            let pair_seed = derive_seed(seed, &format!("probe:{from}->{to}"));
+            let mut rtt = OnlineStats::new();
+            let mut bw = OnlineStats::new();
+            for i in 0..probes_per_pair {
+                let u1 = unit(splitmix64(pair_seed ^ (2 * i as u64)));
+                let u2 = unit(splitmix64(pair_seed ^ (2 * i as u64 + 1)));
+                rtt.push(base_rtt * (1.0 + 0.10 * (2.0 * u1 - 1.0)));
+                bw.push(base_bw * (1.0 + 0.20 * (2.0 * u2 - 1.0)));
+            }
+            pairs.push(PairMeasurement {
+                from: from.clone(),
+                to: to.clone(),
+                rtt_mean_ms: rtt.mean(),
+                rtt_stddev_ms: rtt.stddev(),
+                throughput_mean_gbps: bw.mean(),
+                probes: probes_per_pair,
+            });
+        }
+    }
+    Ok(ProbeMatrix { pairs, site_names: names })
+}
+
+/// Choose the replica site that minimises predicted transfer time of
+/// `bytes` to `client`, using measured statistics. Returns
+/// `(site, predicted_secs)`.
+pub fn select_entry_point(
+    matrix: &ProbeMatrix,
+    client: &str,
+    replicas: &[&str],
+    bytes: u64,
+) -> Result<(String, f64)> {
+    let mut best: Option<(String, f64)> = None;
+    for &r in replicas {
+        let m = matrix
+            .pair(r, client)
+            .ok_or_else(|| NsdfError::not_found(format!("no measurement {r}->{client}")))?;
+        let secs = m.rtt_mean_ms / 1000.0
+            + (bytes as f64 * 8.0) / (m.throughput_mean_gbps.max(1e-9) * 1e9);
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((r.to_string(), secs));
+        }
+    }
+    best.ok_or_else(|| NsdfError::invalid("no replicas given"))
+}
+
+/// Oracle counterpart of [`select_entry_point`] using the true link model
+/// (no measurement noise) — the baseline for selection-quality reporting.
+pub fn select_entry_point_oracle(
+    testbed: &Testbed,
+    client: &str,
+    replicas: &[&str],
+    bytes: u64,
+) -> Result<(String, f64)> {
+    let mut best: Option<(String, f64)> = None;
+    for &r in replicas {
+        let secs = testbed.rtt_ms(r, client)? / 1000.0
+            + (bytes as f64 * 8.0) / (testbed.bandwidth_gbps(r, client)? * 1e9);
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((r.to_string(), secs));
+        }
+    }
+    best.ok_or_else(|| NsdfError::invalid("no replicas given"))
+}
+
+#[inline]
+fn unit(x: u64) -> f64 {
+    x as f64 / u64::MAX as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_covers_all_pairs() {
+        let tb = Testbed::nsdf_default();
+        let m = run_campaign(&tb, 10, 1).unwrap();
+        assert_eq!(m.pairs.len(), 64);
+        assert!(m.pair("utah", "utk").is_some());
+        assert!(m.pair("utah", "nowhere").is_none());
+    }
+
+    #[test]
+    fn measurements_track_the_model() {
+        let tb = Testbed::nsdf_default();
+        let m = run_campaign(&tb, 200, 7).unwrap();
+        let p = m.pair("sdsc", "mghpcc").unwrap();
+        let truth = tb.rtt_ms("sdsc", "mghpcc").unwrap();
+        assert!((p.rtt_mean_ms - truth).abs() / truth < 0.05, "mean {} vs {truth}", p.rtt_mean_ms);
+        assert!(p.rtt_stddev_ms > 0.0);
+        assert!(p.throughput_mean_gbps > 0.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let tb = Testbed::nsdf_default();
+        let a = run_campaign(&tb, 5, 3).unwrap();
+        let b = run_campaign(&tb, 5, 3).unwrap();
+        assert_eq!(a.pairs, b.pairs);
+        let c = run_campaign(&tb, 5, 4).unwrap();
+        assert_ne!(a.pairs, c.pairs);
+    }
+
+    #[test]
+    fn entry_point_selection_prefers_nearby_fast_sites() {
+        let tb = Testbed::nsdf_default();
+        let m = run_campaign(&tb, 100, 11).unwrap();
+        // Client at UTK; replicas at Clemson (near, 40G) and SDSC (far).
+        let (site, secs) =
+            select_entry_point(&m, "utk", &["clemson", "sdsc"], 100 << 20).unwrap();
+        assert_eq!(site, "clemson");
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn selection_matches_oracle_with_enough_probes() {
+        let tb = Testbed::nsdf_default();
+        let m = run_campaign(&tb, 100, 13).unwrap();
+        let replicas = ["utah", "sdsc", "mghpcc", "tacc"];
+        let mut agree = 0;
+        for client in ["utk", "umich", "clemson", "jhu"] {
+            let (got, _) = select_entry_point(&m, client, &replicas, 1 << 30).unwrap();
+            let (want, _) = select_entry_point_oracle(&tb, client, &replicas, 1 << 30).unwrap();
+            if got == want {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 3, "selection agreed only {agree}/4 times");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let tb = Testbed::nsdf_default();
+        assert!(run_campaign(&tb, 0, 1).is_err());
+        let m = run_campaign(&tb, 1, 1).unwrap();
+        assert!(select_entry_point(&m, "utk", &[], 1).is_err());
+        assert!(select_entry_point(&m, "utk", &["nowhere"], 1).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Model selection: cross-validation over the KNN neighbourhood size.
+//!
+//! SOMOSPIE's modular design (paper ref \[8\]) treats the predictive model
+//! as a swappable, *tunable* component; the practical tuning step is
+//! choosing `k`. `select_k` runs leave-fold-out cross-validation on the
+//! coarse training samples (the only labels a real deployment has —
+//! ground truth at fine resolution does not exist in production) and
+//! returns the `k` with the lowest held-out RMSE.
+
+use crate::knn::KnnRegressor;
+use nsdf_util::{NsdfError, Result};
+
+/// Result of one cross-validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvReport {
+    /// `(k, mean held-out RMSE)` per candidate, in candidate order.
+    pub scores: Vec<(usize, f64)>,
+    /// The winning `k`.
+    pub best_k: usize,
+    /// Its held-out RMSE.
+    pub best_rmse: f64,
+}
+
+/// `folds`-fold cross-validation of KNN over `candidates` neighbourhood
+/// sizes. Folds are assigned round-robin (deterministic, spatially
+/// interleaved — appropriate for gridded training data).
+pub fn select_k(
+    points: &[(Vec<f64>, f64)],
+    candidates: &[usize],
+    folds: usize,
+) -> Result<CvReport> {
+    if candidates.is_empty() {
+        return Err(NsdfError::invalid("no candidate k values"));
+    }
+    if folds < 2 {
+        return Err(NsdfError::invalid("cross-validation needs at least 2 folds"));
+    }
+    if points.len() < folds * 2 {
+        return Err(NsdfError::invalid(format!(
+            "{} training points is too few for {folds}-fold CV",
+            points.len()
+        )));
+    }
+    let mut scores = Vec::with_capacity(candidates.len());
+    for &k in candidates {
+        if k == 0 {
+            return Err(NsdfError::invalid("k must be positive"));
+        }
+        let mut total_sq = 0.0;
+        let mut total_n = 0usize;
+        for fold in 0..folds {
+            let train: Vec<(Vec<f64>, f64)> = points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % folds != fold)
+                .map(|(_, p)| p.clone())
+                .collect();
+            let held: Vec<&(Vec<f64>, f64)> = points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % folds == fold)
+                .map(|(_, p)| p)
+                .collect();
+            let model = KnnRegressor::fit(&train)?;
+            for (f, t) in held {
+                let p = model.predict(f, k)?;
+                total_sq += (p - t) * (p - t);
+                total_n += 1;
+            }
+        }
+        scores.push((k, (total_sq / total_n as f64).sqrt()));
+    }
+    let &(best_k, best_rmse) = scores
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("candidates non-empty");
+    Ok(CvReport { scores, best_k, best_rmse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_points() -> Vec<(Vec<f64>, f64)> {
+        let mut pts = Vec::new();
+        for i in 0..16 {
+            for j in 0..16 {
+                let (x, y) = (i as f64, j as f64);
+                pts.push((vec![x, y], (x * 0.4).sin() + (y * 0.3).cos()));
+            }
+        }
+        pts
+    }
+
+    fn noisy_points(noise: f64) -> Vec<(Vec<f64>, f64)> {
+        smooth_points()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (f, t))| {
+                let u = nsdf_util::splitmix64(i as u64) as f64 / u64::MAX as f64;
+                (f, t + noise * (2.0 * u - 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cv_returns_scores_for_all_candidates() {
+        let report = select_k(&smooth_points(), &[1, 3, 5, 9], 5).unwrap();
+        assert_eq!(report.scores.len(), 4);
+        assert!(report.scores.iter().any(|&(k, _)| k == report.best_k));
+        assert!(report.best_rmse >= 0.0);
+    }
+
+    #[test]
+    fn label_noise_hurts_small_k_disproportionately() {
+        // Averaging (large k) suppresses label noise; k=1 absorbs it fully.
+        // The noise penalty ratio must therefore be worse for k=1.
+        let clean = select_k(&smooth_points(), &[1, 9], 4).unwrap();
+        let noisy = select_k(&noisy_points(0.8), &[1, 9], 4).unwrap();
+        let rmse = |r: &CvReport, k: usize| {
+            r.scores.iter().find(|&&(kk, _)| kk == k).expect("candidate present").1
+        };
+        // Held-out labels are noisy too, so both k pay an irreducible
+        // floor; the discriminating signal is the k=1 vs k=9 *gap*, which
+        // must widen under noise (k=1 absorbs the training noise fully).
+        let clean_gap = rmse(&clean, 1) - rmse(&clean, 9);
+        let noisy_gap = rmse(&noisy, 1) - rmse(&noisy, 9);
+        assert!(
+            noisy_gap > clean_gap * 1.5,
+            "noisy gap {noisy_gap:.3} vs clean gap {clean_gap:.3}"
+        );
+        assert_eq!(noisy.best_k, 9, "noisy data favours k=9: {:?}", noisy.scores);
+    }
+
+    #[test]
+    fn cv_is_deterministic() {
+        let a = select_k(&noisy_points(0.3), &[1, 3, 5], 4).unwrap();
+        let b = select_k(&noisy_points(0.3), &[1, 3, 5], 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let pts = smooth_points();
+        assert!(select_k(&pts, &[], 4).is_err());
+        assert!(select_k(&pts, &[3], 1).is_err());
+        assert!(select_k(&pts, &[0], 4).is_err());
+        assert!(select_k(&pts[..5], &[1], 4).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Byte-budgeted LRU object cache.
+//!
+//! OpenVisus is "caching-enabled" (§III-A): once a block has streamed from
+//! remote storage it is served locally on re-access, which is what makes
+//! interactive pan/zoom affordable over a WAN. `CachedStore` provides that
+//! layer for any inner [`ObjectStore`], with whole-object granularity —
+//! IDX blocks are the objects, so block granularity and object granularity
+//! coincide.
+
+use crate::store::{slice_range, ObjectMeta, ObjectStore};
+use nsdf_util::Result;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Cache hit/miss accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from cache.
+    pub hits: u64,
+    /// Reads that had to go to the inner store.
+    pub misses: u64,
+    /// Objects evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes currently cached.
+    pub resident_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no reads happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Arc<Vec<u8>>,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct LruState {
+    entries: HashMap<String, Entry>,
+    /// Recency queue with lazy invalidation: `(key, tick)` pairs; a pair is
+    /// live only if the entry's current tick matches.
+    queue: VecDeque<(String, u64)>,
+    next_tick: u64,
+    resident: u64,
+    stats: CacheStats,
+}
+
+impl LruState {
+    fn touch(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let tick = self.next_tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.tick = tick;
+        self.next_tick += 1;
+        self.queue.push_back((key.to_string(), tick));
+        Some(entry.data.clone())
+    }
+
+    fn insert(&mut self, key: String, data: Arc<Vec<u8>>, capacity: u64) {
+        if data.len() as u64 > capacity {
+            return; // Larger than the whole cache: never admit.
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.resident -= old.data.len() as u64;
+        }
+        self.resident += data.len() as u64;
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.entries.insert(key.clone(), Entry { data, tick });
+        self.queue.push_back((key, tick));
+        self.evict_to(capacity);
+    }
+
+    fn remove(&mut self, key: &str) {
+        if let Some(old) = self.entries.remove(key) {
+            self.resident -= old.data.len() as u64;
+        }
+    }
+
+    fn evict_to(&mut self, capacity: u64) {
+        while self.resident > capacity {
+            let Some((key, tick)) = self.queue.pop_front() else { break };
+            let live = self.entries.get(&key).is_some_and(|e| e.tick == tick);
+            if live {
+                self.remove(&key);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+/// LRU read-through / write-through cache over an inner store.
+pub struct CachedStore {
+    inner: Arc<dyn ObjectStore>,
+    capacity: u64,
+    state: Mutex<LruState>,
+}
+
+impl CachedStore {
+    /// Cache up to `capacity_bytes` of object payloads in front of `inner`.
+    pub fn new(inner: Arc<dyn ObjectStore>, capacity_bytes: u64) -> Self {
+        CachedStore { inner, capacity: capacity_bytes, state: Mutex::new(LruState::default()) }
+    }
+
+    /// Current statistics (hit rate, residency, evictions).
+    pub fn stats(&self) -> CacheStats {
+        let st = self.state.lock();
+        CacheStats { resident_bytes: st.resident, ..st.stats.clone() }
+    }
+
+    /// Drop all cached objects (statistics are preserved).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.queue.clear();
+        st.resident = 0;
+    }
+
+    /// Configured byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn cached_get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        {
+            let mut st = self.state.lock();
+            if let Some(data) = st.touch(key) {
+                st.stats.hits += 1;
+                return Ok(data);
+            }
+            st.stats.misses += 1;
+        }
+        // Fetch outside the lock so a slow WAN get doesn't serialize hits.
+        let data = Arc::new(self.inner.get(key)?);
+        self.state.lock().insert(key.to_string(), data.clone(), self.capacity);
+        Ok(data)
+    }
+}
+
+impl ObjectStore for CachedStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        let meta = self.inner.put(key, data)?;
+        self.state
+            .lock()
+            .insert(key.to_string(), Arc::new(data.to_vec()), self.capacity);
+        Ok(meta)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        Ok(self.cached_get(key)?.as_ref().clone())
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let data = self.cached_get(key)?;
+        slice_range(&data, offset, len, key)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.inner.head(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(key)?;
+        self.state.lock().remove(key);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("{} with {} byte LRU cache", self.inner.describe(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+    use crate::wan::{CloudStore, NetworkProfile};
+    use nsdf_util::SimClock;
+
+    fn cached(capacity: u64) -> CachedStore {
+        CachedStore::new(Arc::new(MemoryStore::new()), capacity)
+    }
+
+    #[test]
+    fn second_read_hits() {
+        let c = cached(1 << 20);
+        c.put("k", b"value").unwrap();
+        c.clear(); // start cold
+        c.get("k").unwrap();
+        c.get("k").unwrap();
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.resident_bytes, 5);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn put_warms_cache() {
+        let c = cached(1 << 20);
+        c.put("k", b"warm").unwrap();
+        c.get("k").unwrap();
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_lru_order() {
+        let c = cached(25);
+        for k in ["a", "b", "c"] {
+            c.put(k, &[0u8; 10]).unwrap(); // 30 bytes total -> evict oldest
+        }
+        let s = c.stats();
+        assert!(s.resident_bytes <= 25);
+        assert_eq!(s.evictions, 1);
+        c.clear();
+        // Re-warm a and c, touch a, then add d: b is long gone, c is LRU.
+        c.get("a").unwrap();
+        c.get("c").unwrap();
+        c.get("a").unwrap(); // a more recent than c
+        c.put("d", &[0u8; 10]).unwrap();
+        let before = c.stats().misses;
+        c.get("a").unwrap(); // should still be cached
+        assert_eq!(c.stats().misses, before);
+        c.get("c").unwrap(); // was evicted -> miss
+        assert_eq!(c.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn oversized_objects_bypass_cache() {
+        let c = cached(8);
+        c.put("big", &[0u8; 100]).unwrap();
+        assert_eq!(c.stats().resident_bytes, 0);
+        c.get("big").unwrap();
+        c.get("big").unwrap();
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn delete_invalidates() {
+        let c = cached(1 << 20);
+        c.put("k", b"v").unwrap();
+        c.delete("k").unwrap();
+        assert!(c.get("k").unwrap_err().is_not_found());
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn ranged_reads_served_from_cached_object() {
+        let c = cached(1 << 20);
+        c.put("k", b"0123456789").unwrap();
+        assert_eq!(c.get_range("k", 2, 4).unwrap(), b"2345");
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_in_front_of_wan_cuts_virtual_time() {
+        let clock = SimClock::new();
+        let wan = Arc::new(CloudStore::new(
+            Arc::new(MemoryStore::new()),
+            NetworkProfile::public_dataverse(),
+            clock.clone(),
+            7,
+        ));
+        let cached = CachedStore::new(wan, 64 << 20);
+        cached.put("block", &vec![1u8; 1 << 20]).unwrap();
+        cached.clear();
+        let t0 = clock.now_ns();
+        cached.get("block").unwrap();
+        let cold = clock.now_ns() - t0;
+        let t1 = clock.now_ns();
+        cached.get("block").unwrap();
+        let warm = clock.now_ns() - t1;
+        assert!(cold > 0);
+        assert_eq!(warm, 0, "warm read must not touch the WAN");
+    }
+}

@@ -1,0 +1,30 @@
+//! # nsdf-storage
+//!
+//! Object storage for the NSDF stack: the trait everything above speaks,
+//! concrete backends, a deterministic WAN simulator standing in for the
+//! public (Dataverse-class) and private (Seal-class) clouds of the
+//! tutorial, and the LRU cache layer OpenVisus-style streaming relies on.
+//!
+//! * [`store`] — the [`ObjectStore`] trait, key validation, ranged reads;
+//! * [`memory`] — in-memory backend;
+//! * [`local`] — filesystem backend;
+//! * [`wan`] — [`wan::CloudStore`] WAN wrapper with [`wan::NetworkProfile`]s;
+//! * [`cache`] — [`cache::CachedStore`] byte-budgeted LRU cache;
+//! * [`reliability`] — deterministic failure injection and retry layers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod local;
+pub mod memory;
+pub mod reliability;
+pub mod store;
+pub mod wan;
+
+pub use cache::{CacheStats, CachedStore};
+pub use local::LocalStore;
+pub use memory::MemoryStore;
+pub use reliability::{FailScope, FlakyStore, RetryPolicy, RetryStore};
+pub use store::{validate_key, ObjectMeta, ObjectStore};
+pub use wan::{CloudStore, NetworkProfile, TransferLog};

@@ -1,0 +1,322 @@
+//! Failure injection and retry.
+//!
+//! Wide-area transfers fail; the NSDF testbed papers (refs \[2\], \[12\])
+//! treat transient request failures as a fact of life. `FlakyStore`
+//! injects deterministic, seed-driven failures into any inner store so
+//! tests and benches can exercise error paths, and `RetryStore` layers
+//! bounded exponential-backoff retries (charging backoff to the virtual
+//! clock) on top — the pairing lets the workspace prove end-to-end that a
+//! lossy substrate still yields correct datasets.
+
+use crate::store::{ObjectMeta, ObjectStore};
+use nsdf_util::{splitmix64, NsdfError, Result, SimClock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which operations may be failed by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailScope {
+    /// Only reads (get/get_range/head/list).
+    Reads,
+    /// Only writes (put/delete).
+    Writes,
+    /// Everything.
+    All,
+}
+
+/// A store that fails a deterministic fraction of operations.
+pub struct FlakyStore {
+    inner: Arc<dyn ObjectStore>,
+    /// Failure probability in [0, 1].
+    fail_rate: f64,
+    scope: FailScope,
+    seed: u64,
+    op_counter: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FlakyStore {
+    /// Fail `fail_rate` of in-scope operations with an I/O error.
+    pub fn new(inner: Arc<dyn ObjectStore>, fail_rate: f64, scope: FailScope, seed: u64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&fail_rate) {
+            return Err(NsdfError::invalid("fail rate must be in [0, 1]"));
+        }
+        Ok(FlakyStore {
+            inner,
+            fail_rate,
+            scope,
+            seed,
+            op_counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn maybe_fail(&self, is_read: bool, what: &str) -> Result<()> {
+        let in_scope = match self.scope {
+            FailScope::Reads => is_read,
+            FailScope::Writes => !is_read,
+            FailScope::All => true,
+        };
+        if !in_scope {
+            return Ok(());
+        }
+        let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        let u = splitmix64(self.seed ^ op) as f64 / u64::MAX as f64;
+        if u < self.fail_rate {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(NsdfError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                format!("injected transient failure during {what}"),
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for FlakyStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        self.maybe_fail(false, "put")?;
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.maybe_fail(true, "get")?;
+        self.inner.get(key)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.maybe_fail(true, "get_range")?;
+        self.inner.get_range(key, offset, len)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.maybe_fail(true, "head")?;
+        self.inner.head(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.maybe_fail(true, "list")?;
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.maybe_fail(false, "delete")?;
+        self.inner.delete(key)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} with {:.0}% injected failures", self.inner.describe(), self.fail_rate * 100.0)
+    }
+}
+
+/// Retry policy for [`RetryStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (>= 1), including the first.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in seconds.
+    pub initial_backoff_secs: f64,
+    /// Backoff multiplier per subsequent attempt.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 100 ms initial backoff, doubling.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, initial_backoff_secs: 0.1, multiplier: 2.0 }
+    }
+}
+
+/// A store that retries transient failures with exponential backoff.
+///
+/// Only I/O-class errors are retried; `NotFound`/`InvalidArg`/`Corrupt`
+/// are permanent and propagate immediately. Backoff sleeps advance the
+/// virtual clock, so retries show up in end-to-end virtual timings.
+pub struct RetryStore {
+    inner: Arc<dyn ObjectStore>,
+    policy: RetryPolicy,
+    clock: SimClock,
+    retries: AtomicU64,
+}
+
+impl RetryStore {
+    /// Wrap `inner` with `policy`, charging backoff to `clock`.
+    pub fn new(inner: Arc<dyn ObjectStore>, policy: RetryPolicy, clock: SimClock) -> Result<Self> {
+        if policy.max_attempts == 0 {
+            return Err(NsdfError::invalid("retry policy needs at least one attempt"));
+        }
+        Ok(RetryStore { inner, policy, clock, retries: AtomicU64::new(0) })
+    }
+
+    /// Total retry attempts performed (excludes first attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn with_retries<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut backoff = self.policy.initial_backoff_secs;
+        let mut attempt = 1;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(NsdfError::Io(e)) if attempt < self.policy.max_attempts => {
+                    let _ = e; // transient: retry after backoff
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.clock.advance_secs(backoff);
+                    backoff *= self.policy.multiplier;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl ObjectStore for RetryStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        self.with_retries(|| self.inner.put(key, data))
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.with_retries(|| self.inner.get(key))
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.with_retries(|| self.inner.get_range(key, offset, len))
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.with_retries(|| self.inner.head(key))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.with_retries(|| self.inner.list(prefix))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.with_retries(|| self.inner.delete(key))
+    }
+
+    fn describe(&self) -> String {
+        format!("{} with {}-attempt retry", self.inner.describe(), self.policy.max_attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+
+    fn flaky(rate: f64, scope: FailScope) -> Arc<FlakyStore> {
+        Arc::new(FlakyStore::new(Arc::new(MemoryStore::new()), rate, scope, 7).unwrap())
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let s = flaky(0.0, FailScope::All);
+        for i in 0..100 {
+            s.put(&format!("k{i}"), b"v").unwrap();
+            s.get(&format!("k{i}")).unwrap();
+        }
+        assert_eq!(s.injected_failures(), 0);
+    }
+
+    #[test]
+    fn full_rate_always_fails() {
+        let s = flaky(1.0, FailScope::All);
+        assert!(s.put("k", b"v").is_err());
+        assert!(s.get("k").is_err());
+        assert_eq!(s.injected_failures(), 2);
+    }
+
+    #[test]
+    fn scope_limits_injection() {
+        let s = flaky(1.0, FailScope::Reads);
+        s.put("k", b"v").unwrap(); // writes unaffected
+        assert!(s.get("k").is_err());
+        let s = flaky(1.0, FailScope::Writes);
+        assert!(s.put("k", b"v").is_err());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let run = || {
+            let s = flaky(0.3, FailScope::All);
+            (0..50).map(|i| s.put(&format!("k{i}"), b"v").is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        let s = flaky(0.3, FailScope::All);
+        for i in 0..50 {
+            let _ = s.put(&format!("k{i}"), b"v");
+        }
+        let injected = s.injected_failures();
+        assert!((5..30).contains(&injected), "injected {injected} of 50 at 30%");
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let clock = SimClock::new();
+        let flaky = flaky(0.4, FailScope::All);
+        let retry = RetryStore::new(
+            flaky.clone(),
+            RetryPolicy { max_attempts: 10, initial_backoff_secs: 0.05, multiplier: 2.0 },
+            clock.clone(),
+        )
+        .unwrap();
+        for i in 0..50 {
+            retry.put(&format!("k{i}"), format!("v{i}").as_bytes()).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(retry.get(&format!("k{i}")).unwrap(), format!("v{i}").as_bytes());
+        }
+        assert!(retry.retries() > 0);
+        assert!(clock.now_secs() > 0.0, "backoff must charge the clock");
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts() {
+        let clock = SimClock::new();
+        let always_fail = flaky(1.0, FailScope::All);
+        let retry = RetryStore::new(
+            always_fail,
+            RetryPolicy { max_attempts: 3, initial_backoff_secs: 0.1, multiplier: 2.0 },
+            clock.clone(),
+        )
+        .unwrap();
+        assert!(retry.get("k").is_err());
+        assert_eq!(retry.retries(), 2); // 3 attempts = 2 retries
+        // Backoff 0.1 + 0.2 charged.
+        assert!((clock.now_secs() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permanent_errors_not_retried() {
+        let clock = SimClock::new();
+        let retry = RetryStore::new(
+            Arc::new(MemoryStore::new()),
+            RetryPolicy::default(),
+            clock.clone(),
+        )
+        .unwrap();
+        assert!(retry.get("missing").unwrap_err().is_not_found());
+        assert_eq!(retry.retries(), 0);
+        assert_eq!(clock.now_secs(), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let inner: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        assert!(FlakyStore::new(inner.clone(), 1.5, FailScope::All, 1).is_err());
+        assert!(RetryStore::new(
+            inner,
+            RetryPolicy { max_attempts: 0, initial_backoff_secs: 0.1, multiplier: 2.0 },
+            SimClock::new()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! The `ObjectStore` trait — NSDF's storage entry-point abstraction.
+//!
+//! Everything above this layer (IDX blocks, FUSE files, catalog logs,
+//! workflow artifacts) addresses storage through S3-style object semantics:
+//! whole-object put/get plus ranged reads, keyed by `/`-separated paths.
+//! Backends differ only in where bytes live (memory, local disk) and what
+//! network sits in front (the WAN simulator).
+
+use nsdf_util::{NsdfError, Result};
+
+/// Metadata for one stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Full object key.
+    pub key: String,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// FNV-1a content checksum.
+    pub checksum: u64,
+    /// Logical modification stamp (monotonic per store).
+    pub modified: u64,
+}
+
+/// S3-style object storage.
+///
+/// Implementations must be thread-safe; the IDX reader issues concurrent
+/// block fetches against a shared store.
+pub trait ObjectStore: Send + Sync {
+    /// Store `data` under `key`, replacing any existing object.
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta>;
+
+    /// Fetch the full payload of `key`.
+    fn get(&self, key: &str) -> Result<Vec<u8>>;
+
+    /// Fetch `len` bytes starting at `offset`.
+    ///
+    /// The default implementation fetches the whole object and slices;
+    /// backends with cheaper ranged access should override.
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let data = self.get(key)?;
+        slice_range(&data, offset, len, key)
+    }
+
+    /// Metadata without the payload.
+    fn head(&self, key: &str) -> Result<ObjectMeta>;
+
+    /// All objects whose key starts with `prefix`, sorted by key.
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>>;
+
+    /// Remove `key`. Removing a missing key is an error.
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// True when `key` exists.
+    fn exists(&self, key: &str) -> Result<bool> {
+        match self.head(key) {
+            Ok(_) => Ok(true),
+            Err(e) if e.is_not_found() => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Human-readable backend description (for logs and reports).
+    fn describe(&self) -> String {
+        "object store".to_string()
+    }
+}
+
+/// Validate an object key: non-empty `/`-separated segments, no `.`/`..`,
+/// no leading or trailing slash, printable ASCII subset.
+pub fn validate_key(key: &str) -> Result<()> {
+    if key.is_empty() || key.len() > 1024 {
+        return Err(NsdfError::invalid(format!("bad key length for {key:?}")));
+    }
+    if key.starts_with('/') || key.ends_with('/') {
+        return Err(NsdfError::invalid(format!("key {key:?} must not start or end with '/'")));
+    }
+    for seg in key.split('/') {
+        if seg.is_empty() {
+            return Err(NsdfError::invalid(format!("key {key:?} has an empty segment")));
+        }
+        if seg == "." || seg == ".." {
+            return Err(NsdfError::invalid(format!("key {key:?} contains a dot segment")));
+        }
+        if !seg.bytes().all(|b| b.is_ascii_alphanumeric() || b"-_.".contains(&b)) {
+            return Err(NsdfError::invalid(format!("key segment {seg:?} has invalid characters")));
+        }
+    }
+    Ok(())
+}
+
+/// Shared ranged-read slicing with bounds checking.
+pub fn slice_range(data: &[u8], offset: u64, len: u64, key: &str) -> Result<Vec<u8>> {
+    let end = offset
+        .checked_add(len)
+        .ok_or_else(|| NsdfError::invalid("range overflow"))?;
+    if end > data.len() as u64 {
+        return Err(NsdfError::invalid(format!(
+            "range {offset}+{len} exceeds object {key:?} of {} bytes",
+            data.len()
+        )));
+    }
+    Ok(data[offset as usize..end as usize].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_keys_accepted() {
+        for k in ["a", "data/blocks/000001.bin", "conus_30m.idx", "a-b_c.d/e"] {
+            assert!(validate_key(k).is_ok(), "{k}");
+        }
+    }
+
+    #[test]
+    fn invalid_keys_rejected() {
+        for k in ["", "/abs", "trail/", "a//b", "a/../b", ".", "sp ace", "uni\u{e9}"] {
+            assert!(validate_key(k).is_err(), "{k}");
+        }
+    }
+
+    #[test]
+    fn slice_range_bounds() {
+        let d = b"0123456789";
+        assert_eq!(slice_range(d, 2, 3, "k").unwrap(), b"234");
+        assert_eq!(slice_range(d, 0, 10, "k").unwrap(), d.to_vec());
+        assert_eq!(slice_range(d, 10, 0, "k").unwrap(), Vec::<u8>::new());
+        assert!(slice_range(d, 8, 3, "k").is_err());
+        assert!(slice_range(d, u64::MAX, 2, "k").is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Simulated wide-area cloud storage.
+//!
+//! The tutorial's storage options — the public Dataverse commons and the
+//! private Seal Storage cloud — differ from local disk in exactly one way
+//! that matters to the workflows: the network in front of them. `CloudStore`
+//! wraps any [`ObjectStore`] with a parameterised WAN model and charges
+//! every operation against the shared virtual [`SimClock`]:
+//!
+//! ```text
+//! op time = RTT x round_trips + bytes / (bandwidth x streams) + jitter
+//! ```
+//!
+//! Jitter is drawn deterministically from a seeded stream, so experiments
+//! are exactly reproducible while still exercising variance-sensitive code.
+
+use crate::store::{ObjectMeta, ObjectStore};
+use nsdf_util::{splitmix64, Result, SimClock};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Parameters of one simulated network path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable profile name.
+    pub name: String,
+    /// Round-trip time in milliseconds.
+    pub rtt_ms: f64,
+    /// Sustained bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Relative jitter applied to each operation's duration (0.1 = ±10 %).
+    pub jitter: f64,
+    /// Concurrent transfer streams (aggregated bandwidth multiplier for
+    /// large objects, as parallel HTTP range requests provide).
+    pub streams: u32,
+}
+
+impl NetworkProfile {
+    /// Public research commons, Dataverse-class: mid-range RTT and
+    /// bandwidth shared with the world.
+    pub fn public_dataverse() -> Self {
+        NetworkProfile {
+            name: "public-dataverse".into(),
+            rtt_ms: 70.0,
+            bandwidth_mbps: 400.0,
+            jitter: 0.15,
+            streams: 4,
+        }
+    }
+
+    /// Private cloud, Seal-class: decentralized object storage with good
+    /// peering and more parallel streams.
+    pub fn private_seal() -> Self {
+        NetworkProfile {
+            name: "private-seal".into(),
+            rtt_ms: 30.0,
+            bandwidth_mbps: 1000.0,
+            jitter: 0.08,
+            streams: 8,
+        }
+    }
+
+    /// Campus/Internet2-class path between NSDF entry points.
+    pub fn campus() -> Self {
+        NetworkProfile {
+            name: "campus".into(),
+            rtt_ms: 5.0,
+            bandwidth_mbps: 10_000.0,
+            jitter: 0.03,
+            streams: 8,
+        }
+    }
+
+    /// Local loopback — effectively no network.
+    pub fn local() -> Self {
+        NetworkProfile {
+            name: "local".into(),
+            rtt_ms: 0.1,
+            bandwidth_mbps: 40_000.0,
+            jitter: 0.0,
+            streams: 1,
+        }
+    }
+
+    /// Seconds to move `bytes` over this path, excluding RTT and jitter.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        let bits = bytes as f64 * 8.0;
+        bits / (self.bandwidth_mbps * 1e6 * self.streams.max(1) as f64)
+    }
+}
+
+/// Aggregate transfer accounting for one `CloudStore`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransferLog {
+    /// GET/HEAD/LIST operations issued.
+    pub read_ops: u64,
+    /// PUT/DELETE operations issued.
+    pub write_ops: u64,
+    /// Bytes downloaded.
+    pub bytes_down: u64,
+    /// Bytes uploaded.
+    pub bytes_up: u64,
+    /// Total virtual seconds spent in this store's operations.
+    pub busy_secs: f64,
+}
+
+/// An [`ObjectStore`] behind a simulated WAN.
+pub struct CloudStore {
+    inner: Arc<dyn ObjectStore>,
+    profile: NetworkProfile,
+    clock: SimClock,
+    seed: u64,
+    op_counter: AtomicU64,
+    log: Mutex<TransferLog>,
+}
+
+impl CloudStore {
+    /// Wrap `inner` behind `profile`, charging time to `clock`.
+    pub fn new(
+        inner: Arc<dyn ObjectStore>,
+        profile: NetworkProfile,
+        clock: SimClock,
+        seed: u64,
+    ) -> Self {
+        CloudStore { inner, profile, clock, seed, op_counter: AtomicU64::new(0), log: Mutex::new(TransferLog::default()) }
+    }
+
+    /// The network profile in force.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// The virtual clock charged by this store.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Snapshot of the transfer accounting.
+    pub fn transfer_log(&self) -> TransferLog {
+        self.log.lock().clone()
+    }
+
+    /// Reset accounting (e.g. between benchmark phases).
+    pub fn reset_log(&self) {
+        *self.log.lock() = TransferLog::default();
+    }
+
+    /// Charge one operation: `round_trips` control round-trips plus the
+    /// payload transfer time, with deterministic jitter. Returns the
+    /// charged duration in seconds.
+    fn charge(&self, round_trips: u32, payload_bytes: u64) -> f64 {
+        let base = self.profile.rtt_ms / 1000.0 * round_trips as f64
+            + self.profile.transfer_secs(payload_bytes);
+        let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        let jitter_u = splitmix64(self.seed ^ op) as f64 / u64::MAX as f64; // [0,1)
+        let factor = 1.0 + self.profile.jitter * (2.0 * jitter_u - 1.0);
+        let secs = base * factor.max(0.0);
+        self.clock.advance_secs(secs);
+        secs
+    }
+}
+
+impl ObjectStore for CloudStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        let meta = self.inner.put(key, data)?;
+        let secs = self.charge(2, data.len() as u64); // handshake + ack
+        let mut log = self.log.lock();
+        log.write_ops += 1;
+        log.bytes_up += data.len() as u64;
+        log.busy_secs += secs;
+        Ok(meta)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let data = self.inner.get(key)?;
+        let secs = self.charge(1, data.len() as u64);
+        let mut log = self.log.lock();
+        log.read_ops += 1;
+        log.bytes_down += data.len() as u64;
+        log.busy_secs += secs;
+        Ok(data)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let data = self.inner.get_range(key, offset, len)?;
+        let secs = self.charge(1, data.len() as u64);
+        let mut log = self.log.lock();
+        log.read_ops += 1;
+        log.bytes_down += data.len() as u64;
+        log.busy_secs += secs;
+        Ok(data)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        let meta = self.inner.head(key)?;
+        let secs = self.charge(1, 0);
+        let mut log = self.log.lock();
+        log.read_ops += 1;
+        log.busy_secs += secs;
+        Ok(meta)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        let listing = self.inner.list(prefix)?;
+        // Listing payload: ~100 bytes of metadata per entry.
+        let secs = self.charge(1, listing.len() as u64 * 100);
+        let mut log = self.log.lock();
+        log.read_ops += 1;
+        log.busy_secs += secs;
+        Ok(listing)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(key)?;
+        let secs = self.charge(1, 0);
+        let mut log = self.log.lock();
+        log.write_ops += 1;
+        log.busy_secs += secs;
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("{} behind {} WAN", self.inner.describe(), self.profile.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+
+    fn cloud(profile: NetworkProfile) -> CloudStore {
+        CloudStore::new(Arc::new(MemoryStore::new()), profile, SimClock::new(), 42)
+    }
+
+    #[test]
+    fn operations_advance_virtual_clock() {
+        let c = cloud(NetworkProfile::public_dataverse());
+        assert_eq!(c.clock().now_ns(), 0);
+        c.put("k", &vec![0u8; 1_000_000]).unwrap();
+        let after_put = c.clock().now_secs();
+        // 1 MB over 400 Mbps x 4 streams ≈ 5 ms + 140 ms RTT, ± 15 % jitter.
+        assert!(after_put > 0.10 && after_put < 0.20, "put took {after_put}");
+        c.get("k").unwrap();
+        assert!(c.clock().now_secs() > after_put);
+    }
+
+    #[test]
+    fn jitter_is_deterministic() {
+        let t1 = {
+            let c = cloud(NetworkProfile::public_dataverse());
+            c.put("k", b"data").unwrap();
+            c.get("k").unwrap();
+            c.clock().now_ns()
+        };
+        let t2 = {
+            let c = cloud(NetworkProfile::public_dataverse());
+            c.put("k", b"data").unwrap();
+            c.get("k").unwrap();
+            c.clock().now_ns()
+        };
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn faster_profile_is_faster() {
+        let slow = cloud(NetworkProfile::public_dataverse());
+        let fast = cloud(NetworkProfile::campus());
+        let payload = vec![7u8; 4 << 20];
+        slow.put("k", &payload).unwrap();
+        fast.put("k", &payload).unwrap();
+        assert!(fast.clock().now_secs() < slow.clock().now_secs());
+    }
+
+    #[test]
+    fn transfer_log_accumulates() {
+        let c = cloud(NetworkProfile::private_seal());
+        c.put("a", &vec![1u8; 1000]).unwrap();
+        c.get("a").unwrap();
+        c.get_range("a", 0, 100).unwrap();
+        c.head("a").unwrap();
+        c.list("").unwrap();
+        c.delete("a").unwrap();
+        let log = c.transfer_log();
+        assert_eq!(log.write_ops, 2);
+        assert_eq!(log.read_ops, 4);
+        assert_eq!(log.bytes_up, 1000);
+        assert_eq!(log.bytes_down, 1100);
+        assert!(log.busy_secs > 0.0);
+        c.reset_log();
+        assert_eq!(c.transfer_log(), TransferLog::default());
+    }
+
+    #[test]
+    fn errors_pass_through_without_charge() {
+        let c = cloud(NetworkProfile::local());
+        assert!(c.get("missing").unwrap_err().is_not_found());
+        assert_eq!(c.transfer_log().read_ops, 0);
+    }
+
+    #[test]
+    fn transfer_secs_scales_with_bytes_and_streams() {
+        let p = NetworkProfile::public_dataverse();
+        let one = p.transfer_secs(1_000_000);
+        let two = p.transfer_secs(2_000_000);
+        assert!((two / one - 2.0).abs() < 1e-9);
+        let single = NetworkProfile { streams: 1, ..p.clone() };
+        assert!(single.transfer_secs(1_000_000) > one);
+    }
+
+    #[test]
+    fn ranged_read_cheaper_than_full_get() {
+        let c = cloud(NetworkProfile::public_dataverse());
+        c.put("k", &vec![0u8; 64 << 20]).unwrap();
+        c.reset_log();
+        let t0 = c.clock().now_ns();
+        c.get_range("k", 0, 4096).unwrap();
+        let ranged = c.clock().now_ns() - t0;
+        let t1 = c.clock().now_ns();
+        c.get("k").unwrap();
+        let full = c.clock().now_ns() - t1;
+        assert!(ranged < full / 4, "ranged {ranged} vs full {full}");
+    }
+}

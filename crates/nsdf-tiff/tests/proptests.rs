@@ -1,0 +1,76 @@
+//! Property tests: TIFF round-trips across dtypes, shapes, compressions,
+//! and geo tags, plus no-panic guarantees on arbitrary input bytes.
+
+use nsdf_tiff::{read_tiff, tiff_info, write_tiff, TiffCompression};
+use nsdf_util::{GeoTransform, Raster};
+use proptest::prelude::*;
+
+fn any_compression() -> impl Strategy<Value = TiffCompression> {
+    prop_oneof![Just(TiffCompression::None), Just(TiffCompression::PackBits)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn f32_roundtrip(
+        w in 1usize..80,
+        h in 1usize..80,
+        comp in any_compression(),
+        seed in any::<u32>(),
+    ) {
+        let r = Raster::<f32>::from_fn(w, h, |x, y| {
+            let v = (x as u32).wrapping_mul(2654435761).wrapping_add(y as u32).wrapping_add(seed);
+            f32::from_bits(0x3f80_0000 | (v & 0x007f_ffff)) // valid finite floats
+        });
+        let bytes = write_tiff(&r, comp).unwrap();
+        let back = read_tiff::<f32>(&bytes).unwrap();
+        let (bd, rd) = (back.data(), r.data());
+        prop_assert_eq!(bd, rd);
+    }
+
+    #[test]
+    fn u8_and_u16_roundtrip(w in 1usize..60, h in 1usize..60, comp in any_compression()) {
+        let r8 = Raster::<u8>::from_fn(w, h, |x, y| ((x * 7 + y * 13) % 256) as u8);
+        let b8 = write_tiff(&r8, comp).unwrap();
+        let back8 = read_tiff::<u8>(&b8).unwrap();
+        prop_assert_eq!(back8.data(), r8.data());
+        let r16 = Raster::<u16>::from_fn(w, h, |x, y| ((x * 700 + y) % 65536) as u16);
+        let b16 = write_tiff(&r16, comp).unwrap();
+        let back16 = read_tiff::<u16>(&b16).unwrap();
+        prop_assert_eq!(back16.data(), r16.data());
+    }
+
+    #[test]
+    fn geo_tags_roundtrip(
+        x0 in -180.0f64..180.0,
+        y0 in -90.0f64..90.0,
+        px in 0.001f64..1000.0,
+    ) {
+        let r = Raster::<f32>::filled(5, 5, 1.0).with_geo(GeoTransform::north_up(x0, y0, px));
+        let bytes = write_tiff(&r, TiffCompression::None).unwrap();
+        let info = tiff_info(&bytes).unwrap();
+        let g = info.geo.unwrap();
+        prop_assert!((g.x0 - x0).abs() < 1e-9);
+        prop_assert!((g.y0 - y0).abs() < 1e-9);
+        prop_assert!((g.dx - px).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = tiff_info(&bytes);
+        let _ = read_tiff::<f32>(&bytes);
+        let _ = read_tiff::<u8>(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_files_never_panic(
+        cut in 0.0f64..1.0,
+        comp in any_compression(),
+    ) {
+        let r = Raster::<f32>::from_fn(20, 20, |x, y| (x * y) as f32);
+        let bytes = write_tiff(&r, comp).unwrap();
+        let n = (bytes.len() as f64 * cut) as usize;
+        let _ = read_tiff::<f32>(&bytes[..n]);
+    }
+}

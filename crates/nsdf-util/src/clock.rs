@@ -1,0 +1,176 @@
+//! Deterministic virtual clock for the simulated substrates.
+//!
+//! The WAN model (`nsdf-storage`), the network testbed (`nsdf-plugin`), and
+//! the tutorial cohort simulator all advance a *virtual* time so experiments
+//! are reproducible and fast: "waiting" 200 ms of simulated RTT costs zero
+//! wall time. The clock is shared (`Arc` + atomic) so concurrent simulated
+//! transfers observe a single timeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic virtual clock counting nanoseconds since simulation start.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// New clock at t = 0.
+    pub fn new() -> Self {
+        SimClock { ns: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns() as f64 / 1e9
+    }
+
+    /// Advance the clock by `dur_ns` nanoseconds and return the *new* time.
+    ///
+    /// Concurrent advances accumulate, modelling serialized use of a shared
+    /// resource (e.g. one NIC).
+    pub fn advance_ns(&self, dur_ns: u64) -> u64 {
+        self.ns.fetch_add(dur_ns, Ordering::SeqCst) + dur_ns
+    }
+
+    /// Advance by a floating-point number of seconds (negative clamps to 0).
+    pub fn advance_secs(&self, secs: f64) -> u64 {
+        let ns = if secs <= 0.0 { 0 } else { (secs * 1e9).round() as u64 };
+        self.advance_ns(ns)
+    }
+
+    /// Set the clock to `max(current, t_ns)`, modelling an event that
+    /// completes at an absolute time on a parallel resource.
+    pub fn advance_to_ns(&self, t_ns: u64) -> u64 {
+        let mut cur = self.ns.load(Ordering::SeqCst);
+        while cur < t_ns {
+            match self.ns.compare_exchange(cur, t_ns, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return t_ns,
+                Err(actual) => cur = actual,
+            }
+        }
+        cur
+    }
+}
+
+/// A labelled span of virtual time, used to report per-stage timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpan {
+    /// Human-readable stage label.
+    pub label: String,
+    /// Start of the span (virtual ns).
+    pub start_ns: u64,
+    /// End of the span (virtual ns).
+    pub end_ns: u64,
+}
+
+impl SimSpan {
+    /// Span duration in seconds.
+    pub fn secs(&self) -> f64 {
+        (self.end_ns.saturating_sub(self.start_ns)) as f64 / 1e9
+    }
+}
+
+/// Records labelled spans against a [`SimClock`]; a tiny tracing facility
+/// for the workflow engine and the `reproduce` harness.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    spans: Arc<parking_lot::Mutex<Vec<SimSpan>>>,
+}
+
+impl SpanRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a span with explicit bounds.
+    pub fn record(&self, label: impl Into<String>, start_ns: u64, end_ns: u64) {
+        self.spans.lock().push(SimSpan { label: label.into(), start_ns, end_ns });
+    }
+
+    /// Run `f`, timing it against `clock`, and record the span.
+    pub fn time<R>(&self, clock: &SimClock, label: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        let start = clock.now_ns();
+        let r = f();
+        let end = clock.now_ns();
+        self.record(label, start, end);
+        r
+    }
+
+    /// Snapshot of all recorded spans, in recording order.
+    pub fn spans(&self) -> Vec<SimSpan> {
+        self.spans.lock().clone()
+    }
+
+    /// Total virtual seconds across spans with the given label.
+    pub fn total_secs(&self, label: &str) -> f64 {
+        self.spans.lock().iter().filter(|s| s.label == label).map(|s| s.secs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance_ns(500), 500);
+        assert_eq!(c.now_ns(), 500);
+        c.advance_secs(1.5);
+        assert_eq!(c.now_ns(), 500 + 1_500_000_000);
+    }
+
+    #[test]
+    fn negative_seconds_clamp() {
+        let c = SimClock::new();
+        c.advance_secs(-3.0);
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn clones_share_timeline() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_ns(100);
+        assert_eq!(b.now_ns(), 100);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        c.advance_to_ns(1000);
+        assert_eq!(c.now_ns(), 1000);
+        c.advance_to_ns(500); // in the past: no-op
+        assert_eq!(c.now_ns(), 1000);
+    }
+
+    #[test]
+    fn recorder_times_spans() {
+        let clock = SimClock::new();
+        let rec = SpanRecorder::new();
+        rec.time(&clock, "convert", || {
+            clock.advance_secs(2.0);
+        });
+        rec.time(&clock, "upload", || {
+            clock.advance_secs(3.0);
+        });
+        rec.time(&clock, "convert", || {
+            clock.advance_secs(1.0);
+        });
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        assert!((rec.total_secs("convert") - 3.0).abs() < 1e-9);
+        assert!((rec.total_secs("upload") - 3.0).abs() < 1e-9);
+        assert_eq!(spans[0].label, "convert");
+        assert!((spans[0].secs() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Unified error type shared by every crate in the `nsdf-rs` workspace.
+//!
+//! The stack spans file formats, simulated networks, and numerical kernels,
+//! so the error type enumerates the failure classes a caller can actually
+//! react to rather than exposing source-crate internals.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, NsdfError>;
+
+/// Error type for all `nsdf-rs` operations.
+#[derive(Debug)]
+pub enum NsdfError {
+    /// Underlying I/O failure (filesystem-backed stores, format readers).
+    Io(std::io::Error),
+    /// A file or stream did not conform to its declared format.
+    Format(String),
+    /// A named object, dataset, field, or record does not exist.
+    NotFound(String),
+    /// Caller supplied an argument outside the valid domain.
+    InvalidArg(String),
+    /// Stored data failed an integrity check (checksum, bounds, magic).
+    Corrupt(String),
+    /// The operation is valid but not supported by this implementation.
+    Unsupported(String),
+}
+
+impl fmt::Display for NsdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NsdfError::Io(e) => write!(f, "i/o error: {e}"),
+            NsdfError::Format(m) => write!(f, "format error: {m}"),
+            NsdfError::NotFound(m) => write!(f, "not found: {m}"),
+            NsdfError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+            NsdfError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            NsdfError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NsdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NsdfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NsdfError {
+    fn from(e: std::io::Error) -> Self {
+        NsdfError::Io(e)
+    }
+}
+
+impl NsdfError {
+    /// Convenience constructor for [`NsdfError::Format`].
+    pub fn format(msg: impl Into<String>) -> Self {
+        NsdfError::Format(msg.into())
+    }
+
+    /// Convenience constructor for [`NsdfError::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        NsdfError::NotFound(msg.into())
+    }
+
+    /// Convenience constructor for [`NsdfError::InvalidArg`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        NsdfError::InvalidArg(msg.into())
+    }
+
+    /// Convenience constructor for [`NsdfError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        NsdfError::Corrupt(msg.into())
+    }
+
+    /// Convenience constructor for [`NsdfError::Unsupported`].
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        NsdfError::Unsupported(msg.into())
+    }
+
+    /// True when the error represents a missing object rather than a fault.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, NsdfError::NotFound(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class_and_message() {
+        let e = NsdfError::format("bad magic");
+        assert_eq!(e.to_string(), "format error: bad magic");
+        let e = NsdfError::not_found("blob 7");
+        assert_eq!(e.to_string(), "not found: blob 7");
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::other("disk on fire");
+        let e: NsdfError = io.into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_not_found_discriminates() {
+        assert!(NsdfError::not_found("x").is_not_found());
+        assert!(!NsdfError::invalid("x").is_not_found());
+    }
+}

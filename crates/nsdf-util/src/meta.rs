@@ -1,0 +1,180 @@
+//! Ordered text key/value metadata — the `.idx` header format.
+//!
+//! The real OpenVisus `.idx` file is a plain-text header (`(version)`,
+//! `(box)`, `(fields)` …). We keep the same spirit with a simpler, strict
+//! `key=value` line format plus `#` comments, so metadata stays humanly
+//! inspectable and diff-able without pulling in a serialization framework.
+
+use crate::error::{NsdfError, Result};
+
+/// Ordered collection of string key/value pairs with typed accessors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Meta {
+    entries: Vec<(String, String)>,
+}
+
+impl Meta {
+    /// Empty metadata.
+    pub fn new() -> Self {
+        Meta::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Set `key` to `value`, replacing an existing entry in place or
+    /// appending a new one.
+    ///
+    /// Errors when the key is empty, contains `=`/newline, or the value
+    /// contains a newline — the format is line-oriented.
+    pub fn set(&mut self, key: &str, value: impl ToString) -> Result<()> {
+        let value = value.to_string();
+        if key.is_empty() || key.contains('=') || key.contains('\n') {
+            return Err(NsdfError::invalid(format!("bad metadata key {key:?}")));
+        }
+        if value.contains('\n') {
+            return Err(NsdfError::invalid(format!("metadata value for {key:?} contains newline")));
+        }
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value;
+        } else {
+            self.entries.push((key.to_string(), value));
+        }
+        Ok(())
+    }
+
+    /// Raw string lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Lookup that errors with the key name when missing.
+    pub fn require(&self, key: &str) -> Result<&str> {
+        self.get(key).ok_or_else(|| NsdfError::format(format!("missing metadata key `{key}`")))
+    }
+
+    /// Parse the value of `key` as `T`.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T> {
+        let raw = self.require(key)?;
+        raw.parse::<T>()
+            .map_err(|_| NsdfError::format(format!("metadata key `{key}`: cannot parse {raw:?}")))
+    }
+
+    /// Parse a whitespace-separated list value.
+    pub fn get_list<T: std::str::FromStr>(&self, key: &str) -> Result<Vec<T>> {
+        let raw = self.require(key)?;
+        raw.split_whitespace()
+            .map(|tok| {
+                tok.parse::<T>().map_err(|_| {
+                    NsdfError::format(format!("metadata key `{key}`: bad list element {tok:?}"))
+                })
+            })
+            .collect()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Serialize to the line format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.entries {
+            s.push_str(k);
+            s.push('=');
+            s.push_str(v);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse the line format. Blank lines and `#` comments are ignored.
+    /// Duplicate keys keep the *last* occurrence, matching common config
+    /// semantics.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut m = Meta::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line.split_once('=').ok_or_else(|| {
+                NsdfError::format(format!("metadata line {}: missing `=` in {line:?}", lineno + 1))
+            })?;
+            m.set(k.trim(), v.trim())?;
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = Meta::new();
+        m.set("version", 6).unwrap();
+        m.set("dtype", "float32").unwrap();
+        m.set("version", 7).unwrap(); // replace in place
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("version"), Some("7"));
+        assert_eq!(m.get_parsed::<u32>("version").unwrap(), 7);
+        assert_eq!(m.get("missing"), None);
+        assert!(m.require("missing").is_err());
+    }
+
+    #[test]
+    fn list_values() {
+        let mut m = Meta::new();
+        m.set("dims", "4096 2048").unwrap();
+        assert_eq!(m.get_list::<u64>("dims").unwrap(), vec![4096, 2048]);
+        m.set("dims", "4096 xyz").unwrap();
+        assert!(m.get_list::<u64>("dims").is_err());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_order() {
+        let mut m = Meta::new();
+        m.set("b", "2").unwrap();
+        m.set("a", "1").unwrap();
+        let text = m.to_text();
+        assert_eq!(text, "b=2\na=1\n");
+        let back = Meta::from_text(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let m = Meta::from_text("# header\n\n  key = value with spaces \n").unwrap();
+        assert_eq!(m.get("key"), Some("value with spaces"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(Meta::from_text("no_equals_here").is_err());
+    }
+
+    #[test]
+    fn invalid_keys_and_values_rejected() {
+        let mut m = Meta::new();
+        assert!(m.set("", "v").is_err());
+        assert!(m.set("a=b", "v").is_err());
+        assert!(m.set("k", "line1\nline2").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let m = Meta::from_text("k=1\nk=2\n").unwrap();
+        assert_eq!(m.get("k"), Some("2"));
+        assert_eq!(m.len(), 1);
+    }
+}

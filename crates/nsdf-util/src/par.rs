@@ -1,0 +1,194 @@
+//! Minimal data-parallel helpers built on `crossbeam::scope`.
+//!
+//! The workspace deliberately avoids a global thread-pool dependency; these
+//! helpers give GEOtiled tiles, IDX block codecs, and benchmark sweeps
+//! fork-join parallelism with deterministic output ordering. Work is split
+//! into contiguous index ranges, one per worker, which is the right shape for
+//! the large uniform tiles this stack processes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: `available_parallelism`, floored at 1.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parallel ordered map: applies `f` to every item of `items` and returns
+/// the results in input order.
+///
+/// Items are pulled from a shared atomic cursor so uneven per-item cost
+/// (e.g. tiles with different relief) balances across workers.
+pub fn par_map<T: Sync, U: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// Like [`par_map`] but `f` also receives the item index.
+pub fn par_map_indexed<T: Sync, U: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+    let out_slots = SyncSlots(out.as_mut_ptr(), n);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i, &items[i]);
+                // SAFETY: each index i is claimed by exactly one worker via
+                // the atomic fetch_add, so no two threads write the same slot,
+                // and the scope joins all workers before `out` is read.
+                unsafe { out_slots.write(i, v) };
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+/// Pointer wrapper that lets scoped workers write disjoint slots of a
+/// results vector.
+struct SyncSlots<U>(*mut Option<U>, usize);
+
+// SAFETY: SyncSlots is only used inside `par_map_indexed`, where every index
+// is written by at most one thread (enforced by the atomic cursor) and the
+// underlying vector outlives the crossbeam scope.
+unsafe impl<U: Send> Sync for SyncSlots<U> {}
+unsafe impl<U: Send> Send for SyncSlots<U> {}
+
+impl<U> SyncSlots<U> {
+    unsafe fn write(&self, i: usize, v: U) {
+        debug_assert!(i < self.1);
+        unsafe { *self.0.add(i) = Some(v) };
+    }
+}
+
+/// Run `f` over mutually disjoint mutable chunks of `data`, in parallel.
+/// `f` receives the chunk index and the chunk. Chunk size is
+/// `ceil(len / threads)`.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    threads: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i, c));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel fold-then-reduce: each worker folds a private accumulator over
+/// the items it claims, then the accumulators are reduced in one pass.
+pub fn par_fold<T: Sync, A: Send>(
+    items: &[T],
+    threads: usize,
+    init: impl Fn() -> A + Sync,
+    fold: impl Fn(A, &T) -> A + Sync,
+    reduce: impl Fn(A, A) -> A,
+) -> Option<A> {
+    let n = items.len();
+    if n == 0 {
+        return None;
+    }
+    let threads = threads.max(1).min(n);
+    let cursor = AtomicUsize::new(0);
+    let accs: Vec<A> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut acc = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        acc = fold(acc, &items[i]);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope failed");
+    accs.into_iter().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7, 32] {
+            let par = par_map(&items, threads, |x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_map(&[42u32], 4, |x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn par_map_indexed_passes_index() {
+        let items = vec!["a", "b", "c"];
+        let out = par_map_indexed(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_everything() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(&mut data, 4, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn par_fold_sums() {
+        let items: Vec<u64> = (1..=100).collect();
+        let total = par_fold(&items, 8, || 0u64, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(total, Some(5050));
+        let none = par_fold::<u64, u64>(&[], 8, || 0, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

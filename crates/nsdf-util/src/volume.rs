@@ -1,0 +1,215 @@
+//! Dense 3-D volume — the sample container for volumetric (x, y, z)
+//! datasets, the "advanced applications" data shape of the tutorial
+//! (massive scientific volumes explored through slices).
+//!
+//! Storage is x-fastest (`data[z * w * h + y * w + x]`), matching the
+//! axis-0-fastest convention of the HZ bitmask.
+
+use crate::dtype::Sample;
+use crate::error::{NsdfError, Result};
+use crate::geo::Box3i;
+use crate::raster::Raster;
+
+/// Dense 3-D array of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume<T: Sample> {
+    width: usize,
+    height: usize,
+    depth: usize,
+    data: Vec<T>,
+}
+
+impl<T: Sample> Volume<T> {
+    /// A zero-filled `w x h x d` volume.
+    pub fn zeros(width: usize, height: usize, depth: usize) -> Self {
+        Volume { width, height, depth, data: vec![T::ZERO; width * height * depth] }
+    }
+
+    /// Build by evaluating `f(x, y, z)` at every cell.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        depth: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let mut data = Vec::with_capacity(width * height * depth);
+        for z in 0..depth {
+            for y in 0..height {
+                for x in 0..width {
+                    data.push(f(x, y, z));
+                }
+            }
+        }
+        Volume { width, height, depth, data }
+    }
+
+    /// Wrap an existing x-fastest buffer.
+    pub fn from_vec(width: usize, height: usize, depth: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != width * height * depth {
+            return Err(NsdfError::invalid(format!(
+                "buffer length {} does not match {width}x{height}x{depth}",
+                data.len()
+            )));
+        }
+        Ok(Volume { width, height, depth, data })
+    }
+
+    /// `(width, height, depth)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.width, self.height, self.depth)
+    }
+
+    /// Extent along x.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Extent along y.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Extent along z.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the volume has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bounding box anchored at the origin.
+    pub fn bounds(&self) -> Box3i {
+        Box3i::of_size(self.width, self.height, self.depth)
+    }
+
+    /// Borrow the underlying buffer.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Sample at `(x, y, z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> T {
+        debug_assert!(x < self.width && y < self.height && z < self.depth);
+        self.data[(z * self.height + y) * self.width + x]
+    }
+
+    /// Write the sample at `(x, y, z)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: T) {
+        debug_assert!(x < self.width && y < self.height && z < self.depth);
+        self.data[(z * self.height + y) * self.width + x] = v;
+    }
+
+    /// Copy out a sub-box; must lie inside the volume.
+    pub fn window(&self, b: Box3i) -> Result<Volume<T>> {
+        if !self.bounds().contains_box(&b) {
+            return Err(NsdfError::invalid(format!(
+                "window {b:?} exceeds volume bounds {:?}",
+                self.bounds()
+            )));
+        }
+        let (w, h, d) = (b.width() as usize, b.height() as usize, b.depth() as usize);
+        let mut out = Vec::with_capacity(w * h * d);
+        for z in b.z0..b.z1 {
+            for y in b.y0..b.y1 {
+                let base = (z as usize * self.height + y as usize) * self.width;
+                out.extend_from_slice(&self.data[base + b.x0 as usize..base + b.x1 as usize]);
+            }
+        }
+        Volume::from_vec(w, h, d, out)
+    }
+
+    /// Extract the z-slice at `z` as a 2-D raster — the dashboard's slice
+    /// view into a volume.
+    pub fn slice_z(&self, z: usize) -> Result<Raster<T>> {
+        if z >= self.depth {
+            return Err(NsdfError::invalid(format!("slice z={z} beyond depth {}", self.depth)));
+        }
+        let base = z * self.width * self.height;
+        Raster::from_vec(
+            self.width,
+            self.height,
+            self.data[base..base + self.width * self.height].to_vec(),
+        )
+    }
+
+    /// Minimum and maximum (as `f64`), ignoring NaNs; `None` when empty or
+    /// all-NaN.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut mm: Option<(f64, f64)> = None;
+        for &v in &self.data {
+            let f = v.to_f64();
+            if f.is_nan() {
+                continue;
+            }
+            mm = Some(match mm {
+                None => (f, f),
+                Some((lo, hi)) => (lo.min(f), hi.max(f)),
+            });
+        }
+        mm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize, d: usize) -> Volume<f32> {
+        Volume::from_fn(w, h, d, |x, y, z| ((z * h + y) * w + x) as f32)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let v = ramp(4, 3, 2);
+        assert_eq!(v.shape(), (4, 3, 2));
+        assert_eq!(v.len(), 24);
+        assert_eq!(v.get(0, 0, 0), 0.0);
+        assert_eq!(v.get(3, 2, 1), 23.0);
+        assert!(Volume::<f32>::from_vec(2, 2, 2, vec![0.0; 7]).is_err());
+    }
+
+    #[test]
+    fn set_and_min_max() {
+        let mut v = Volume::<f32>::zeros(2, 2, 2);
+        v.set(1, 1, 1, 9.0);
+        v.set(0, 0, 0, -3.0);
+        assert_eq!(v.min_max(), Some((-3.0, 9.0)));
+    }
+
+    #[test]
+    fn window_extracts_subbox() {
+        let v = ramp(4, 4, 4);
+        let w = v.window(Box3i::new(1, 1, 1, 3, 3, 3)).unwrap();
+        assert_eq!(w.shape(), (2, 2, 2));
+        assert_eq!(w.get(0, 0, 0), v.get(1, 1, 1));
+        assert_eq!(w.get(1, 1, 1), v.get(2, 2, 2));
+        assert!(v.window(Box3i::new(2, 2, 2, 5, 4, 4)).is_err());
+    }
+
+    #[test]
+    fn z_slice_matches_direct_access() {
+        let v = ramp(5, 4, 3);
+        let s = v.slice_z(2).unwrap();
+        assert_eq!(s.shape(), (5, 4));
+        for y in 0..4 {
+            for x in 0..5 {
+                assert_eq!(s.get(x, y), v.get(x, y, 2));
+            }
+        }
+        assert!(v.slice_z(3).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The workflow engine: named steps with declared dependencies, validated
+//! into a DAG, executed in topological order against a shared context.
+
+use crate::artifact::{Artifact, Provenance, StepRecord, StepStatus};
+use nsdf_util::{NsdfError, Result, SimClock};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Shared state steps read and write: a typed blackboard plus the virtual
+/// clock so steps can charge simulated time.
+pub struct RunContext {
+    clock: SimClock,
+    values: HashMap<String, Box<dyn Any + Send>>,
+}
+
+impl RunContext {
+    /// Fresh context on the given clock.
+    pub fn new(clock: SimClock) -> RunContext {
+        RunContext { clock, values: HashMap::new() }
+    }
+
+    /// The run's virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Store a value under `key` for downstream steps.
+    pub fn put<T: Any + Send>(&mut self, key: impl Into<String>, value: T) {
+        self.values.insert(key.into(), Box::new(value));
+    }
+
+    /// Borrow a value stored by an upstream step.
+    pub fn get<T: Any + Send>(&self, key: &str) -> Result<&T> {
+        self.values
+            .get(key)
+            .ok_or_else(|| NsdfError::not_found(format!("context value {key:?}")))?
+            .downcast_ref::<T>()
+            .ok_or_else(|| NsdfError::invalid(format!("context value {key:?} has another type")))
+    }
+
+    /// Remove and return a stored value.
+    pub fn take<T: Any + Send>(&mut self, key: &str) -> Result<T> {
+        let boxed = self
+            .values
+            .remove(key)
+            .ok_or_else(|| NsdfError::not_found(format!("context value {key:?}")))?;
+        boxed
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| NsdfError::invalid(format!("context value {key:?} has another type")))
+    }
+}
+
+type StepFn = Box<dyn FnMut(&mut RunContext) -> Result<Vec<Artifact>> + Send>;
+
+struct StepDef {
+    name: String,
+    deps: Vec<String>,
+    consumes: Vec<String>,
+    run: StepFn,
+}
+
+/// A modular workflow: the paper's "combine application components with
+/// NSDF services" pattern (Fig. 4) as an executable DAG.
+pub struct Workflow {
+    name: String,
+    steps: Vec<StepDef>,
+}
+
+impl Workflow {
+    /// Empty workflow.
+    pub fn new(name: impl Into<String>) -> Workflow {
+        Workflow { name: name.into(), steps: Vec::new() }
+    }
+
+    /// Workflow display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a step.
+    ///
+    /// * `deps` — names of steps that must complete first;
+    /// * `consumes` — artifact names recorded as this step's inputs
+    ///   (provenance only; data travels through the [`RunContext`]).
+    pub fn add_step(
+        &mut self,
+        name: impl Into<String>,
+        deps: &[&str],
+        consumes: &[&str],
+        run: impl FnMut(&mut RunContext) -> Result<Vec<Artifact>> + Send + 'static,
+    ) -> Result<&mut Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(NsdfError::invalid("step name must be non-empty"));
+        }
+        if self.steps.iter().any(|s| s.name == name) {
+            return Err(NsdfError::invalid(format!("duplicate step {name:?}")));
+        }
+        self.steps.push(StepDef {
+            name,
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+            consumes: consumes.iter().map(|c| c.to_string()).collect(),
+            run: Box::new(run),
+        });
+        Ok(self)
+    }
+
+    /// Validate dependencies and compute a topological order.
+    fn topo_order(&self) -> Result<Vec<usize>> {
+        let index: BTreeMap<&str, usize> =
+            self.steps.iter().enumerate().map(|(i, s)| (s.name.as_str(), i)).collect();
+        let mut indegree = vec![0usize; self.steps.len()];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.steps.len()];
+        for (i, s) in self.steps.iter().enumerate() {
+            for d in &s.deps {
+                let &j = index.get(d.as_str()).ok_or_else(|| {
+                    NsdfError::invalid(format!("step {:?} depends on unknown step {d:?}", s.name))
+                })?;
+                children[j].push(i);
+                indegree[i] += 1;
+            }
+        }
+        // Kahn's algorithm preserving insertion order for determinism.
+        let mut ready: Vec<usize> =
+            (0..self.steps.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.steps.len());
+        let mut seen = HashSet::new();
+        while let Some(i) = ready.first().copied() {
+            ready.remove(0);
+            order.push(i);
+            seen.insert(i);
+            for &c in &children[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if order.len() != self.steps.len() {
+            return Err(NsdfError::invalid(format!(
+                "workflow {:?} has a dependency cycle",
+                self.name
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Execute all steps in dependency order on `ctx`.
+    ///
+    /// On a step failure the run stops: the failing step is recorded as
+    /// [`StepStatus::Failed`] and the rest as [`StepStatus::Skipped`]; the
+    /// provenance log is always returned.
+    pub fn run(&mut self, ctx: &mut RunContext) -> Provenance {
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(e) => {
+                return Provenance {
+                    steps: vec![StepRecord {
+                        name: self.name.clone(),
+                        started_ns: ctx.clock.now_ns(),
+                        ended_ns: ctx.clock.now_ns(),
+                        status: StepStatus::Failed,
+                        produced: vec![],
+                        consumed: vec![],
+                        error: Some(e.to_string()),
+                    }],
+                }
+            }
+        };
+        let mut prov = Provenance::default();
+        let mut failed = false;
+        for i in order {
+            let step = &mut self.steps[i];
+            let started = ctx.clock.now_ns();
+            if failed {
+                prov.steps.push(StepRecord {
+                    name: step.name.clone(),
+                    started_ns: started,
+                    ended_ns: started,
+                    status: StepStatus::Skipped,
+                    produced: vec![],
+                    consumed: step.consumes.clone(),
+                    error: None,
+                });
+                continue;
+            }
+            match (step.run)(ctx) {
+                Ok(produced) => prov.steps.push(StepRecord {
+                    name: step.name.clone(),
+                    started_ns: started,
+                    ended_ns: ctx.clock.now_ns(),
+                    status: StepStatus::Succeeded,
+                    produced,
+                    consumed: step.consumes.clone(),
+                    error: None,
+                }),
+                Err(e) => {
+                    failed = true;
+                    prov.steps.push(StepRecord {
+                        name: step.name.clone(),
+                        started_ns: started,
+                        ended_ns: ctx.clock.now_ns(),
+                        status: StepStatus::Failed,
+                        produced: vec![],
+                        consumed: step.consumes.clone(),
+                        error: Some(e.to_string()),
+                    });
+                }
+            }
+        }
+        prov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_blackboard_typed_access() {
+        let mut ctx = RunContext::new(SimClock::new());
+        ctx.put("n", 42u32);
+        assert_eq!(*ctx.get::<u32>("n").unwrap(), 42);
+        assert!(ctx.get::<String>("n").is_err());
+        assert!(ctx.get::<u32>("missing").unwrap_err().is_not_found());
+        let n: u32 = ctx.take("n").unwrap();
+        assert_eq!(n, 42);
+        assert!(ctx.get::<u32>("n").is_err());
+    }
+
+    #[test]
+    fn linear_workflow_runs_in_order() {
+        let mut wf = Workflow::new("pipeline");
+        wf.add_step("a", &[], &[], |ctx| {
+            ctx.clock().advance_secs(1.0);
+            ctx.put("x", 10u32);
+            Ok(vec![Artifact::of_size("x", 10, "mem")])
+        })
+        .unwrap();
+        wf.add_step("b", &["a"], &["x"], |ctx| {
+            let x = *ctx.get::<u32>("x")?;
+            ctx.put("y", x * 2);
+            ctx.clock().advance_secs(2.0);
+            Ok(vec![Artifact::of_size("y", 20, "mem")])
+        })
+        .unwrap();
+        let mut ctx = RunContext::new(SimClock::new());
+        let prov = wf.run(&mut ctx);
+        assert!(prov.succeeded());
+        assert_eq!(*ctx.get::<u32>("y").unwrap(), 20);
+        assert_eq!(prov.steps[0].name, "a");
+        assert!((prov.steps[0].secs() - 1.0).abs() < 1e-9);
+        assert!((prov.steps[1].secs() - 2.0).abs() < 1e-9);
+        assert_eq!(prov.producer_of("y").unwrap().name, "b");
+        assert_eq!(prov.consumers_of("x")[0].name, "b");
+    }
+
+    #[test]
+    fn diamond_dependencies_respect_order() {
+        let mut wf = Workflow::new("diamond");
+        let log: std::sync::Arc<parking_lot::Mutex<Vec<&'static str>>> = Default::default();
+        for (name, deps) in [("a", vec![]), ("b", vec!["a"]), ("c", vec!["a"]), ("d", vec!["b", "c"])] {
+            let log = log.clone();
+            let deps: Vec<&str> = deps;
+            wf.add_step(name, &deps, &[], move |_| {
+                log.lock().push(name);
+                Ok(vec![])
+            })
+            .unwrap();
+        }
+        let prov = wf.run(&mut RunContext::new(SimClock::new()));
+        assert!(prov.succeeded());
+        let order = log.lock().clone();
+        let pos = |n| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos("a") < pos("b") && pos("a") < pos("c") && pos("b") < pos("d") && pos("c") < pos("d"));
+    }
+
+    #[test]
+    fn failure_skips_downstream() {
+        let mut wf = Workflow::new("failing");
+        wf.add_step("ok", &[], &[], |_| Ok(vec![])).unwrap();
+        wf.add_step("boom", &["ok"], &[], |_| Err(NsdfError::invalid("kaput"))).unwrap();
+        wf.add_step("after", &["boom"], &[], |_| Ok(vec![])).unwrap();
+        let prov = wf.run(&mut RunContext::new(SimClock::new()));
+        assert!(!prov.succeeded());
+        assert_eq!(prov.steps[0].status, StepStatus::Succeeded);
+        assert_eq!(prov.steps[1].status, StepStatus::Failed);
+        assert!(prov.steps[1].error.as_ref().unwrap().contains("kaput"));
+        assert_eq!(prov.steps[2].status, StepStatus::Skipped);
+    }
+
+    #[test]
+    fn cycles_and_unknown_deps_rejected() {
+        let mut wf = Workflow::new("cyclic");
+        wf.add_step("a", &["b"], &[], |_| Ok(vec![])).unwrap();
+        wf.add_step("b", &["a"], &[], |_| Ok(vec![])).unwrap();
+        let prov = wf.run(&mut RunContext::new(SimClock::new()));
+        assert!(!prov.succeeded());
+        assert!(prov.steps[0].error.as_ref().unwrap().contains("cycle"));
+
+        let mut wf2 = Workflow::new("dangling");
+        wf2.add_step("a", &["ghost"], &[], |_| Ok(vec![])).unwrap();
+        let prov2 = wf2.run(&mut RunContext::new(SimClock::new()));
+        assert!(prov2.steps[0].error.as_ref().unwrap().contains("unknown step"));
+    }
+
+    #[test]
+    fn duplicate_and_empty_step_names_rejected() {
+        let mut wf = Workflow::new("w");
+        wf.add_step("a", &[], &[], |_| Ok(vec![])).unwrap();
+        assert!(wf.add_step("a", &[], &[], |_| Ok(vec![])).is_err());
+        assert!(wf.add_step("", &[], &[], |_| Ok(vec![])).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! # nsdf-workflow
+//!
+//! Modular workflow engine (paper Figs. 3–4): named steps with declared
+//! dependencies form a validated DAG, execute against a typed blackboard
+//! context on the shared virtual clock, and leave a provenance log of
+//! artifacts, timings, and lineage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod engine;
+
+pub use artifact::{Artifact, Provenance, StepRecord, StepStatus};
+pub use engine::{RunContext, Workflow};

@@ -1,0 +1,95 @@
+//! SOMOSPIE-style soil-moisture downscaling (paper §I, ref [8]) on top of
+//! the full NSDF stack: GEOtiled terrain → synthetic coarse satellite
+//! retrievals → KNN downscaling → publication as an IDX dataset a
+//! dashboard can stream.
+//!
+//! Run with: `cargo run --release --example soil_moisture`
+
+use nsdf::prelude::*;
+use nsdf::somospie::{downscale_knn, select_k, SyntheticTruth};
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    println!("== SOMOSPIE soil-moisture downscaling ==\n");
+
+    // Terrain predictors from GEOtiled.
+    let dem = DemConfig::conus_like(192, 192, 77).generate();
+    println!("DEM: 192x192 @ 30 m (synthetic, seed 77)");
+
+    // Synthetic truth + ESA-CCI-like coarse observation (factor 16).
+    let truth = SyntheticTruth::from_dem(&dem, 16, 77)?;
+    println!(
+        "coarse satellite grid: {}x{} (factor {})",
+        truth.coarse_obs.width(),
+        truth.coarse_obs.height(),
+        truth.factor
+    );
+
+    // Model selection the way a real deployment must do it: cross-validate
+    // on the coarse observations (fine truth is unknown in production).
+    let f = truth.factor as usize;
+    let train: Vec<(Vec<f64>, f64)> = (0..truth.coarse_obs.height())
+        .flat_map(|cy| (0..truth.coarse_obs.width()).map(move |cx| (cx, cy)))
+        .map(|(cx, cy)| {
+            let (x, y) = (cx * f + f / 2, cy * f + f / 2);
+            let a = truth.aspect.get(x, y) as f64;
+            let northness = if a < 0.0 { 0.0 } else { a.to_radians().cos() };
+            (
+                vec![
+                    x as f64,
+                    y as f64,
+                    truth.elevation.get(x, y) as f64,
+                    truth.slope.get(x, y) as f64,
+                    northness,
+                ],
+                truth.coarse_obs.get(cx, cy) as f64,
+            )
+        })
+        .collect();
+    let cv = select_k(&train, &[1, 3, 5, 9, 15], 5)?;
+    println!("\ncross-validation on coarse cells (5-fold):");
+    println!("{:<6} {:>14} {:>14} {:>16}", "k", "cv rmse", "true rmse", "bilinear rmse");
+    for &(k, cv_rmse) in &cv.scores {
+        let report = downscale_knn(&truth, k)?;
+        println!(
+            "{:<6} {:>14.5} {:>14.5} {:>16.5}",
+            k, cv_rmse, report.rmse, report.baseline_rmse
+        );
+    }
+    println!("CV picks k = {} (held-out rmse {:.5})", cv.best_k, cv.best_rmse);
+
+    // Publish prediction + truth as a 2-field IDX dataset and render both.
+    let report = downscale_knn(&truth, cv.best_k)?;
+    let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let meta = IdxMeta::new_2d(
+        "soil-moisture",
+        192,
+        192,
+        vec![
+            Field::new("predicted", DType::F32)?,
+            Field::new("truth", DType::F32)?,
+        ],
+        10,
+        Codec::LzssHuff { sample_size: 4 },
+    )?;
+    let ds = IdxDataset::create(store, "somospie/moisture", meta)?;
+    ds.write_raster("predicted", 0, &report.predicted)?;
+    ds.write_raster("truth", 0, &truth.fine_truth)?;
+
+    let out_dir = std::env::temp_dir().join("nsdf-somospie");
+    std::fs::create_dir_all(&out_dir)?;
+    let (pred, _) = ds.read_full::<f32>("predicted", 0)?;
+    let img = nsdf::dashboard::render(&pred, Colormap::Viridis, RangeMode::Percentile(2.0, 98.0))?;
+    std::fs::write(out_dir.join("predicted.ppm"), img.to_ppm())?;
+    let diff = nsdf::dashboard::render_difference(&truth.fine_truth, &pred, Colormap::CoolWarm)?;
+    std::fs::write(out_dir.join("error.ppm"), diff.to_ppm())?;
+    println!("\nrendered predicted.ppm and error.ppm to {}", out_dir.display());
+
+    let acc = AccuracyReport::compare(&truth.fine_truth, &pred)?;
+    println!(
+        "prediction vs truth: rmse={:.5} max_err={:.5} psnr={:.1} dB",
+        acc.rmse, acc.max_abs_err, acc.psnr_db
+    );
+    println!("ok");
+    Ok(())
+}

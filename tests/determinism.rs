@@ -1,0 +1,103 @@
+//! Determinism guarantees: every experiment-facing quantity must be
+//! bit-stable across runs for a fixed seed, and must change when the seed
+//! changes — the property EXPERIMENTS.md's reproducibility claim rests on.
+
+use nsdf::fuse::{run_workload, Mapping, OpMix};
+use nsdf::plugin::{run_campaign, Testbed};
+use nsdf::prelude::*;
+use nsdf::util::fnv1a64;
+use std::sync::Arc;
+
+fn dem_fingerprint(seed: u64) -> u64 {
+    let dem = DemConfig::conus_like(128, 96, seed).generate();
+    fnv1a64(&nsdf::util::samples_to_bytes(dem.data()))
+}
+
+#[test]
+fn dem_synthesis_is_bit_stable() {
+    assert_eq!(dem_fingerprint(42), dem_fingerprint(42));
+    assert_ne!(dem_fingerprint(42), dem_fingerprint(43));
+}
+
+#[test]
+fn idx_block_bytes_are_bit_stable() {
+    let publish = |seed: u64| {
+        let store = Arc::new(MemoryStore::new());
+        let dem = DemConfig::conus_like(96, 96, seed).generate();
+        let meta = IdxMeta::new_2d(
+            "det",
+            96,
+            96,
+            vec![Field::new("v", DType::F32).unwrap()],
+            8,
+            Codec::LzssHuff { sample_size: 4 },
+        )
+        .unwrap();
+        let ds = IdxDataset::create(store.clone() as Arc<dyn ObjectStore>, "det", meta).unwrap();
+        ds.write_raster("v", 0, &dem).unwrap();
+        // Fingerprint every stored object.
+        let mut acc = 0u64;
+        for m in store.list("").unwrap() {
+            acc ^= fnv1a64(&store.get(&m.key).unwrap()) ^ fnv1a64(m.key.as_bytes());
+        }
+        acc
+    };
+    assert_eq!(publish(7), publish(7));
+    assert_ne!(publish(7), publish(8));
+}
+
+#[test]
+fn wan_timings_are_bit_stable() {
+    let run = |seed: u64| {
+        let clock = SimClock::new();
+        let store = CloudStore::new(
+            Arc::new(MemoryStore::new()),
+            NetworkProfile::public_dataverse(),
+            clock.clone(),
+            seed,
+        );
+        for i in 0..25 {
+            store.put(&format!("k{i}"), &vec![i as u8; 10_000 + i * 137]).unwrap();
+            store.get(&format!("k{i}")).unwrap();
+        }
+        clock.now_ns()
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12));
+}
+
+#[test]
+fn fuse_workload_results_are_bit_stable() {
+    let mix = OpMix { files: 20, file_bytes: 2048, read_passes: 1, delete: true };
+    let a = run_workload(Mapping::Packed { pack_target_bytes: 8192 }, NetworkProfile::private_seal(), mix, 5)
+        .unwrap();
+    let b = run_workload(Mapping::Packed { pack_target_bytes: 8192 }, NetworkProfile::private_seal(), mix, 5)
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn probe_campaign_and_survey_are_bit_stable() {
+    let tb = Testbed::nsdf_default();
+    assert_eq!(
+        run_campaign(&tb, 25, 3).unwrap().pairs,
+        run_campaign(&tb, 25, 3).unwrap().pairs
+    );
+    let sessions = Session::paper_sessions();
+    assert_eq!(
+        SurveyModel::new(9).run(&sessions).unwrap(),
+        SurveyModel::new(9).run(&sessions).unwrap()
+    );
+}
+
+#[test]
+fn soil_moisture_pipeline_is_bit_stable() {
+    use nsdf::somospie::{downscale_knn, SyntheticTruth};
+    let run = || {
+        let dem = DemConfig::conus_like(64, 64, 21).generate();
+        let truth = SyntheticTruth::from_dem(&dem, 8, 21).unwrap();
+        let report = downscale_knn(&truth, 3).unwrap();
+        fnv1a64(&nsdf::util::samples_to_bytes(report.predicted.data()))
+    };
+    assert_eq!(run(), run());
+}

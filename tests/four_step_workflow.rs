@@ -1,0 +1,85 @@
+//! Integration: the full four-step tutorial workflow across every storage
+//! endpoint, codec, and scale — the cross-crate path from DEM synthesis
+//! through TIFF, IDX, validation, and the dashboard.
+
+use nsdf::prelude::*;
+
+fn config(seed: u64) -> TutorialConfig {
+    let mut cfg = TutorialConfig::small(seed);
+    cfg.width = 160;
+    cfg.height = 96;
+    cfg.tiles = (2, 2);
+    cfg
+}
+
+#[test]
+fn tutorial_runs_on_every_endpoint() {
+    for endpoint in ["local", "dataverse", "seal"] {
+        let client = NsdfClient::simulated(11);
+        let mut cfg = config(11);
+        cfg.storage_endpoint = endpoint.into();
+        let report = run_tutorial(&client, &cfg).unwrap();
+        assert!(report.provenance.succeeded(), "{endpoint}");
+        assert!(report.validation_exact(), "{endpoint}");
+        assert_eq!(report.interactions.len(), 5, "{endpoint}");
+    }
+}
+
+#[test]
+fn remote_endpoints_cost_more_virtual_time_than_local() {
+    let run = |endpoint: &str| {
+        let client = NsdfClient::simulated(12);
+        let mut cfg = config(12);
+        cfg.storage_endpoint = endpoint.into();
+        run_tutorial(&client, &cfg).unwrap().total_virtual_secs
+    };
+    let local = run("local");
+    let dataverse = run("dataverse");
+    let seal = run("seal");
+    assert!(dataverse > local, "dataverse {dataverse} vs local {local}");
+    assert!(seal > local, "seal {seal} vs local {local}");
+    // Dataverse's WAN profile is slower than Seal's.
+    assert!(dataverse > seal, "dataverse {dataverse} vs seal {seal}");
+}
+
+#[test]
+fn every_lossless_codec_validates_exactly_end_to_end() {
+    for codec in Codec::lossless_palette(4) {
+        let client = NsdfClient::simulated(13);
+        let mut cfg = config(13);
+        cfg.codec = codec;
+        cfg.storage_endpoint = "local".into();
+        let report = run_tutorial(&client, &cfg).unwrap();
+        assert!(report.validation_exact(), "codec {codec}");
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let client = NsdfClient::simulated(14);
+        let report = run_tutorial(&client, &config(14)).unwrap();
+        (report.tiff_bytes, report.idx_bytes, report.total_virtual_secs.to_bits())
+    };
+    // Wall-clock compute time feeds the virtual clock, so total time is not
+    // bit-stable, but all data-dependent quantities must be.
+    let (t1, i1, _) = run();
+    let (t2, i2, _) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(i1, i2);
+}
+
+#[test]
+fn provenance_covers_all_artifacts() {
+    let client = NsdfClient::simulated(15);
+    let report = run_tutorial(&client, &config(15)).unwrap();
+    let p = &report.provenance;
+    for name in ["elevation.tif", "slope.tif", "aspect.tif", "hillshade.tif"] {
+        assert_eq!(p.producer_of(name).unwrap().name, "1-data-generation");
+    }
+    for name in ["elevation.idx-blocks", "hillshade.idx-blocks"] {
+        assert_eq!(p.producer_of(name).unwrap().name, "2-convert-to-idx");
+    }
+    assert!(p.producer_of("snippet.py").is_some());
+    assert!(p.total_artifact_bytes() > 0);
+}
