@@ -47,9 +47,7 @@ fn queries(c: &mut Criterion) {
             cat.get(i).is_some()
         })
     });
-    g.bench_function("prefix_scan", |b| {
-        b.iter(|| cat.find_by_prefix("repo/ds-042/").len())
-    });
+    g.bench_function("prefix_scan", |b| b.iter(|| cat.find_by_prefix("repo/ds-042/").len()));
     g.bench_function("stats_full_scan", |b| b.iter(|| cat.stats().records));
     g.finish();
 }

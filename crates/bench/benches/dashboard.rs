@@ -43,9 +43,7 @@ fn progressive(c: &mut Criterion) {
 fn analysis_tools(c: &mut Criterion) {
     let dash = session_dashboard();
     let mut g = c.benchmark_group("dashboard/tools");
-    g.bench_function("horizontal_slice", |b| {
-        b.iter(|| dash.horizontal_slice(0.5).unwrap().len())
-    });
+    g.bench_function("horizontal_slice", |b| b.iter(|| dash.horizontal_slice(0.5).unwrap().len()));
     g.bench_function("snip_64x64", |b| {
         b.iter(|| dash.snip(Box2i::new(100, 100, 164, 164)).unwrap().raster.len())
     });

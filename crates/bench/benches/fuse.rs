@@ -14,9 +14,7 @@ fn small_files(c: &mut Criterion) {
     for mapping in Mapping::palette() {
         g.bench_with_input(BenchmarkId::from_parameter(mapping.name()), &mapping, |b, &m| {
             b.iter(|| {
-                run_workload(m, NetworkProfile::public_dataverse(), mix, 3)
-                    .unwrap()
-                    .store_write_ops
+                run_workload(m, NetworkProfile::public_dataverse(), mix, 3).unwrap().store_write_ops
             })
         });
     }

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nsdf_bench::{bench_dem, fast_criterion, BENCH_SEED};
-use nsdf_geotiled::{compute_terrain, compute_terrain_tiled, DemConfig, Sun, TerrainParam, TilePlan};
+use nsdf_geotiled::{
+    compute_terrain, compute_terrain_tiled, DemConfig, Sun, TerrainParam, TilePlan,
+};
 
 fn dem_synthesis(c: &mut Criterion) {
     let mut g = c.benchmark_group("geotiled/dem");

@@ -51,13 +51,9 @@ fn layout_planning(c: &mut Criterion) {
     let overview = Box2i::new(0, 0, 1024, 1024);
     let level = curve.max_level() - 6;
     for layout in Layout::all() {
-        g.bench_with_input(
-            BenchmarkId::new("overview", layout.name()),
-            &layout,
-            |b, &layout| {
-                b.iter(|| blocks_touched(&curve, layout, black_box(overview), level, 12).unwrap())
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("overview", layout.name()), &layout, |b, &layout| {
+            b.iter(|| blocks_touched(&curve, layout, black_box(overview), level, 12).unwrap())
+        });
     }
     g.finish();
 }
@@ -69,9 +65,7 @@ fn region_reads(c: &mut Criterion) {
     let max = ds.max_level();
     for &delta in &[0u32, 2, 4, 6] {
         g.bench_with_input(BenchmarkId::new("full_view_level", max - delta), &delta, |b, &d| {
-            b.iter(|| {
-                ds.read_box::<f32>("v", 0, ds.bounds(), max - d).unwrap().1.blocks_touched
-            })
+            b.iter(|| ds.read_box::<f32>("v", 0, ds.bounds(), max - d).unwrap().1.blocks_touched)
         });
     }
     let window = Box2i::new(200, 200, 264, 264);

@@ -45,9 +45,7 @@ impl Catalog {
             return Err(NsdfError::invalid("shard count must be in 1..=4096"));
         }
         Ok(Catalog {
-            shards: (0..shards)
-                .map(|_| RwLock::new(Shard { by_id: HashMap::new() }))
-                .collect(),
+            shards: (0..shards).map(|_| RwLock::new(Shard { by_id: HashMap::new() })).collect(),
             wal: Mutex::new(Vec::new()),
         })
     }
@@ -59,11 +57,7 @@ impl Catalog {
     /// Insert or replace a record. Returns `true` when the id was new.
     pub fn upsert(&self, record: Record) -> bool {
         self.wal.lock().push(record.to_line());
-        self.shard_of(record.id)
-            .write()
-            .by_id
-            .insert(record.id, record)
-            .is_none()
+        self.shard_of(record.id).write().by_id.insert(record.id, record).is_none()
     }
 
     /// Bulk ingest; returns the number of *new* ids.
@@ -127,12 +121,7 @@ impl Catalog {
             .shards
             .iter()
             .flat_map(|s| {
-                s.read()
-                    .by_id
-                    .values()
-                    .filter(|r| r.source == source)
-                    .cloned()
-                    .collect::<Vec<_>>()
+                s.read().by_id.values().filter(|r| r.source == source).cloned().collect::<Vec<_>>()
             })
             .collect();
         out.sort_by_key(|r| r.id);
@@ -176,8 +165,7 @@ impl Catalog {
         for seg in segments {
             for line in seg.lines() {
                 if let Some(id) = line.strip_prefix(DELETE_PREFIX) {
-                    let id: u64 =
-                        id.parse().map_err(|_| NsdfError::corrupt("bad tombstone id"))?;
+                    let id: u64 = id.parse().map_err(|_| NsdfError::corrupt("bad tombstone id"))?;
                     cat.shard_of(id).write().by_id.remove(&id);
                 } else {
                     let r = Record::from_line(line)?;
@@ -213,9 +201,10 @@ mod tests {
     #[test]
     fn prefix_and_source_queries() {
         let cat = Catalog::new(8).unwrap();
-        cat.ingest((0..100).map(|i| {
-            rec(i, &format!("soil/t{i:02}"), if i % 2 == 0 { "dv" } else { "mc" })
-        }));
+        cat.ingest(
+            (0..100)
+                .map(|i| rec(i, &format!("soil/t{i:02}"), if i % 2 == 0 { "dv" } else { "mc" })),
+        );
         assert_eq!(cat.len(), 100);
         let q = cat.find_by_prefix("soil/t0");
         assert_eq!(q.len(), 10);

@@ -68,7 +68,8 @@ mod tests {
 
     #[test]
     fn line_roundtrip() {
-        let r = Record::new(42, "soil/moisture/t01.idx", "dataverse", 1_234_567, 0xdeadbeef).unwrap();
+        let r =
+            Record::new(42, "soil/moisture/t01.idx", "dataverse", 1_234_567, 0xdeadbeef).unwrap();
         let back = Record::from_line(&r.to_line()).unwrap();
         assert_eq!(back, r);
     }

@@ -74,11 +74,7 @@ pub fn provision(providers: &[Provider], req: &ClusterRequest) -> Result<Cluster
         while nodes.len() < req.nodes as usize
             && nodes.iter().filter(|n: &&Node| n.provider == p.name).count() < p.max_nodes as usize
         {
-            nodes.push(Node {
-                provider: p.name.clone(),
-                speed: p.node_speed,
-                cost_per_hour: 0.0,
-            });
+            nodes.push(Node { provider: p.name.clone(), speed: p.node_speed, cost_per_hour: 0.0 });
             provision_secs = provision_secs.max(p.provision_secs);
         }
         if nodes.len() == req.nodes as usize {
@@ -185,8 +181,8 @@ mod tests {
     #[test]
     fn academic_first_provisioning() {
         let providers = Provider::nsdf_federation();
-        let c = provision(&providers, &ClusterRequest { nodes: 10, max_cost_per_hour: 0.0 })
-            .unwrap();
+        let c =
+            provision(&providers, &ClusterRequest { nodes: 10, max_cost_per_hour: 0.0 }).unwrap();
         assert_eq!(c.nodes.len(), 10);
         assert_eq!(c.cost_per_hour(), 0.0);
         assert!(c.nodes.iter().all(|n| n.cost_per_hour == 0.0));
@@ -196,8 +192,8 @@ mod tests {
     fn commercial_burst_respects_budget() {
         let providers = Provider::nsdf_federation();
         // 16+8+12 = 36 academic nodes; asking for 40 needs 4 commercial.
-        let c = provision(&providers, &ClusterRequest { nodes: 40, max_cost_per_hour: 5.0 })
-            .unwrap();
+        let c =
+            provision(&providers, &ClusterRequest { nodes: 40, max_cost_per_hour: 5.0 }).unwrap();
         assert_eq!(c.nodes.len(), 40);
         let commercial = c.nodes.iter().filter(|n| n.provider == "commercial").count();
         assert_eq!(commercial, 4);
@@ -211,10 +207,12 @@ mod tests {
     #[test]
     fn oversized_requests_fail() {
         let providers = Provider::nsdf_federation();
-        assert!(provision(&providers, &ClusterRequest { nodes: 500, max_cost_per_hour: 1e6 })
-            .is_err());
-        assert!(provision(&providers, &ClusterRequest { nodes: 0, max_cost_per_hour: 0.0 })
-            .is_err());
+        assert!(
+            provision(&providers, &ClusterRequest { nodes: 500, max_cost_per_hour: 1e6 }).is_err()
+        );
+        assert!(
+            provision(&providers, &ClusterRequest { nodes: 0, max_cost_per_hour: 0.0 }).is_err()
+        );
     }
 
     #[test]
@@ -235,8 +233,8 @@ mod tests {
     #[test]
     fn utilisation_and_cost_accounting() {
         let providers = Provider::nsdf_federation();
-        let c = provision(&providers, &ClusterRequest { nodes: 40, max_cost_per_hour: 10.0 })
-            .unwrap();
+        let c =
+            provision(&providers, &ClusterRequest { nodes: 40, max_cost_per_hour: 10.0 }).unwrap();
         let clock = SimClock::new();
         let report = c.run_jobs(&jobs(400, 360.0), &clock).unwrap();
         assert_eq!(report.jobs, 400);
@@ -251,8 +249,8 @@ mod tests {
         // One fast commercial node plus slow academic nodes: LPT must load
         // the fast node with more work.
         let providers = Provider::nsdf_federation();
-        let c = provision(&providers, &ClusterRequest { nodes: 37, max_cost_per_hour: 1.0 })
-            .unwrap();
+        let c =
+            provision(&providers, &ClusterRequest { nodes: 37, max_cost_per_hour: 1.0 }).unwrap();
         let clock = SimClock::new();
         let report = c.run_jobs(&jobs(100, 100.0), &clock).unwrap();
         assert!(report.utilisation > 0.7);
@@ -261,8 +259,8 @@ mod tests {
     #[test]
     fn provisioning_charges_clock_once() {
         let providers = Provider::nsdf_federation();
-        let c = provision(&providers, &ClusterRequest { nodes: 2, max_cost_per_hour: 0.0 })
-            .unwrap();
+        let c =
+            provision(&providers, &ClusterRequest { nodes: 2, max_cost_per_hour: 0.0 }).unwrap();
         let clock = SimClock::new();
         c.run_jobs(&jobs(2, 1.0), &clock).unwrap();
         // Jetstream provisions in 120 s; compute is ~1 s.

@@ -41,7 +41,10 @@ impl Provider {
             return Err(NsdfError::invalid("provider needs a name"));
         }
         if self.provision_secs < 0.0 || self.cost_per_node_hour < 0.0 || self.node_speed <= 0.0 {
-            return Err(NsdfError::invalid(format!("provider {:?} has invalid parameters", self.name)));
+            return Err(NsdfError::invalid(format!(
+                "provider {:?} has invalid parameters",
+                self.name
+            )));
         }
         if self.max_nodes == 0 {
             return Err(NsdfError::invalid(format!("provider {:?} grants no nodes", self.name)));

@@ -3,8 +3,8 @@
 //! through a stable textual name (stored in `.idx` metadata).
 
 use crate::filter::{delta_decode, delta_encode, shuffle, unshuffle};
-use crate::huffman::{huffman_decode, huffman_encode};
 use crate::fixedrate::{fixedrate_decode_bytes, fixedrate_encode_bytes};
+use crate::huffman::{huffman_decode, huffman_encode};
 use crate::lz4like::{lz4_decode, lz4_encode};
 use crate::lzss::{lzss_decode, lzss_encode};
 use crate::rle::{packbits_decode, packbits_encode};
@@ -125,9 +125,8 @@ impl Codec {
     pub fn parse(s: &str) -> Result<Codec> {
         if let Some(rest) = s.strip_prefix("shuffle") {
             if let Some(sz) = rest.strip_suffix("-lzss") {
-                let sample_size: u8 = sz
-                    .parse()
-                    .map_err(|_| NsdfError::format(format!("bad codec `{s}`")))?;
+                let sample_size: u8 =
+                    sz.parse().map_err(|_| NsdfError::format(format!("bad codec `{s}`")))?;
                 if sample_size == 0 {
                     return Err(NsdfError::format("shuffle sample size must be positive"));
                 }
@@ -143,7 +142,8 @@ impl Codec {
             return Ok(Codec::LzssHuff { sample_size });
         }
         if let Some(bits) = s.strip_prefix("fixedrate") {
-            let bits: u8 = bits.parse().map_err(|_| NsdfError::format(format!("bad codec `{s}`")))?;
+            let bits: u8 =
+                bits.parse().map_err(|_| NsdfError::format(format!("bad codec `{s}`")))?;
             if !(2..=30).contains(&bits) {
                 return Err(NsdfError::format("fixedrate bits must be in 2..=30"));
             }
@@ -221,9 +221,7 @@ mod tests {
 
     fn sample_data() -> Vec<u8> {
         // Smooth f32 field, the representative IDX payload.
-        (0..2048)
-            .flat_map(|i| (((i as f32) * 0.01).cos() * 500.0).to_le_bytes())
-            .collect()
+        (0..2048).flat_map(|i| (((i as f32) * 0.01).cos() * 500.0).to_le_bytes()).collect()
     }
 
     #[test]
@@ -248,11 +246,7 @@ mod tests {
         assert_eq!(dec.len(), data.len());
         let orig: Vec<f32> = nsdf_util::bytes_to_samples(&data).unwrap();
         let back: Vec<f32> = nsdf_util::bytes_to_samples(&dec).unwrap();
-        let max_err = orig
-            .iter()
-            .zip(&back)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_err = orig.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_err < 0.1, "max_err={max_err}");
     }
 
@@ -286,8 +280,7 @@ mod tests {
     fn shuffle_lzss_beats_plain_lzss_on_floats() {
         let data = sample_data();
         let plain = CompressionStats::measure(Codec::Lzss, &data).unwrap();
-        let shuf =
-            CompressionStats::measure(Codec::ShuffleLzss { sample_size: 4 }, &data).unwrap();
+        let shuf = CompressionStats::measure(Codec::ShuffleLzss { sample_size: 4 }, &data).unwrap();
         assert!(
             shuf.compressed_bytes < plain.compressed_bytes,
             "shuffle {} vs plain {}",

@@ -27,11 +27,8 @@ pub fn fixedrate_encode_f32(values: &[f32], bits: u8) -> Result<Vec<u8>> {
     }
     let mut w = BitWriter::new();
     for chunk in values.chunks(BLOCK) {
-        let e_max = chunk
-            .iter()
-            .filter(|v| v.is_finite() && **v != 0.0)
-            .map(|v| exponent_of(*v))
-            .max();
+        let e_max =
+            chunk.iter().filter(|v| v.is_finite() && **v != 0.0).map(|v| exponent_of(*v)).max();
         match e_max {
             None => w.write_bits(ZERO_BLOCK as u64, 8),
             Some(e) => {
@@ -146,19 +143,12 @@ mod tests {
     #[test]
     fn error_respects_theoretical_bound() {
         let v: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 3.7).collect();
-        let e_max = v
-            .iter()
-            .filter(|x| **x != 0.0)
-            .map(|x| x.abs().log2().floor() as i32)
-            .max()
-            .unwrap();
+        let e_max =
+            v.iter().filter(|x| **x != 0.0).map(|x| x.abs().log2().floor() as i32).max().unwrap();
         for bits in [6u8, 10, 14] {
             let enc = fixedrate_encode_f32(&v, bits).unwrap();
             let dec = fixedrate_decode_f32(&enc, bits, v.len()).unwrap();
-            assert!(
-                max_err(&v, &dec) <= error_bound(e_max, bits),
-                "bits={bits}"
-            );
+            assert!(max_err(&v, &dec) <= error_bound(e_max, bits), "bits={bits}");
         }
     }
 
@@ -169,9 +159,7 @@ mod tests {
             let enc = fixedrate_encode_f32(&v, 10).unwrap();
             let blocks = n.div_ceil(BLOCK);
             // Per full block: 8 + 64*10 bits; partial blocks still pay per-sample.
-            let bits_total: usize = (0..blocks)
-                .map(|b| 8 + 10 * (n - b * BLOCK).min(BLOCK))
-                .sum();
+            let bits_total: usize = (0..blocks).map(|b| 8 + 10 * (n - b * BLOCK).min(BLOCK)).sum();
             assert_eq!(enc.len(), bits_total.div_ceil(8), "n={n}");
         }
     }

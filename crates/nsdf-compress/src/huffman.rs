@@ -91,11 +91,7 @@ fn limit_lengths(lens: &mut [u8; 256]) {
     }
     // Kraft sum in units of 2^-MAX_CODE_LEN.
     let unit = 1u64 << MAX_CODE_LEN;
-    let mut kraft: u64 = lens
-        .iter()
-        .filter(|&&l| l > 0)
-        .map(|&l| unit >> l)
-        .sum();
+    let mut kraft: u64 = lens.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
     // While oversubscribed, deepen the deepest non-max leaf... the classic
     // fix is to find a leaf with l < MAX and increment it (halving its
     // contribution).
@@ -323,8 +319,10 @@ mod tests {
     #[test]
     fn truncated_stream_rejected() {
         let enc = huffman_encode(b"hello hello hello");
-        assert!(huffman_decode(&enc[..enc.len() - 1], 17).is_err() ||
-                huffman_decode(&enc[..enc.len() - 1], 17).unwrap() != b"hello hello hello");
+        assert!(
+            huffman_decode(&enc[..enc.len() - 1], 17).is_err()
+                || huffman_decode(&enc[..enc.len() - 1], 17).unwrap() != b"hello hello hello"
+        );
     }
 
     #[test]

@@ -106,17 +106,15 @@ pub fn lz4_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
         let &token = src.get(i).ok_or_else(|| NsdfError::corrupt("lz4: missing token"))?;
         i += 1;
         let lit = read_len(src, &mut i, (token >> 4) as usize)?;
-        let bytes = src
-            .get(i..i + lit)
-            .ok_or_else(|| NsdfError::corrupt("lz4: literals overrun input"))?;
+        let bytes =
+            src.get(i..i + lit).ok_or_else(|| NsdfError::corrupt("lz4: literals overrun input"))?;
         out.extend_from_slice(bytes);
         i += lit;
         if out.len() >= dst_len {
             break;
         }
-        let off_bytes = src
-            .get(i..i + 2)
-            .ok_or_else(|| NsdfError::corrupt("lz4: missing offset"))?;
+        let off_bytes =
+            src.get(i..i + 2).ok_or_else(|| NsdfError::corrupt("lz4: missing offset"))?;
         let off = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
         i += 2;
         let len = read_len(src, &mut i, (token & 0xF) as usize)? + MIN_MATCH;

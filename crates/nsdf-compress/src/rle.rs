@@ -65,7 +65,8 @@ pub fn packbits_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
             128 => {}
             129..=255 => {
                 let n = 257 - ctrl as usize;
-                let &b = src.get(i).ok_or_else(|| NsdfError::corrupt("packbits run missing byte"))?;
+                let &b =
+                    src.get(i).ok_or_else(|| NsdfError::corrupt("packbits run missing byte"))?;
                 i += 1;
                 out.extend(std::iter::repeat_n(b, n));
             }

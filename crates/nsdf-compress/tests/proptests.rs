@@ -12,8 +12,12 @@ fn byte_buffers() -> impl Strategy<Value = Vec<u8>> {
         proptest::collection::vec(any::<u8>(), 0..4096),
         proptest::collection::vec(0u8..4, 0..4096),
         (any::<u8>(), 0usize..4096).prop_map(|(b, n)| vec![b; n]),
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|motif| motif.iter().copied().cycle().take(3000).collect()),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|motif| motif
+            .iter()
+            .copied()
+            .cycle()
+            .take(3000)
+            .collect()),
     ]
 }
 

@@ -80,11 +80,7 @@ impl NsdfClient {
                 derive_seed(seed, label),
             ));
             let cached = Arc::new(CachedStore::new(wan, 256 << 20));
-            client.add_endpoint(StorageEndpoint {
-                name: name.into(),
-                kind,
-                store: cached,
-            });
+            client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: cached });
         }
         client
     }
@@ -106,9 +102,7 @@ impl NsdfClient {
 
     /// Look up an endpoint.
     pub fn endpoint(&self, name: &str) -> Result<&StorageEndpoint> {
-        self.endpoints
-            .get(name)
-            .ok_or_else(|| NsdfError::not_found(format!("endpoint {name:?}")))
+        self.endpoints.get(name).ok_or_else(|| NsdfError::not_found(format!("endpoint {name:?}")))
     }
 
     /// The store behind an endpoint.

@@ -207,11 +207,7 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
                 let (from_idx, _) = ds.read_full::<f32>(param.name(), 0)?;
                 let wall = Instant::now();
                 let report = AccuracyReport::compare(original, &from_idx)?;
-                let img = nsdf_dashboard::render(
-                    &from_idx,
-                    Colormap::Terrain,
-                    RangeMode::Dynamic,
-                )?;
+                let img = nsdf_dashboard::render(&from_idx, Colormap::Terrain, RangeMode::Dynamic)?;
                 ctx.clock().advance_secs(wall.elapsed().as_secs_f64());
                 let ppm = img.to_ppm();
                 artifacts.push(Artifact::of_bytes(
@@ -342,8 +338,7 @@ mod tests {
         let report = run_small("seal");
         assert_eq!(report.provenance.steps.len(), 4);
         assert!(report.provenance.succeeded());
-        let names: Vec<&str> =
-            report.provenance.steps.iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = report.provenance.steps.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
             vec![
@@ -372,8 +367,7 @@ mod tests {
     #[test]
     fn dashboard_interactions_recorded_with_time() {
         let report = run_small("dataverse");
-        let labels: Vec<&str> =
-            report.interactions.iter().map(|i| i.label.as_str()).collect();
+        let labels: Vec<&str> = report.interactions.iter().map(|i| i.label.as_str()).collect();
         assert_eq!(labels, vec!["overview", "zoom-4x", "pan", "switch-field", "snip"]);
         // Step 2's write-through cache keeps step-4 reads warm (that is the
         // caching behaviour §III-A advertises), so interactions are nearly

@@ -360,11 +360,8 @@ mod tests {
             participants: 3200, // large N to beat sampling noise
         }];
         let tallies = SurveyModel::new(7).run(&student_session).unwrap();
-        let ease = tallies
-            .iter()
-            .find(|t| t.question == SurveyQuestion::EasyToFollow)
-            .unwrap()
-            .mean();
+        let ease =
+            tallies.iter().find(|t| t.question == SurveyQuestion::EasyToFollow).unwrap().mean();
         for t in &tallies {
             if t.question != SurveyQuestion::EasyToFollow {
                 assert!(ease > t.mean(), "{:?}", t.question);
@@ -374,10 +371,7 @@ mod tests {
 
     #[test]
     fn tally_statistics() {
-        let t = QuestionTally {
-            question: SurveyQuestion::EasyToFollow,
-            counts: [0, 0, 2, 4, 4],
-        };
+        let t = QuestionTally { question: SurveyQuestion::EasyToFollow, counts: [0, 0, 2, 4, 4] };
         assert_eq!(t.total(), 10);
         assert!((t.mean() - 4.2).abs() < 1e-12);
         assert!((t.positive_fraction() - 0.8).abs() < 1e-12);

@@ -68,11 +68,9 @@ impl Colormap {
                 (1.00, [255, 255, 255]),
             ],
             Colormap::Gray => &[(0.00, [0, 0, 0]), (1.00, [255, 255, 255])],
-            Colormap::CoolWarm => &[
-                (0.00, [59, 76, 192]),
-                (0.50, [221, 221, 221]),
-                (1.00, [180, 4, 38]),
-            ],
+            Colormap::CoolWarm => {
+                &[(0.00, [59, 76, 192]), (0.50, [221, 221, 221]), (1.00, [180, 4, 38])]
+            }
         }
     }
 

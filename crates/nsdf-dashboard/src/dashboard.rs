@@ -121,10 +121,8 @@ impl Dashboard {
     }
 
     fn current(&self) -> Result<&Arc<IdxDataset>> {
-        let name = self
-            .selected
-            .as_ref()
-            .ok_or_else(|| NsdfError::invalid("no dataset selected"))?;
+        let name =
+            self.selected.as_ref().ok_or_else(|| NsdfError::invalid("no dataset selected"))?;
         Ok(&self.datasets[name])
     }
 
@@ -314,8 +312,10 @@ impl Dashboard {
             let strides = mask.level_strides(l)?;
             let sx = strides[0] as i64;
             let sy = strides.get(1).copied().unwrap_or(1) as i64;
-            let first_x = r.x0.max(0).div_euclid(sx) * sx + if r.x0.max(0) % sx == 0 { 0 } else { sx };
-            let first_y = r.y0.max(0).div_euclid(sy) * sy + if r.y0.max(0) % sy == 0 { 0 } else { sy };
+            let first_x =
+                r.x0.max(0).div_euclid(sx) * sx + if r.x0.max(0) % sx == 0 { 0 } else { sx };
+            let first_y =
+                r.y0.max(0).div_euclid(sy) * sy + if r.y0.max(0) % sy == 0 { 0 } else { sy };
             if first_x < r.x1 && first_y < r.y1 {
                 return Ok(l);
             }
@@ -436,9 +436,8 @@ mod tests {
         .unwrap();
         let ds = IdxDataset::create(store, "dash/terrain", meta).unwrap();
         for t in 0..4 {
-            let elev = Raster::<f32>::from_fn(256, 128, move |x, y| {
-                (x + y) as f32 + t as f32 * 1000.0
-            });
+            let elev =
+                Raster::<f32>::from_fn(256, 128, move |x, y| (x + y) as f32 + t as f32 * 1000.0);
             ds.write_raster("elevation", t, &elev).unwrap();
             ds.write_raster("slope", t, &elev.map(|v: f32| v * 0.1)).unwrap();
         }

@@ -60,9 +60,7 @@ pub fn render<T: Sample>(
             (lo, hi)
         }
         RangeMode::Dynamic => {
-            let (lo, hi) = raster
-                .min_max()
-                .ok_or_else(|| NsdfError::invalid("all-NaN raster"))?;
+            let (lo, hi) = raster.min_max().ok_or_else(|| NsdfError::invalid("all-NaN raster"))?;
             if hi > lo {
                 (lo, hi)
             } else {
@@ -73,12 +71,8 @@ pub fn render<T: Sample>(
             if !(0.0..=100.0).contains(&ql) || !(0.0..=100.0).contains(&qh) || qh <= ql {
                 return Err(NsdfError::invalid("percentile range requires 0 <= lo < hi <= 100"));
             }
-            let values: Vec<f64> = raster
-                .data()
-                .iter()
-                .map(|v| v.to_f64())
-                .filter(|v| !v.is_nan())
-                .collect();
+            let values: Vec<f64> =
+                raster.data().iter().map(|v| v.to_f64()).filter(|v| !v.is_nan()).collect();
             if values.is_empty() {
                 return Err(NsdfError::invalid("all-NaN raster"));
             }
@@ -119,12 +113,7 @@ pub fn render_difference<T: Sample, U: Sample>(
         )));
     }
     let diff = reference.zip_map(candidate, |a, b| b.to_f64() - a.to_f64())?;
-    let max_abs = diff
-        .data()
-        .iter()
-        .map(|d| d.abs())
-        .fold(0.0f64, f64::max)
-        .max(f64::MIN_POSITIVE);
+    let max_abs = diff.data().iter().map(|d| d.abs()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
     render(&diff, colormap, RangeMode::Manual(-max_abs, max_abs))
 }
 

@@ -54,10 +54,7 @@ impl VolumeExplorer {
     /// Move the z-slider.
     pub fn set_z(&mut self, z: i64) -> Result<()> {
         if z < 0 || z >= self.depth() {
-            return Err(NsdfError::invalid(format!(
-                "z={z} outside volume depth {}",
-                self.depth()
-            )));
+            return Err(NsdfError::invalid(format!("z={z} outside volume depth {}", self.depth())));
         }
         self.z = z;
         Ok(())
@@ -102,8 +99,7 @@ impl VolumeExplorer {
     /// Render the active slice.
     pub fn render_slice(&self) -> Result<(Image, QueryStats)> {
         let (raster, stats) =
-            self.volume
-                .read_slice_z::<f32>(&self.field, self.time, self.z, self.level)?;
+            self.volume.read_slice_z::<f32>(&self.field, self.time, self.z, self.level)?;
         let img = render(&raster, self.colormap, self.range)?;
         Ok((img, stats))
     }
@@ -118,7 +114,8 @@ impl VolumeExplorer {
         let depth = self.depth();
         let mut out = Vec::with_capacity(count);
         for i in 0..count {
-            let z = if count == 1 { depth / 2 } else { i as i64 * (depth - 1) / (count as i64 - 1) };
+            let z =
+                if count == 1 { depth / 2 } else { i as i64 * (depth - 1) / (count as i64 - 1) };
             let (raster, _) =
                 self.volume.read_slice_z::<f32>(&self.field, self.time, z, self.level)?;
             out.push((z, render(&raster, self.colormap, self.range)?));

@@ -45,10 +45,7 @@ fn dashboard() -> Dashboard {
         "prop",
         96,
         64,
-        vec![
-            Field::new("a", DType::F32).unwrap(),
-            Field::new("b", DType::F32).unwrap(),
-        ],
+        vec![Field::new("a", DType::F32).unwrap(), Field::new("b", DType::F32).unwrap()],
         8,
         Codec::Raw,
     )
@@ -141,11 +138,9 @@ proptest! {
 #[test]
 fn range_modes_render_consistently() {
     let d = dashboard();
-    for mode in [
-        RangeMode::Dynamic,
-        RangeMode::Manual(0.0, 1000.0),
-        RangeMode::Percentile(2.0, 98.0),
-    ] {
+    for mode in
+        [RangeMode::Dynamic, RangeMode::Manual(0.0, 1000.0), RangeMode::Percentile(2.0, 98.0)]
+    {
         let mut d2 = dashboard();
         d2.set_range(mode).unwrap();
         let (img, _) = d2.render_frame().unwrap();

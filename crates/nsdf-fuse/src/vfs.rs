@@ -46,7 +46,12 @@ impl VirtualFs {
     pub fn new(store: Arc<dyn ObjectStore>, root: &str, mapping: Mapping) -> Result<VirtualFs> {
         mapping.validate()?;
         nsdf_storage::validate_key(root)?;
-        let fs = VirtualFs { store, root: root.to_string(), mapping, packed: Mutex::new(PackedState::default()) };
+        let fs = VirtualFs {
+            store,
+            root: root.to_string(),
+            mapping,
+            packed: Mutex::new(PackedState::default()),
+        };
         if matches!(mapping, Mapping::Packed { .. }) {
             fs.load_packed_index()?;
         }
@@ -93,7 +98,12 @@ impl VirtualFs {
                 for (i, c) in chunks.iter().enumerate() {
                     self.store.put(&self.chunk_key(path, i), c)?;
                 }
-                let manifest = format!("size={}\nchunks={}\nchunk_bytes={}\n", data.len(), chunks.len(), chunk_bytes);
+                let manifest = format!(
+                    "size={}\nchunks={}\nchunk_bytes={}\n",
+                    data.len(),
+                    chunks.len(),
+                    chunk_bytes
+                );
                 self.store.put(&self.manifest_key(path), manifest.as_bytes())?;
                 Ok(())
             }
@@ -159,7 +169,8 @@ impl VirtualFs {
             Mapping::OneToOne => self.store.get_range(&self.o_key(path), offset, len),
             Mapping::Chunked { chunk_bytes } => {
                 let (size, _chunks) = self.read_manifest(path)?;
-                let end = offset.checked_add(len).ok_or_else(|| NsdfError::invalid("range overflow"))?;
+                let end =
+                    offset.checked_add(len).ok_or_else(|| NsdfError::invalid("range overflow"))?;
                 if end > size {
                     return Err(NsdfError::invalid(format!(
                         "range {offset}+{len} exceeds file {path:?} of {size} bytes"
@@ -247,8 +258,8 @@ impl VirtualFs {
                 let mut out = Vec::new();
                 for m in self.store.list(&p)? {
                     if m.key.ends_with("/manifest.txt") {
-                        let path =
-                            m.key[self.root.len() + 3..m.key.len() - "/manifest.txt".len()].to_string();
+                        let path = m.key[self.root.len() + 3..m.key.len() - "/manifest.txt".len()]
+                            .to_string();
                         let (size, _) = self.read_manifest(&path)?;
                         out.push(FileStat { path, size });
                     }
@@ -318,13 +329,13 @@ impl VirtualFs {
             Err(e) if e.is_not_found() => return Ok(()),
             Err(e) => return Err(e),
         };
-        let text = String::from_utf8(data).map_err(|_| NsdfError::corrupt("pack index not UTF-8"))?;
+        let text =
+            String::from_utf8(data).map_err(|_| NsdfError::corrupt("pack index not UTF-8"))?;
         let mut st = self.packed.lock();
         for line in text.lines() {
             if let Some(np) = line.strip_prefix("next_pack=") {
-                st.next_pack = np
-                    .parse()
-                    .map_err(|_| NsdfError::corrupt("bad next_pack in index"))?;
+                st.next_pack =
+                    np.parse().map_err(|_| NsdfError::corrupt("bad next_pack in index"))?;
                 continue;
             }
             let mut it = line.split_whitespace();
@@ -405,8 +416,7 @@ impl VirtualFs {
                 e
             }
         })?;
-        let text =
-            String::from_utf8(data).map_err(|_| NsdfError::corrupt("manifest not UTF-8"))?;
+        let text = String::from_utf8(data).map_err(|_| NsdfError::corrupt("manifest not UTF-8"))?;
         let m = nsdf_util::Meta::from_text(&text)?;
         Ok((m.get_parsed("size")?, m.get_parsed("chunks")?))
     }
@@ -476,8 +486,8 @@ mod tests {
     #[test]
     fn packed_amortises_puts() {
         let store = Arc::new(MemoryStore::new());
-        let v = VirtualFs::new(store.clone(), "fs", Mapping::Packed { pack_target_bytes: 64 })
-            .unwrap();
+        let v =
+            VirtualFs::new(store.clone(), "fs", Mapping::Packed { pack_target_bytes: 64 }).unwrap();
         for i in 0..10 {
             v.write_file(&format!("small-{i}"), &[i as u8; 10]).unwrap();
         }
@@ -528,21 +538,11 @@ mod tests {
             v.delete_file(&format!("f{i:02}")).unwrap();
         }
         v.sync().unwrap();
-        let packs_before: u64 = store
-            .list("fs/p/pack-")
-            .unwrap()
-            .iter()
-            .map(|m| m.size)
-            .sum();
+        let packs_before: u64 = store.list("fs/p/pack-").unwrap().iter().map(|m| m.size).sum();
         let (live, reclaimed) = v.compact().unwrap();
         assert_eq!(live, 5 * 64);
         assert_eq!(reclaimed, packs_before - live);
-        let packs_after: u64 = store
-            .list("fs/p/pack-")
-            .unwrap()
-            .iter()
-            .map(|m| m.size)
-            .sum();
+        let packs_after: u64 = store.list("fs/p/pack-").unwrap().iter().map(|m| m.size).sum();
         assert_eq!(packs_after, live);
         // Every surviving file still reads back.
         for i in 15..20 {

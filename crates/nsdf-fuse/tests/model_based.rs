@@ -22,7 +22,8 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..12, proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(k, v)| Op::Write(k, v)),
+        (0u8..12, proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(k, v)| Op::Write(k, v)),
         (0u8..12).prop_map(Op::Read),
         (0u8..12).prop_map(Op::Delete),
         (0u8..12).prop_map(Op::Stat),

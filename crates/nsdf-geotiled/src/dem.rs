@@ -72,7 +72,9 @@ impl DemConfig {
     pub fn generate(&self) -> Raster<f32> {
         assert!(self.width > 0 && self.height > 0, "DEM dims must be positive");
         let mut dem = match self.kind {
-            DemKind::Fractal { roughness } => fractal(self.width, self.height, self.seed, roughness),
+            DemKind::Fractal { roughness } => {
+                fractal(self.width, self.height, self.seed, roughness)
+            }
             DemKind::Plane { gx, gy } => Raster::from_fn(self.width, self.height, |x, y| {
                 (gx * x as f64 + gy * y as f64 + 100.0) as f32
             }),

@@ -25,7 +25,12 @@ pub enum TerrainParam {
 impl TerrainParam {
     /// All four parameters, in the tutorial's order.
     pub fn all() -> [TerrainParam; 4] {
-        [TerrainParam::Elevation, TerrainParam::Slope, TerrainParam::Aspect, TerrainParam::Hillshade]
+        [
+            TerrainParam::Elevation,
+            TerrainParam::Slope,
+            TerrainParam::Aspect,
+            TerrainParam::Hillshade,
+        ]
     }
 
     /// Lowercase name used for dataset fields and file names.
@@ -111,8 +116,7 @@ pub fn compute_terrain(dem: &Raster<f32>, param: TerrainParam, sun: Sun) -> Resu
                 let (gx, gy) = horn_gradient(dem, x as i64, y as i64, cell_m);
                 let slope = gx.hypot(gy).atan();
                 let aspect = downslope_rad(gx, gy);
-                let shade =
-                    zen.cos() * slope.cos() + zen.sin() * slope.sin() * (az - aspect).cos();
+                let shade = zen.cos() * slope.cos() + zen.sin() * slope.sin() * (az - aspect).cos();
                 (255.0 * shade.max(0.0)) as f32
             })
         }
@@ -168,8 +172,8 @@ mod tests {
 
     #[test]
     fn flat_dem_has_zero_slope_and_flat_aspect() {
-        let dem = Raster::<f32>::filled(16, 16, 500.0)
-            .with_geo(GeoTransform::north_up(0.0, 0.0, 30.0));
+        let dem =
+            Raster::<f32>::filled(16, 16, 500.0).with_geo(GeoTransform::north_up(0.0, 0.0, 30.0));
         let slope = compute_terrain(&dem, TerrainParam::Slope, Sun::default()).unwrap();
         assert!(slope.data().iter().all(|&v| v == 0.0));
         let aspect = compute_terrain(&dem, TerrainParam::Aspect, Sun::default()).unwrap();
@@ -248,10 +252,7 @@ mod tests {
             let (gx, gy) = hill.gradient(x as f64, y as f64);
             let expect = gx.hypot(gy).atan().to_degrees();
             let got = slope.get(x, y) as f64;
-            assert!(
-                (got - expect).abs() < 0.35,
-                "({x},{y}): got {got}, analytic {expect}"
-            );
+            assert!((got - expect).abs() < 0.35, "({x},{y}): got {got}, analytic {expect}");
         }
     }
 

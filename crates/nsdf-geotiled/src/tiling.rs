@@ -110,10 +110,8 @@ pub fn compute_terrain_tiled(
     let bounds = dem.bounds();
 
     let results = par_map(&tiles, threads.max(1).min(num_threads() * 4), |interior| {
-        let padded = interior
-            .inflate(halo)
-            .intersect(&bounds)
-            .expect("tile intersects its own DEM");
+        let padded =
+            interior.inflate(halo).intersect(&bounds).expect("tile intersects its own DEM");
         let tile_dem = dem.window(padded)?;
         let computed = compute_terrain(&tile_dem, param, sun)?;
         // Crop the halo back off.
@@ -124,11 +122,7 @@ pub fn compute_terrain_tiled(
             interior.y1 - padded.y0,
         );
         let cropped = computed.window(crop)?;
-        Ok::<(Box2i, Raster<f32>, u64), NsdfError>((
-            *interior,
-            cropped,
-            padded.area() as u64,
-        ))
+        Ok::<(Box2i, Raster<f32>, u64), NsdfError>((*interior, cropped, padded.area() as u64))
     });
 
     let mut mosaic = Raster::<f32>::zeros(w, h);
@@ -188,8 +182,7 @@ mod tests {
         for (tx, ty) in [(1, 1), (2, 2), (4, 3), (8, 8)] {
             let plan = TilePlan::new(tx, ty, MIN_SAFE_HALO).unwrap();
             let (tiled, stats) =
-                compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 4)
-                    .unwrap();
+                compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 4).unwrap();
             assert_eq!(tiled.data(), reference.data(), "grid {tx}x{ty}");
             assert_eq!(stats.tiles, tx * ty);
         }
@@ -201,8 +194,7 @@ mod tests {
         let plan = TilePlan::new(4, 4, 1).unwrap();
         for param in TerrainParam::all() {
             let reference = compute_terrain(&dem, param, Sun::default()).unwrap();
-            let (tiled, _) =
-                compute_terrain_tiled(&dem, param, Sun::default(), &plan, 4).unwrap();
+            let (tiled, _) = compute_terrain_tiled(&dem, param, Sun::default(), &plan, 4).unwrap();
             let rep = AccuracyReport::compare(&reference, &tiled).unwrap();
             assert!(rep.is_exact(), "{}: max err {}", param.name(), rep.max_abs_err);
         }
@@ -238,11 +230,9 @@ mod tests {
         let dem = DemConfig::conus_like(96, 64, 21).generate();
         let plan = TilePlan::new(4, 4, 1).unwrap();
         let (one, _) =
-            compute_terrain_tiled(&dem, TerrainParam::Hillshade, Sun::default(), &plan, 1)
-                .unwrap();
+            compute_terrain_tiled(&dem, TerrainParam::Hillshade, Sun::default(), &plan, 1).unwrap();
         let (many, _) =
-            compute_terrain_tiled(&dem, TerrainParam::Hillshade, Sun::default(), &plan, 8)
-                .unwrap();
+            compute_terrain_tiled(&dem, TerrainParam::Hillshade, Sun::default(), &plan, 8).unwrap();
         assert_eq!(one.data(), many.data());
     }
 
@@ -251,9 +241,7 @@ mod tests {
         assert!(TilePlan::new(0, 1, 1).is_err());
         let dem = DemConfig::conus_like(8, 8, 1).generate();
         let plan = TilePlan::new(16, 1, 1).unwrap();
-        assert!(
-            compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 1).is_err()
-        );
+        assert!(compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 1).is_err());
     }
 
     #[test]

@@ -185,11 +185,7 @@ impl BitMask {
     /// `dims` (may be smaller than the padded grid).
     pub fn level_dims(&self, level: u32, dims: &[u64]) -> Result<Vec<u64>> {
         let strides = self.level_strides(level)?;
-        Ok(dims
-            .iter()
-            .zip(&strides)
-            .map(|(&d, &s)| d.div_ceil(s))
-            .collect())
+        Ok(dims.iter().zip(&strides).map(|(&d, &s)| d.div_ceil(s)).collect())
     }
 }
 

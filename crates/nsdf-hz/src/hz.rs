@@ -149,9 +149,8 @@ impl HzCurve {
                     x % c[0] as i64 == 0 && y % c.get(1).copied().unwrap_or(1) as i64 == 0
                 });
                 if !on_coarser {
-                    let h = self
-                        .hz_from_coords(&[x as u64, y as u64])
-                        .expect("in-range coordinates");
+                    let h =
+                        self.hz_from_coords(&[x as u64, y as u64]).expect("in-range coordinates");
                     debug_assert_eq!(hz_level(h), level);
                     out.push((x as u64, y as u64, h));
                 }
@@ -160,6 +159,111 @@ impl HzCurve {
             y += sy;
         }
         Ok(out)
+    }
+
+    /// Blocks of `block_samples` consecutive HZ addresses that hold at
+    /// least one sample of levels `0..=level` inside `region` — the block
+    /// set a box query must fetch.
+    ///
+    /// Runs in time proportional to the number of *blocks* returned (plus
+    /// a logarithmic descent overhead), not the number of samples in the
+    /// region: within each level, aligned in-level rank ranges map to exact
+    /// axis-aligned bounding rectangles (every varying Z bit feeds exactly
+    /// one coordinate bit, monotonically), so whole subtrees are accepted —
+    /// their HZ span is contiguous, every block in it is marked at once —
+    /// or rejected without visiting individual samples.
+    pub fn blocks_in_region(
+        &self,
+        region: Box2i,
+        level: u32,
+        block_samples: u64,
+    ) -> Result<Vec<u64>> {
+        if self.mask.num_axes() > 2 {
+            return Err(NsdfError::unsupported("block planning is 2-D only"));
+        }
+        if level > self.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.max_level()
+            )));
+        }
+        if block_samples == 0 {
+            return Err(NsdfError::invalid("block_samples must be positive"));
+        }
+        let padded = self.mask.padded_dims();
+        let max_x = padded[0] as i64;
+        let max_y = padded.get(1).copied().unwrap_or(1) as i64;
+        let region = Box2i::new(
+            region.x0.max(0),
+            region.y0.max(0),
+            region.x1.min(max_x),
+            region.y1.min(max_y),
+        );
+        if region.x0 >= region.x1 || region.y0 >= region.y1 {
+            return Ok(Vec::new());
+        }
+        let mut blocks = std::collections::BTreeSet::new();
+        // Level 0 is the single sample at the origin (HZ address 0).
+        if region.contains(0, 0) {
+            blocks.insert(0);
+        }
+        for l in 1..=level {
+            self.descend_ranks(l, 0, 1u64 << (l - 1), &region, block_samples, &mut blocks);
+        }
+        Ok(blocks.into_iter().collect())
+    }
+
+    /// Recursive step of [`HzCurve::blocks_in_region`]: resolve the
+    /// level-`level` rank range `[r0, r0 + count)` (with `count` a power of
+    /// two and `r0` a multiple of `count`).
+    fn descend_ranks(
+        &self,
+        level: u32,
+        r0: u64,
+        count: u64,
+        region: &Box2i,
+        block_samples: u64,
+        blocks: &mut std::collections::BTreeSet<u64>,
+    ) {
+        // A level-`level` rank r maps to z = (r << (t+1)) | (1 << t) with
+        // t = n - level trailing bits. Over an aligned rank range only the
+        // low rank bits vary; each such z bit raises exactly one coordinate
+        // bit of one axis, so all-zeros / all-ones of the varying bits
+        // decode to the exact per-axis min / max of the range.
+        let t = self.max_level() - level;
+        let z_lo = (r0 << (t + 1)) | (1u64 << t);
+        let varying = (count - 1) << (t + 1);
+        let lo = self.mask.decode(z_lo);
+        let hi = self.mask.decode(z_lo | varying);
+        let (lx, ly) = (lo[0] as i64, lo.get(1).copied().unwrap_or(0) as i64);
+        let (hx, hy) = (hi[0] as i64, hi.get(1).copied().unwrap_or(0) as i64);
+        // Bounding rect misses the region: no sample below contributes.
+        if lx >= region.x1 || ly >= region.y1 || hx < region.x0 || hy < region.y0 {
+            return;
+        }
+        // Contiguous HZ span of the range, and the blocks it overlaps.
+        let hz_lo = level_start(level) + r0;
+        let b_lo = hz_lo / block_samples;
+        let b_hi = (hz_lo + count - 1) / block_samples;
+        // Every overlapped block already marked: descending adds nothing.
+        if blocks.range(b_lo..=b_hi).count() as u64 == b_hi - b_lo + 1 {
+            return;
+        }
+        // Rect fully inside: every sample of the range is in-region, and
+        // every overlapped block holds at least one of them.
+        if lx >= region.x0 && ly >= region.y0 && hx < region.x1 && hy < region.y1 {
+            blocks.extend(b_lo..=b_hi);
+            return;
+        }
+        if count == 1 {
+            if region.contains(lx, ly) {
+                blocks.insert(b_lo);
+            }
+            return;
+        }
+        let half = count / 2;
+        self.descend_ranks(level, r0, half, region, block_samples, blocks);
+        self.descend_ranks(level, r0 + half, half, region, block_samples, blocks);
     }
 }
 
@@ -321,9 +425,8 @@ mod tests {
         }
         // Finest level inside a 5x5 region: every off-coarse cell appears;
         // cumulative count across levels must equal the region area.
-        let total: usize = (0..=c.max_level())
-            .map(|l| c.level_samples_in_region(l, region).unwrap().len())
-            .sum();
+        let total: usize =
+            (0..=c.max_level()).map(|l| c.level_samples_in_region(l, region).unwrap().len()).sum();
         assert_eq!(total, 25);
     }
 
@@ -331,9 +434,8 @@ mod tests {
     fn level_samples_clip_to_padded_grid() {
         let c = HzCurve::for_dims_2d(8, 8).unwrap();
         let region = Box2i::new(-10, -10, 100, 100);
-        let total: usize = (0..=c.max_level())
-            .map(|l| c.level_samples_in_region(l, region).unwrap().len())
-            .sum();
+        let total: usize =
+            (0..=c.max_level()).map(|l| c.level_samples_in_region(l, region).unwrap().len()).sum();
         assert_eq!(total, 64);
     }
 
@@ -341,6 +443,74 @@ mod tests {
     fn level_samples_rejects_overflow_level() {
         let c = HzCurve::for_dims_2d(8, 8).unwrap();
         assert!(c.level_samples_in_region(7, Box2i::new(0, 0, 8, 8)).is_err());
+    }
+
+    /// O(samples) reference implementation of [`HzCurve::blocks_in_region`]:
+    /// enumerate every cumulative-level sample in the region and collect the
+    /// blocks their HZ addresses land in.
+    fn blocks_by_sample_walk(
+        c: &HzCurve,
+        region: Box2i,
+        level: u32,
+        block_samples: u64,
+    ) -> Vec<u64> {
+        let mut blocks = std::collections::BTreeSet::new();
+        for l in 0..=level {
+            for (_, _, hz) in c.level_samples_in_region(l, region).unwrap() {
+                blocks.insert(hz / block_samples);
+            }
+        }
+        blocks.into_iter().collect()
+    }
+
+    #[test]
+    fn blocks_in_region_matches_sample_oracle() {
+        for (w, h) in [(8u64, 8u64), (16, 16), (32, 8), (64, 64), (100, 37)] {
+            let c = HzCurve::for_dims_2d(w, h).unwrap();
+            let regions = [
+                Box2i::new(0, 0, w as i64, h as i64),
+                Box2i::new(1, 1, (w as i64 - 1).max(2), (h as i64 - 1).max(2)),
+                Box2i::new(w as i64 / 4, h as i64 / 4, 3 * w as i64 / 4 + 1, 3 * h as i64 / 4 + 1),
+                Box2i::new(0, 0, 1, 1),
+                Box2i::new(w as i64 - 1, h as i64 - 1, w as i64, h as i64),
+                Box2i::new(-5, -5, w as i64 + 9, h as i64 + 9), // over-clipped
+            ];
+            for region in regions {
+                for level in 0..=c.max_level() {
+                    for bs in [1u64, 4, 16, 256] {
+                        let fast = c.blocks_in_region(region, level, bs).unwrap();
+                        let slow = blocks_by_sample_walk(&c, region, level, bs);
+                        assert_eq!(
+                            fast, slow,
+                            "dims ({w},{h}) region {region:?} level {level} bs {bs}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_in_region_handles_degenerate_inputs() {
+        let c = HzCurve::for_dims_2d(16, 16).unwrap();
+        // Empty after clipping.
+        assert!(c.blocks_in_region(Box2i::new(50, 50, 60, 60), 4, 4).unwrap().is_empty());
+        // Invalid arguments.
+        assert!(c.blocks_in_region(Box2i::new(0, 0, 4, 4), 99, 4).is_err());
+        assert!(c.blocks_in_region(Box2i::new(0, 0, 4, 4), 4, 0).is_err());
+        // Level 0 of a region containing the origin is exactly block 0.
+        assert_eq!(c.blocks_in_region(Box2i::new(0, 0, 4, 4), 0, 8).unwrap(), vec![0]);
+        // Level 0 of a region missing the origin holds nothing.
+        assert!(c.blocks_in_region(Box2i::new(1, 1, 4, 4), 0, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blocks_in_region_full_grid_is_all_blocks() {
+        let c = HzCurve::for_dims_2d(32, 32).unwrap();
+        let bs = 16u64;
+        let all = c.blocks_in_region(Box2i::new(0, 0, 32, 32), c.max_level(), bs).unwrap();
+        let expect: Vec<u64> = (0..c.num_addresses() / bs).collect();
+        assert_eq!(all, expect);
     }
 
     #[test]
@@ -404,9 +574,8 @@ mod tests3d {
     fn box3_region_respected() {
         let c = HzCurve::for_dims_3d(16, 16, 16).unwrap();
         let region = Box3i::new(4, 4, 4, 9, 9, 9);
-        let total: usize = (0..=c.max_level())
-            .map(|l| c.level_samples_in_box3(l, region).unwrap().len())
-            .sum();
+        let total: usize =
+            (0..=c.max_level()).map(|l| c.level_samples_in_box3(l, region).unwrap().len()).sum();
         assert_eq!(total, 125);
         for level in 0..=c.max_level() {
             for (x, y, z, _) in c.level_samples_in_box3(level, region).unwrap() {
@@ -420,9 +589,8 @@ mod tests3d {
     fn rectangular_volume_covered() {
         let c = HzCurve::for_dims_3d(8, 4, 2).unwrap();
         let full = Box3i::of_size(8, 4, 2);
-        let total: usize = (0..=c.max_level())
-            .map(|l| c.level_samples_in_box3(l, full).unwrap().len())
-            .sum();
+        let total: usize =
+            (0..=c.max_level()).map(|l| c.level_samples_in_box3(l, full).unwrap().len()).sum();
         assert_eq!(total, 64);
     }
 }

@@ -75,10 +75,7 @@ mod tests {
     #[test]
     fn morton_is_monotone_in_quadrants() {
         // All addresses in the lower-left 2x2 quadrant precede the rest of a 4x4 grid.
-        let max_ll = (0..2)
-            .flat_map(|y| (0..2).map(move |x| morton2_encode(x, y)))
-            .max()
-            .unwrap();
+        let max_ll = (0..2).flat_map(|y| (0..2).map(move |x| morton2_encode(x, y))).max().unwrap();
         let min_rest = morton2_encode(2, 0);
         assert!(max_ll < min_rest);
     }

@@ -14,9 +14,12 @@
 use crate::meta::IdxMeta;
 use nsdf_hz::{hz_from_z, HzCurve};
 use nsdf_storage::ObjectStore;
+use nsdf_util::par::{num_threads, try_par_map};
 use nsdf_util::{bytes_to_samples, samples_to_bytes, Box2i, NsdfError, Raster, Result, Sample};
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Accounting for one write ("convert to IDX") operation — the size numbers
 /// behind the paper's "~20 % smaller than TIFF" claim (§IV-B).
@@ -54,7 +57,98 @@ pub struct QueryStats {
     pub bytes_fetched: u64,
     /// Samples produced in the output raster.
     pub samples_out: u64,
+    /// Blocks run through the codec by this query.
+    pub blocks_decoded: u64,
+    /// Blocks served from the decoded-block cache without refetch/redecode.
+    pub decoded_cache_hits: u64,
+    /// Batched `get_many` calls issued to the object store.
+    pub fetch_batches: u64,
+    /// Fetch batch size (block fetch concurrency) in force for this query.
+    pub fetch_concurrency: u64,
+    /// Wall-clock seconds spent fetching encoded blocks from the store.
+    pub fetch_secs: f64,
+    /// Wall-clock seconds spent decoding fetched blocks.
+    pub decode_secs: f64,
 }
+
+impl QueryStats {
+    /// Fold another query's accounting into this one (used by progressive
+    /// reads and dashboards aggregating per-frame stats).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.blocks_touched += other.blocks_touched;
+        self.blocks_missing += other.blocks_missing;
+        self.bytes_fetched += other.bytes_fetched;
+        self.samples_out += other.samples_out;
+        self.blocks_decoded += other.blocks_decoded;
+        self.decoded_cache_hits += other.decoded_cache_hits;
+        self.fetch_batches += other.fetch_batches;
+        self.fetch_concurrency = self.fetch_concurrency.max(other.fetch_concurrency);
+        self.fetch_secs += other.fetch_secs;
+        self.decode_secs += other.decode_secs;
+    }
+}
+
+/// Identity of one decoded block: (field index, timestep, block index).
+type BlockKey = (usize, u32, u64);
+/// Decoded raw payload, or `None` for a block known missing from storage.
+type DecodedEntry = Option<Arc<Vec<u8>>>;
+
+/// Byte-budgeted FIFO cache of decoded (raw, uncompressed) block payloads,
+/// keyed by `(field, time, block)`. `None` records a block known to be
+/// missing from storage, so progressive refinement neither refetches nor
+/// redecodes — nor re-misses — a block it already resolved.
+struct DecodedCache {
+    entries: HashMap<BlockKey, DecodedEntry>,
+    /// Insertion order; stale keys (invalidated by writes) are skipped
+    /// lazily at eviction time.
+    queue: VecDeque<BlockKey>,
+    bytes: u64,
+    budget: u64,
+}
+
+impl DecodedCache {
+    fn new(budget: u64) -> Self {
+        DecodedCache { entries: HashMap::new(), queue: VecDeque::new(), bytes: 0, budget }
+    }
+
+    fn cost(entry: &DecodedEntry) -> u64 {
+        entry.as_ref().map_or(0, |d| d.len() as u64)
+    }
+
+    fn get(&self, key: &BlockKey) -> Option<DecodedEntry> {
+        self.entries.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: BlockKey, value: DecodedEntry) {
+        let cost = Self::cost(&value);
+        if cost > self.budget {
+            return; // Larger than the whole budget: never admit.
+        }
+        match self.entries.insert(key, value) {
+            Some(old) => self.bytes -= Self::cost(&old),
+            None => self.queue.push_back(key),
+        }
+        self.bytes += cost;
+        while self.bytes > self.budget {
+            let Some(victim) = self.queue.pop_front() else { break };
+            if let Some(old) = self.entries.remove(&victim) {
+                self.bytes -= Self::cost(&old);
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &BlockKey) {
+        if let Some(old) = self.entries.remove(key) {
+            self.bytes -= Self::cost(&old);
+        }
+    }
+}
+
+/// Default number of blocks fetched per `get_many` batch.
+pub(crate) const DEFAULT_FETCH_CONCURRENCY: usize = 8;
+
+/// Default decoded-block cache budget (raw bytes).
+const DEFAULT_DECODED_CACHE_BYTES: u64 = 256 << 20;
 
 /// An open IDX dataset bound to an object store.
 pub struct IdxDataset {
@@ -62,6 +156,8 @@ pub struct IdxDataset {
     base: String,
     meta: IdxMeta,
     curve: HzCurve,
+    fetch_concurrency: usize,
+    decoded: Mutex<DecodedCache>,
 }
 
 impl IdxDataset {
@@ -73,7 +169,7 @@ impl IdxDataset {
         let header_key = format!("{base}/dataset.idx");
         store.put(&header_key, meta.to_text().as_bytes())?;
         let curve = HzCurve::new(meta.bitmask.clone());
-        Ok(IdxDataset { store, base: base.to_string(), meta, curve })
+        Ok(Self::assemble(store, base, meta, curve))
     }
 
     /// Open an existing dataset by reading its header object.
@@ -84,7 +180,37 @@ impl IdxDataset {
             .map_err(|_| NsdfError::format("dataset.idx is not valid UTF-8"))?;
         let meta = IdxMeta::from_text(&text)?;
         let curve = HzCurve::new(meta.bitmask.clone());
-        Ok(IdxDataset { store, base: base.to_string(), meta, curve })
+        Ok(Self::assemble(store, base, meta, curve))
+    }
+
+    fn assemble(store: Arc<dyn ObjectStore>, base: &str, meta: IdxMeta, curve: HzCurve) -> Self {
+        IdxDataset {
+            store,
+            base: base.to_string(),
+            meta,
+            curve,
+            fetch_concurrency: DEFAULT_FETCH_CONCURRENCY,
+            decoded: Mutex::new(DecodedCache::new(DEFAULT_DECODED_CACHE_BYTES)),
+        }
+    }
+
+    /// Set how many blocks each batched store fetch carries (>= 1). Higher
+    /// values amortize WAN round-trips across parallel streams; 1 restores
+    /// strictly sequential fetching.
+    pub fn with_fetch_concurrency(mut self, n: usize) -> Self {
+        self.fetch_concurrency = n.max(1);
+        self
+    }
+
+    /// Set the decoded-block cache budget in raw bytes (0 disables it).
+    pub fn with_decoded_cache_bytes(self, budget: u64) -> Self {
+        *self.decoded.lock() = DecodedCache::new(budget);
+        self
+    }
+
+    /// Fetch batch size in force.
+    pub fn fetch_concurrency(&self) -> usize {
+        self.fetch_concurrency
     }
 
     /// Dataset metadata.
@@ -163,9 +289,8 @@ impl IdxDataset {
                 let hz = hz_from_z(z, n_bits);
                 let block = hz / block_samples as u64;
                 let offset = (hz % block_samples as u64) as usize;
-                blocks
-                    .entry(block)
-                    .or_insert_with(|| vec![T::ZERO; block_samples])[offset] = v_at(raster, x, y);
+                blocks.entry(block).or_insert_with(|| vec![T::ZERO; block_samples])[offset] =
+                    v_at(raster, x, y);
             }
         }
 
@@ -177,15 +302,17 @@ impl IdxDataset {
 
         // Encode blocks in parallel, then store.
         let entries: Vec<(u64, Vec<T>)> = blocks.into_iter().collect();
-        let encoded = nsdf_util::par::par_map(&entries, nsdf_util::par::num_threads(), |(block, samples)| {
-            let raw = samples_to_bytes(samples);
-            let enc = self.meta.codec.encode(&raw)?;
-            Ok::<(u64, usize, Vec<u8>), NsdfError>((*block, raw.len(), enc))
-        });
+        let encoded =
+            nsdf_util::par::par_map(&entries, nsdf_util::par::num_threads(), |(block, samples)| {
+                let raw = samples_to_bytes(samples);
+                let enc = self.meta.codec.encode(&raw)?;
+                Ok::<(u64, usize, Vec<u8>), NsdfError>((*block, raw.len(), enc))
+            });
         for item in encoded {
             let (block, raw_len, enc) = item?;
             let key = self.block_key(field_idx, time, block);
             self.store.put(&key, &enc)?;
+            self.decoded.lock().remove(&(field_idx, time, block));
             stats.blocks_written += 1;
             stats.bytes_raw += raw_len as u64;
             stats.bytes_stored += enc.len() as u64;
@@ -216,12 +343,7 @@ impl IdxDataset {
             )));
         }
         let (rw, rh) = raster.shape();
-        let target = Box2i::new(
-            x0 as i64,
-            y0 as i64,
-            x0 as i64 + rw as i64,
-            y0 as i64 + rh as i64,
-        );
+        let target = Box2i::new(x0 as i64, y0 as i64, x0 as i64 + rw as i64, y0 as i64 + rh as i64);
         if !self.bounds().contains_box(&target) {
             return Err(NsdfError::invalid(format!(
                 "write box {target:?} exceeds dataset bounds {:?}",
@@ -264,6 +386,7 @@ impl IdxDataset {
             let raw = samples_to_bytes(&samples);
             let enc = self.meta.codec.encode(&raw)?;
             self.store.put(&key, &enc)?;
+            self.decoded.lock().remove(&(field_idx, time, block));
             stats.blocks_written += 1;
             stats.bytes_raw += raw.len() as u64;
             stats.bytes_stored += enc.len() as u64;
@@ -272,7 +395,21 @@ impl IdxDataset {
     }
 
     /// Set of blocks a box query at `level` must read.
+    ///
+    /// Delegates to [`HzCurve::blocks_in_region`], which descends the HZ
+    /// hierarchy in O(blocks) instead of walking every sample in the
+    /// region — the difference between planning a 4K-viewport query in
+    /// microseconds versus milliseconds. The original sample-walking
+    /// implementation survives as the test oracle
+    /// (`blocks_for_query_matches_sample_walk`).
     pub fn blocks_for_query(&self, region: Box2i, level: u32) -> Result<Vec<u64>> {
+        self.curve.blocks_in_region(region, level, self.meta.block_samples())
+    }
+
+    /// O(samples) reference planner kept solely to cross-check
+    /// [`IdxDataset::blocks_for_query`] in tests.
+    #[cfg(test)]
+    fn blocks_for_query_by_sample_walk(&self, region: Box2i, level: u32) -> Result<Vec<u64>> {
         let mut blocks = std::collections::BTreeSet::new();
         let block_samples = self.meta.block_samples();
         for l in 0..=level {
@@ -333,24 +470,87 @@ impl IdxDataset {
         let needed = self.blocks_for_query(region, level)?;
         let block_samples = self.meta.block_samples() as usize;
         let sample_size = T::DTYPE.size_bytes();
-        let mut stats = QueryStats::default();
-        let mut fetched: BTreeMap<u64, Option<Vec<T>>> = BTreeMap::new();
-        for block in needed {
-            let key = self.block_key(field_idx, time, block);
-            stats.blocks_touched += 1;
-            match self.store.get(&key) {
-                Ok(enc) => {
-                    stats.bytes_fetched += enc.len() as u64;
-                    let raw = self.meta.codec.decode(&enc, block_samples * sample_size)?;
-                    fetched.insert(block, Some(bytes_to_samples::<T>(&raw)?));
+        let mut stats = QueryStats {
+            blocks_touched: needed.len() as u64,
+            fetch_concurrency: self.fetch_concurrency as u64,
+            ..QueryStats::default()
+        };
+
+        // Partition against the decoded-block cache under one lock: blocks
+        // already decoded (including ones known missing) skip the store and
+        // the codec entirely — this is what makes progressive refinement
+        // decode each block exactly once.
+        let mut raw_blocks: BTreeMap<u64, Option<Arc<Vec<u8>>>> = BTreeMap::new();
+        let mut to_fetch: Vec<u64> = Vec::new();
+        {
+            let cache = self.decoded.lock();
+            for &block in &needed {
+                match cache.get(&(field_idx, time, block)) {
+                    Some(entry) => {
+                        stats.decoded_cache_hits += 1;
+                        raw_blocks.insert(block, entry);
+                    }
+                    None => to_fetch.push(block),
                 }
-                Err(e) if e.is_not_found() => {
-                    stats.blocks_missing += 1;
-                    fetched.insert(block, None);
-                }
-                Err(e) => return Err(e),
             }
         }
+
+        // Fetch/decode pipeline: batched store reads of `fetch_concurrency`
+        // blocks, each batch decoded in parallel while preserving
+        // deterministic (earliest-block) error semantics.
+        let threads = num_threads();
+        for chunk in to_fetch.chunks(self.fetch_concurrency.max(1)) {
+            let keys: Vec<String> =
+                chunk.iter().map(|&b| self.block_key(field_idx, time, b)).collect();
+            let key_refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            let t_fetch = Instant::now();
+            let results = self.store.get_many(&key_refs);
+            stats.fetch_secs += t_fetch.elapsed().as_secs_f64();
+            stats.fetch_batches += 1;
+
+            let encoded: Vec<(u64, Option<Vec<u8>>)> = chunk
+                .iter()
+                .zip(results)
+                .map(|(&block, r)| match r {
+                    Ok(enc) => Ok((block, Some(enc))),
+                    Err(e) if e.is_not_found() => Ok((block, None)),
+                    Err(e) => Err(e),
+                })
+                .collect::<Result<_>>()?;
+            let t_decode = Instant::now();
+            let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
+                match enc {
+                    Some(enc) => {
+                        let raw = self.meta.codec.decode(enc, block_samples * sample_size)?;
+                        Ok((*block, enc.len() as u64, Some(Arc::new(raw))))
+                    }
+                    None => Ok((*block, 0, None)),
+                }
+            })?;
+            stats.decode_secs += t_decode.elapsed().as_secs_f64();
+
+            let mut cache = self.decoded.lock();
+            for (block, enc_len, raw) in decoded {
+                stats.bytes_fetched += enc_len;
+                if raw.is_some() {
+                    stats.blocks_decoded += 1;
+                }
+                cache.insert((field_idx, time, block), raw.clone());
+                raw_blocks.insert(block, raw);
+            }
+        }
+
+        // Reinterpret raw payloads as typed samples (cheap, per query — the
+        // cache stays dtype-agnostic).
+        let entries: Vec<(u64, Option<Arc<Vec<u8>>>)> = raw_blocks.into_iter().collect();
+        let typed = try_par_map(&entries, threads, |(block, raw)| -> Result<_> {
+            match raw {
+                Some(raw) => Ok((*block, Some(bytes_to_samples::<T>(raw)?))),
+                None => Ok((*block, None)),
+            }
+        })?;
+        let fetched: BTreeMap<u64, Option<Vec<T>>> = typed.into_iter().collect();
+        stats.blocks_missing = fetched.values().filter(|v| v.is_none()).count() as u64;
 
         // Gather output samples.
         let n_bits = self.curve.max_level();
@@ -445,8 +645,8 @@ mod tests {
             codec,
         )
         .unwrap();
-        let ds = IdxDataset::create(store.clone() as Arc<dyn ObjectStore>, "data/test", meta)
-            .unwrap();
+        let ds =
+            IdxDataset::create(store.clone() as Arc<dyn ObjectStore>, "data/test", meta).unwrap();
         (store, ds)
     }
 
@@ -536,9 +736,7 @@ mod tests {
         let (_s, ds) = make_dataset(64, 64, Codec::ShuffleLzss { sample_size: 4 });
         let r = ramp(64, 64);
         ds.write_raster("v", 0, &r).unwrap();
-        let seq = ds
-            .read_progressive::<f32>("v", 0, ds.bounds(), 4, ds.max_level())
-            .unwrap();
+        let seq = ds.read_progressive::<f32>("v", 0, ds.bounds(), 4, ds.max_level()).unwrap();
         assert_eq!(seq.len() as u32, ds.max_level() - 4 + 1);
         let mut prev_samples = 0;
         for (level, raster, stats) in &seq {
@@ -548,10 +746,7 @@ mod tests {
             let strides = ds.curve.mask().level_strides(*level).unwrap();
             assert_eq!(raster.get(0, 0), r.get(0, 0));
             let (w, _) = raster.shape();
-            assert_eq!(
-                raster.get(w - 1, 0),
-                r.get((w - 1) * strides[0] as usize, 0)
-            );
+            assert_eq!(raster.get(w - 1, 0), r.get((w - 1) * strides[0] as usize, 0));
         }
         assert!(ds.read_progressive::<f32>("v", 0, ds.bounds(), 5, 4).is_err());
     }
@@ -563,10 +758,7 @@ mod tests {
             "multi",
             32,
             32,
-            vec![
-                Field::new("a", DType::F32).unwrap(),
-                Field::new("b", DType::F32).unwrap(),
-            ],
+            vec![Field::new("a", DType::F32).unwrap(), Field::new("b", DType::F32).unwrap()],
             8,
             Codec::Raw,
         )
@@ -593,12 +785,8 @@ mod tests {
         assert!(ds.write_raster("v", 0, &ramp(16, 32)).is_err());
         ds.write_raster("v", 0, &ramp(32, 32)).unwrap();
         assert!(ds.read_full::<u16>("v", 0).is_err());
-        assert!(ds
-            .read_box::<f32>("v", 0, Box2i::new(0, 0, 8, 8), 99)
-            .is_err());
-        assert!(ds
-            .read_box::<f32>("v", 0, Box2i::new(500, 500, 600, 600), 5)
-            .is_err());
+        assert!(ds.read_box::<f32>("v", 0, Box2i::new(0, 0, 8, 8), 99).is_err());
+        assert!(ds.read_box::<f32>("v", 0, Box2i::new(500, 500, 600, 600), 5).is_err());
     }
 
     #[test]
@@ -627,6 +815,133 @@ mod tests {
     }
 
     #[test]
+    fn blocks_for_query_matches_sample_walk() {
+        // The O(blocks) planner must agree with the retired O(samples)
+        // walk on every region/level combination.
+        let (_s, ds) = make_dataset(100, 37, Codec::Raw);
+        let regions = [
+            ds.bounds(),
+            Box2i::new(0, 0, 1, 1),
+            Box2i::new(17, 5, 63, 29),
+            Box2i::new(96, 33, 100, 37),
+            Box2i::new(40, 0, 41, 37),
+        ];
+        for region in regions {
+            for level in 0..=ds.max_level() {
+                assert_eq!(
+                    ds.blocks_for_query(region, level).unwrap(),
+                    ds.blocks_for_query_by_sample_walk(region, level).unwrap(),
+                    "region {region:?} level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_box_deterministic_across_fetch_concurrency() {
+        // Byte-identical output whether blocks stream one at a time or in
+        // wide parallel batches.
+        let r = ramp(100, 37);
+        let region = Box2i::new(11, 3, 87, 31);
+        let mut reference: Option<Vec<f32>> = None;
+        for conc in [1usize, 2, 4, 8, 32] {
+            let (_s, ds) = make_dataset(100, 37, Codec::ShuffleLzss { sample_size: 4 });
+            let ds = ds.with_fetch_concurrency(conc);
+            ds.write_raster("v", 0, &r).unwrap();
+            let (out, stats) = ds.read_box::<f32>("v", 0, region, ds.max_level()).unwrap();
+            assert_eq!(stats.fetch_concurrency, conc as u64);
+            match &reference {
+                None => reference = Some(out.data().to_vec()),
+                Some(want) => {
+                    assert_eq!(out.data(), &want[..], "fetch_concurrency {conc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_batches_respect_concurrency() {
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let ds = ds.with_fetch_concurrency(4);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        let (_, q) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(q.fetch_batches, q.blocks_touched.div_ceil(4));
+        assert_eq!(q.blocks_decoded, q.blocks_touched - q.blocks_missing);
+        assert_eq!(q.decoded_cache_hits, 0);
+    }
+
+    #[test]
+    fn progressive_read_decodes_each_block_once() {
+        let (_s, ds) = make_dataset(64, 64, Codec::Lz4);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        let seq = ds.read_progressive::<f32>("v", 0, ds.bounds(), 2, ds.max_level()).unwrap();
+        let total_decoded: u64 = seq.iter().map(|(_, _, q)| q.blocks_decoded).sum();
+        let distinct = ds.blocks_for_query(ds.bounds(), ds.max_level()).unwrap().len() as u64;
+        assert_eq!(total_decoded, distinct, "each block decoded at most once");
+        // Finer levels re-touch the coarse blocks but serve them from the
+        // decoded cache.
+        let total_hits: u64 = seq.iter().map(|(_, _, q)| q.decoded_cache_hits).sum();
+        assert!(total_hits > 0);
+        let (last_level, _, _) = seq.last().unwrap();
+        assert_eq!(*last_level, ds.max_level());
+        // A re-read of the finest level is now decode-free.
+        let (_, q) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(q.blocks_decoded, 0);
+        assert_eq!(q.decoded_cache_hits, q.blocks_touched);
+        assert_eq!(q.bytes_fetched, 0);
+    }
+
+    #[test]
+    fn decoded_cache_invalidated_by_writes() {
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let base = ramp(64, 64);
+        ds.write_raster("v", 0, &base).unwrap();
+        let (before, _) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(before.get(30, 30), base.get(30, 30));
+        // Overwrite a patch; the cached decoded blocks for it must drop.
+        let patch = Raster::<f32>::filled(4, 4, -1.0);
+        ds.write_box("v", 0, 28, 28, &patch).unwrap();
+        let (after, _) = ds.read_full::<f32>("v", 0).unwrap();
+        assert_eq!(after.get(30, 30), -1.0);
+        assert_eq!(after.get(0, 0), base.get(0, 0));
+    }
+
+    #[test]
+    fn zero_budget_disables_decoded_cache() {
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let ds = ds.with_decoded_cache_bytes(0);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        let (_, q1) = ds.read_full::<f32>("v", 0).unwrap();
+        let (_, q2) = ds.read_full::<f32>("v", 0).unwrap();
+        assert!(q1.blocks_decoded > 0);
+        assert_eq!(q2.blocks_decoded, q1.blocks_decoded, "nothing was cached");
+        assert_eq!(q2.decoded_cache_hits, 0);
+    }
+
+    #[test]
+    fn query_stats_merge_accumulates() {
+        let mut a = QueryStats {
+            blocks_touched: 3,
+            bytes_fetched: 100,
+            fetch_concurrency: 4,
+            ..QueryStats::default()
+        };
+        let b = QueryStats {
+            blocks_touched: 2,
+            blocks_missing: 1,
+            fetch_concurrency: 8,
+            decode_secs: 0.5,
+            ..QueryStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks_touched, 5);
+        assert_eq!(a.blocks_missing, 1);
+        assert_eq!(a.bytes_fetched, 100);
+        assert_eq!(a.fetch_concurrency, 8);
+        assert!((a.decode_secs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn geo_propagates_with_window_and_stride() {
         let store = Arc::new(MemoryStore::new());
         let meta = IdxMeta::new_2d(
@@ -641,9 +956,8 @@ mod tests {
         .with_geo(GeoTransform::north_up(100.0, 200.0, 30.0));
         let ds = IdxDataset::create(store, "g", meta).unwrap();
         ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
-        let (out, _) = ds
-            .read_box::<f32>("v", 0, Box2i::new(8, 8, 40, 40), ds.max_level() - 2)
-            .unwrap();
+        let (out, _) =
+            ds.read_box::<f32>("v", 0, Box2i::new(8, 8, 40, 40), ds.max_level() - 2).unwrap();
         let g = out.geo.unwrap();
         assert_eq!(g.x0, 100.0 + 8.0 * 30.0);
         assert_eq!(g.y0, 200.0 - 8.0 * 30.0);
@@ -662,15 +976,9 @@ mod write_box_tests {
 
     fn dataset(codec: Codec) -> IdxDataset {
         let store = Arc::new(MemoryStore::new());
-        let meta = IdxMeta::new_2d(
-            "wb",
-            64,
-            64,
-            vec![Field::new("v", DType::F32).unwrap()],
-            8,
-            codec,
-        )
-        .unwrap();
+        let meta =
+            IdxMeta::new_2d("wb", 64, 64, vec![Field::new("v", DType::F32).unwrap()], 8, codec)
+                .unwrap();
         IdxDataset::create(store, "wb", meta).unwrap()
     }
 

@@ -128,11 +128,7 @@ impl IdxMeta {
         };
         set(&mut m, "version", IDX_VERSION.to_string());
         set(&mut m, "name", self.name.clone());
-        set(
-            &mut m,
-            "dims",
-            self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" "),
-        );
+        set(&mut m, "dims", self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" "));
         set(&mut m, "bitmask", self.bitmask.to_text());
         set(
             &mut m,

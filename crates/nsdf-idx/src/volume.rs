@@ -4,14 +4,16 @@
 //! query semantics as the 2-D [`crate::IdxDataset`].
 
 use crate::meta::{Field, IdxMeta};
+use nsdf_compress::Codec;
 use nsdf_hz::{hz_from_z, HzCurve};
 use nsdf_storage::ObjectStore;
+use nsdf_util::par::{num_threads, try_par_map};
 use nsdf_util::{
     bytes_to_samples, samples_to_bytes, Box3i, NsdfError, Raster, Result, Sample, Volume,
 };
-use nsdf_compress::Codec;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 impl IdxMeta {
     /// Build metadata for a 3-D dataset, deriving the bitmask from the
@@ -38,6 +40,7 @@ pub struct IdxVolume {
     base: String,
     meta: IdxMeta,
     curve: HzCurve,
+    fetch_concurrency: usize,
 }
 
 impl IdxVolume {
@@ -48,7 +51,13 @@ impl IdxVolume {
         }
         store.put(&format!("{base}/dataset.idx"), meta.to_text().as_bytes())?;
         let curve = HzCurve::new(meta.bitmask.clone());
-        Ok(IdxVolume { store, base: base.to_string(), meta, curve })
+        Ok(IdxVolume {
+            store,
+            base: base.to_string(),
+            meta,
+            curve,
+            fetch_concurrency: crate::dataset::DEFAULT_FETCH_CONCURRENCY,
+        })
     }
 
     /// Open an existing volumetric dataset.
@@ -64,7 +73,19 @@ impl IdxVolume {
             )));
         }
         let curve = HzCurve::new(meta.bitmask.clone());
-        Ok(IdxVolume { store, base: base.to_string(), meta, curve })
+        Ok(IdxVolume {
+            store,
+            base: base.to_string(),
+            meta,
+            curve,
+            fetch_concurrency: crate::dataset::DEFAULT_FETCH_CONCURRENCY,
+        })
+    }
+
+    /// Set how many blocks each batched store fetch carries (>= 1).
+    pub fn with_fetch_concurrency(mut self, n: usize) -> Self {
+        self.fetch_concurrency = n.max(1);
+        self
     }
 
     /// Dataset metadata.
@@ -113,11 +134,8 @@ impl IdxVolume {
             return Err(NsdfError::invalid("timestep out of range"));
         }
         let field_idx = self.field_checked::<T>(field)?;
-        let (w, h, d) = (
-            self.meta.dims[0] as usize,
-            self.meta.dims[1] as usize,
-            self.meta.dims[2] as usize,
-        );
+        let (w, h, d) =
+            (self.meta.dims[0] as usize, self.meta.dims[1] as usize, self.meta.dims[2] as usize);
         if volume.shape() != (w, h, d) {
             return Err(NsdfError::invalid(format!(
                 "volume shape {:?} does not match dataset dims ({w}, {h}, {d})",
@@ -193,17 +211,38 @@ impl IdxVolume {
         for &(_, _, _, hz) in &samples {
             needed.entry(hz / block_samples as u64).or_insert(None);
         }
-        for (block, slot) in &mut needed {
-            let key = self.block_key(field_idx, time, *block);
-            stats.blocks_touched += 1;
-            match self.store.get(&key) {
-                Ok(enc) => {
-                    stats.bytes_fetched += enc.len() as u64;
-                    let raw = self.meta.codec.decode(&enc, block_samples * sample_size)?;
-                    *slot = Some(bytes_to_samples::<T>(&raw)?);
+        let blocks: Vec<u64> = needed.keys().copied().collect();
+        stats.blocks_touched = blocks.len() as u64;
+        stats.fetch_concurrency = self.fetch_concurrency as u64;
+        let threads = num_threads();
+        for chunk in blocks.chunks(self.fetch_concurrency.max(1)) {
+            let keys: Vec<String> =
+                chunk.iter().map(|&b| self.block_key(field_idx, time, b)).collect();
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let fetch_start = Instant::now();
+            let results = self.store.get_many(&key_refs);
+            stats.fetch_secs += fetch_start.elapsed().as_secs_f64();
+            stats.fetch_batches += 1;
+            let mut encoded: Vec<(u64, Vec<u8>)> = Vec::with_capacity(chunk.len());
+            for (&block, result) in chunk.iter().zip(results) {
+                match result {
+                    Ok(enc) => {
+                        stats.bytes_fetched += enc.len() as u64;
+                        encoded.push((block, enc));
+                    }
+                    Err(e) if e.is_not_found() => stats.blocks_missing += 1,
+                    Err(e) => return Err(e),
                 }
-                Err(e) if e.is_not_found() => stats.blocks_missing += 1,
-                Err(e) => return Err(e),
+            }
+            let decode_start = Instant::now();
+            let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
+                let raw = self.meta.codec.decode(enc, block_samples * sample_size)?;
+                Ok((*block, bytes_to_samples::<T>(&raw)?))
+            })?;
+            stats.decode_secs += decode_start.elapsed().as_secs_f64();
+            stats.blocks_decoded += decoded.len() as u64;
+            for (block, data) in decoded {
+                needed.insert(block, Some(data));
             }
         }
 
@@ -331,6 +370,31 @@ mod tests {
     }
 
     #[test]
+    fn read_box_deterministic_across_fetch_concurrency() {
+        let region = Box3i::new(3, 2, 1, 15, 13, 6);
+        let (ds, _) = make_volume(16, 16, 8, Codec::Raw);
+        let level = ds.max_level();
+        let (baseline, base_stats) = ds
+            .read_box::<f32>("density", 0, region, level)
+            .map(|(v, s)| (v.data().to_vec(), s))
+            .unwrap();
+        for conc in [1usize, 2, 4, 32] {
+            let (ds, _) = make_volume(16, 16, 8, Codec::Raw);
+            let ds = ds.with_fetch_concurrency(conc);
+            let (vol, stats) = ds.read_box::<f32>("density", 0, region, level).unwrap();
+            assert_eq!(vol.data(), &baseline[..], "concurrency {conc} changed bytes");
+            assert_eq!(stats.blocks_touched, base_stats.blocks_touched);
+            assert_eq!(stats.fetch_concurrency, conc as u64);
+            assert_eq!(
+                stats.fetch_batches,
+                base_stats.blocks_touched.div_ceil(conc as u64),
+                "concurrency {conc} issued wrong batch count"
+            );
+            assert_eq!(stats.blocks_decoded, stats.blocks_touched - stats.blocks_missing);
+        }
+    }
+
+    #[test]
     fn subbox_matches_window() {
         let (ds, data) = make_volume(16, 16, 16, Codec::Lz4);
         let region = Box3i::new(3, 5, 7, 11, 13, 15);
@@ -358,9 +422,8 @@ mod tests {
     fn coarse_levels_touch_fewer_blocks() {
         let (ds, _) = make_volume(32, 32, 32, Codec::Raw);
         let (_, full) = ds.read_full::<f32>("density", 0).unwrap();
-        let (_, coarse) = ds
-            .read_box::<f32>("density", 0, ds.bounds(), ds.max_level() - 6)
-            .unwrap();
+        let (_, coarse) =
+            ds.read_box::<f32>("density", 0, ds.bounds(), ds.max_level() - 6).unwrap();
         assert!(coarse.blocks_touched * 4 <= full.blocks_touched);
     }
 
@@ -417,9 +480,7 @@ mod tests {
         assert!(IdxVolume::create(store.clone(), "x", meta2d).is_err());
         let (ds, _) = make_volume(8, 8, 8, Codec::Raw);
         assert!(ds.write_volume("v", 0, &Volume::<f32>::zeros(8, 8, 8)).is_err()); // bad field
-        assert!(ds
-            .write_volume("density", 0, &Volume::<f32>::zeros(4, 8, 8))
-            .is_err()); // bad shape
+        assert!(ds.write_volume("density", 0, &Volume::<f32>::zeros(4, 8, 8)).is_err()); // bad shape
         assert!(ds.read_full::<u16>("density", 0).is_err()); // bad dtype
         assert!(ds
             .read_box::<f32>("density", 0, Box3i::new(99, 99, 99, 120, 120, 120), 2)

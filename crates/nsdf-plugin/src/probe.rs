@@ -163,8 +163,7 @@ mod tests {
         let tb = Testbed::nsdf_default();
         let m = run_campaign(&tb, 100, 11).unwrap();
         // Client at UTK; replicas at Clemson (near, 40G) and SDSC (far).
-        let (site, secs) =
-            select_entry_point(&m, "utk", &["clemson", "sdsc"], 100 << 20).unwrap();
+        let (site, secs) = select_entry_point(&m, "utk", &["clemson", "sdsc"], 100 << 20).unwrap();
         assert_eq!(site, "clemson");
         assert!(secs > 0.0);
     }

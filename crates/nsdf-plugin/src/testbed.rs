@@ -8,8 +8,8 @@
 //! detour factor) plus per-hop processing, and per-link provisioned
 //! bandwidth limited by the slower endpoint.
 
-use nsdf_util::{haversine_km, LatLon, NsdfError, Result};
 use nsdf_storage::NetworkProfile;
+use nsdf_util::{haversine_km, LatLon, NsdfError, Result};
 
 /// Speed of light in fibre, km per millisecond.
 const FIBRE_KM_PER_MS: f64 = 200.0;

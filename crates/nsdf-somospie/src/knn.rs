@@ -90,8 +90,7 @@ impl KnnRegressor {
             return Err(NsdfError::invalid("k must be positive"));
         }
         let k = k.min(self.len());
-        let xs: Vec<f64> =
-            (0..self.dims).map(|d| (x[d] - self.means[d]) / self.stds[d]).collect();
+        let xs: Vec<f64> = (0..self.dims).map(|d| (x[d] - self.means[d]) / self.stds[d]).collect();
 
         // Collect (distance^2, target) and select the k smallest.
         let mut dists: Vec<(f64, f64)> = self

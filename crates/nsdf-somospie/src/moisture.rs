@@ -17,18 +17,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Feature vector at one cell: (x, y, elevation, slope, aspect-northness).
-fn features(x: usize, y: usize, elev: &Raster<f32>, slope: &Raster<f32>, aspect: &Raster<f32>) -> Vec<f64> {
+fn features(
+    x: usize,
+    y: usize,
+    elev: &Raster<f32>,
+    slope: &Raster<f32>,
+    aspect: &Raster<f32>,
+) -> Vec<f64> {
     let a = aspect.get(x, y) as f64;
     // Encode aspect as "northness" so the circular variable is continuous;
     // flat cells (-1) get 0.
     let northness = if a < 0.0 { 0.0 } else { a.to_radians().cos() };
-    vec![
-        x as f64,
-        y as f64,
-        elev.get(x, y) as f64,
-        slope.get(x, y) as f64,
-        northness,
-    ]
+    vec![x as f64, y as f64, elev.get(x, y) as f64, slope.get(x, y) as f64, northness]
 }
 
 /// Ground truth generator and its derived products.
@@ -82,7 +82,8 @@ impl SyntheticTruth {
             let northness = if a < 0.0 { 0.0 } else { a.to_radians().cos() };
             // Valleys hold water; steep slopes drain (effect saturating at
             // 45°); north faces stay moist.
-            let m = 0.35 - 0.20 * rel_elev - 0.06 * (s / 45.0).min(1.0) + 0.03 * northness
+            let m = 0.35 - 0.20 * rel_elev - 0.06 * (s / 45.0).min(1.0)
+                + 0.03 * northness
                 + 0.02 * noise.get(x, y) as f64;
             m.clamp(0.02, 0.5) as f32
         });
@@ -134,20 +135,13 @@ pub fn downscale_knn(truth: &SyntheticTruth, k: usize) -> Result<DownscaleReport
     });
 
     let rmse = rmse_between(&predicted, &truth.fine_truth);
-    let baseline = truth
-        .coarse_obs
-        .resize_bilinear(w, h);
+    let baseline = truth.coarse_obs.resize_bilinear(w, h);
     let baseline_rmse = rmse_between(&baseline, &truth.fine_truth);
     Ok(DownscaleReport { predicted, rmse, baseline_rmse, train_points: train.len() })
 }
 
 fn rmse_between(a: &Raster<f32>, b: &Raster<f32>) -> f64 {
-    let ss: f64 = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(x, y)| (*x as f64 - *y as f64).powi(2))
-        .sum();
+    let ss: f64 = a.data().iter().zip(b.data()).map(|(x, y)| (*x as f64 - *y as f64).powi(2)).sum();
     (ss / a.len() as f64).sqrt()
 }
 

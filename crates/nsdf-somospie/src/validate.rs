@@ -70,10 +70,8 @@ pub fn select_k(
         }
         scores.push((k, (total_sq / total_n as f64).sqrt()));
     }
-    let &(best_k, best_rmse) = scores
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("candidates non-empty");
+    let &(best_k, best_rmse) =
+        scores.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("candidates non-empty");
     Ok(CvReport { scores, best_k, best_rmse })
 }
 

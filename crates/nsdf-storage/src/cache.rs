@@ -1,4 +1,4 @@
-//! Byte-budgeted LRU object cache.
+//! Byte-budgeted LRU object cache with single-flight fetch deduplication.
 //!
 //! OpenVisus is "caching-enabled" (§III-A): once a block has streamed from
 //! remote storage it is served locally on re-access, which is what makes
@@ -6,10 +6,18 @@
 //! layer for any inner [`ObjectStore`], with whole-object granularity —
 //! IDX blocks are the objects, so block granularity and object granularity
 //! coincide.
+//!
+//! The parallel IDX read pipeline issues concurrent misses, so the cache is
+//! **single-flight**: when several threads miss on the same key at once,
+//! exactly one (the leader) fetches from the inner store while the rest
+//! wait on an in-flight slot and share the leader's result. Fetch errors
+//! are handed to the waiters but never cached, so the next reader retries.
+//! Hits are served under a lock held only for the map lookup — they are
+//! never queued behind a slow WAN miss.
 
 use crate::store::{slice_range, ObjectMeta, ObjectStore};
-use nsdf_util::Result;
-use parking_lot::Mutex;
+use nsdf_util::{NsdfError, Result};
+use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -24,6 +32,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Bytes currently cached.
     pub resident_bytes: u64,
+    /// Reads that piggy-backed on another thread's in-flight fetch instead
+    /// of issuing their own (single-flight deduplication).
+    pub coalesced_waits: u64,
 }
 
 impl CacheStats {
@@ -98,17 +109,57 @@ impl LruState {
     }
 }
 
+/// One in-flight fetch that concurrent missers of the same key share.
+///
+/// The leader publishes into `done` and signals `cv`; waiters block on the
+/// condvar until the slot fills. Results are replicated per waiter (the
+/// payload through the `Arc`, errors via [`NsdfError::replicate`]).
+#[derive(Default)]
+struct InFlight {
+    done: Mutex<Option<std::result::Result<Arc<Vec<u8>>, NsdfError>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    /// Block until the leader publishes, then return a replica of its
+    /// result.
+    fn wait(&self) -> Result<Arc<Vec<u8>>> {
+        let mut done = self.done.lock();
+        while done.is_none() {
+            done = self.cv.wait(done);
+        }
+        match done.as_ref().expect("published") {
+            Ok(data) => Ok(data.clone()),
+            Err(e) => Err(e.replicate()),
+        }
+    }
+}
+
+/// What a missing key resolved to in the in-flight map.
+enum Flight {
+    /// This thread claimed the fetch and must publish into the slot.
+    Leader(Arc<InFlight>),
+    /// Another thread is already fetching; wait on its slot.
+    Follower(Arc<InFlight>),
+}
+
 /// LRU read-through / write-through cache over an inner store.
 pub struct CachedStore {
     inner: Arc<dyn ObjectStore>,
     capacity: u64,
     state: Mutex<LruState>,
+    inflight: Mutex<HashMap<String, Arc<InFlight>>>,
 }
 
 impl CachedStore {
     /// Cache up to `capacity_bytes` of object payloads in front of `inner`.
     pub fn new(inner: Arc<dyn ObjectStore>, capacity_bytes: u64) -> Self {
-        CachedStore { inner, capacity: capacity_bytes, state: Mutex::new(LruState::default()) }
+        CachedStore {
+            inner,
+            capacity: capacity_bytes,
+            state: Mutex::new(LruState::default()),
+            inflight: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Current statistics (hit rate, residency, evictions).
@@ -130,6 +181,31 @@ impl CachedStore {
         self.capacity
     }
 
+    /// Claim or join the in-flight slot for a missing key.
+    fn join_flight(&self, key: &str) -> Flight {
+        let mut inflight = self.inflight.lock();
+        match inflight.get(key) {
+            Some(f) => Flight::Follower(f.clone()),
+            None => {
+                let f = Arc::new(InFlight::default());
+                inflight.insert(key.to_string(), f.clone());
+                Flight::Leader(f)
+            }
+        }
+    }
+
+    /// Leader-side completion: admit a success to the LRU, publish the
+    /// result to waiters, and retire the in-flight slot. Errors are handed
+    /// to current waiters but never cached — the next reader retries.
+    fn publish(&self, key: &str, flight: &InFlight, result: Result<Arc<Vec<u8>>>) {
+        if let Ok(data) = &result {
+            self.state.lock().insert(key.to_string(), data.clone(), self.capacity);
+        }
+        *flight.done.lock() = Some(result);
+        self.inflight.lock().remove(key);
+        flight.cv.notify_all();
+    }
+
     fn cached_get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
         {
             let mut st = self.state.lock();
@@ -137,26 +213,109 @@ impl CachedStore {
                 st.stats.hits += 1;
                 return Ok(data);
             }
-            st.stats.misses += 1;
         }
-        // Fetch outside the lock so a slow WAN get doesn't serialize hits.
-        let data = Arc::new(self.inner.get(key)?);
-        self.state.lock().insert(key.to_string(), data.clone(), self.capacity);
-        Ok(data)
+        match self.join_flight(key) {
+            Flight::Leader(f) => {
+                self.state.lock().stats.misses += 1;
+                // Fetch outside every lock so a slow WAN get serializes
+                // neither hits nor fetches of other keys.
+                let result = self.inner.get(key).map(Arc::new);
+                let replica = match &result {
+                    Ok(data) => Ok(data.clone()),
+                    Err(e) => Err(e.replicate()),
+                };
+                self.publish(key, &f, replica);
+                result
+            }
+            Flight::Follower(f) => {
+                let result = f.wait();
+                self.state.lock().stats.coalesced_waits += 1;
+                result
+            }
+        }
     }
 }
 
 impl ObjectStore for CachedStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
         let meta = self.inner.put(key, data)?;
-        self.state
-            .lock()
-            .insert(key.to_string(), Arc::new(data.to_vec()), self.capacity);
+        self.state.lock().insert(key.to_string(), Arc::new(data.to_vec()), self.capacity);
         Ok(meta)
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
         Ok(self.cached_get(key)?.as_ref().clone())
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+
+        // Phase 1: partition hits from misses under one lock acquisition.
+        let mut missing = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for (i, k) in keys.iter().enumerate() {
+                if let Some(data) = st.touch(k) {
+                    st.stats.hits += 1;
+                    out[i] = Some(Ok(data.as_ref().clone()));
+                } else {
+                    missing.push(i);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return out.into_iter().map(|o| o.expect("every slot decided")).collect();
+        }
+
+        // Phase 2: claim leadership for keys nobody is fetching; keys
+        // already in flight (here or in another thread) are joined as
+        // followers. All leaderships are claimed before any waiting, and
+        // leaders never wait, so batches cannot deadlock each other — and
+        // a key repeated within this batch is fetched once.
+        let mut leaders = Vec::new();
+        let mut followers = Vec::new();
+        {
+            let mut inflight = self.inflight.lock();
+            for i in missing {
+                let k = keys[i];
+                match inflight.get(k) {
+                    Some(f) => followers.push((i, f.clone())),
+                    None => {
+                        let f = Arc::new(InFlight::default());
+                        inflight.insert(k.to_string(), f.clone());
+                        leaders.push((i, f));
+                    }
+                }
+            }
+        }
+
+        // Phase 3: fetch all led keys as one inner batch, then publish.
+        if !leaders.is_empty() {
+            self.state.lock().stats.misses += leaders.len() as u64;
+            let lead_keys: Vec<&str> = leaders.iter().map(|&(i, _)| keys[i]).collect();
+            let results = self.inner.get_many(&lead_keys);
+            for ((i, f), r) in leaders.into_iter().zip(results) {
+                let r = r.map(Arc::new);
+                let replica = match &r {
+                    Ok(data) => Ok(data.clone()),
+                    Err(e) => Err(e.replicate()),
+                };
+                self.publish(keys[i], &f, replica);
+                out[i] = Some(r.map(|d| d.as_ref().clone()));
+            }
+        }
+
+        // Phase 4: collect results fetched by other threads (or by this
+        // batch, for repeated keys — published above, so no waiting).
+        if !followers.is_empty() {
+            let n = followers.len() as u64;
+            for (i, f) in followers {
+                out[i] = Some(f.wait().map(|d| d.as_ref().clone()));
+            }
+            self.state.lock().stats.coalesced_waits += n;
+        }
+
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
@@ -265,6 +424,141 @@ mod tests {
         c.put("k", b"0123456789").unwrap();
         assert_eq!(c.get_range("k", 2, 4).unwrap(), b"2345");
         assert_eq!(c.stats().hits, 1);
+    }
+
+    /// Inner store that counts `get` calls and can be slowed down to force
+    /// real fetch overlap in concurrency tests.
+    struct CountingStore {
+        inner: MemoryStore,
+        gets: std::sync::atomic::AtomicU64,
+        delay: std::time::Duration,
+    }
+
+    impl CountingStore {
+        fn new(delay_ms: u64) -> Self {
+            CountingStore {
+                inner: MemoryStore::new(),
+                gets: std::sync::atomic::AtomicU64::new(0),
+                delay: std::time::Duration::from_millis(delay_ms),
+            }
+        }
+
+        fn gets(&self) -> u64 {
+            self.gets.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl ObjectStore for CountingStore {
+        fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+            self.inner.put(key, data)
+        }
+
+        fn get(&self, key: &str) -> Result<Vec<u8>> {
+            self.gets.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            self.inner.get(key)
+        }
+
+        fn head(&self, key: &str) -> Result<ObjectMeta> {
+            self.inner.head(key)
+        }
+
+        fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+            self.inner.list(prefix)
+        }
+
+        fn delete(&self, key: &str) -> Result<()> {
+            self.inner.delete(key)
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_single_flight() {
+        // 16 threads hammer the same cold key; the inner store must see
+        // exactly one fetch, everyone must get the payload.
+        let counting = Arc::new(CountingStore::new(30));
+        counting.put("hot", b"block-payload").unwrap();
+        let cached = Arc::new(CachedStore::new(counting.clone(), 1 << 20));
+        let barrier = Arc::new(std::sync::Barrier::new(16));
+        crossbeam::scope(|s| {
+            for _ in 0..16 {
+                let (cached, barrier) = (cached.clone(), barrier.clone());
+                s.spawn(move |_| {
+                    barrier.wait();
+                    assert_eq!(cached.get("hot").unwrap(), b"block-payload");
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counting.gets(), 1, "single-flight must deduplicate concurrent misses");
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced_waits, 15);
+        assert!(stats.coalesced_waits > 0, "with a 30ms fetch, some threads must coalesce");
+    }
+
+    #[test]
+    fn failed_fetch_shared_but_not_cached() {
+        // Concurrent misses on a missing key share one NotFound; the error
+        // is not cached, so a later write makes the key readable.
+        let counting = Arc::new(CountingStore::new(30));
+        let cached = Arc::new(CachedStore::new(counting.clone(), 1 << 20));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                let (cached, barrier) = (cached.clone(), barrier.clone());
+                s.spawn(move |_| {
+                    barrier.wait();
+                    assert!(cached.get("ghost").unwrap_err().is_not_found());
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counting.gets(), 1, "one shared failing fetch");
+        cached.put("ghost", b"now real").unwrap();
+        assert_eq!(cached.get("ghost").unwrap(), b"now real");
+    }
+
+    #[test]
+    fn get_many_partitions_hits_and_misses() {
+        let counting = Arc::new(CountingStore::new(0));
+        for k in ["a", "b", "c", "d"] {
+            counting.put(k, k.as_bytes()).unwrap();
+        }
+        let cached = CachedStore::new(counting.clone(), 1 << 20);
+        cached.get("a").unwrap();
+        cached.get("c").unwrap();
+        let before = counting.gets();
+        let results = cached.get_many(&["a", "b", "c", "d", "missing"]);
+        assert_eq!(results[0].as_ref().unwrap(), b"a");
+        assert_eq!(results[1].as_ref().unwrap(), b"b");
+        assert_eq!(results[2].as_ref().unwrap(), b"c");
+        assert_eq!(results[3].as_ref().unwrap(), b"d");
+        assert!(results[4].as_ref().unwrap_err().is_not_found());
+        // Only the three missing keys reach the inner store.
+        assert_eq!(counting.gets() - before, 3);
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 2); // a and c, warmed by the single gets
+        assert_eq!(stats.misses, 5); // 2 warming gets + 3 batch leaders
+
+        // The whole batch is now warm: a re-read touches the inner store
+        // zero times.
+        let warm = cached.get_many(&["a", "b", "c", "d"]);
+        assert!(warm.iter().all(|r| r.is_ok()));
+        assert_eq!(counting.gets() - before, 3);
+    }
+
+    #[test]
+    fn get_many_deduplicates_repeated_keys() {
+        let counting = Arc::new(CountingStore::new(0));
+        counting.put("k", b"v").unwrap();
+        let cached = CachedStore::new(counting.clone(), 1 << 20);
+        let results = cached.get_many(&["k", "k", "k"]);
+        assert!(results.iter().all(|r| r.as_ref().unwrap() == b"v"));
+        assert_eq!(counting.gets(), 1, "repeated key fetched once per batch");
+        assert_eq!(cached.stats().coalesced_waits, 2);
     }
 
     #[test]

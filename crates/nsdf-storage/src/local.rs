@@ -134,6 +134,11 @@ impl ObjectStore for LocalStore {
         Ok(out)
     }
 
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        // Independent files: overlap the per-file open/read syscalls.
+        nsdf_util::par::par_map(keys, nsdf_util::par::num_threads(), |k| self.get(k))
+    }
+
     fn delete(&self, key: &str) -> Result<()> {
         let path = self.path_for(key)?;
         fs::remove_file(&path).map_err(|e| {
@@ -155,7 +160,8 @@ mod tests {
     use super::*;
 
     fn temp_store(name: &str) -> LocalStore {
-        let dir = std::env::temp_dir().join(format!("nsdf-localstore-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("nsdf-localstore-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         LocalStore::open(dir).unwrap()
     }

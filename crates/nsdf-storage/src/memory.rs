@@ -63,9 +63,7 @@ impl ObjectStore for MemoryStore {
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let guard = self.objects.read();
-        let o = guard
-            .get(key)
-            .ok_or_else(|| NsdfError::not_found(format!("object {key:?}")))?;
+        let o = guard.get(key).ok_or_else(|| NsdfError::not_found(format!("object {key:?}")))?;
         slice_range(&o.data, offset, len, key)
     }
 
@@ -85,6 +83,13 @@ impl ObjectStore for MemoryStore {
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(_, o)| o.meta.clone())
             .collect())
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        // Reads share the RwLock, so a parallel map turns the batch into
+        // genuinely concurrent lookups (and concurrent payload copies,
+        // which dominate for block-sized objects).
+        nsdf_util::par::par_map(keys, nsdf_util::par::num_threads(), |k| self.get(k))
     }
 
     fn delete(&self, key: &str) -> Result<()> {

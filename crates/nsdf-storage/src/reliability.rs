@@ -37,7 +37,12 @@ pub struct FlakyStore {
 
 impl FlakyStore {
     /// Fail `fail_rate` of in-scope operations with an I/O error.
-    pub fn new(inner: Arc<dyn ObjectStore>, fail_rate: f64, scope: FailScope, seed: u64) -> Result<Self> {
+    pub fn new(
+        inner: Arc<dyn ObjectStore>,
+        fail_rate: f64,
+        scope: FailScope,
+        seed: u64,
+    ) -> Result<Self> {
         if !(0.0..=1.0).contains(&fail_rate) {
             return Err(NsdfError::invalid("fail rate must be in [0, 1]"));
         }
@@ -92,6 +97,30 @@ impl ObjectStore for FlakyStore {
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         self.maybe_fail(true, "get_range")?;
         self.inner.get_range(key, offset, len)
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        // One injection draw per key — a batch of n reads must face the
+        // same loss odds as n single reads — then the survivors still go
+        // to the inner store as one batch so its amortization is kept.
+        let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut pass_idx = Vec::with_capacity(keys.len());
+        let mut pass_keys = Vec::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            match self.maybe_fail(true, "get_many") {
+                Ok(()) => {
+                    pass_idx.push(i);
+                    pass_keys.push(*k);
+                }
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        if !pass_keys.is_empty() {
+            for (i, r) in pass_idx.into_iter().zip(self.inner.get_many(&pass_keys)) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
     }
 
     fn head(&self, key: &str) -> Result<ObjectMeta> {
@@ -188,6 +217,38 @@ impl ObjectStore for RetryStore {
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         self.with_retries(|| self.inner.get_range(key, offset, len))
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        // Wave-based retry: re-batch all transiently failed keys and retry
+        // them together, charging one shared backoff per wave (concurrent
+        // retries back off in parallel, not in sequence). Permanent errors
+        // resolve immediately; the retry counter still counts per key so
+        // it agrees with the single-get accounting.
+        let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        let mut backoff = self.policy.initial_backoff_secs;
+        let mut attempt = 1;
+        loop {
+            let wave: Vec<&str> = pending.iter().map(|&i| keys[i]).collect();
+            let results = self.inner.get_many(&wave);
+            let mut next = Vec::new();
+            for (&i, r) in pending.iter().zip(results) {
+                match r {
+                    Err(NsdfError::Io(_)) if attempt < self.policy.max_attempts => next.push(i),
+                    r => out[i] = Some(r),
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            self.retries.fetch_add(next.len() as u64, Ordering::Relaxed);
+            self.clock.advance_secs(backoff);
+            backoff *= self.policy.multiplier;
+            attempt += 1;
+            pending = next;
+        }
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
     }
 
     fn head(&self, key: &str) -> Result<ObjectMeta> {
@@ -290,22 +351,102 @@ mod tests {
         .unwrap();
         assert!(retry.get("k").is_err());
         assert_eq!(retry.retries(), 2); // 3 attempts = 2 retries
-        // Backoff 0.1 + 0.2 charged.
+                                        // Backoff 0.1 + 0.2 charged.
         assert!((clock.now_secs() - 0.3).abs() < 1e-9);
     }
 
     #[test]
     fn permanent_errors_not_retried() {
         let clock = SimClock::new();
-        let retry = RetryStore::new(
-            Arc::new(MemoryStore::new()),
-            RetryPolicy::default(),
-            clock.clone(),
-        )
-        .unwrap();
+        let retry =
+            RetryStore::new(Arc::new(MemoryStore::new()), RetryPolicy::default(), clock.clone())
+                .unwrap();
         assert!(retry.get("missing").unwrap_err().is_not_found());
         assert_eq!(retry.retries(), 0);
         assert_eq!(clock.now_secs(), 0.0);
+    }
+
+    #[test]
+    fn flaky_get_many_draws_per_key() {
+        // A batch must consume one injection decision per key, exactly like
+        // n single gets with the same seed would.
+        let keys: Vec<String> = (0..40).map(|i| format!("k{i}")).collect();
+        let singles = {
+            let s = flaky(0.3, FailScope::Reads);
+            for k in &keys {
+                s.put(k, b"v").unwrap();
+            }
+            keys.iter().map(|k| s.get(k).is_ok()).collect::<Vec<_>>()
+        };
+        let batched = {
+            let s = flaky(0.3, FailScope::Reads);
+            for k in &keys {
+                s.put(k, b"v").unwrap();
+            }
+            let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            s.get_many(&refs).iter().map(|r| r.is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(singles, batched);
+        assert!(singles.iter().any(|ok| !ok), "rate 0.3 over 40 keys injects something");
+        assert!(singles.iter().any(|&ok| ok), "rate 0.3 over 40 keys passes something");
+    }
+
+    #[test]
+    fn retry_get_many_recovers_in_waves() {
+        let clock = SimClock::new();
+        let flaky = flaky(0.4, FailScope::Reads);
+        let retry = RetryStore::new(
+            flaky.clone(),
+            RetryPolicy { max_attempts: 10, initial_backoff_secs: 0.05, multiplier: 2.0 },
+            clock.clone(),
+        )
+        .unwrap();
+        let keys: Vec<String> = (0..30).map(|i| format!("k{i}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            retry.put(k, format!("v{i}").as_bytes()).unwrap();
+        }
+        let before = clock.now_secs();
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        let results = retry.get_many(&refs);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), format!("v{i}").as_bytes(), "key {i}");
+        }
+        assert!(retry.retries() > 0, "rate 0.4 over 30 keys must retry");
+        // Waves share one backoff each: total backoff is far below what
+        // per-key sequential retries (0.05s each, doubling) would charge.
+        let charged = clock.now_secs() - before;
+        assert!(charged > 0.0);
+        assert!(charged < 0.05 * retry.retries() as f64, "backoff charged per wave, not per key");
+    }
+
+    #[test]
+    fn retry_get_many_mixes_permanent_and_transient() {
+        let clock = SimClock::new();
+        let flaky = flaky(0.4, FailScope::Reads);
+        let retry = RetryStore::new(flaky, RetryPolicy::default(), clock.clone()).unwrap();
+        retry.put("present", b"yes").unwrap();
+        // "absent" resolves as NotFound without burning retry attempts even
+        // while its wave-mates retry transient failures.
+        let results = retry.get_many(&["present", "absent"]);
+        assert_eq!(results[0].as_ref().unwrap(), b"yes");
+        assert!(results[1].as_ref().unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn retry_get_many_gives_up_after_max_attempts() {
+        let clock = SimClock::new();
+        let always_fail = flaky(1.0, FailScope::All);
+        let retry = RetryStore::new(
+            always_fail,
+            RetryPolicy { max_attempts: 3, initial_backoff_secs: 0.1, multiplier: 2.0 },
+            clock.clone(),
+        )
+        .unwrap();
+        let results = retry.get_many(&["a", "b"]);
+        assert!(results.iter().all(|r| matches!(r, Err(NsdfError::Io(_)))));
+        // Two keys x 2 retry waves; backoff charged once per wave.
+        assert_eq!(retry.retries(), 4);
+        assert!((clock.now_secs() - 0.3).abs() < 1e-9);
     }
 
     #[test]

@@ -41,6 +41,19 @@ pub trait ObjectStore: Send + Sync {
         slice_range(&data, offset, len, key)
     }
 
+    /// Fetch many objects in one call, returning per-key results in input
+    /// order.
+    ///
+    /// This is the batched entry point the parallel IDX block pipeline
+    /// uses: backends that can amortize per-request overhead (the WAN
+    /// simulator's parallel streams, the cache's single lock pass) override
+    /// it; the default simply loops over [`ObjectStore::get`]. A failed key
+    /// never aborts the batch — callers decide per key how to treat
+    /// `NotFound` (unwritten block) versus transport errors.
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
     /// Metadata without the payload.
     fn head(&self, key: &str) -> Result<ObjectMeta>;
 
@@ -90,9 +103,7 @@ pub fn validate_key(key: &str) -> Result<()> {
 
 /// Shared ranged-read slicing with bounds checking.
 pub fn slice_range(data: &[u8], offset: u64, len: u64, key: &str) -> Result<Vec<u8>> {
-    let end = offset
-        .checked_add(len)
-        .ok_or_else(|| NsdfError::invalid("range overflow"))?;
+    let end = offset.checked_add(len).ok_or_else(|| NsdfError::invalid("range overflow"))?;
     if end > data.len() as u64 {
         return Err(NsdfError::invalid(format!(
             "range {offset}+{len} exceeds object {key:?} of {} bytes",

@@ -122,7 +122,14 @@ impl CloudStore {
         clock: SimClock,
         seed: u64,
     ) -> Self {
-        CloudStore { inner, profile, clock, seed, op_counter: AtomicU64::new(0), log: Mutex::new(TransferLog::default()) }
+        CloudStore {
+            inner,
+            profile,
+            clock,
+            seed,
+            op_counter: AtomicU64::new(0),
+            log: Mutex::new(TransferLog::default()),
+        }
     }
 
     /// The network profile in force.
@@ -189,6 +196,27 @@ impl ObjectStore for CloudStore {
         log.bytes_down += data.len() as u64;
         log.busy_secs += secs;
         Ok(data)
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        let results = self.inner.get_many(keys);
+        let fetched: u64 = results.iter().filter_map(|r| r.as_ref().ok()).count() as u64;
+        if fetched > 0 {
+            // The batch rides the profile's parallel streams: each stream
+            // carries ceil(n/streams) requests back to back, so only that
+            // many round-trips serialize, while `transfer_secs` already
+            // spreads the payload across the streams. One jitter draw for
+            // the whole batch — it is one network episode, not n.
+            let total: u64 =
+                results.iter().filter_map(|r| r.as_ref().ok()).map(|d| d.len() as u64).sum();
+            let trips = (fetched as u32).div_ceil(self.profile.streams.max(1));
+            let secs = self.charge(trips, total);
+            let mut log = self.log.lock();
+            log.read_ops += fetched;
+            log.bytes_down += total;
+            log.busy_secs += secs;
+        }
+        results
     }
 
     fn head(&self, key: &str) -> Result<ObjectMeta> {
@@ -296,6 +324,65 @@ mod tests {
         let c = cloud(NetworkProfile::local());
         assert!(c.get("missing").unwrap_err().is_not_found());
         assert_eq!(c.transfer_log().read_ops, 0);
+    }
+
+    #[test]
+    fn get_many_amortizes_round_trips() {
+        let keys: Vec<String> = (0..16).map(|i| format!("k{i}")).collect();
+        let payload = vec![3u8; 64 << 10];
+
+        let sequential = cloud(NetworkProfile::public_dataverse());
+        for k in &keys {
+            sequential.put(k, &payload).unwrap();
+        }
+        let t0 = sequential.clock().now_secs();
+        for k in &keys {
+            sequential.get(k).unwrap();
+        }
+        let seq_secs = sequential.clock().now_secs() - t0;
+
+        let batched = cloud(NetworkProfile::public_dataverse());
+        for k in &keys {
+            batched.put(k, &payload).unwrap();
+        }
+        let t0 = batched.clock().now_secs();
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        let results = batched.get_many(&refs);
+        let batch_secs = batched.clock().now_secs() - t0;
+
+        assert!(results.iter().all(|r| r.as_ref().is_ok_and(|d| d == &payload)));
+        // 16 gets over 4 streams: 4 serialized RTTs instead of 16, same
+        // payload time. Even with jitter that must be far below sequential.
+        assert!(
+            batch_secs < seq_secs * 0.5,
+            "batched {batch_secs:.4}s vs sequential {seq_secs:.4}s"
+        );
+        // Accounting still counts every object.
+        let log = batched.transfer_log();
+        assert_eq!(log.read_ops, 16);
+        assert_eq!(log.bytes_down, 16 * payload.len() as u64);
+    }
+
+    #[test]
+    fn get_many_charges_only_successes() {
+        let c = cloud(NetworkProfile::private_seal());
+        c.put("present", b"data").unwrap();
+        c.reset_log();
+        let t0 = c.clock().now_ns();
+        let results = c.get_many(&["missing-a", "present", "missing-b"]);
+        assert!(results[0].as_ref().unwrap_err().is_not_found());
+        assert_eq!(results[1].as_ref().unwrap(), b"data");
+        assert!(results[2].as_ref().unwrap_err().is_not_found());
+        assert_eq!(c.transfer_log().read_ops, 1);
+        assert_eq!(c.transfer_log().bytes_down, 4);
+        assert!(c.clock().now_ns() > t0, "the one success must charge time");
+
+        c.reset_log();
+        let t1 = c.clock().now_ns();
+        let all_missing = c.get_many(&["nope-1", "nope-2"]);
+        assert!(all_missing.iter().all(|r| r.as_ref().unwrap_err().is_not_found()));
+        assert_eq!(c.transfer_log().read_ops, 0);
+        assert_eq!(c.clock().now_ns(), t1, "all-error batch charges nothing");
     }
 
     #[test]

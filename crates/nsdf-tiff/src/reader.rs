@@ -75,9 +75,9 @@ impl Ifd {
             .map(|c| match e.ftype {
                 FieldType::Short => Ok(u16::from_le_bytes([c[0], c[1]]) as u32),
                 FieldType::Long => Ok(u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-                FieldType::Double => Err(NsdfError::format(format!(
-                    "tag {tag_id}: expected integer, found double"
-                ))),
+                FieldType::Double => {
+                    Err(NsdfError::format(format!("tag {tag_id}: expected integer, found double")))
+                }
             })
             .collect()
     }
@@ -129,9 +129,7 @@ pub fn tiff_info(bytes: &[u8]) -> Result<TiffInfo> {
         (32, 1) => DType::U32,
         (32, 3) => DType::F32,
         other => {
-            return Err(NsdfError::unsupported(format!(
-                "sample layout {other:?} (bits, format)"
-            )))
+            return Err(NsdfError::unsupported(format!("sample layout {other:?} (bits, format)")))
         }
     };
     let compression = TiffCompression::from_code(ifd.u32_or(tag::COMPRESSION, 1)?)
@@ -224,9 +222,7 @@ mod tests {
     use nsdf_util::GeoTransform;
 
     fn terrain_like(w: usize, h: usize) -> Raster<f32> {
-        Raster::from_fn(w, h, |x, y| {
-            ((x as f32 * 0.1).sin() + (y as f32 * 0.07).cos()) * 100.0
-        })
+        Raster::from_fn(w, h, |x, y| ((x as f32 * 0.1).sin() + (y as f32 * 0.07).cos()) * 100.0)
     }
 
     #[test]

@@ -92,10 +92,7 @@ pub fn write_tiff<T: Sample>(raster: &Raster<T>, compression: TiffCompression) -
     ];
     if let Some(g) = raster.geo {
         entries.push(Entry::doubles(tag::MODEL_PIXEL_SCALE, vec![g.dx, -g.dy, 0.0]));
-        entries.push(Entry::doubles(
-            tag::MODEL_TIEPOINT,
-            vec![0.0, 0.0, 0.0, g.x0, g.y0, 0.0],
-        ));
+        entries.push(Entry::doubles(tag::MODEL_TIEPOINT, vec![0.0, 0.0, 0.0, g.x0, g.y0, 0.0]));
     }
     entries.sort_by_key(|e| e.tag); // TIFF requires ascending tag order
 
@@ -187,8 +184,12 @@ mod tests {
 
     #[test]
     fn south_up_geo_rejected() {
-        let r = Raster::<f32>::zeros(4, 4)
-            .with_geo(GeoTransform { x0: 0.0, y0: 0.0, dx: 1.0, dy: 1.0 });
+        let r = Raster::<f32>::zeros(4, 4).with_geo(GeoTransform {
+            x0: 0.0,
+            y0: 0.0,
+            dx: 1.0,
+            dy: 1.0,
+        });
         assert!(write_tiff(&r, TiffCompression::None).is_err());
     }
 

@@ -84,6 +84,25 @@ impl NsdfError {
     pub fn is_not_found(&self) -> bool {
         matches!(self, NsdfError::NotFound(_))
     }
+
+    /// Produce an equivalent error preserving the variant and message.
+    ///
+    /// `NsdfError` is not `Clone` because `std::io::Error` is not, but the
+    /// single-flight cache must hand one fetch failure to every waiter.
+    /// The replica of an [`NsdfError::Io`] keeps the original `ErrorKind`
+    /// and message; all other variants are reproduced exactly, so
+    /// classification helpers like [`NsdfError::is_not_found`] agree
+    /// between the original and the replica.
+    pub fn replicate(&self) -> NsdfError {
+        match self {
+            NsdfError::Io(e) => NsdfError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            NsdfError::Format(m) => NsdfError::Format(m.clone()),
+            NsdfError::NotFound(m) => NsdfError::NotFound(m.clone()),
+            NsdfError::InvalidArg(m) => NsdfError::InvalidArg(m.clone()),
+            NsdfError::Corrupt(m) => NsdfError::Corrupt(m.clone()),
+            NsdfError::Unsupported(m) => NsdfError::Unsupported(m.clone()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +129,34 @@ mod tests {
     fn is_not_found_discriminates() {
         assert!(NsdfError::not_found("x").is_not_found());
         assert!(!NsdfError::invalid("x").is_not_found());
+    }
+
+    #[test]
+    fn replicate_preserves_variant_and_message() {
+        let nf = NsdfError::not_found("block 9");
+        let r = nf.replicate();
+        assert!(r.is_not_found());
+        assert_eq!(r.to_string(), nf.to_string());
+
+        let io = NsdfError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "stream dropped",
+        ));
+        match io.replicate() {
+            NsdfError::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset);
+                assert!(e.to_string().contains("stream dropped"));
+            }
+            other => panic!("expected Io, got {other}"),
+        }
+
+        for e in [
+            NsdfError::format("f"),
+            NsdfError::invalid("i"),
+            NsdfError::corrupt("c"),
+            NsdfError::unsupported("u"),
+        ] {
+            assert_eq!(e.replicate().to_string(), e.to_string());
+        }
     }
 }

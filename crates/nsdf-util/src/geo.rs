@@ -24,12 +24,7 @@ pub struct Box2i {
 impl Box2i {
     /// Build a box from its corners; normalizes so that `x0 <= x1`, `y0 <= y1`.
     pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
-        Box2i {
-            x0: x0.min(x1),
-            y0: y0.min(y1),
-            x1: x0.max(x1),
-            y1: y0.max(y1),
-        }
+        Box2i { x0: x0.min(x1), y0: y0.min(y1), x1: x0.max(x1), y1: y0.max(y1) }
     }
 
     /// Box covering a full `width x height` raster anchored at the origin.
@@ -65,7 +60,10 @@ impl Box2i {
     /// True when `other` is fully inside `self`.
     pub fn contains_box(&self, other: &Box2i) -> bool {
         other.is_empty()
-            || (other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1)
+            || (other.x0 >= self.x0
+                && other.x1 <= self.x1
+                && other.y0 >= self.y0
+                && other.y1 <= self.y1)
     }
 
     /// Intersection; `None` when the boxes do not overlap.
@@ -106,12 +104,7 @@ impl Box2i {
 
     /// Translate by `(dx, dy)`.
     pub fn shift(&self, dx: i64, dy: i64) -> Box2i {
-        Box2i {
-            x0: self.x0 + dx,
-            y0: self.y0 + dy,
-            x1: self.x1 + dx,
-            y1: self.y1 + dy,
-        }
+        Box2i { x0: self.x0 + dx, y0: self.y0 + dy, x1: self.x1 + dx, y1: self.y1 + dy }
     }
 
     /// Iterate over every `(x, y)` cell in row-major order.

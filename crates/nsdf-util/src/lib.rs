@@ -27,8 +27,8 @@ pub mod hash;
 pub mod meta;
 pub mod par;
 pub mod raster;
-pub mod volume;
 pub mod stats;
+pub mod volume;
 
 pub use clock::{SimClock, SimSpan, SpanRecorder};
 pub use dtype::{bytes_to_samples, samples_to_bytes, DType, Sample};
@@ -37,5 +37,5 @@ pub use geo::{haversine_km, Box2i, Box3i, GeoTransform, LatLon};
 pub use hash::{derive_seed, fnv1a64, splitmix64};
 pub use meta::Meta;
 pub use raster::Raster;
-pub use volume::Volume;
 pub use stats::{AccuracyReport, Histogram, OnlineStats};
+pub use volume::Volume;

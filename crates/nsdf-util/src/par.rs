@@ -18,7 +18,11 @@ pub fn num_threads() -> usize {
 ///
 /// Items are pulled from a shared atomic cursor so uneven per-item cost
 /// (e.g. tiles with different relief) balances across workers.
-pub fn par_map<T: Sync, U: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+pub fn par_map<T: Sync, U: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
     par_map_indexed(items, threads, |_, item| f(item))
 }
 
@@ -62,6 +66,87 @@ pub fn par_map_indexed<T: Sync, U: Send>(
     out.into_iter().map(|v| v.expect("all slots filled")).collect()
 }
 
+/// Fallible parallel ordered map: applies `f` to every item and returns the
+/// results in input order, or the error `f` produced for the **earliest**
+/// item that failed.
+///
+/// The error choice is deterministic regardless of thread count or
+/// scheduling: workers record the lowest failing index seen so far and skip
+/// items beyond it, and every item before the final lowest failure has
+/// already been computed, so the returned error is always the one a
+/// sequential left-to-right run would hit first. This keeps parallel IDX
+/// block decoding byte- and error-identical to the sequential path.
+pub fn try_par_map<T: Sync, U: Send, E: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> std::result::Result<U, E> + Sync,
+) -> std::result::Result<Vec<U>, E> {
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+    // Lowest failing index seen so far; items beyond it are skipped.
+    let err_idx = AtomicUsize::new(usize::MAX);
+    let err_slot: std::sync::Mutex<Option<(usize, E)>> = std::sync::Mutex::new(None);
+    let out_slots = SyncSlots(out.as_mut_ptr(), n);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if i > err_idx.load(Ordering::Acquire) {
+                    continue;
+                }
+                match f(&items[i]) {
+                    // SAFETY: each index i is claimed by exactly one worker
+                    // via the atomic fetch_add, so no two threads write the
+                    // same slot, and the scope joins before `out` is read.
+                    Ok(v) => unsafe { out_slots.write(i, v) },
+                    Err(e) => {
+                        // CAS-min: only the lowest failing index keeps its
+                        // error in the slot.
+                        let mut cur = err_idx.load(Ordering::Acquire);
+                        while i < cur {
+                            match err_idx.compare_exchange(
+                                cur,
+                                i,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => {
+                                    let mut slot = err_slot.lock().expect("error slot poisoned");
+                                    if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                        *slot = Some((i, e));
+                                    }
+                                    break;
+                                }
+                                Err(seen) => cur = seen,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    match err_slot.into_inner().expect("error slot poisoned") {
+        Some((_, e)) => Err(e),
+        None => Ok(out.into_iter().map(|v| v.expect("all slots filled")).collect()),
+    }
+}
+
 /// Pointer wrapper that lets scoped workers write disjoint slots of a
 /// results vector.
 struct SyncSlots<U>(*mut Option<U>, usize);
@@ -82,11 +167,7 @@ impl<U> SyncSlots<U> {
 /// Run `f` over mutually disjoint mutable chunks of `data`, in parallel.
 /// `f` receives the chunk index and the chunk. Chunk size is
 /// `ceil(len / threads)`.
-pub fn par_chunks_mut<T: Send>(
-    data: &mut [T],
-    threads: usize,
-    f: impl Fn(usize, &mut [T]) + Sync,
-) {
+pub fn par_chunks_mut<T: Send>(data: &mut [T], threads: usize, f: impl Fn(usize, &mut [T]) + Sync) {
     let n = data.len();
     if n == 0 {
         return;
@@ -190,5 +271,40 @@ mod tests {
     #[test]
     fn num_threads_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_ok_preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 8, 32] {
+            let par = try_par_map(&items, threads, |x| Ok::<u64, String>(x * 3));
+            assert_eq!(par.as_ref().unwrap(), &seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_returns_earliest_error() {
+        // Items 100, 300 and 400 fail; the earliest (100) must win no
+        // matter how threads interleave.
+        let items: Vec<u64> = (0..500).collect();
+        for threads in [1, 2, 8, 32] {
+            let r = try_par_map(&items, threads, |&x| {
+                if x == 100 || x == 300 || x == 400 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(r.unwrap_err(), "bad 100", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(try_par_map(&empty, 4, |x| Ok::<u32, ()>(*x)).unwrap(), Vec::<u32>::new());
+        assert_eq!(try_par_map(&[9u32], 4, |x| Ok::<u32, ()>(x + 1)).unwrap(), vec![10]);
+        assert!(try_par_map(&[9u32], 4, |_| Err::<u32, &str>("nope")).is_err());
     }
 }

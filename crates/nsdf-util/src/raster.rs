@@ -209,12 +209,7 @@ impl<T: Sample> Raster<T> {
         Ok(Raster {
             width: self.width,
             height: self.height,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
             geo: self.geo,
         })
     }

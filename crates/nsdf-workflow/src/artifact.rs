@@ -85,26 +85,17 @@ pub struct Provenance {
 impl Provenance {
     /// The step that produced `artifact`, if any.
     pub fn producer_of(&self, artifact: &str) -> Option<&StepRecord> {
-        self.steps
-            .iter()
-            .find(|s| s.produced.iter().any(|a| a.name == artifact))
+        self.steps.iter().find(|s| s.produced.iter().any(|a| a.name == artifact))
     }
 
     /// All steps that consumed `artifact`.
     pub fn consumers_of(&self, artifact: &str) -> Vec<&StepRecord> {
-        self.steps
-            .iter()
-            .filter(|s| s.consumed.iter().any(|c| c == artifact))
-            .collect()
+        self.steps.iter().filter(|s| s.consumed.iter().any(|c| c == artifact)).collect()
     }
 
     /// Total bytes across all produced artifacts.
     pub fn total_artifact_bytes(&self) -> u64 {
-        self.steps
-            .iter()
-            .flat_map(|s| &s.produced)
-            .map(|a| a.bytes)
-            .sum()
+        self.steps.iter().flat_map(|s| &s.produced).map(|a| a.bytes).sum()
     }
 
     /// True when every executed step succeeded.

@@ -122,8 +122,7 @@ impl Workflow {
             }
         }
         // Kahn's algorithm preserving insertion order for determinism.
-        let mut ready: Vec<usize> =
-            (0..self.steps.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..self.steps.len()).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(self.steps.len());
         let mut seen = HashSet::new();
         while let Some(i) = ready.first().copied() {
@@ -260,7 +259,9 @@ mod tests {
     fn diamond_dependencies_respect_order() {
         let mut wf = Workflow::new("diamond");
         let log: std::sync::Arc<parking_lot::Mutex<Vec<&'static str>>> = Default::default();
-        for (name, deps) in [("a", vec![]), ("b", vec!["a"]), ("c", vec!["a"]), ("d", vec!["b", "c"])] {
+        for (name, deps) in
+            [("a", vec![]), ("b", vec!["a"]), ("c", vec!["a"]), ("d", vec!["b", "c"])]
+        {
             let log = log.clone();
             let deps: Vec<&str> = deps;
             wf.add_step(name, &deps, &[], move |_| {
@@ -273,7 +274,12 @@ mod tests {
         assert!(prov.succeeded());
         let order = log.lock().clone();
         let pos = |n| order.iter().position(|&x| x == n).unwrap();
-        assert!(pos("a") < pos("b") && pos("a") < pos("c") && pos("b") < pos("d") && pos("c") < pos("d"));
+        assert!(
+            pos("a") < pos("b")
+                && pos("a") < pos("c")
+                && pos("b") < pos("d")
+                && pos("c") < pos("d")
+        );
     }
 
     #[test]

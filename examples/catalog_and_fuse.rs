@@ -34,11 +34,7 @@ fn main() -> Result<()> {
     );
     let t1 = Instant::now();
     let hits = cat.find_by_prefix("repo/dataset-042/");
-    println!(
-        "prefix query: {} hits in {:.1} ms",
-        hits.len(),
-        t1.elapsed().as_secs_f64() * 1e3
-    );
+    println!("prefix query: {} hits in {:.1} ms", hits.len(), t1.elapsed().as_secs_f64() * 1e3);
     let stats = cat.stats();
     println!(
         "stats: {} records, {:.1} MB indexed, {} duplicated checksums, sources {:?}",
@@ -54,7 +50,9 @@ fn main() -> Result<()> {
         "{:<22} {:<12} {:>9} {:>10} {:>10} {:>10}",
         "workload", "mapping", "file_ops", "store_rd", "store_wr", "virt_secs"
     );
-    for (wl_name, mix) in [("small-files", OpMix::small_files()), ("large-files", OpMix::large_files())] {
+    for (wl_name, mix) in
+        [("small-files", OpMix::small_files()), ("large-files", OpMix::large_files())]
+    {
         for mapping in Mapping::palette() {
             let r = run_workload(mapping, NetworkProfile::public_dataverse(), mix, 17)?;
             println!(
@@ -92,9 +90,7 @@ fn main() -> Result<()> {
     for client in ["utk", "umich", "clemson", "jhu"] {
         let (site, secs) = select_entry_point(&matrix, client, &replicas, 1 << 30)?;
         let (oracle, _) = select_entry_point_oracle(&tb, client, &replicas, 1 << 30)?;
-        println!(
-            "  client {client:<8} -> {site:<8} ({secs:.2}s predicted; oracle picks {oracle})"
-        );
+        println!("  client {client:<8} -> {site:<8} ({secs:.2}s predicted; oracle picks {oracle})");
     }
 
     println!("\nok");

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example dashboard_session`
 
-use nsdf::prelude::*;
 use nsdf::geotiled::compute_terrain;
+use nsdf::prelude::*;
 use std::sync::Arc;
 
 fn main() -> Result<()> {
@@ -103,12 +103,8 @@ fn main() -> Result<()> {
     dash.select_field("slope")?;
     dash.set_range(RangeMode::Dynamic)?;
     let region = dash.region();
-    let snip = dash.snip(Box2i::new(
-        region.x0 + 10,
-        region.y0 + 10,
-        region.x0 + 74,
-        region.y0 + 74,
-    ))?;
+    let snip =
+        dash.snip(Box2i::new(region.x0 + 10, region.y0 + 10, region.x0 + 74, region.y0 + 74))?;
     println!(
         "snip: {}x{} samples from {:?}",
         snip.raster.width(),

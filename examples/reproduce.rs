@@ -173,14 +173,8 @@ fn fig6() -> Result<()> {
         Codec::FixedRate { bits: 10 },
     ] {
         let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
-        let meta = IdxMeta::new_2d(
-            "fig6",
-            512,
-            512,
-            vec![Field::new("slope", DType::F32)?],
-            12,
-            codec,
-        )?;
+        let meta =
+            IdxMeta::new_2d("fig6", 512, 512, vec![Field::new("slope", DType::F32)?], 12, codec)?;
         let ds = IdxDataset::create(store, "fig6", meta)?;
         let stats = ds.write_raster("slope", 0, &slope)?;
         let (back, _) = ds.read_full::<f32>("slope", 0)?;
@@ -205,7 +199,12 @@ fn fig7() -> Result<()> {
         let base: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
         let store: Arc<dyn ObjectStore> = if remote {
             Arc::new(CachedStore::new(
-                Arc::new(CloudStore::new(base, NetworkProfile::private_seal(), clock.clone(), SEED)),
+                Arc::new(CloudStore::new(
+                    base,
+                    NetworkProfile::private_seal(),
+                    clock.clone(),
+                    SEED,
+                )),
                 128 << 20,
             ))
         } else {
@@ -250,7 +249,10 @@ fn run_session(label: &str, ds: Arc<IdxDataset>, clock: &SimClock) -> Result<()>
     dash.select_dataset("conus")?;
     dash.set_viewport_px(512)?;
     println!("-- {label} storage --");
-    println!("{:<18} {:>8} {:>10} {:>12} {:>10}", "interaction", "level", "blocks", "bytes", "virt_ms");
+    println!(
+        "{:<18} {:>8} {:>10} {:>12} {:>10}",
+        "interaction", "level", "blocks", "bytes", "virt_ms"
+    );
     let shot = |name: &str, dash: &Dashboard| -> Result<()> {
         let t = clock.now_secs();
         let (_, info) = dash.render_frame()?;
@@ -341,7 +343,9 @@ fn fuse_table() -> Result<()> {
         "{:<14} {:<12} {:>10} {:>10} {:>12}",
         "workload", "mapping", "store_rd", "store_wr", "virt_secs"
     );
-    for (name, mix) in [("small-files", OpMix::small_files()), ("large-files", OpMix::large_files())] {
+    for (name, mix) in
+        [("small-files", OpMix::small_files()), ("large-files", OpMix::large_files())]
+    {
         for mapping in Mapping::palette() {
             let r = run_workload(mapping, NetworkProfile::public_dataverse(), mix, SEED)?;
             println!(
@@ -380,10 +384,7 @@ fn cloud_table() -> Result<()> {
     use nsdf::cloud::{provision, ClusterRequest, Job, Provider};
     let providers = Provider::nsdf_federation();
     println!("bag of 256 jobs x 10 core-minutes over the NSDF federation:");
-    println!(
-        "{:<8} {:>12} {:>12} {:>10} {:>8}",
-        "nodes", "makespan_s", "cost_$", "util_%", "$/h"
-    );
+    println!("{:<8} {:>12} {:>12} {:>10} {:>8}", "nodes", "makespan_s", "cost_$", "util_%", "$/h");
     let jobs: Vec<Job> = (0..256).map(|id| Job { id, work: 600.0 }).collect();
     for nodes in [4u32, 16, 36, 64] {
         let cluster = provision(&providers, &ClusterRequest { nodes, max_cost_per_hour: 50.0 })?;

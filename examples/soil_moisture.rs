@@ -51,10 +51,7 @@ fn main() -> Result<()> {
     println!("{:<6} {:>14} {:>14} {:>16}", "k", "cv rmse", "true rmse", "bilinear rmse");
     for &(k, cv_rmse) in &cv.scores {
         let report = downscale_knn(&truth, k)?;
-        println!(
-            "{:<6} {:>14.5} {:>14.5} {:>16.5}",
-            k, cv_rmse, report.rmse, report.baseline_rmse
-        );
+        println!("{:<6} {:>14.5} {:>14.5} {:>16.5}", k, cv_rmse, report.rmse, report.baseline_rmse);
     }
     println!("CV picks k = {} (held-out rmse {:.5})", cv.best_k, cv.best_rmse);
 
@@ -65,10 +62,7 @@ fn main() -> Result<()> {
         "soil-moisture",
         192,
         192,
-        vec![
-            Field::new("predicted", DType::F32)?,
-            Field::new("truth", DType::F32)?,
-        ],
+        vec![Field::new("predicted", DType::F32)?, Field::new("truth", DType::F32)?],
         10,
         Codec::LzssHuff { sample_size: 4 },
     )?;

@@ -60,11 +60,15 @@ fn main() -> Result<()> {
     )?;
     for halo in [0usize, 1, 2, 4] {
         let plan = TilePlan::new(8, 8, halo)?;
-        let (tiled, _) = compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 8)?;
+        let (tiled, _) =
+            compute_terrain_tiled(&dem, TerrainParam::Slope, Sun::default(), &plan, 8)?;
         let acc = AccuracyReport::compare(&reference, &tiled)?;
         println!(
             "  halo {}: max_err={:<12.6} rmse={:<12.6} exact={}",
-            halo, acc.max_abs_err, acc.rmse, acc.is_exact()
+            halo,
+            acc.max_abs_err,
+            acc.rmse,
+            acc.is_exact()
         );
     }
 

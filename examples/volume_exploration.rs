@@ -80,15 +80,17 @@ fn main() -> Result<()> {
             q.bytes_fetched,
             (clock.now_secs() - t) * 1e3
         );
-        let img = nsdf::dashboard::render(&slice, Colormap::Viridis, RangeMode::Percentile(1.0, 99.0))?;
+        let img =
+            nsdf::dashboard::render(&slice, Colormap::Viridis, RangeMode::Percentile(1.0, 99.0))?;
         std::fs::write(out_dir.join(format!("slice-z{z}-l{level}.ppm")), img.to_ppm())?;
     }
 
     // Interactive exploration through the VolumeExplorer (the dashboard's
     // z-slider over volumes): a 4-frame flythrough.
-    let mut explorer = nsdf::dashboard::VolumeExplorer::new(Arc::new(
-        IdxVolume::open(cached.clone() as Arc<dyn ObjectStore>, "volumes/plume")?,
-    ));
+    let mut explorer = nsdf::dashboard::VolumeExplorer::new(Arc::new(IdxVolume::open(
+        cached.clone() as Arc<dyn ObjectStore>,
+        "volumes/plume",
+    )?));
     explorer.set_colormap(Colormap::CoolWarm);
     explorer.set_level(max - 3);
     for (z, img) in explorer.flythrough(4)? {

@@ -1,0 +1,331 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the criterion API surface the `bench` crate uses — groups,
+//! `bench_function` / `bench_with_input`, throughput annotation,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros — as
+//! a small wall-clock harness. No statistical analysis, plots, or HTML
+//! reports: each benchmark runs a bounded number of iterations inside the
+//! configured measurement window and prints the mean iteration time (plus
+//! derived throughput when annotated). Good enough to compare orders of
+//! magnitude and produce the numbers quoted in EXPERIMENTS.md.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work. Thin wrapper over `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group; scales the printed rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{param}", name.into()) }
+    }
+
+    /// Parameter-only id for groups benching one function over inputs.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a RunConfig,
+    /// Mean seconds per iteration of the most recent `iter` call.
+    result: Option<MeasuredTime>,
+}
+
+#[derive(Clone, Copy)]
+struct MeasuredTime {
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl<'a> Bencher<'a> {
+    /// Run `f` repeatedly and record the mean wall-clock time. Iteration
+    /// count is bounded by both the sample budget and the measurement
+    /// window so slow benchmarks stay responsive.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let budget = self.config.measurement_time;
+        let max_iters = self.config.sample_size.max(1) as u64;
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < max_iters {
+            black_box(f());
+            iters += 1;
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        let mean_secs = started.elapsed().as_secs_f64() / iters as f64;
+        self.result = Some(MeasuredTime { mean_secs, iters });
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RunConfig {
+    sample_size: usize,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Benchmark harness entry point, configured like upstream criterion.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Criterion {
+    /// Upper bound on iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget (the shim always runs exactly one untimed warm-up
+    /// iteration; the duration is accepted for API compatibility).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Upstream parses CLI filters here; the shim runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            config_throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, None, &id.into().id, None, f);
+        self
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: RunConfig,
+    config_throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate per-iteration work so a rate is printed alongside time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.config_throughput = Some(t);
+        self
+    }
+
+    /// Override the iteration bound for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, Some(&self.name), &id.into().id, self.config_throughput, f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.config, Some(&self.name), &id.into().id, self.config_throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &RunConfig,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { config, result: None };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match b.result {
+        Some(m) => {
+            let rate = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>10.1} MiB/s", n as f64 / m.mean_secs / (1u64 << 20) as f64)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>10.0} elem/s", n as f64 / m.mean_secs)
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench: {label:<56} {:>12}  ({} iters){rate}",
+                format_time(m.mean_secs),
+                m.iters
+            );
+        }
+        None => println!("bench: {label:<56} (no measurement)"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_bounds_iters() {
+        let config = RunConfig {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(50),
+        };
+        let mut b = Bencher { config: &config, result: None };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        let m = b.result.expect("measured");
+        assert!(m.iters >= 1 && m.iters <= 5);
+        assert_eq!(calls, m.iters + 1); // +1 warm-up
+        assert!(m.mean_secs >= 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .configure_from_args();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7 * 6)));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("lz4").id, "lz4");
+    }
+}

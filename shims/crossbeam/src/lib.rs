@@ -1,0 +1,105 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *API subset it actually uses* — `crossbeam::scope` with
+//! scoped spawns and joinable handles — implemented directly on
+//! `std::thread::scope` (stable since 1.63). Semantics match crossbeam for
+//! every call site in this repository; the one observable difference is
+//! that a panicking child thread panics out of `scope` itself (std
+//! behaviour) instead of surfacing as `Err`, which is equivalent for
+//! callers that `.expect()`/`.unwrap()` the result, as all call sites here
+//! do.
+
+/// Result of a scope or a join: `Ok` unless a child panicked.
+pub type ScopeResult<T> = std::thread::Result<T>;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+///
+/// Wraps a `std::thread::Scope`; `Copy` so it can be handed to spawned
+/// closures (crossbeam passes the scope back into every spawned closure to
+/// allow nested spawns).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// A joinable handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` if it panicked.
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to `'scope`. The closure receives the scope
+    /// itself (for nested spawns), exactly like crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = *self;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&me)) }
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all threads are joined
+/// before `scope` returns. Mirrors `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Re-export under the `thread` module path as crossbeam does.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let hits = AtomicUsize::new(0);
+        let sums: Vec<u64> = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let (data, hits) = (&data, &hits);
+                    s.spawn(move |_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        data[i] * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![10, 20, 30, 40]);
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_passed_scope() {
+        let v = super::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! Provides the parking_lot API subset this workspace uses — `Mutex`,
+//! `RwLock`, and `Condvar` with non-poisoning guards — as thin wrappers
+//! over `std::sync`. Poison errors are unwrapped into the inner guard,
+//! matching parking_lot's "poisoning does not exist" semantics.
+
+use std::fmt;
+use std::sync::{self, TryLockError};
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// Non-poisoning mutex (parking_lot-compatible API over `std::sync::Mutex`).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `t`.
+    pub const fn new(t: T) -> Self {
+        Mutex(sync::Mutex::new(t))
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Non-poisoning reader-writer lock over `std::sync::RwLock`.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Create a new lock holding `t`.
+    pub const fn new(t: T) -> Self {
+        RwLock(sync::RwLock::new(t))
+    }
+
+    /// Consume the lock and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard, ignoring poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire an exclusive write guard, ignoring poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Condition variable compatible with [`Mutex`] guards.
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard` while waiting.
+    ///
+    /// parking_lot mutates the guard in place; the std backend swaps it
+    /// through a move, so the shim takes and returns ownership internally.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        assert_eq!(l.read().len(), 3);
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn condvar_signals() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut g = lock.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

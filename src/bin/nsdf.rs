@@ -84,9 +84,7 @@ fn parse_opts(args: &[String]) -> Result<Opts> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| NsdfError::invalid(format!("expected --option, got {a:?}")))?;
-        let val = it
-            .next()
-            .ok_or_else(|| NsdfError::invalid(format!("--{key} needs a value")))?;
+        let val = it.next().ok_or_else(|| NsdfError::invalid(format!("--{key} needs a value")))?;
         opts.insert(key.to_string(), val.clone());
     }
     Ok(opts)
@@ -101,9 +99,9 @@ fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str> {
 fn num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| NsdfError::invalid(format!("--{key}: cannot parse {v:?}"))),
+        Some(v) => {
+            v.parse().map_err(|_| NsdfError::invalid(format!("--{key}: cannot parse {v:?}")))
+        }
     }
 }
 
@@ -200,10 +198,8 @@ fn info(opts: &Opts) -> Result<()> {
 }
 
 fn query_raster(opts: &Opts, ds: &IdxDataset) -> Result<(Raster<f32>, u32)> {
-    let field: String = opts
-        .get("field")
-        .cloned()
-        .unwrap_or_else(|| ds.meta().fields[0].name.clone());
+    let field: String =
+        opts.get("field").cloned().unwrap_or_else(|| ds.meta().fields[0].name.clone());
     let time: u32 = num(opts, "time", 0)?;
     let level: u32 = num(opts, "level", ds.max_level())?;
     let region = match opts.get("region") {

@@ -32,21 +32,36 @@ fn full_tutorial_command_sequence() {
     let dir = workdir("seq");
     let p = |n: &str| dir.join(n).to_string_lossy().into_owned();
 
-    let out = run_ok(bin().args([
-        "gen-dem", "--out", &p("dem.tif"), "--size", "128", "--seed", "9",
-    ]));
+    let out =
+        run_ok(bin().args(["gen-dem", "--out", &p("dem.tif"), "--size", "128", "--seed", "9"]));
     assert!(out.contains("128x128"));
     assert!(dir.join("dem.tif").is_file());
 
     let out = run_ok(bin().args([
-        "terrain", "--dem", &p("dem.tif"), "--param", "hillshade", "--out", &p("hs.tif"),
-        "--tiles", "2",
+        "terrain",
+        "--dem",
+        &p("dem.tif"),
+        "--param",
+        "hillshade",
+        "--out",
+        &p("hs.tif"),
+        "--tiles",
+        "2",
     ]));
     assert!(out.contains("hillshade"));
 
     run_ok(bin().args([
-        "convert", "--tiff", &p("hs.tif"), "--store", &p("idx"), "--name", "hs",
-        "--codec", "zlib4", "--bits-per-block", "10",
+        "convert",
+        "--tiff",
+        &p("hs.tif"),
+        "--store",
+        &p("idx"),
+        "--name",
+        "hs",
+        "--codec",
+        "zlib4",
+        "--bits-per-block",
+        "10",
     ]));
     assert!(dir.join("idx/hs/dataset.idx").is_file());
 
@@ -55,8 +70,15 @@ fn full_tutorial_command_sequence() {
     assert!(info.contains("codec:          zlib4"));
 
     run_ok(bin().args([
-        "query", "--store", &p("idx"), "--name", "hs", "--region", "10,10,74,74",
-        "--out", &p("crop.tif"),
+        "query",
+        "--store",
+        &p("idx"),
+        "--name",
+        "hs",
+        "--region",
+        "10,10,74,74",
+        "--out",
+        &p("crop.tif"),
     ]));
     // The crop must decode as a 64x64 TIFF.
     let crop = std::fs::read(dir.join("crop.tif")).unwrap();
@@ -64,8 +86,17 @@ fn full_tutorial_command_sequence() {
     assert_eq!((info.width, info.height), (64, 64));
 
     run_ok(bin().args([
-        "render", "--store", &p("idx"), "--name", "hs", "--out", &p("frame.ppm"),
-        "--colormap", "gray", "--level", "10",
+        "render",
+        "--store",
+        &p("idx"),
+        "--name",
+        "hs",
+        "--out",
+        &p("frame.ppm"),
+        "--colormap",
+        "gray",
+        "--level",
+        "10",
     ]));
     let ppm = std::fs::read(dir.join("frame.ppm")).unwrap();
     assert!(ppm.starts_with(b"P6\n"));
@@ -78,12 +109,8 @@ fn cli_roundtrip_preserves_data() {
     let dir = workdir("roundtrip");
     let p = |n: &str| dir.join(n).to_string_lossy().into_owned();
     run_ok(bin().args(["gen-dem", "--out", &p("dem.tif"), "--size", "64", "--seed", "3"]));
-    run_ok(bin().args([
-        "convert", "--tiff", &p("dem.tif"), "--store", &p("s"), "--name", "dem",
-    ]));
-    run_ok(bin().args([
-        "query", "--store", &p("s"), "--name", "dem", "--out", &p("back.tif"),
-    ]));
+    run_ok(bin().args(["convert", "--tiff", &p("dem.tif"), "--store", &p("s"), "--name", "dem"]));
+    run_ok(bin().args(["query", "--store", &p("s"), "--name", "dem", "--out", &p("back.tif")]));
     let orig = nsdf::tiff::read_tiff::<f32>(&std::fs::read(dir.join("dem.tif")).unwrap()).unwrap();
     let back = nsdf::tiff::read_tiff::<f32>(&std::fs::read(dir.join("back.tif")).unwrap()).unwrap();
     assert_eq!(orig.data(), back.data(), "CLI gen->convert->query must be lossless");
@@ -101,10 +128,7 @@ fn cli_error_handling() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
     // Operating on a missing dataset is a runtime failure (exit 1).
-    let out = bin()
-        .args(["info", "--store", "/nonexistent-nsdf", "--name", "x"])
-        .output()
-        .unwrap();
+    let out = bin().args(["info", "--store", "/nonexistent-nsdf", "--name", "x"]).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     // Help succeeds.
     let out = bin().arg("help").output().unwrap();
@@ -113,7 +137,8 @@ fn cli_error_handling() {
 
 #[test]
 fn cli_tutorial_runs() {
-    let out = run_ok(bin().args(["tutorial", "--seed", "4", "--size", "96", "--endpoint", "local"]));
+    let out =
+        run_ok(bin().args(["tutorial", "--seed", "4", "--size", "96", "--endpoint", "local"]));
     assert!(out.contains("validation exact: true"));
     assert!(out.contains("1-data-generation"));
     assert!(out.contains("4-interactive-dashboard"));

@@ -69,20 +69,27 @@ fn wan_timings_are_bit_stable() {
 #[test]
 fn fuse_workload_results_are_bit_stable() {
     let mix = OpMix { files: 20, file_bytes: 2048, read_passes: 1, delete: true };
-    let a = run_workload(Mapping::Packed { pack_target_bytes: 8192 }, NetworkProfile::private_seal(), mix, 5)
-        .unwrap();
-    let b = run_workload(Mapping::Packed { pack_target_bytes: 8192 }, NetworkProfile::private_seal(), mix, 5)
-        .unwrap();
+    let a = run_workload(
+        Mapping::Packed { pack_target_bytes: 8192 },
+        NetworkProfile::private_seal(),
+        mix,
+        5,
+    )
+    .unwrap();
+    let b = run_workload(
+        Mapping::Packed { pack_target_bytes: 8192 },
+        NetworkProfile::private_seal(),
+        mix,
+        5,
+    )
+    .unwrap();
     assert_eq!(a, b);
 }
 
 #[test]
 fn probe_campaign_and_survey_are_bit_stable() {
     let tb = Testbed::nsdf_default();
-    assert_eq!(
-        run_campaign(&tb, 25, 3).unwrap().pairs,
-        run_campaign(&tb, 25, 3).unwrap().pairs
-    );
+    assert_eq!(run_campaign(&tb, 25, 3).unwrap().pairs, run_campaign(&tb, 25, 3).unwrap().pairs);
     let sessions = Session::paper_sessions();
     assert_eq!(
         SurveyModel::new(9).run(&sessions).unwrap(),

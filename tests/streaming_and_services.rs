@@ -15,12 +15,7 @@ fn publish_remote(
     cache_bytes: u64,
 ) -> (SimClock, Arc<CachedStore>, IdxDataset) {
     let clock = SimClock::new();
-    let wan = Arc::new(CloudStore::new(
-        Arc::new(MemoryStore::new()),
-        profile,
-        clock.clone(),
-        99,
-    ));
+    let wan = Arc::new(CloudStore::new(Arc::new(MemoryStore::new()), profile, clock.clone(), 99));
     let cached = Arc::new(CachedStore::new(wan, cache_bytes));
     let dem = DemConfig::conus_like(256, 256, 1).generate();
     let meta = IdxMeta::new_2d(
@@ -32,7 +27,8 @@ fn publish_remote(
         Codec::ShuffleLzss { sample_size: 4 },
     )
     .unwrap();
-    let ds = IdxDataset::create(cached.clone() as Arc<dyn ObjectStore>, "pub/remote", meta).unwrap();
+    let ds =
+        IdxDataset::create(cached.clone() as Arc<dyn ObjectStore>, "pub/remote", meta).unwrap();
     ds.write_raster("v", 0, &dem).unwrap();
     (clock, cached, ds)
 }
@@ -42,9 +38,7 @@ fn coarse_overview_is_much_cheaper_than_full_read_over_wan() {
     let (clock, cached, ds) = publish_remote(NetworkProfile::public_dataverse(), 64 << 20);
     cached.clear();
     let t0 = clock.now_secs();
-    let (_, coarse) = ds
-        .read_box::<f32>("v", 0, ds.bounds(), ds.max_level() - 6)
-        .unwrap();
+    let (_, coarse) = ds.read_box::<f32>("v", 0, ds.bounds(), ds.max_level() - 6).unwrap();
     let coarse_secs = clock.now_secs() - t0;
     cached.clear();
     let t1 = clock.now_secs();
@@ -61,8 +55,17 @@ fn warm_cache_eliminates_wan_time() {
     let region = Box2i::new(64, 64, 128, 128);
     ds.read_box::<f32>("v", 0, region, ds.max_level()).unwrap();
     let t = clock.now_secs();
-    ds.read_box::<f32>("v", 0, region, ds.max_level()).unwrap();
+    let (_, repeat) = ds.read_box::<f32>("v", 0, region, ds.max_level()).unwrap();
     assert_eq!(clock.now_secs(), t, "warm query must not advance the WAN clock");
+    assert!(repeat.decoded_cache_hits > 0, "repeat query is served by the decoded cache");
+    assert_eq!(repeat.bytes_fetched, 0, "repeat query must not touch the store");
+    // A fresh handle has an empty decoded cache, so it reaches the object
+    // cache — and still pays no WAN time (only the uncached dataset.idx
+    // metadata read during open is charged).
+    let fresh = IdxDataset::open(cached.clone() as Arc<dyn ObjectStore>, "pub/remote").unwrap();
+    let t2 = clock.now_secs();
+    fresh.read_box::<f32>("v", 0, region, fresh.max_level()).unwrap();
+    assert_eq!(clock.now_secs(), t2, "object-cache hits must not advance the WAN clock");
     assert!(cached.stats().hits > 0);
 }
 
@@ -85,8 +88,9 @@ fn fuse_and_idx_share_a_store() {
     fs.write_file("notes/readme.md", b"terrain run notes").unwrap();
 
     let dem = DemConfig::conus_like(64, 64, 2).generate();
-    let meta = IdxMeta::new_2d("side", 64, 64, vec![Field::new("v", DType::F32).unwrap()], 8, Codec::Raw)
-        .unwrap();
+    let meta =
+        IdxMeta::new_2d("side", 64, 64, vec![Field::new("v", DType::F32).unwrap()], 8, Codec::Raw)
+            .unwrap();
     let ds = IdxDataset::create(store.clone(), "bucket/idx", meta).unwrap();
     ds.write_raster("v", 0, &dem).unwrap();
 
@@ -102,8 +106,9 @@ fn fuse_and_idx_share_a_store() {
 fn catalog_indexes_published_idx_blocks() {
     let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
     let dem = DemConfig::conus_like(64, 64, 3).generate();
-    let meta = IdxMeta::new_2d("cat", 64, 64, vec![Field::new("v", DType::F32).unwrap()], 8, Codec::Lz4)
-        .unwrap();
+    let meta =
+        IdxMeta::new_2d("cat", 64, 64, vec![Field::new("v", DType::F32).unwrap()], 8, Codec::Lz4)
+            .unwrap();
     let ds = IdxDataset::create(store.clone(), "published/cat", meta).unwrap();
     ds.write_raster("v", 0, &dem).unwrap();
 
@@ -164,9 +169,8 @@ fn somospie_consumes_geotiled_outputs() {
 fn idx_survives_a_flaky_wan_behind_retries() {
     use nsdf::storage::{FailScope, FlakyStore, RetryPolicy, RetryStore};
     let clock = SimClock::new();
-    let flaky = Arc::new(
-        FlakyStore::new(Arc::new(MemoryStore::new()), 0.25, FailScope::All, 5).unwrap(),
-    );
+    let flaky =
+        Arc::new(FlakyStore::new(Arc::new(MemoryStore::new()), 0.25, FailScope::All, 5).unwrap());
     let retry: Arc<dyn ObjectStore> = Arc::new(
         RetryStore::new(
             flaky.clone(),

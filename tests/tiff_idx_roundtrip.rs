@@ -44,9 +44,10 @@ fn geotransform_survives_the_full_chain() {
     let decoded = read_tiff::<f32>(&tiff).unwrap();
     assert_eq!(decoded.geo, Some(g0));
     let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
-    let meta = IdxMeta::new_2d("g", 64, 64, vec![Field::new("v", DType::F32).unwrap()], 8, Codec::Raw)
-        .unwrap()
-        .with_geo(g0);
+    let meta =
+        IdxMeta::new_2d("g", 64, 64, vec![Field::new("v", DType::F32).unwrap()], 8, Codec::Raw)
+            .unwrap()
+            .with_geo(g0);
     let ds = IdxDataset::create(store, "g", meta).unwrap();
     ds.write_raster("v", 0, &decoded).unwrap();
     let (back, _) = ds.read_full::<f32>("v", 0).unwrap();
@@ -69,11 +70,8 @@ fn awkward_shapes_roundtrip() {
 fn region_queries_agree_with_windowing() {
     let dem = DemConfig::conus_like(128, 128, 9).generate();
     let ds = publish(&dem, Codec::ShuffleLzss { sample_size: 4 }, 8);
-    for b in [
-        Box2i::new(0, 0, 16, 16),
-        Box2i::new(50, 60, 70, 90),
-        Box2i::new(100, 100, 128, 128),
-    ] {
+    for b in [Box2i::new(0, 0, 16, 16), Box2i::new(50, 60, 70, 90), Box2i::new(100, 100, 128, 128)]
+    {
         let (region, _) = ds.read_box::<f32>("v", 0, b, ds.max_level()).unwrap();
         let window = dem.window(b).unwrap();
         assert_eq!(region.data(), window.data(), "{b:?}");
@@ -84,9 +82,7 @@ fn region_queries_agree_with_windowing() {
 fn progressive_levels_subsample_consistently() {
     let dem = DemConfig::conus_like(64, 64, 21).generate();
     let ds = publish(&dem, Codec::Lz4, 8);
-    let seq = ds
-        .read_progressive::<f32>("v", 0, ds.bounds(), 0, ds.max_level())
-        .unwrap();
+    let seq = ds.read_progressive::<f32>("v", 0, ds.bounds(), 0, ds.max_level()).unwrap();
     assert_eq!(seq.len() as u32, ds.max_level() + 1);
     for (level, raster, _) in &seq {
         let strides = ds.curve().mask().level_strides(*level).unwrap();

@@ -68,8 +68,7 @@ fn volume_slices_feed_the_renderer() {
     for z in [0i64, 7, 23] {
         let (slice, _) = ds.read_slice_z::<f32>("v", 0, z, ds.max_level()).unwrap();
         assert_eq!(slice.shape(), (24, 24));
-        let img =
-            nsdf::dashboard::render(&slice, Colormap::Viridis, RangeMode::Dynamic).unwrap();
+        let img = nsdf::dashboard::render(&slice, Colormap::Viridis, RangeMode::Dynamic).unwrap();
         assert_eq!((img.width, img.height), (24, 24));
         // Slice content matches the source volume.
         assert_eq!(slice.get(5, 9), data.get(5, 9, z as usize));
@@ -80,11 +79,15 @@ fn volume_slices_feed_the_renderer() {
 fn volume_reads_survive_flaky_storage() {
     use nsdf::storage::{FailScope, FlakyStore, RetryPolicy, RetryStore};
     let clock = SimClock::new();
-    let flaky = Arc::new(
-        FlakyStore::new(Arc::new(MemoryStore::new()), 0.2, FailScope::All, 11).unwrap(),
-    );
+    let flaky =
+        Arc::new(FlakyStore::new(Arc::new(MemoryStore::new()), 0.2, FailScope::All, 11).unwrap());
     let retry: Arc<dyn ObjectStore> = Arc::new(
-        RetryStore::new(flaky, RetryPolicy { max_attempts: 10, initial_backoff_secs: 0.01, multiplier: 2.0 }, clock).unwrap(),
+        RetryStore::new(
+            flaky,
+            RetryPolicy { max_attempts: 10, initial_backoff_secs: 0.01, multiplier: 2.0 },
+            clock,
+        )
+        .unwrap(),
     );
     let data = plume(16);
     let meta = IdxMeta::new_3d(
