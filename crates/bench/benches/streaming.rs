@@ -13,7 +13,7 @@ use nsdf_compress::Codec;
 use nsdf_hz::HzCurve;
 use nsdf_idx::{Field, IdxDataset, IdxMeta};
 use nsdf_storage::{CachedStore, CloudStore, MemoryStore, NetworkProfile, ObjectStore};
-use nsdf_util::{Box2i, DType, Raster, SimClock};
+use nsdf_util::{Box2i, DType, Obs, Raster, SimClock};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -152,6 +152,39 @@ fn planner_comparison() -> String {
     )
 }
 
+/// Instrumented cold+warm progressive read over the private-seal profile.
+/// Everything in the artifact is virtual-clock or counter state, so two
+/// runs of the bench emit byte-identical files — CI diffs them.
+fn metrics_artifact(mem: &Arc<MemoryStore>) -> String {
+    let clock = SimClock::new();
+    let obs = Obs::new(clock.clone());
+    let seal = obs.scoped("seal");
+    let cloud = CloudStore::new(
+        mem.clone() as Arc<dyn ObjectStore>,
+        NetworkProfile::private_seal(),
+        clock.clone(),
+        42,
+    )
+    .with_obs(&seal);
+    let cached = Arc::new(CachedStore::new(Arc::new(cloud), 64 << 20).with_obs(&seal));
+    let ds = IdxDataset::open(cached, "stream").expect("open dataset").with_obs(&seal);
+    // Metadata fetch above is part of setup, not the measured reads.
+    obs.reset();
+    obs.clear_spans();
+
+    let region = ds.bounds();
+    let max = ds.max_level();
+    ds.read_progressive::<f32>("v", 0, region, max - 3, max).expect("cold progressive");
+    ds.read_progressive::<f32>("v", 0, region, max - 3, max).expect("warm progressive");
+    println!("metrics artifact: {} virtual secs end to end", clock.now_secs());
+    format!(
+        "{{\n  \"bench\": \"streaming-metrics\",\n  \"profile\": \"private-seal\",\n  \
+         \"seed\": 42,\n  \"metrics\": {},\n  \"spans\": {}\n}}\n",
+        obs.snapshot().to_json(),
+        obs.spans_json()
+    )
+}
+
 fn main() {
     // `cargo bench` passes harness flags; this target ignores them.
     let mem = seed_store();
@@ -202,5 +235,11 @@ fn main() {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
     std::fs::write(out, json).expect("write BENCH_streaming.json");
     println!("wrote {out}");
+
+    let metrics = metrics_artifact(&mem);
+    let metrics_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming_metrics.json");
+    std::fs::write(metrics_out, metrics).expect("write BENCH_streaming_metrics.json");
+    println!("wrote {metrics_out}");
+
     assert!(pass, "parallel fetch must beat 0.5x sequential virtual time");
 }

@@ -9,6 +9,7 @@
 //! workflows report coherent end-to-end times.
 
 use nsdf_storage::{CachedStore, CloudStore, MemoryStore, NetworkProfile, ObjectStore};
+use nsdf_util::obs::Obs;
 use nsdf_util::{derive_seed, NsdfError, Result, SimClock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -48,6 +49,7 @@ impl std::fmt::Debug for StorageEndpoint {
 /// The client session.
 pub struct NsdfClient {
     clock: SimClock,
+    obs: Obs,
     endpoints: BTreeMap<String, StorageEndpoint>,
 }
 
@@ -55,9 +57,15 @@ impl NsdfClient {
     /// A fully simulated client with the tutorial's three endpoints:
     /// `"local"`, `"dataverse"` (public), and `"seal"` (private), the two
     /// remote ones behind WAN models and a 256 MiB read cache each.
+    ///
+    /// All endpoints report into one observability registry on the shared
+    /// clock; metrics are namespaced per endpoint (`seal.wan.bytes_down`,
+    /// `dataverse.cache.hits`, ...). Get it via [`NsdfClient::obs`].
     pub fn simulated(seed: u64) -> NsdfClient {
         let clock = SimClock::new();
-        let mut client = NsdfClient { clock: clock.clone(), endpoints: BTreeMap::new() };
+        let obs = Obs::new(clock.clone());
+        let mut client =
+            NsdfClient { clock: clock.clone(), obs: obs.clone(), endpoints: BTreeMap::new() };
 
         client.add_endpoint(StorageEndpoint {
             name: "local".into(),
@@ -73,13 +81,17 @@ impl NsdfClient {
             ),
             ("seal", EndpointKind::PrivateCloud, NetworkProfile::private_seal(), "wan-seal"),
         ] {
-            let wan = Arc::new(CloudStore::new(
-                Arc::new(MemoryStore::new()),
-                profile,
-                clock.clone(),
-                derive_seed(seed, label),
-            ));
-            let cached = Arc::new(CachedStore::new(wan, 256 << 20));
+            let ep_obs = obs.scoped(name);
+            let wan = Arc::new(
+                CloudStore::new(
+                    Arc::new(MemoryStore::new()),
+                    profile,
+                    clock.clone(),
+                    derive_seed(seed, label),
+                )
+                .with_obs(&ep_obs),
+            );
+            let cached = Arc::new(CachedStore::new(wan, 256 << 20).with_obs(&ep_obs));
             client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: cached });
         }
         client
@@ -88,6 +100,12 @@ impl NsdfClient {
     /// The shared virtual clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// The session-wide observability registry all simulated endpoints
+    /// report into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Register an endpoint (replacing any existing one with the name).
@@ -169,6 +187,24 @@ mod tests {
         let t0 = c.clock().now_ns();
         c.download("seal", "blob").unwrap(); // warm (put populated cache)
         assert_eq!(c.clock().now_ns(), t0, "cached read skips the WAN");
+    }
+
+    #[test]
+    fn endpoints_share_one_namespaced_registry() {
+        let c = NsdfClient::simulated(9);
+        c.upload("seal", "a", &vec![0u8; 1 << 20]).unwrap();
+        c.upload("dataverse", "b", &vec![0u8; 1 << 20]).unwrap();
+        c.download("seal", "a").unwrap(); // cache hit, no WAN
+        let snap = c.obs().snapshot();
+        assert_eq!(snap.counter("seal.wan.bytes_up"), 1 << 20);
+        assert_eq!(snap.counter("dataverse.wan.bytes_up"), 1 << 20);
+        assert_eq!(snap.counter("seal.cache.hits"), 1);
+        assert_eq!(snap.counter("seal.wan.read_ops"), 0);
+        // WAN busy time across both endpoints mirrors the shared clock.
+        assert_eq!(
+            snap.counter("seal.wan.busy_vns") + snap.counter("dataverse.wan.busy_vns"),
+            c.clock().now_ns()
+        );
     }
 
     #[test]

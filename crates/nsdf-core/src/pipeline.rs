@@ -11,7 +11,7 @@
 use crate::client::NsdfClient;
 use nsdf_compress::Codec;
 use nsdf_dashboard::{Colormap, Dashboard, FrameInfo, RangeMode};
-use nsdf_geotiled::{compute_terrain_tiled, DemConfig, Sun, TerrainParam, TilePlan};
+use nsdf_geotiled::{compute_terrain_tiled_obs, DemConfig, Sun, TerrainParam, TilePlan};
 use nsdf_idx::{Field, IdxDataset, IdxMeta};
 use nsdf_tiff::{read_tiff, write_tiff, TiffCompression};
 use nsdf_util::{AccuracyReport, Box2i, DType, NsdfError, Raster, Result};
@@ -113,14 +113,17 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
     }
     let store = client.store(&cfg.storage_endpoint)?;
     let clock = client.clock().clone();
+    let obs = client.obs().scoped("tutorial");
     let t_start = clock.now_secs();
 
     let mut wf = Workflow::new("nsdf-tutorial");
     let cfg1 = cfg.clone();
     let store1 = store.clone();
+    let obs1 = obs.clone();
 
     // ---- Step 1: data generation (GEOtiled) -------------------------------
     wf.add_step("1-data-generation", &[], &[], move |ctx| {
+        let _step_span = obs1.span("1-data-generation");
         let wall = Instant::now();
         let dem = DemConfig::conus_like(cfg1.width, cfg1.height, cfg1.seed).generate();
         let plan = TilePlan::new(cfg1.tiles.0, cfg1.tiles.1, 1)?;
@@ -128,7 +131,7 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
         let mut rasters = Vec::new();
         for param in TerrainParam::all() {
             let (raster, _) =
-                compute_terrain_tiled(&dem, param, Sun::default(), &plan, cfg1.threads)?;
+                compute_terrain_tiled_obs(&dem, param, Sun::default(), &plan, cfg1.threads, &obs1)?;
             rasters.push((param, raster));
         }
         ctx.clock().advance_secs(wall.elapsed().as_secs_f64());
@@ -146,11 +149,13 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
     // ---- Step 2: conversion to IDX ----------------------------------------
     let cfg2 = cfg.clone();
     let store2 = store.clone();
+    let obs2 = obs.clone();
     wf.add_step(
         "2-convert-to-idx",
         &["1-data-generation"],
         &["elevation.tif", "slope.tif", "aspect.tif", "hillshade.tif"],
         move |ctx| {
+            let _step_span = obs2.span("2-convert-to-idx");
             // Read the TIFFs back from storage — the conversion consumes the
             // stored artifacts, as in Fig. 3, not in-memory shortcuts.
             let mut fields = Vec::new();
@@ -170,7 +175,7 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
             if let Some(g) = geo {
                 meta = meta.with_geo(g);
             }
-            let ds = IdxDataset::create(store2.clone(), "tutorial/idx", meta)?;
+            let ds = IdxDataset::create(store2.clone(), "tutorial/idx", meta)?.with_obs(&obs2);
             let mut artifacts = Vec::new();
             let mut total_stored = 0u64;
             for param in TerrainParam::all() {
@@ -194,12 +199,14 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
 
     // ---- Step 3: static visualization & validation -------------------------
     let store3 = store.clone();
+    let obs3 = obs.clone();
     wf.add_step(
         "3-static-visualization",
         &["2-convert-to-idx"],
         &["elevation.idx-blocks", "slope.idx-blocks", "aspect.idx-blocks", "hillshade.idx-blocks"],
         move |ctx| {
-            let ds = IdxDataset::open(store3.clone(), "tutorial/idx")?;
+            let _step_span = obs3.span("3-static-visualization");
+            let ds = IdxDataset::open(store3.clone(), "tutorial/idx")?.with_obs(&obs3);
             let rasters = ctx.get::<Vec<(TerrainParam, Raster<f32>)>>("rasters")?;
             let mut accuracy = Vec::new();
             let mut artifacts = Vec::new();
@@ -226,13 +233,16 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
     let store4 = store.clone();
     let cfg4 = cfg.clone();
     let clock4 = clock.clone();
+    let obs4 = obs.clone();
     wf.add_step(
         "4-interactive-dashboard",
         &["3-static-visualization"],
         &["elevation.idx-blocks"],
         move |ctx| {
-            let ds = Arc::new(IdxDataset::open(store4.clone(), "tutorial/idx")?);
+            let _step_span = obs4.span("4-interactive-dashboard");
+            let ds = Arc::new(IdxDataset::open(store4.clone(), "tutorial/idx")?.with_obs(&obs4));
             let mut dash = Dashboard::new();
+            dash.set_obs(&obs4);
             dash.add_dataset("tutorial-terrain", ds.clone());
             dash.select_dataset("tutorial-terrain")?;
             dash.set_viewport_px(cfg4.viewport_px)?;
@@ -295,7 +305,9 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
     )?;
 
     let mut ctx = RunContext::new(clock.clone());
+    let run_span = obs.span("run");
     let provenance = wf.run(&mut ctx);
+    drop(run_span);
     if !provenance.succeeded() {
         let failed = provenance
             .steps
@@ -393,6 +405,36 @@ mod tests {
         assert_eq!(p.producer_of("elevation.tif").unwrap().name, "1-data-generation");
         let consumers = p.consumers_of("elevation.idx-blocks");
         assert_eq!(consumers.len(), 2); // steps 3 and 4
+    }
+
+    #[test]
+    fn tutorial_spans_attribute_steps_and_layers() {
+        let client = NsdfClient::simulated(12);
+        let mut cfg = TutorialConfig::small(12);
+        cfg.width = 128;
+        cfg.height = 64;
+        cfg.tiles = (2, 2);
+        run_tutorial(&client, &cfg).unwrap();
+
+        let roots = client.obs().span_tree();
+        assert_eq!(roots.len(), 1, "one root span for the whole run");
+        assert_eq!(roots[0].label, "tutorial.run");
+        let steps: Vec<&str> = roots[0].children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            steps,
+            vec![
+                "tutorial.1-data-generation",
+                "tutorial.2-convert-to-idx",
+                "tutorial.3-static-visualization",
+                "tutorial.4-interactive-dashboard"
+            ]
+        );
+        // Layers below the steps landed in the same registry.
+        let snap = client.obs().snapshot();
+        assert!(snap.counter("tutorial.geotiled.tiles") > 0);
+        assert!(snap.counter("tutorial.idx.queries") > 0);
+        assert!(snap.counter("tutorial.dashboard.frames") > 0);
+        assert!(snap.counter("seal.wan.bytes_up") > 0, "tutorial stored on seal");
     }
 
     #[test]

@@ -14,8 +14,10 @@
 use crate::colormap::Colormap;
 use crate::render::{render, Image, RangeMode};
 use nsdf_idx::{IdxDataset, QueryStats};
+use nsdf_util::obs::Obs;
 use nsdf_util::{Box2i, NsdfError, Result};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Playback controller state (the time slider's play button and speed).
@@ -76,6 +78,7 @@ pub struct Dashboard {
     colormap: Colormap,
     range: RangeMode,
     playback: Playback,
+    obs: Obs,
 }
 
 impl Dashboard {
@@ -92,7 +95,20 @@ impl Dashboard {
             colormap: Colormap::Viridis,
             range: RangeMode::Dynamic,
             playback: Playback::default(),
+            obs: Obs::default().scoped("dashboard"),
         }
+    }
+
+    /// Report into a shared observability registry. Pass the same registry
+    /// the datasets/stores were built with so the status view's span tree
+    /// shows rendering, IDX, and storage activity on one timeline.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.scoped("dashboard");
+    }
+
+    /// The dashboard's observability handle (scope `dashboard`).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     // ---- dataset dropdown -------------------------------------------------
@@ -326,12 +342,16 @@ impl Dashboard {
     /// Render the current view at an explicit level (clamped up to the
     /// first renderable level for the viewport).
     pub fn render_at_level(&self, level: u32) -> Result<(Image, FrameInfo)> {
+        let _frame_span = self.obs.span("frame");
         let level = self.min_renderable_level(level)?;
         let ds = self.current()?;
         let field = self.field.as_ref().expect("field set on select");
         let (raster, stats) = ds.read_box::<f32>(field, self.time, self.region, level)?;
         let (rw, rh) = raster.shape();
         let img = render(&raster, self.colormap, self.range)?;
+        self.obs.counter("frames").inc();
+        self.obs.counter("pixels_rendered").add((rw * rh) as u64);
+        self.obs.gauge("last_level").set(level as f64);
         Ok((img, FrameInfo { level, raster_width: rw, raster_height: rh, stats }))
     }
 
@@ -401,6 +421,39 @@ impl Dashboard {
             h = raster.height(),
         );
         Ok(Snippet { raster, region, python_script })
+    }
+
+    // ---- status view -------------------------------------------------------
+
+    /// The "status" view: a text panel summarising the current selection,
+    /// the full metrics snapshot of the attached registry, and the recorded
+    /// span tree attributing virtual (and wall) time across the dashboard,
+    /// IDX, and storage layers. Only useful end to end when the dashboard
+    /// and its datasets share one registry via [`Dashboard::set_obs`].
+    pub fn status(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== NSDF dashboard status ==\n");
+        let _ = writeln!(out, "dataset:  {}", self.selected.as_deref().unwrap_or("<none>"));
+        let _ = writeln!(out, "field:    {}", self.field.as_deref().unwrap_or("<none>"));
+        let _ = writeln!(out, "time:     {}", self.time);
+        let r = self.region;
+        let _ = writeln!(out, "region:   [{}, {}) x [{}, {})", r.x0, r.x1, r.y0, r.y1);
+        let _ = writeln!(out, "viewport: {} px, bias -{}", self.viewport_px, self.resolution_bias);
+        out.push_str("\n-- metrics --\n");
+        let snap = self.obs.snapshot();
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name} = {v}");
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name} = {v}");
+        }
+        for (name, h) in &snap.histograms {
+            let count: u64 = h.counts.iter().sum();
+            let _ = writeln!(out, "{name}: count {count} sum {:.6}s", h.sum);
+        }
+        out.push_str("\n-- spans --\n");
+        out.push_str(&self.obs.render_spans());
+        out
     }
 }
 
@@ -571,6 +624,24 @@ mod tests {
         assert!(d.set_range(RangeMode::Manual(5.0, 5.0)).is_err());
         let (img, _) = d.render_frame().unwrap();
         assert!(!img.rgb.is_empty());
+    }
+
+    #[test]
+    fn frame_metrics_and_status_view() {
+        let mut d = dashboard_with_data();
+        let obs = Obs::default();
+        d.set_obs(&obs);
+        d.set_viewport_px(128).unwrap();
+        let (_, info) = d.render_frame().unwrap();
+        let frames = d.render_progressive(2).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("dashboard.frames"), 1 + frames.len() as u64);
+        assert!(snap.counter("dashboard.pixels_rendered") > 0);
+        assert_eq!(snap.gauge("dashboard.last_level"), info.level as f64);
+        let status = d.status();
+        assert!(status.contains("dataset:  conus"));
+        assert!(status.contains("dashboard.frames ="));
+        assert!(status.contains("dashboard.frame"), "span tree missing: {status}");
     }
 
     #[test]

@@ -19,5 +19,6 @@ pub mod tiling;
 pub use dem::{AnalyticHill, DemConfig, DemKind};
 pub use terrain::{compute_terrain, Sun, TerrainParam};
 pub use tiling::{
-    compute_all_terrain_tiled, compute_terrain_tiled, TilePlan, TileRunStats, MIN_SAFE_HALO,
+    compute_all_terrain_tiled, compute_terrain_tiled, compute_terrain_tiled_obs, TilePlan,
+    TileRunStats, MIN_SAFE_HALO,
 };

@@ -491,6 +491,47 @@ mod tests {
     }
 
     #[test]
+    fn blocks_in_region_random_region_sweep_matches_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5eed_b10c);
+        for (w, h) in [(16u64, 16u64), (64, 32), (100, 37), (128, 128)] {
+            let c = HzCurve::for_dims_2d(w, h).unwrap();
+            for trial in 0..40 {
+                let region = match trial {
+                    // Degenerate 1-wide boxes along each axis.
+                    0 => {
+                        let x = rng.gen_range(0..w as i64);
+                        Box2i::new(x, 0, x + 1, h as i64)
+                    }
+                    1 => {
+                        let y = rng.gen_range(0..h as i64);
+                        Box2i::new(0, y, w as i64, y + 1)
+                    }
+                    // The full volume.
+                    2 => Box2i::new(0, 0, w as i64, h as i64),
+                    // Random (possibly over-clipped) boxes.
+                    _ => {
+                        let x0 = rng.gen_range(-2..w as i64 - 1);
+                        let y0 = rng.gen_range(-2..h as i64 - 1);
+                        let x1 = rng.gen_range(x0 + 1..=w as i64 + 2);
+                        let y1 = rng.gen_range(y0 + 1..=h as i64 + 2);
+                        Box2i::new(x0, y0, x1, y1)
+                    }
+                };
+                let level = rng.gen_range(0..=c.max_level());
+                let bs = 1u64 << rng.gen_range(0u32..=8);
+                let fast = c.blocks_in_region(region, level, bs).unwrap();
+                let slow = blocks_by_sample_walk(&c, region, level, bs);
+                assert_eq!(
+                    fast, slow,
+                    "dims ({w},{h}) region {region:?} level {level} bs {bs} trial {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn blocks_in_region_handles_degenerate_inputs() {
         let c = HzCurve::for_dims_2d(16, 16).unwrap();
         // Empty after clipping.

@@ -14,6 +14,7 @@
 use crate::meta::IdxMeta;
 use nsdf_hz::{hz_from_z, HzCurve};
 use nsdf_storage::ObjectStore;
+use nsdf_util::obs::{Counter, Obs};
 use nsdf_util::par::{num_threads, try_par_map};
 use nsdf_util::{bytes_to_samples, samples_to_bytes, Box2i, NsdfError, Raster, Result, Sample};
 use parking_lot::Mutex;
@@ -150,6 +151,41 @@ pub(crate) const DEFAULT_FETCH_CONCURRENCY: usize = 8;
 /// Default decoded-block cache budget (raw bytes).
 const DEFAULT_DECODED_CACHE_BYTES: u64 = 256 << 20;
 
+/// Registry handles for one `IdxDataset`, under the `idx` scope.
+///
+/// `fetch_vns` accumulates the *virtual* nanoseconds the shared clock
+/// advanced during store fetches — when the dataset shares a registry (and
+/// therefore a clock) with the WAN stores below it, this attributes WAN
+/// time to the query layer deterministically, independent of wall time.
+struct IdxMetrics {
+    obs: Obs,
+    queries: Counter,
+    blocks_touched: Counter,
+    blocks_missing: Counter,
+    blocks_decoded: Counter,
+    decoded_cache_hits: Counter,
+    bytes_fetched: Counter,
+    fetch_batches: Counter,
+    fetch_vns: Counter,
+}
+
+impl IdxMetrics {
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("idx");
+        IdxMetrics {
+            queries: obs.counter("queries"),
+            blocks_touched: obs.counter("blocks_touched"),
+            blocks_missing: obs.counter("blocks_missing"),
+            blocks_decoded: obs.counter("blocks_decoded"),
+            decoded_cache_hits: obs.counter("decoded_cache_hits"),
+            bytes_fetched: obs.counter("bytes_fetched"),
+            fetch_batches: obs.counter("fetch_batches"),
+            fetch_vns: obs.counter("fetch_vns"),
+            obs,
+        }
+    }
+}
+
 /// An open IDX dataset bound to an object store.
 pub struct IdxDataset {
     store: Arc<dyn ObjectStore>,
@@ -158,6 +194,7 @@ pub struct IdxDataset {
     curve: HzCurve,
     fetch_concurrency: usize,
     decoded: Mutex<DecodedCache>,
+    m: IdxMetrics,
 }
 
 impl IdxDataset {
@@ -191,7 +228,24 @@ impl IdxDataset {
             curve,
             fetch_concurrency: DEFAULT_FETCH_CONCURRENCY,
             decoded: Mutex::new(DecodedCache::new(DEFAULT_DECODED_CACHE_BYTES)),
+            m: IdxMetrics::new(&Obs::default()),
         }
+    }
+
+    /// Report query accounting and spans into `obs` (scope `…idx`).
+    ///
+    /// Share the same registry with the stores underneath (and build it on
+    /// the WAN clock) and the `idx.fetch` spans will attribute virtual WAN
+    /// time to this dataset's queries, with the stores' own spans nested
+    /// inside.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = IdxMetrics::new(obs);
+        self
+    }
+
+    /// The observability handle this dataset reports into (scoped `…idx`).
+    pub fn obs(&self) -> &Obs {
+        &self.m.obs
     }
 
     /// Set how many blocks each batched store fetch carries (>= 1). Higher
@@ -452,6 +506,8 @@ impl IdxDataset {
             .intersect(&self.bounds())
             .ok_or_else(|| NsdfError::invalid("query region does not intersect dataset"))?;
 
+        let _query_span = self.m.obs.span("read_box");
+        let plan_span = self.m.obs.span("plan");
         let strides = self.curve.mask().level_strides(level)?;
         // Degenerate axes (e.g. a 100x1 dataset) own no mask bits and report
         // a single-axis stride vector; their stride is 1.
@@ -468,6 +524,7 @@ impl IdxDataset {
 
         // Which blocks, fetched once each.
         let needed = self.blocks_for_query(region, level)?;
+        drop(plan_span);
         let block_samples = self.meta.block_samples() as usize;
         let sample_size = T::DTYPE.size_bytes();
         let mut stats = QueryStats {
@@ -504,7 +561,13 @@ impl IdxDataset {
                 chunk.iter().map(|&b| self.block_key(field_idx, time, b)).collect();
             let key_refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
             let t_fetch = Instant::now();
-            let results = self.store.get_many(&key_refs);
+            let results = {
+                let _fetch_span = self.m.obs.span("fetch");
+                let v0 = self.m.obs.clock().now_ns();
+                let results = self.store.get_many(&key_refs);
+                self.m.fetch_vns.add(self.m.obs.clock().now_ns().saturating_sub(v0));
+                results
+            };
             stats.fetch_secs += t_fetch.elapsed().as_secs_f64();
             stats.fetch_batches += 1;
 
@@ -518,6 +581,7 @@ impl IdxDataset {
                 })
                 .collect::<Result<_>>()?;
             let t_decode = Instant::now();
+            let _decode_span = self.m.obs.span("decode");
             let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
                 match enc {
                     Some(enc) => {
@@ -527,6 +591,7 @@ impl IdxDataset {
                     None => Ok((*block, 0, None)),
                 }
             })?;
+            drop(_decode_span);
             stats.decode_secs += t_decode.elapsed().as_secs_f64();
 
             let mut cache = self.decoded.lock();
@@ -542,6 +607,7 @@ impl IdxDataset {
 
         // Reinterpret raw payloads as typed samples (cheap, per query — the
         // cache stays dtype-agnostic).
+        let _gather_span = self.m.obs.span("gather");
         let entries: Vec<(u64, Option<Arc<Vec<u8>>>)> = raw_blocks.into_iter().collect();
         let typed = try_par_map(&entries, threads, |(block, raw)| -> Result<_> {
             match raw {
@@ -579,6 +645,16 @@ impl IdxDataset {
                 dy: windowed.dy * sy as f64,
             }
         });
+
+        // Feed the registry so cross-layer snapshots see query-side totals
+        // alongside the store-side counters.
+        self.m.queries.inc();
+        self.m.blocks_touched.add(stats.blocks_touched);
+        self.m.blocks_missing.add(stats.blocks_missing);
+        self.m.blocks_decoded.add(stats.blocks_decoded);
+        self.m.decoded_cache_hits.add(stats.decoded_cache_hits);
+        self.m.bytes_fetched.add(stats.bytes_fetched);
+        self.m.fetch_batches.add(stats.fetch_batches);
         Ok((out, stats))
     }
 
@@ -939,6 +1015,111 @@ mod tests {
         assert_eq!(a.bytes_fetched, 100);
         assert_eq!(a.fetch_concurrency, 8);
         assert!((a.decode_secs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_stats_merge_identity() {
+        let stats = QueryStats {
+            blocks_touched: 7,
+            blocks_missing: 2,
+            bytes_fetched: 512,
+            samples_out: 100,
+            blocks_decoded: 5,
+            decoded_cache_hits: 3,
+            fetch_batches: 2,
+            fetch_concurrency: 8,
+            fetch_secs: 0.25,
+            decode_secs: 0.125,
+        };
+        // default ∪ x == x, and x ∪ default == x.
+        let mut from_default = QueryStats::default();
+        from_default.merge(&stats);
+        assert_eq!(from_default, stats);
+        let mut into_x = stats.clone();
+        into_x.merge(&QueryStats::default());
+        assert_eq!(into_x, stats);
+    }
+
+    #[test]
+    fn query_stats_merge_is_associative() {
+        // Dyadic times so f64 addition is exact and order-insensitive.
+        let mk = |bt: u64, fs: f64, ds_: f64| QueryStats {
+            blocks_touched: bt,
+            fetch_concurrency: bt,
+            fetch_secs: fs,
+            decode_secs: ds_,
+            ..QueryStats::default()
+        };
+        let (a, b, c) = (mk(1, 0.25, 0.5), mk(2, 0.125, 0.25), mk(4, 0.5, 0.125));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn progressive_stats_merge_round_trips_to_combined_run() {
+        // Merging the per-level snapshots of a progressive read must equal
+        // the stats of the combined run — i.e. every counter (and the
+        // fetch/decode timers, summed in the same order merge() visits
+        // them) matches a manual field-wise accumulation. A double-count of
+        // fetch_secs/decode_secs across batches would break the equality.
+        let (_s, ds) = make_dataset(64, 64, Codec::Lz4);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        let seq = ds.read_progressive::<f32>("v", 0, ds.bounds(), 2, ds.max_level()).unwrap();
+
+        let mut merged = QueryStats::default();
+        for (_, _, q) in &seq {
+            merged.merge(q);
+        }
+        let manual = |f: &dyn Fn(&QueryStats) -> u64| seq.iter().map(|(_, _, q)| f(q)).sum::<u64>();
+        assert_eq!(merged.blocks_touched, manual(&|q| q.blocks_touched));
+        assert_eq!(merged.blocks_missing, manual(&|q| q.blocks_missing));
+        assert_eq!(merged.bytes_fetched, manual(&|q| q.bytes_fetched));
+        assert_eq!(merged.samples_out, manual(&|q| q.samples_out));
+        assert_eq!(merged.blocks_decoded, manual(&|q| q.blocks_decoded));
+        assert_eq!(merged.decoded_cache_hits, manual(&|q| q.decoded_cache_hits));
+        assert_eq!(merged.fetch_batches, manual(&|q| q.fetch_batches));
+        assert_eq!(
+            merged.fetch_concurrency,
+            seq.iter().map(|(_, _, q)| q.fetch_concurrency).max().unwrap()
+        );
+        // Exact (bitwise) equality: merge() adds in sequence order, so the
+        // sums must be reproducible fold-for-fold, not just approximately.
+        let fetch_sum = seq.iter().fold(0.0, |acc, (_, _, q)| acc + q.fetch_secs);
+        let decode_sum = seq.iter().fold(0.0, |acc, (_, _, q)| acc + q.decode_secs);
+        assert_eq!(merged.fetch_secs.to_bits(), fetch_sum.to_bits());
+        assert_eq!(merged.decode_secs.to_bits(), decode_sum.to_bits());
+        // The registry agrees with the merged per-query stats.
+        let snap = ds.obs().snapshot();
+        assert_eq!(snap.counter("idx.blocks_touched"), merged.blocks_touched);
+        assert_eq!(snap.counter("idx.blocks_decoded"), merged.blocks_decoded);
+        assert_eq!(snap.counter("idx.decoded_cache_hits"), merged.decoded_cache_hits);
+        assert_eq!(snap.counter("idx.bytes_fetched"), merged.bytes_fetched);
+        assert_eq!(snap.counter("idx.fetch_batches"), merged.fetch_batches);
+        assert_eq!(snap.counter("idx.queries"), seq.len() as u64);
+    }
+
+    #[test]
+    fn read_box_spans_cover_pipeline_stages() {
+        let obs = Obs::default();
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let ds = ds.with_obs(&obs);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        ds.read_full::<f32>("v", 0).unwrap();
+        let tree = obs.span_tree();
+        assert_eq!(tree.len(), 1);
+        let q = &tree[0];
+        assert_eq!(q.label, "idx.read_box");
+        let child_labels: Vec<&str> = q.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(child_labels[0], "idx.plan");
+        assert!(child_labels.contains(&"idx.fetch"));
+        assert!(child_labels.contains(&"idx.decode"));
+        assert_eq!(*child_labels.last().unwrap(), "idx.gather");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! never queued behind a slow WAN miss.
 
 use crate::store::{slice_range, ObjectMeta, ObjectStore};
+use nsdf_util::obs::{Counter, Gauge, Obs};
 use nsdf_util::{NsdfError, Result};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -63,7 +64,6 @@ struct LruState {
     queue: VecDeque<(String, u64)>,
     next_tick: u64,
     resident: u64,
-    stats: CacheStats,
 }
 
 impl LruState {
@@ -76,9 +76,11 @@ impl LruState {
         Some(entry.data.clone())
     }
 
-    fn insert(&mut self, key: String, data: Arc<Vec<u8>>, capacity: u64) {
+    /// Admit `data`; returns the number of live entries evicted to stay
+    /// within `capacity` (reported to the metrics registry by the caller).
+    fn insert(&mut self, key: String, data: Arc<Vec<u8>>, capacity: u64) -> u64 {
         if data.len() as u64 > capacity {
-            return; // Larger than the whole cache: never admit.
+            return 0; // Larger than the whole cache: never admit.
         }
         if let Some(old) = self.entries.remove(&key) {
             self.resident -= old.data.len() as u64;
@@ -88,7 +90,7 @@ impl LruState {
         self.next_tick += 1;
         self.entries.insert(key.clone(), Entry { data, tick });
         self.queue.push_back((key, tick));
-        self.evict_to(capacity);
+        self.evict_to(capacity)
     }
 
     fn remove(&mut self, key: &str) {
@@ -97,15 +99,17 @@ impl LruState {
         }
     }
 
-    fn evict_to(&mut self, capacity: u64) {
+    fn evict_to(&mut self, capacity: u64) -> u64 {
+        let mut evicted = 0;
         while self.resident > capacity {
             let Some((key, tick)) = self.queue.pop_front() else { break };
             let live = self.entries.get(&key).is_some_and(|e| e.tick == tick);
             if live {
                 self.remove(&key);
-                self.stats.evictions += 1;
+                evicted += 1;
             }
         }
+        evicted
     }
 }
 
@@ -143,29 +147,76 @@ enum Flight {
     Follower(Arc<InFlight>),
 }
 
+/// Registry handles for one `CachedStore`, under the `cache` scope.
+struct CacheMetrics {
+    obs: Obs,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    coalesced_waits: Counter,
+    resident_bytes: Gauge,
+}
+
+impl CacheMetrics {
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("cache");
+        CacheMetrics {
+            hits: obs.counter("hits"),
+            misses: obs.counter("misses"),
+            evictions: obs.counter("evictions"),
+            coalesced_waits: obs.counter("coalesced_waits"),
+            resident_bytes: obs.gauge("resident_bytes"),
+            obs,
+        }
+    }
+}
+
 /// LRU read-through / write-through cache over an inner store.
 pub struct CachedStore {
     inner: Arc<dyn ObjectStore>,
     capacity: u64,
     state: Mutex<LruState>,
     inflight: Mutex<HashMap<String, Arc<InFlight>>>,
+    m: CacheMetrics,
 }
 
 impl CachedStore {
     /// Cache up to `capacity_bytes` of object payloads in front of `inner`.
+    ///
+    /// Accounting goes to a private registry until
+    /// [`CachedStore::with_obs`] wires in a shared one.
     pub fn new(inner: Arc<dyn ObjectStore>, capacity_bytes: u64) -> Self {
         CachedStore {
             inner,
             capacity: capacity_bytes,
             state: Mutex::new(LruState::default()),
             inflight: Mutex::new(HashMap::new()),
+            m: CacheMetrics::new(&Obs::default()),
         }
     }
 
-    /// Current statistics (hit rate, residency, evictions).
+    /// Re-home accounting into `obs` (under its scope + `.cache`), sharing
+    /// the registry with the stores below and the query layers above.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = CacheMetrics::new(obs);
+        self
+    }
+
+    /// The observability handle this cache reports into (scoped `…cache`).
+    pub fn obs(&self) -> &Obs {
+        &self.m.obs
+    }
+
+    /// Current statistics (hit rate, residency, evictions), reconstructed
+    /// from the registry counters.
     pub fn stats(&self) -> CacheStats {
-        let st = self.state.lock();
-        CacheStats { resident_bytes: st.resident, ..st.stats.clone() }
+        CacheStats {
+            hits: self.m.hits.get(),
+            misses: self.m.misses.get(),
+            evictions: self.m.evictions.get(),
+            resident_bytes: self.state.lock().resident,
+            coalesced_waits: self.m.coalesced_waits.get(),
+        }
     }
 
     /// Drop all cached objects (statistics are preserved).
@@ -174,6 +225,7 @@ impl CachedStore {
         st.entries.clear();
         st.queue.clear();
         st.resident = 0;
+        self.m.resident_bytes.set(0.0);
     }
 
     /// Configured byte budget.
@@ -199,7 +251,10 @@ impl CachedStore {
     /// to current waiters but never cached — the next reader retries.
     fn publish(&self, key: &str, flight: &InFlight, result: Result<Arc<Vec<u8>>>) {
         if let Ok(data) = &result {
-            self.state.lock().insert(key.to_string(), data.clone(), self.capacity);
+            let mut st = self.state.lock();
+            let evicted = st.insert(key.to_string(), data.clone(), self.capacity);
+            self.m.evictions.add(evicted);
+            self.m.resident_bytes.set(st.resident as f64);
         }
         *flight.done.lock() = Some(result);
         self.inflight.lock().remove(key);
@@ -210,13 +265,13 @@ impl CachedStore {
         {
             let mut st = self.state.lock();
             if let Some(data) = st.touch(key) {
-                st.stats.hits += 1;
+                self.m.hits.inc();
                 return Ok(data);
             }
         }
         match self.join_flight(key) {
             Flight::Leader(f) => {
-                self.state.lock().stats.misses += 1;
+                self.m.misses.inc();
                 // Fetch outside every lock so a slow WAN get serializes
                 // neither hits nor fetches of other keys.
                 let result = self.inner.get(key).map(Arc::new);
@@ -229,7 +284,7 @@ impl CachedStore {
             }
             Flight::Follower(f) => {
                 let result = f.wait();
-                self.state.lock().stats.coalesced_waits += 1;
+                self.m.coalesced_waits.inc();
                 result
             }
         }
@@ -239,7 +294,10 @@ impl CachedStore {
 impl ObjectStore for CachedStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
         let meta = self.inner.put(key, data)?;
-        self.state.lock().insert(key.to_string(), Arc::new(data.to_vec()), self.capacity);
+        let mut st = self.state.lock();
+        let evicted = st.insert(key.to_string(), Arc::new(data.to_vec()), self.capacity);
+        self.m.evictions.add(evicted);
+        self.m.resident_bytes.set(st.resident as f64);
         Ok(meta)
     }
 
@@ -254,14 +312,16 @@ impl ObjectStore for CachedStore {
         let mut missing = Vec::new();
         {
             let mut st = self.state.lock();
+            let mut hits = 0;
             for (i, k) in keys.iter().enumerate() {
                 if let Some(data) = st.touch(k) {
-                    st.stats.hits += 1;
+                    hits += 1;
                     out[i] = Some(Ok(data.as_ref().clone()));
                 } else {
                     missing.push(i);
                 }
             }
+            self.m.hits.add(hits);
         }
         if missing.is_empty() {
             return out.into_iter().map(|o| o.expect("every slot decided")).collect();
@@ -291,7 +351,7 @@ impl ObjectStore for CachedStore {
 
         // Phase 3: fetch all led keys as one inner batch, then publish.
         if !leaders.is_empty() {
-            self.state.lock().stats.misses += leaders.len() as u64;
+            self.m.misses.add(leaders.len() as u64);
             let lead_keys: Vec<&str> = leaders.iter().map(|&(i, _)| keys[i]).collect();
             let results = self.inner.get_many(&lead_keys);
             for ((i, f), r) in leaders.into_iter().zip(results) {
@@ -312,7 +372,7 @@ impl ObjectStore for CachedStore {
             for (i, f) in followers {
                 out[i] = Some(f.wait().map(|d| d.as_ref().clone()));
             }
-            self.state.lock().stats.coalesced_waits += n;
+            self.m.coalesced_waits.add(n);
         }
 
         out.into_iter().map(|o| o.expect("every slot decided")).collect()
@@ -333,7 +393,9 @@ impl ObjectStore for CachedStore {
 
     fn delete(&self, key: &str) -> Result<()> {
         self.inner.delete(key)?;
-        self.state.lock().remove(key);
+        let mut st = self.state.lock();
+        st.remove(key);
+        self.m.resident_bytes.set(st.resident as f64);
         Ok(())
     }
 
@@ -497,6 +559,41 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits + stats.coalesced_waits, 15);
         assert!(stats.coalesced_waits > 0, "with a 30ms fetch, some threads must coalesce");
+    }
+
+    #[test]
+    fn single_flight_stress_metrics_count_one_inner_fetch() {
+        // Satellite stress test: 32 threads hammer one cold key through a
+        // shared registry; the metrics counters (not hand-rolled probes)
+        // must show exactly one inner fetch, with every other reader
+        // accounted for as a hit or a coalesced wait.
+        let obs = Obs::default();
+        let counting = Arc::new(CountingStore::new(20));
+        counting.put("hot", b"payload").unwrap();
+        let cached =
+            Arc::new(CachedStore::new(counting.clone(), 1 << 20).with_obs(&obs.scoped("seal")));
+        let threads = 32;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                let (cached, barrier) = (cached.clone(), barrier.clone());
+                s.spawn(move |_| {
+                    barrier.wait();
+                    assert_eq!(cached.get("hot").unwrap(), b"payload");
+                });
+            }
+        })
+        .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("seal.cache.misses"), 1, "exactly one inner fetch");
+        assert_eq!(
+            snap.counter("seal.cache.hits") + snap.counter("seal.cache.coalesced_waits"),
+            threads as u64 - 1,
+            "every other reader is a hit or a coalesced wait"
+        );
+        assert_eq!(snap.gauge("seal.cache.resident_bytes"), 7.0);
+        // The registry agrees with the inner store's own count.
+        assert_eq!(counting.gets(), snap.counter("seal.cache.misses"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! lossy substrate still yields correct datasets.
 
 use crate::store::{ObjectMeta, ObjectStore};
-use nsdf_util::{splitmix64, NsdfError, Result, SimClock};
+use nsdf_util::obs::{Counter, Obs};
+use nsdf_util::{secs_to_ns, splitmix64, NsdfError, Result, SimClock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -32,7 +33,7 @@ pub struct FlakyStore {
     scope: FailScope,
     seed: u64,
     op_counter: AtomicU64,
-    injected: AtomicU64,
+    injected: Counter,
 }
 
 impl FlakyStore {
@@ -52,13 +53,19 @@ impl FlakyStore {
             scope,
             seed,
             op_counter: AtomicU64::new(0),
-            injected: AtomicU64::new(0),
+            injected: Obs::default().scoped("flaky").counter("injected"),
         })
+    }
+
+    /// Report the injected-failure count into `obs` (scope `…flaky`).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.injected = obs.scoped("flaky").counter("injected");
+        self
     }
 
     /// Number of failures injected so far.
     pub fn injected_failures(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.injected.get()
     }
 
     fn maybe_fail(&self, is_read: bool, what: &str) -> Result<()> {
@@ -73,7 +80,7 @@ impl FlakyStore {
         let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
         let u = splitmix64(self.seed ^ op) as f64 / u64::MAX as f64;
         if u < self.fail_rate {
-            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.injected.inc();
             return Err(NsdfError::Io(std::io::Error::new(
                 std::io::ErrorKind::ConnectionReset,
                 format!("injected transient failure during {what}"),
@@ -170,7 +177,30 @@ pub struct RetryStore {
     inner: Arc<dyn ObjectStore>,
     policy: RetryPolicy,
     clock: SimClock,
-    retries: AtomicU64,
+    m: RetryMetrics,
+}
+
+/// Registry handles for one `RetryStore`, under the `retry` scope.
+///
+/// `backoff_vns` mirrors every backoff clock charge in integer nanoseconds
+/// (via [`secs_to_ns`]); `waves` counts backoff episodes, so "one backoff
+/// charge per wave" is directly assertable: `backoff_vns` grows by exactly
+/// one policy step each time `waves` ticks.
+struct RetryMetrics {
+    retries: Counter,
+    waves: Counter,
+    backoff_vns: Counter,
+}
+
+impl RetryMetrics {
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("retry");
+        RetryMetrics {
+            retries: obs.counter("retries"),
+            waves: obs.counter("waves"),
+            backoff_vns: obs.counter("backoff_vns"),
+        }
+    }
 }
 
 impl RetryStore {
@@ -179,12 +209,28 @@ impl RetryStore {
         if policy.max_attempts == 0 {
             return Err(NsdfError::invalid("retry policy needs at least one attempt"));
         }
-        Ok(RetryStore { inner, policy, clock, retries: AtomicU64::new(0) })
+        Ok(RetryStore { inner, policy, clock, m: RetryMetrics::new(&Obs::default()) })
+    }
+
+    /// Report retry accounting into `obs` (scope `…retry`).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = RetryMetrics::new(obs);
+        self
     }
 
     /// Total retry attempts performed (excludes first attempts).
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.m.retries.get()
+    }
+
+    /// Charge one backoff episode (a "wave": one shared sleep covering
+    /// `keys_retried` keys) and return the next backoff value.
+    fn charge_backoff(&self, backoff: f64, keys_retried: u64) -> f64 {
+        self.m.retries.add(keys_retried);
+        self.m.waves.inc();
+        self.m.backoff_vns.add(secs_to_ns(backoff));
+        self.clock.advance_secs(backoff);
+        backoff * self.policy.multiplier
     }
 
     fn with_retries<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
@@ -195,9 +241,7 @@ impl RetryStore {
                 Ok(v) => return Ok(v),
                 Err(NsdfError::Io(e)) if attempt < self.policy.max_attempts => {
                     let _ = e; // transient: retry after backoff
-                    self.retries.fetch_add(1, Ordering::Relaxed);
-                    self.clock.advance_secs(backoff);
-                    backoff *= self.policy.multiplier;
+                    backoff = self.charge_backoff(backoff, 1);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -242,9 +286,7 @@ impl ObjectStore for RetryStore {
             if next.is_empty() {
                 break;
             }
-            self.retries.fetch_add(next.len() as u64, Ordering::Relaxed);
-            self.clock.advance_secs(backoff);
-            backoff *= self.policy.multiplier;
+            backoff = self.charge_backoff(backoff, next.len() as u64);
             attempt += 1;
             pending = next;
         }
@@ -447,6 +489,58 @@ mod tests {
         // Two keys x 2 retry waves; backoff charged once per wave.
         assert_eq!(retry.retries(), 4);
         assert!((clock.now_secs() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_get_many_charges_one_backoff_per_wave() {
+        // Satellite fault-path test: drive get_many through a flaky inner
+        // and check, via the registry, that each retry wave charges exactly
+        // one policy backoff step — and that the whole episode (per-key
+        // outcomes, error text, clock charge) is deterministic.
+        let policy = RetryPolicy { max_attempts: 4, initial_backoff_secs: 0.05, multiplier: 2.0 };
+        let run = || {
+            let obs = Obs::new(SimClock::new());
+            let flaky = Arc::new(
+                FlakyStore::new(Arc::new(MemoryStore::new()), 0.45, FailScope::Reads, 11)
+                    .unwrap()
+                    .with_obs(&obs),
+            );
+            let retry = RetryStore::new(flaky, policy, obs.clock().clone()).unwrap().with_obs(&obs);
+            let keys: Vec<String> = (0..24).map(|i| format!("k{i}")).collect();
+            for (i, k) in keys.iter().enumerate() {
+                retry.put(k, format!("v{i}").as_bytes()).unwrap();
+            }
+            let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            let outcomes: Vec<String> = retry
+                .get_many(&refs)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(v) => String::from_utf8(v).unwrap(),
+                    Err(e) => format!("err: {e}"),
+                })
+                .collect();
+            (obs.snapshot(), outcomes, obs.clock().now_ns())
+        };
+
+        let (snap, outcomes, clock_ns) = run();
+        let waves = snap.counter("retry.waves");
+        assert!(waves >= 1, "rate 0.45 over 24 keys must need at least one retry wave");
+        assert!(waves <= (policy.max_attempts - 1) as u64);
+        // One backoff charge per wave, stepping through the policy schedule.
+        let expected_backoff: u64 = (0..waves)
+            .map(|w| secs_to_ns(policy.initial_backoff_secs * policy.multiplier.powi(w as i32)))
+            .sum();
+        assert_eq!(snap.counter("retry.backoff_vns"), expected_backoff);
+        assert_eq!(clock_ns, expected_backoff, "clock charge == sum of per-wave backoffs");
+        assert!(snap.counter("retry.retries") >= waves, "each wave retries >= 1 key");
+        assert!(snap.counter("flaky.injected") >= snap.counter("retry.retries"));
+
+        // Deterministic error propagation: an identically-seeded run gives
+        // identical per-key outcomes (including error text) and metrics.
+        let (snap2, outcomes2, clock_ns2) = run();
+        assert_eq!(outcomes, outcomes2);
+        assert_eq!(snap.to_json(), snap2.to_json());
+        assert_eq!(clock_ns, clock_ns2);
     }
 
     #[test]

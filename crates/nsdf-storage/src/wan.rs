@@ -14,8 +14,8 @@
 //! are exactly reproducible while still exercising variance-sensitive code.
 
 use crate::store::{ObjectMeta, ObjectStore};
-use nsdf_util::{splitmix64, Result, SimClock};
-use parking_lot::Mutex;
+use nsdf_util::obs::{Counter, HistogramMetric, Obs};
+use nsdf_util::{secs_to_ns, splitmix64, Result, SimClock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -104,6 +104,42 @@ pub struct TransferLog {
     pub busy_secs: f64,
 }
 
+/// Registry handles for one `CloudStore`, under the `wan` scope.
+///
+/// `busy_vns` mirrors every clock charge in integer nanoseconds (via
+/// [`secs_to_ns`]) so the accounting sums exactly what the clock advanced,
+/// independent of thread interleaving.
+struct WanMetrics {
+    obs: Obs,
+    read_ops: Counter,
+    write_ops: Counter,
+    bytes_down: Counter,
+    bytes_up: Counter,
+    busy_vns: Counter,
+    waves: Counter,
+    op_vsecs: HistogramMetric,
+}
+
+impl WanMetrics {
+    /// Virtual-second buckets for per-op latency: spans sub-RTT ranged
+    /// reads through multi-second bulk uploads.
+    const OP_BUCKETS: [f64; 7] = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0];
+
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("wan");
+        WanMetrics {
+            read_ops: obs.counter("read_ops"),
+            write_ops: obs.counter("write_ops"),
+            bytes_down: obs.counter("bytes_down"),
+            bytes_up: obs.counter("bytes_up"),
+            busy_vns: obs.counter("busy_vns"),
+            waves: obs.counter("waves"),
+            op_vsecs: obs.histogram("op_vsecs", &Self::OP_BUCKETS),
+            obs,
+        }
+    }
+}
+
 /// An [`ObjectStore`] behind a simulated WAN.
 pub struct CloudStore {
     inner: Arc<dyn ObjectStore>,
@@ -111,25 +147,34 @@ pub struct CloudStore {
     clock: SimClock,
     seed: u64,
     op_counter: AtomicU64,
-    log: Mutex<TransferLog>,
+    m: WanMetrics,
 }
 
 impl CloudStore {
     /// Wrap `inner` behind `profile`, charging time to `clock`.
+    ///
+    /// Accounting goes to a private registry until [`CloudStore::with_obs`]
+    /// wires in a shared one.
     pub fn new(
         inner: Arc<dyn ObjectStore>,
         profile: NetworkProfile,
         clock: SimClock,
         seed: u64,
     ) -> Self {
-        CloudStore {
-            inner,
-            profile,
-            clock,
-            seed,
-            op_counter: AtomicU64::new(0),
-            log: Mutex::new(TransferLog::default()),
-        }
+        let m = WanMetrics::new(&Obs::new(clock.clone()));
+        CloudStore { inner, profile, clock, seed, op_counter: AtomicU64::new(0), m }
+    }
+
+    /// Re-home accounting into `obs` (under its scope + `.wan`), so this
+    /// store shares a registry — and span tree — with the layers above it.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = WanMetrics::new(obs);
+        self
+    }
+
+    /// The observability handle this store reports into (scoped `…wan`).
+    pub fn obs(&self) -> &Obs {
+        &self.m.obs
     }
 
     /// The network profile in force.
@@ -142,14 +187,21 @@ impl CloudStore {
         &self.clock
     }
 
-    /// Snapshot of the transfer accounting.
+    /// Snapshot of the transfer accounting, reconstructed from the
+    /// registry counters.
     pub fn transfer_log(&self) -> TransferLog {
-        self.log.lock().clone()
+        TransferLog {
+            read_ops: self.m.read_ops.get(),
+            write_ops: self.m.write_ops.get(),
+            bytes_down: self.m.bytes_down.get(),
+            bytes_up: self.m.bytes_up.get(),
+            busy_secs: self.m.busy_vns.get() as f64 / 1e9,
+        }
     }
 
     /// Reset accounting (e.g. between benchmark phases).
     pub fn reset_log(&self) {
-        *self.log.lock() = TransferLog::default();
+        self.m.obs.reset();
     }
 
     /// Charge one operation: `round_trips` control round-trips plus the
@@ -163,6 +215,8 @@ impl CloudStore {
         let factor = 1.0 + self.profile.jitter * (2.0 * jitter_u - 1.0);
         let secs = base * factor.max(0.0);
         self.clock.advance_secs(secs);
+        self.m.busy_vns.add(secs_to_ns(secs));
+        self.m.op_vsecs.observe(secs);
         secs
     }
 }
@@ -170,35 +224,30 @@ impl CloudStore {
 impl ObjectStore for CloudStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
         let meta = self.inner.put(key, data)?;
-        let secs = self.charge(2, data.len() as u64); // handshake + ack
-        let mut log = self.log.lock();
-        log.write_ops += 1;
-        log.bytes_up += data.len() as u64;
-        log.busy_secs += secs;
+        self.charge(2, data.len() as u64); // handshake + ack
+        self.m.write_ops.inc();
+        self.m.bytes_up.add(data.len() as u64);
         Ok(meta)
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
         let data = self.inner.get(key)?;
-        let secs = self.charge(1, data.len() as u64);
-        let mut log = self.log.lock();
-        log.read_ops += 1;
-        log.bytes_down += data.len() as u64;
-        log.busy_secs += secs;
+        self.charge(1, data.len() as u64);
+        self.m.read_ops.inc();
+        self.m.bytes_down.add(data.len() as u64);
         Ok(data)
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let data = self.inner.get_range(key, offset, len)?;
-        let secs = self.charge(1, data.len() as u64);
-        let mut log = self.log.lock();
-        log.read_ops += 1;
-        log.bytes_down += data.len() as u64;
-        log.busy_secs += secs;
+        self.charge(1, data.len() as u64);
+        self.m.read_ops.inc();
+        self.m.bytes_down.add(data.len() as u64);
         Ok(data)
     }
 
     fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        let _wave = self.m.obs.span("wave");
         let results = self.inner.get_many(keys);
         let fetched: u64 = results.iter().filter_map(|r| r.as_ref().ok()).count() as u64;
         if fetched > 0 {
@@ -210,40 +259,33 @@ impl ObjectStore for CloudStore {
             let total: u64 =
                 results.iter().filter_map(|r| r.as_ref().ok()).map(|d| d.len() as u64).sum();
             let trips = (fetched as u32).div_ceil(self.profile.streams.max(1));
-            let secs = self.charge(trips, total);
-            let mut log = self.log.lock();
-            log.read_ops += fetched;
-            log.bytes_down += total;
-            log.busy_secs += secs;
+            self.charge(trips, total);
+            self.m.waves.inc();
+            self.m.read_ops.add(fetched);
+            self.m.bytes_down.add(total);
         }
         results
     }
 
     fn head(&self, key: &str) -> Result<ObjectMeta> {
         let meta = self.inner.head(key)?;
-        let secs = self.charge(1, 0);
-        let mut log = self.log.lock();
-        log.read_ops += 1;
-        log.busy_secs += secs;
+        self.charge(1, 0);
+        self.m.read_ops.inc();
         Ok(meta)
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
         let listing = self.inner.list(prefix)?;
         // Listing payload: ~100 bytes of metadata per entry.
-        let secs = self.charge(1, listing.len() as u64 * 100);
-        let mut log = self.log.lock();
-        log.read_ops += 1;
-        log.busy_secs += secs;
+        self.charge(1, listing.len() as u64 * 100);
+        self.m.read_ops.inc();
         Ok(listing)
     }
 
     fn delete(&self, key: &str) -> Result<()> {
         self.inner.delete(key)?;
-        let secs = self.charge(1, 0);
-        let mut log = self.log.lock();
-        log.write_ops += 1;
-        log.busy_secs += secs;
+        self.charge(1, 0);
+        self.m.write_ops.inc();
         Ok(())
     }
 
@@ -383,6 +425,48 @@ mod tests {
         assert!(all_missing.iter().all(|r| r.as_ref().unwrap_err().is_not_found()));
         assert_eq!(c.transfer_log().read_ops, 0);
         assert_eq!(c.clock().now_ns(), t1, "all-error batch charges nothing");
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_transfer_log() {
+        let obs = Obs::new(SimClock::new());
+        let c = CloudStore::new(
+            Arc::new(MemoryStore::new()),
+            NetworkProfile::private_seal(),
+            obs.clock().clone(),
+            42,
+        )
+        .with_obs(&obs.scoped("seal"));
+        c.put("a", &vec![1u8; 1000]).unwrap();
+        c.get("a").unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("seal.wan.write_ops"), 1);
+        assert_eq!(snap.counter("seal.wan.read_ops"), 1);
+        assert_eq!(snap.counter("seal.wan.bytes_up"), 1000);
+        assert_eq!(snap.counter("seal.wan.bytes_down"), 1000);
+        // busy_vns mirrors every clock charge exactly, nanosecond for
+        // nanosecond, because both go through secs_to_ns.
+        assert_eq!(snap.counter("seal.wan.busy_vns"), obs.clock().now_ns());
+        let log = c.transfer_log();
+        assert_eq!(log.write_ops, 1);
+        assert_eq!(log.busy_secs, snap.counter("seal.wan.busy_vns") as f64 / 1e9);
+        c.reset_log();
+        assert_eq!(c.transfer_log(), TransferLog::default());
+    }
+
+    #[test]
+    fn get_many_records_wave_span_and_counter() {
+        let c = cloud(NetworkProfile::private_seal());
+        c.put("a", b"xx").unwrap();
+        c.put("b", b"yy").unwrap();
+        let before = c.clock().now_ns();
+        c.get_many(&["a", "b"]);
+        let spans = c.obs().span_tree();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label, "wan.wave");
+        assert!(spans[0].end_vns > before, "wave span must cover the batch charge");
+        assert_eq!(c.obs().counter("waves").get(), 1);
+        assert_eq!(c.transfer_log().read_ops, 2);
     }
 
     #[test]

@@ -41,8 +41,7 @@ impl SimClock {
 
     /// Advance by a floating-point number of seconds (negative clamps to 0).
     pub fn advance_secs(&self, secs: f64) -> u64 {
-        let ns = if secs <= 0.0 { 0 } else { (secs * 1e9).round() as u64 };
-        self.advance_ns(ns)
+        self.advance_ns(secs_to_ns(secs))
     }
 
     /// Set the clock to `max(current, t_ns)`, modelling an event that
@@ -56,6 +55,19 @@ impl SimClock {
             }
         }
         cur
+    }
+}
+
+/// Convert seconds to whole nanoseconds with the same rounding the clock
+/// uses for [`SimClock::advance_secs`] (negative clamps to 0).
+///
+/// Metric accumulators that mirror clock charges (e.g. WAN busy time,
+/// retry backoff) use this so their integer sums match the clock exactly.
+pub fn secs_to_ns(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs * 1e9).round() as u64
     }
 }
 

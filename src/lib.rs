@@ -68,7 +68,8 @@ pub mod prelude {
     };
     pub use nsdf_tiff::{read_tiff, tiff_info, write_tiff, TiffCompression};
     pub use nsdf_util::{
-        AccuracyReport, Box2i, DType, GeoTransform, NsdfError, Raster, Result, SimClock,
+        AccuracyReport, Box2i, DType, GeoTransform, MetricsSnapshot, NsdfError, Obs, Raster,
+        Result, SimClock,
     };
     pub use nsdf_workflow::{Artifact, RunContext, Workflow};
 }
