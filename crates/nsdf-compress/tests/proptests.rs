@@ -104,4 +104,72 @@ proptest! {
         let _ = Codec::Lz4.decode(&garbage, dst_len);
         let _ = Codec::FixedRate { bits: 12 }.decode(&garbage, dst_len.next_multiple_of(4));
     }
+
+    #[test]
+    fn already_compressed_inputs_roundtrip(src in byte_buffers()) {
+        // Compressor output is high-entropy with residual token structure —
+        // the adversarial middle ground between runs and pure noise. Every
+        // codec must still round-trip it (typically by falling back to
+        // near-stored encoding).
+        let pre = nsdf_compress::lzss::lzss_encode(&src);
+        for codec in [Codec::Raw, Codec::PackBits, Codec::Lzss, Codec::Lz4] {
+            let enc = codec.encode(&pre).unwrap();
+            prop_assert_eq!(codec.decode(&enc, pre.len()).unwrap(), pre.clone());
+        }
+        // Sample-framed codecs need a whole number of samples.
+        let mut framed = pre.clone();
+        framed.truncate(framed.len() / 4 * 4);
+        for codec in [Codec::ShuffleLzss { sample_size: 4 }, Codec::LzssHuff { sample_size: 4 }] {
+            let enc = codec.encode(&framed).unwrap();
+            prop_assert_eq!(codec.decode(&enc, framed.len()).unwrap(), framed.clone());
+        }
+    }
+
+    #[test]
+    fn huffman_roundtrips_adversarial(src in byte_buffers()) {
+        let enc = nsdf_compress::huffman::huffman_encode(&src);
+        prop_assert_eq!(nsdf_compress::huffman::huffman_decode(&enc, src.len()).unwrap(), src);
+    }
+}
+
+/// Deterministic edge inputs every codec must survive: empty, one byte,
+/// and a long all-equal run (the RLE best case / LZ match-length torture).
+#[test]
+fn empty_and_all_equal_inputs_roundtrip_every_codec() {
+    let edges: Vec<Vec<u8>> = vec![vec![], vec![0x5a], vec![0xab; 64 << 10]];
+    let codecs = [
+        Codec::Raw,
+        Codec::PackBits,
+        Codec::Lzss,
+        Codec::Lz4,
+        Codec::ShuffleLzss { sample_size: 1 },
+        Codec::LzssHuff { sample_size: 1 },
+    ];
+    for src in &edges {
+        for codec in codecs {
+            let enc = codec.encode(src).unwrap();
+            assert_eq!(
+                &codec.decode(&enc, src.len()).unwrap(),
+                src,
+                "{codec:?} on {} bytes",
+                src.len()
+            );
+        }
+        let enc = nsdf_compress::huffman::huffman_encode(src);
+        assert_eq!(&nsdf_compress::huffman::huffman_decode(&enc, src.len()).unwrap(), src);
+        let enc = nsdf_compress::rle::packbits_encode(src);
+        assert_eq!(&nsdf_compress::rle::packbits_decode(&enc, src.len()).unwrap(), src);
+        let enc = nsdf_compress::lz4like::lz4_encode(src);
+        assert_eq!(&nsdf_compress::lz4like::lz4_decode(&enc, src.len()).unwrap(), src);
+    }
+    // Fixed-rate: empty and all-equal float blocks reconstruct exactly
+    // (a constant block needs only its shared exponent).
+    let empty = fixedrate_encode_f32(&[], 12).unwrap();
+    assert!(fixedrate_decode_f32(&empty, 12, 0).unwrap().is_empty());
+    let flat = vec![3.25f32; 1024];
+    let enc = fixedrate_encode_f32(&flat, 16).unwrap();
+    let dec = fixedrate_decode_f32(&enc, 16, flat.len()).unwrap();
+    for (a, b) in flat.iter().zip(&dec) {
+        assert!((a - b).abs() < 1e-3, "flat block reconstructs near-exactly: {a} vs {b}");
+    }
 }

@@ -8,11 +8,63 @@
 //! from `nsdf-storage`, sharing a single [`SimClock`] so cross-service
 //! workflows report coherent end-to-end times.
 
-use nsdf_storage::{CachedStore, CloudStore, MemoryStore, NetworkProfile, ObjectStore};
+use nsdf_storage::{
+    BreakerPolicy, BreakerStore, CachedStore, CloudStore, FaultPlan, FaultStore, HedgePolicy,
+    IntegrityStore, MemoryStore, NetworkProfile, ObjectStore, RetryPolicy, RetryStore,
+};
 use nsdf_util::obs::Obs;
 use nsdf_util::{derive_seed, NsdfError, Result, SimClock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Resilience policy for a simulated remote endpoint: how its store stack
+/// retries, hedges, sheds load, and verifies payloads.
+///
+/// Applied by [`NsdfClient::simulated_chaos`], which assembles each remote
+/// endpoint as
+///
+/// ```text
+/// CachedStore → RetryStore → IntegrityStore → BreakerStore → FaultStore → CloudStore
+/// ```
+///
+/// so a fault injected at the bottom is first seen by the breaker (endpoint
+/// health), then surfaced as a checksum failure if it was silent
+/// corruption, then retried/hedged, and finally hidden from warm reads by
+/// the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointPolicy {
+    /// Exponential-backoff retry policy.
+    pub retry: RetryPolicy,
+    /// Hedged backup waves for batch reads; `None` disables hedging.
+    pub hedge: Option<HedgePolicy>,
+    /// Per-endpoint circuit breaker; `None` disables the breaker.
+    pub breaker: Option<BreakerPolicy>,
+    /// Verify payload checksums against object metadata, turning silent
+    /// corruption into retryable I/O errors.
+    pub verify_checksums: bool,
+    /// Read-cache budget in bytes.
+    pub cache_bytes: u64,
+}
+
+impl Default for EndpointPolicy {
+    /// Defaults tolerate sustained ~20% fault rates without tripping: three
+    /// retry attempts with one 20 ms hedge wave, a breaker that only opens
+    /// on 16 consecutive failures, checksum verification on, and the same
+    /// 256 MiB cache as [`NsdfClient::simulated`].
+    fn default() -> Self {
+        EndpointPolicy {
+            retry: RetryPolicy::default(),
+            hedge: Some(HedgePolicy::default()),
+            breaker: Some(BreakerPolicy {
+                failure_threshold: 16,
+                cooldown_secs: 0.05,
+                success_threshold: 2,
+            }),
+            verify_checksums: true,
+            cache_bytes: 256 << 20,
+        }
+    }
+}
 
 /// Classes of storage endpoint the tutorial distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +147,71 @@ impl NsdfClient {
             client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: cached });
         }
         client
+    }
+
+    /// A simulated client whose remote endpoints run a scripted fault plan
+    /// behind the full resilience stack described by [`EndpointPolicy`].
+    ///
+    /// Both remotes execute the same `plan` timeline, but every stochastic
+    /// draw is salted per endpoint (`derive_seed(plan.seed, name)`), so
+    /// "dataverse" and "seal" fail independently while staying
+    /// seed-deterministic. Breaker, retry, hedge, integrity, fault, WAN,
+    /// and cache metrics all land in the endpoint's scope of one shared
+    /// registry (`seal.breaker.opened`, `dataverse.fault.injected`, ...).
+    pub fn simulated_chaos(
+        seed: u64,
+        plan: &FaultPlan,
+        policy: &EndpointPolicy,
+    ) -> Result<NsdfClient> {
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let mut client =
+            NsdfClient { clock: clock.clone(), obs: obs.clone(), endpoints: BTreeMap::new() };
+
+        client.add_endpoint(StorageEndpoint {
+            name: "local".into(),
+            kind: EndpointKind::Local,
+            store: Arc::new(MemoryStore::new()),
+        });
+        for (name, kind, profile, label) in [
+            (
+                "dataverse",
+                EndpointKind::PublicCommons,
+                NetworkProfile::public_dataverse(),
+                "wan-dataverse",
+            ),
+            ("seal", EndpointKind::PrivateCloud, NetworkProfile::private_seal(), "wan-seal"),
+        ] {
+            let ep_obs = obs.scoped(name);
+            let wan = Arc::new(
+                CloudStore::new(
+                    Arc::new(MemoryStore::new()),
+                    profile,
+                    clock.clone(),
+                    derive_seed(seed, label),
+                )
+                .with_obs(&ep_obs),
+            );
+            let mut ep_plan = plan.clone();
+            ep_plan.seed = derive_seed(plan.seed, name);
+            let faulty = Arc::new(FaultStore::new(wan, ep_plan, clock.clone())?.with_obs(&ep_obs));
+            let mut stack: Arc<dyn ObjectStore> = faulty;
+            if let Some(breaker) = policy.breaker {
+                stack =
+                    Arc::new(BreakerStore::new(stack, breaker, clock.clone())?.with_obs(&ep_obs));
+            }
+            if policy.verify_checksums {
+                stack = Arc::new(IntegrityStore::new(stack).with_obs(&ep_obs));
+            }
+            let mut retry = RetryStore::new(stack, policy.retry, clock.clone())?;
+            if let Some(hedge) = policy.hedge {
+                retry = retry.with_hedging(hedge)?;
+            }
+            stack = Arc::new(retry.with_obs(&ep_obs));
+            let cached = Arc::new(CachedStore::new(stack, policy.cache_bytes).with_obs(&ep_obs));
+            client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: cached });
+        }
+        Ok(client)
     }
 
     /// The shared virtual clock.
@@ -217,5 +334,82 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn chaos_client_masks_faults_behind_the_stack() {
+        let plan = FaultPlan::new(41).with_fault_rate(0.2).with_corrupt_rate(0.05);
+        let policy = EndpointPolicy {
+            retry: RetryPolicy { max_attempts: 6, ..RetryPolicy::default() },
+            ..EndpointPolicy::default()
+        };
+        let c = NsdfClient::simulated_chaos(5, &plan, &policy).unwrap();
+        // Writes and reads succeed despite a 20% injected fault rate: the
+        // retry/hedge layers absorb the failures.
+        for i in 0..20 {
+            let key = format!("obj/{i}");
+            c.upload("seal", &key, &vec![i as u8; 32 << 10]).unwrap();
+        }
+        for i in 0..20 {
+            let key = format!("obj/{i}");
+            assert_eq!(c.download("seal", &key).unwrap(), vec![i as u8; 32 << 10]);
+        }
+        let snap = c.obs().snapshot();
+        assert!(snap.counter("seal.fault.injected") > 0, "faults were actually injected");
+        assert!(snap.counter("seal.retry.retries") > 0, "retries absorbed them");
+    }
+
+    #[test]
+    fn chaos_endpoints_fail_independently_but_deterministically() {
+        let run = || {
+            let plan = FaultPlan::new(23).with_fault_rate(0.3);
+            let c = NsdfClient::simulated_chaos(9, &plan, &EndpointPolicy::default()).unwrap();
+            c.upload("dataverse", "x", &vec![1u8; 64 << 10]).unwrap();
+            c.transfer("dataverse", "x", "seal", "x").unwrap();
+            let snap = c.obs().snapshot();
+            (
+                c.clock().now_ns(),
+                snap.counter("dataverse.fault.injected"),
+                snap.counter("seal.fault.injected"),
+                snap.to_json(),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "chaos stack is fully seed-deterministic");
+        // Per-endpoint seed salting: same plan, different draw streams.
+        let key = |ep: &str| {
+            let plan = FaultPlan::new(23).with_fault_rate(0.5);
+            let c = NsdfClient::simulated_chaos(9, &plan, &EndpointPolicy::default()).unwrap();
+            (0..16).map(|i| c.upload(ep, &format!("k{i}"), b"x").is_ok()).collect::<Vec<_>>()
+        };
+        assert_ne!(key("dataverse"), key("seal"), "endpoints draw independent fault streams");
+    }
+
+    #[test]
+    fn chaos_breaker_opens_during_outage() {
+        let plan = FaultPlan::new(3).outage(5.0, 60.0);
+        let policy = EndpointPolicy {
+            breaker: Some(BreakerPolicy {
+                failure_threshold: 2,
+                cooldown_secs: 10.0,
+                success_threshold: 1,
+            }),
+            hedge: None,
+            // No read cache: every download must cross the WAN, so the
+            // outage is visible to the breaker.
+            cache_bytes: 0,
+            ..EndpointPolicy::default()
+        };
+        let c = NsdfClient::simulated_chaos(1, &plan, &policy).unwrap();
+        c.upload("seal", "a", b"payload").unwrap();
+        c.clock().advance_secs(10.0);
+        // Enough failing reads to trip the breaker (each burns 3 attempts).
+        for _ in 0..4 {
+            assert!(c.download("seal", "a").is_err());
+        }
+        let snap = c.obs().snapshot();
+        assert!(snap.counter("seal.breaker.opened") >= 1, "breaker opened during outage");
+        assert!(snap.counter("seal.breaker.fast_failures") > 0, "open breaker shed requests");
+        assert_eq!(snap.counter("dataverse.breaker.opened"), 0, "dataverse untouched");
     }
 }

@@ -12,7 +12,7 @@ pub mod client;
 pub mod pipeline;
 pub mod tutorial;
 
-pub use client::{EndpointKind, NsdfClient, StorageEndpoint};
+pub use client::{EndpointKind, EndpointPolicy, NsdfClient, StorageEndpoint};
 pub use pipeline::{run_tutorial, Interaction, TutorialConfig, TutorialReport};
 pub use tutorial::{
     format_table1, Background, Modality, QuestionTally, Session, SurveyModel, SurveyQuestion,

@@ -1,7 +1,11 @@
 //! Property tests for the space-filling curve layer: bijectivity and level
 //! structure must hold for arbitrary (not just square) grid shapes.
 
-use nsdf_hz::{hz_from_z, hz_level, z_from_hz, BitMask, HzCurve};
+use nsdf_hz::morton::{compact1by1, part1by1};
+use nsdf_hz::{
+    hz_from_z, hz_level, level_end, level_start, morton2_decode, morton2_encode, z_from_hz,
+    BitMask, HzCurve,
+};
 use nsdf_util::Box2i;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -74,5 +78,40 @@ proptest! {
         let mask = BitMask::for_dims_2d(w, h).unwrap();
         let back = BitMask::parse(&mask.to_text()).unwrap();
         prop_assert_eq!(back, mask);
+    }
+
+    #[test]
+    fn morton_bijection_over_full_u32_domain(x in any::<u32>(), y in any::<u32>()) {
+        // part1by1/compact1by1 are exact inverses on the whole u32 domain,
+        // and the interleave keeps the axes in disjoint bit lanes.
+        prop_assert_eq!(compact1by1(part1by1(x)), x);
+        prop_assert_eq!(compact1by1(part1by1(y)), y);
+        prop_assert_eq!(part1by1(x) & (part1by1(y) << 1), 0);
+        let z = morton2_encode(x, y);
+        prop_assert_eq!(morton2_decode(z), (x, y));
+    }
+
+    #[test]
+    fn morton_is_strictly_monotone_per_axis(x in 0u32..u32::MAX, y in 0u32..u32::MAX) {
+        // With the other axis fixed, a coordinate increment strictly
+        // increases the Morton address (each axis owns its bit lane).
+        prop_assert!(morton2_encode(x + 1, y) > morton2_encode(x, y));
+        prop_assert!(morton2_encode(x, y + 1) > morton2_encode(x, y));
+    }
+
+    #[test]
+    fn hz_levels_partition_the_address_space(n in 1u32..24, h in any::<u64>()) {
+        // Level ranges tile [0, 2^n) contiguously ...
+        prop_assert_eq!(level_start(0), 0);
+        for l in 1..=n {
+            prop_assert_eq!(level_start(l), level_end(l - 1));
+            prop_assert!(level_start(l) < level_end(l));
+        }
+        prop_assert_eq!(level_end(n), 1u64 << n);
+        // ... and hz_level is the inverse lookup for every address.
+        let h = h % (1u64 << n);
+        let l = hz_level(h);
+        prop_assert!(l <= n);
+        prop_assert!(level_start(l) <= h && h < level_end(l));
     }
 }

@@ -70,6 +70,16 @@ pub struct QueryStats {
     pub fetch_secs: f64,
     /// Wall-clock seconds spent decoding fetched blocks.
     pub decode_secs: f64,
+    /// Resolution level the caller asked for.
+    pub requested_level: u32,
+    /// Resolution level actually delivered (`< requested_level` when the
+    /// query degraded because finer blocks were unavailable).
+    pub delivered_level: u32,
+    /// Blocks whose fetch failed with a transport error (not `NotFound`)
+    /// and were abandoned by a degraded read.
+    pub blocks_unavailable: u64,
+    /// True when the query fell back to a coarser level than requested.
+    pub degraded: bool,
 }
 
 impl QueryStats {
@@ -86,6 +96,10 @@ impl QueryStats {
         self.fetch_concurrency = self.fetch_concurrency.max(other.fetch_concurrency);
         self.fetch_secs += other.fetch_secs;
         self.decode_secs += other.decode_secs;
+        self.requested_level = self.requested_level.max(other.requested_level);
+        self.delivered_level = self.delivered_level.max(other.delivered_level);
+        self.blocks_unavailable += other.blocks_unavailable;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -151,6 +165,10 @@ pub(crate) const DEFAULT_FETCH_CONCURRENCY: usize = 8;
 /// Default decoded-block cache budget (raw bytes).
 const DEFAULT_DECODED_CACHE_BYTES: u64 = 256 << 20;
 
+/// Aligned origin, per-axis strides, and output dims of a box query at one
+/// resolution level: `(x0, y0, sx, sy, out_w, out_h)`.
+type LevelLayout = (i64, i64, i64, i64, usize, usize);
+
 /// Registry handles for one `IdxDataset`, under the `idx` scope.
 ///
 /// `fetch_vns` accumulates the *virtual* nanoseconds the shared clock
@@ -167,6 +185,8 @@ struct IdxMetrics {
     bytes_fetched: Counter,
     fetch_batches: Counter,
     fetch_vns: Counter,
+    degraded_queries: Counter,
+    blocks_unavailable: Counter,
 }
 
 impl IdxMetrics {
@@ -181,6 +201,8 @@ impl IdxMetrics {
             bytes_fetched: obs.counter("bytes_fetched"),
             fetch_batches: obs.counter("fetch_batches"),
             fetch_vns: obs.counter("fetch_vns"),
+            degraded_queries: obs.counter("degraded_queries"),
+            blocks_unavailable: obs.counter("blocks_unavailable"),
             obs,
         }
     }
@@ -193,6 +215,7 @@ pub struct IdxDataset {
     meta: IdxMeta,
     curve: HzCurve,
     fetch_concurrency: usize,
+    degraded_reads: bool,
     decoded: Mutex<DecodedCache>,
     m: IdxMetrics,
 }
@@ -227,6 +250,7 @@ impl IdxDataset {
             meta,
             curve,
             fetch_concurrency: DEFAULT_FETCH_CONCURRENCY,
+            degraded_reads: false,
             decoded: Mutex::new(DecodedCache::new(DEFAULT_DECODED_CACHE_BYTES)),
             m: IdxMetrics::new(&Obs::default()),
         }
@@ -259,6 +283,19 @@ impl IdxDataset {
     /// Set the decoded-block cache budget in raw bytes (0 disables it).
     pub fn with_decoded_cache_bytes(self, budget: u64) -> Self {
         *self.decoded.lock() = DecodedCache::new(budget);
+        self
+    }
+
+    /// Allow [`IdxDataset::read_box`] to degrade gracefully: when blocks of
+    /// the requested level cannot be fetched (transport errors, after any
+    /// retry layers below have given up), the query falls back to the
+    /// finest coarser level whose blocks all resolved and returns that
+    /// complete result, recording the degradation in [`QueryStats`]
+    /// (`degraded`, `delivered_level`, `blocks_unavailable`) instead of
+    /// erroring. `NotFound` blocks are unaffected — they are unwritten
+    /// data, not failures. Off by default.
+    pub fn with_degraded_reads(mut self, enabled: bool) -> Self {
+        self.degraded_reads = enabled;
         self
     }
 
@@ -460,6 +497,24 @@ impl IdxDataset {
         self.curve.blocks_in_region(region, level, self.meta.block_samples())
     }
 
+    /// Output layout of a box query at `level`: aligned origin `(x0, y0)`,
+    /// per-axis strides `(sx, sy)`, and output dimensions. `None` when the
+    /// region contains no samples on that level's grid.
+    fn level_layout(&self, region: Box2i, level: u32) -> Result<Option<LevelLayout>> {
+        let strides = self.curve.mask().level_strides(level)?;
+        // Degenerate axes (e.g. a 100x1 dataset) own no mask bits and report
+        // a single-axis stride vector; their stride is 1.
+        let (sx, sy) = (strides[0] as i64, strides.get(1).copied().unwrap_or(1) as i64);
+        let x0 = align_up(region.x0, sx);
+        let y0 = align_up(region.y0, sy);
+        if x0 >= region.x1 || y0 >= region.y1 {
+            return Ok(None);
+        }
+        let out_w = ((region.x1 - x0) as u64).div_ceil(sx as u64) as usize;
+        let out_h = ((region.y1 - y0) as u64).div_ceil(sy as u64) as usize;
+        Ok(Some((x0, y0, sx, sy, out_w, out_h)))
+    }
+
     /// O(samples) reference planner kept solely to cross-check
     /// [`IdxDataset::blocks_for_query`] in tests.
     #[cfg(test)]
@@ -508,19 +563,13 @@ impl IdxDataset {
 
         let _query_span = self.m.obs.span("read_box");
         let plan_span = self.m.obs.span("plan");
-        let strides = self.curve.mask().level_strides(level)?;
-        // Degenerate axes (e.g. a 100x1 dataset) own no mask bits and report
-        // a single-axis stride vector; their stride is 1.
-        let (sx, sy) = (strides[0] as i64, strides.get(1).copied().unwrap_or(1) as i64);
-        let x0 = align_up(region.x0, sx);
-        let y0 = align_up(region.y0, sy);
-        if x0 >= region.x1 || y0 >= region.y1 {
+        let Some((mut x0, mut y0, mut sx, mut sy, mut out_w, mut out_h)) =
+            self.level_layout(region, level)?
+        else {
             return Err(NsdfError::invalid(
                 "query region contains no samples at the requested level",
             ));
-        }
-        let out_w = ((region.x1 - x0) as u64).div_ceil(sx as u64) as usize;
-        let out_h = ((region.y1 - y0) as u64).div_ceil(sy as u64) as usize;
+        };
 
         // Which blocks, fetched once each.
         let needed = self.blocks_for_query(region, level)?;
@@ -530,6 +579,8 @@ impl IdxDataset {
         let mut stats = QueryStats {
             blocks_touched: needed.len() as u64,
             fetch_concurrency: self.fetch_concurrency as u64,
+            requested_level: level,
+            delivered_level: level,
             ..QueryStats::default()
         };
 
@@ -554,8 +605,11 @@ impl IdxDataset {
 
         // Fetch/decode pipeline: batched store reads of `fetch_concurrency`
         // blocks, each batch decoded in parallel while preserving
-        // deterministic (earliest-block) error semantics.
+        // deterministic (earliest-block) error semantics. With degraded
+        // reads enabled, transport failures are collected instead of
+        // aborting so the query can fall back to a coarser level.
         let threads = num_threads();
+        let mut failed: BTreeMap<u64, NsdfError> = BTreeMap::new();
         for chunk in to_fetch.chunks(self.fetch_concurrency.max(1)) {
             let keys: Vec<String> =
                 chunk.iter().map(|&b| self.block_key(field_idx, time, b)).collect();
@@ -571,15 +625,20 @@ impl IdxDataset {
             stats.fetch_secs += t_fetch.elapsed().as_secs_f64();
             stats.fetch_batches += 1;
 
-            let encoded: Vec<(u64, Option<Vec<u8>>)> = chunk
-                .iter()
-                .zip(results)
-                .map(|(&block, r)| match r {
-                    Ok(enc) => Ok((block, Some(enc))),
-                    Err(e) if e.is_not_found() => Ok((block, None)),
-                    Err(e) => Err(e),
-                })
-                .collect::<Result<_>>()?;
+            let mut encoded: Vec<(u64, Option<Vec<u8>>)> = Vec::with_capacity(chunk.len());
+            for (&block, r) in chunk.iter().zip(results) {
+                match r {
+                    Ok(enc) => encoded.push((block, Some(enc))),
+                    Err(e) if e.is_not_found() => encoded.push((block, None)),
+                    Err(e) if self.degraded_reads => {
+                        // Unreachable block: keep it out of the decoded cache
+                        // (a later retry must re-fetch it) and remember the
+                        // earliest error in case no fallback level exists.
+                        failed.insert(block, e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             let t_decode = Instant::now();
             let _decode_span = self.m.obs.span("decode");
             let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
@@ -602,6 +661,41 @@ impl IdxDataset {
                 }
                 cache.insert((field_idx, time, block), raw.clone());
                 raw_blocks.insert(block, raw);
+            }
+        }
+
+        // Degraded fallback: if any block stayed unreachable, deliver the
+        // finest coarser level whose block set — always a subset of the
+        // requested level's — avoids every failed block, instead of failing
+        // the whole query.
+        stats.blocks_unavailable = failed.len() as u64;
+        if !failed.is_empty() {
+            let mut fallback = None;
+            for d in (0..level).rev() {
+                if self.blocks_for_query(region, d)?.iter().any(|b| failed.contains_key(b)) {
+                    continue;
+                }
+                match self.level_layout(region, d)? {
+                    Some(layout) => {
+                        fallback = Some((d, layout));
+                        break;
+                    }
+                    // Strides only grow as levels coarsen: a region empty at
+                    // this level stays empty at every coarser one.
+                    None => break,
+                }
+            }
+            match fallback {
+                Some((d, (fx0, fy0, fsx, fsy, fw, fh))) => {
+                    (x0, y0, sx, sy, out_w, out_h) = (fx0, fy0, fsx, fsy, fw, fh);
+                    stats.delivered_level = d;
+                    stats.degraded = true;
+                    self.m.obs.event("degraded");
+                }
+                None => {
+                    let (_, e) = failed.into_iter().next().expect("failed map is non-empty");
+                    return Err(e);
+                }
             }
         }
 
@@ -655,6 +749,10 @@ impl IdxDataset {
         self.m.decoded_cache_hits.add(stats.decoded_cache_hits);
         self.m.bytes_fetched.add(stats.bytes_fetched);
         self.m.fetch_batches.add(stats.fetch_batches);
+        self.m.blocks_unavailable.add(stats.blocks_unavailable);
+        if stats.degraded {
+            self.m.degraded_queries.inc();
+        }
         Ok((out, stats))
     }
 
@@ -708,7 +806,7 @@ mod tests {
     use crate::meta::Field;
     use nsdf_compress::Codec;
     use nsdf_storage::MemoryStore;
-    use nsdf_util::{DType, GeoTransform};
+    use nsdf_util::{DType, GeoTransform, SimClock};
 
     fn make_dataset(w: u64, h: u64, codec: Codec) -> (Arc<MemoryStore>, IdxDataset) {
         let store = Arc::new(MemoryStore::new());
@@ -1030,6 +1128,10 @@ mod tests {
             fetch_concurrency: 8,
             fetch_secs: 0.25,
             decode_secs: 0.125,
+            requested_level: 4,
+            delivered_level: 3,
+            blocks_unavailable: 1,
+            degraded: true,
         };
         // default ∪ x == x, and x ∪ default == x.
         let mut from_default = QueryStats::default();
@@ -1144,6 +1246,117 @@ mod tests {
         assert_eq!(g.y0, 200.0 - 8.0 * 30.0);
         assert_eq!(g.dx, 60.0); // stride 2 at level max-2
         assert_eq!(g.dy, -60.0);
+    }
+
+    /// Dataset whose store injects a read outage over `[start, end)` virtual
+    /// seconds; the returned clock drives the outage window.
+    fn outage_dataset(start: f64, end: f64) -> (IdxDataset, SimClock) {
+        use nsdf_storage::{FailScope, FaultPlan, FaultStore};
+        let clock = SimClock::new();
+        let plan = FaultPlan::new(11).with_scope(FailScope::Reads).outage(start, end);
+        let store =
+            Arc::new(FaultStore::new(Arc::new(MemoryStore::new()), plan, clock.clone()).unwrap());
+        let meta = IdxMeta::new_2d(
+            "chaos",
+            64,
+            64,
+            vec![Field::new("v", DType::F32).unwrap()],
+            8,
+            Codec::Raw,
+        )
+        .unwrap();
+        let ds = IdxDataset::create(store, "data/chaos", meta).unwrap();
+        (ds, clock)
+    }
+
+    #[test]
+    fn degraded_read_falls_back_to_cached_coarse_level() {
+        let obs = Obs::default();
+        let (ds, clock) = outage_dataset(10.0, 30.0);
+        let ds = ds.with_degraded_reads(true).with_obs(&obs);
+        let r = ramp(64, 64);
+        ds.write_raster("v", 0, &r).unwrap();
+
+        // Warm the decoded cache with a coarse preview before the outage.
+        let coarse_level = ds.max_level() - 3;
+        let (coarse, q0) = ds.read_box::<f32>("v", 0, ds.bounds(), coarse_level).unwrap();
+        assert!(!q0.degraded);
+        assert_eq!(q0.delivered_level, coarse_level);
+
+        // Inside the outage every uncached (finer) block is unreachable, so
+        // the full-resolution query degrades to the cached coarse level.
+        clock.advance_secs(15.0);
+        let (out, q) = ds.read_box::<f32>("v", 0, ds.bounds(), ds.max_level()).unwrap();
+        assert!(q.degraded);
+        assert_eq!(q.requested_level, ds.max_level());
+        assert_eq!(q.delivered_level, coarse_level);
+        assert!(q.blocks_unavailable > 0);
+        assert_eq!(out.data(), coarse.data(), "degraded result is the coarse preview");
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("idx.degraded_queries"), 1);
+        assert_eq!(snap.counter("idx.blocks_unavailable"), q.blocks_unavailable);
+        let tree = obs.span_tree();
+        let degraded_events: usize =
+            tree.iter().flat_map(|q| &q.children).filter(|c| c.label == "idx.degraded").count();
+        assert_eq!(degraded_events, 1, "degraded fallback emits one event span");
+
+        // Failed blocks must not be cached as missing: once the outage
+        // lifts, the same query delivers full resolution.
+        clock.advance_secs(20.0);
+        let (full, q2) = ds.read_box::<f32>("v", 0, ds.bounds(), ds.max_level()).unwrap();
+        assert!(!q2.degraded);
+        assert_eq!(q2.delivered_level, ds.max_level());
+        assert_eq!(full.data(), r.data());
+    }
+
+    #[test]
+    fn degraded_read_requires_opt_in() {
+        let (ds, clock) = outage_dataset(10.0, 30.0);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        ds.read_box::<f32>("v", 0, ds.bounds(), ds.max_level() - 3).unwrap();
+        clock.advance_secs(15.0);
+        let err = ds.read_box::<f32>("v", 0, ds.bounds(), ds.max_level()).unwrap_err();
+        assert!(!err.is_not_found(), "transport failure, not a missing block: {err}");
+    }
+
+    #[test]
+    fn degraded_read_with_no_reachable_level_errors() {
+        let (ds, clock) = outage_dataset(10.0, 30.0);
+        let ds = ds.with_degraded_reads(true);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        // Cold cache: even level 0's block is unreachable, so there is no
+        // complete coarser level to fall back to.
+        clock.advance_secs(15.0);
+        let err = ds.read_box::<f32>("v", 0, ds.bounds(), ds.max_level()).unwrap_err();
+        assert!(err.to_string().contains("outage"), "propagates the injected error: {err}");
+    }
+
+    #[test]
+    fn progressive_read_continues_past_degraded_fine_levels() {
+        let (ds, clock) = outage_dataset(10.0, 30.0);
+        let ds = ds.with_degraded_reads(true);
+        let r = ramp(64, 64);
+        ds.write_raster("v", 0, &r).unwrap();
+        let coarse_level = ds.max_level() - 3;
+        let (warm, _) = ds.read_box::<f32>("v", 0, ds.bounds(), coarse_level).unwrap();
+
+        clock.advance_secs(15.0);
+        let seq = ds.read_progressive::<f32>("v", 0, ds.bounds(), 2, ds.max_level()).unwrap();
+        assert_eq!(seq.len() as u32, ds.max_level() - 2 + 1);
+        for (level, raster, stats) in &seq {
+            if *level <= coarse_level {
+                // Blocks for levels at or below the warmed preview are a
+                // subset of its block set, so they resolve from cache.
+                assert!(!stats.degraded, "level {level} fully cached");
+                assert_eq!(stats.delivered_level, *level);
+            } else {
+                assert!(stats.degraded, "level {level} degrades during outage");
+                assert_eq!(stats.delivered_level, coarse_level);
+                // Delivered data is still exact — just coarser.
+                assert_eq!(raster.data(), warm.data());
+            }
+        }
     }
 }
 

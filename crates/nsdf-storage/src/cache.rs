@@ -387,6 +387,12 @@ impl ObjectStore for CachedStore {
         self.inner.head(key)
     }
 
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        // Metadata is not cached; forward the batch so the WAN layer keeps
+        // its amortized round-trip accounting.
+        self.inner.head_many(keys)
+    }
+
     fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
         self.inner.list(prefix)
     }

@@ -1,0 +1,785 @@
+//! Deterministic, scripted fault injection: the chaos model for the
+//! simulated NSDF storage fabric.
+//!
+//! Remote community storage — the public Dataverse commons, the private
+//! Seal cloud — fails in structured ways: whole-endpoint outages, latency
+//! spikes, slow reads under congestion, transient per-request errors, and
+//! the occasional corrupted payload. [`FaultPlan`] scripts all of these
+//! against the shared virtual [`SimClock`] timeline, and [`FaultStore`]
+//! executes the plan over any inner [`ObjectStore`].
+//!
+//! Two determinism rules make chaos runs byte-for-byte reproducible:
+//!
+//! 1. every per-key decision (fail? corrupt?) is a **pure function of
+//!    `(seed, key, attempt)`** — the attempt counter is tracked per key, so
+//!    batch composition and draw order cannot change which keys fail
+//!    (unlike the retired global-counter `FlakyStore` draws);
+//! 2. scripted windows (outages, spikes) trigger on **virtual time**, so
+//!    identically-seeded runs see identical fault sequences regardless of
+//!    wall-clock scheduling.
+
+use crate::store::{ObjectMeta, ObjectStore};
+use nsdf_util::obs::{Counter, Obs};
+use nsdf_util::{fnv1a64, secs_to_ns, splitmix64, NsdfError, Result, SimClock};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub use crate::reliability::FailScope;
+
+/// Salt separating the failure draw stream from the corruption streams.
+const SALT_FAIL: u64 = 0xFA11_FA11_FA11_0001;
+/// Salt for the corrupt-or-not draw.
+const SALT_CORRUPT: u64 = 0xC0DE_C0DE_C0DE_0002;
+/// Salt for picking which byte of a corrupted payload to damage.
+const SALT_SITE: u64 = 0xB17E_B17E_B17E_0003;
+
+/// One scripted disturbance over a virtual-time window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    /// Window start, virtual seconds (inclusive).
+    pub start_secs: f64,
+    /// Window end, virtual seconds (exclusive).
+    pub end_secs: f64,
+    /// What happens inside the window.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// True when virtual time `now` falls inside this window.
+    pub fn contains(&self, now_secs: f64) -> bool {
+        now_secs >= self.start_secs && now_secs < self.end_secs
+    }
+}
+
+/// The disturbance a [`FaultWindow`] applies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Total endpoint outage: every in-scope operation fails.
+    Outage,
+    /// Each in-scope operation (or batch) charges `extra_secs` of extra
+    /// virtual latency before reaching the endpoint.
+    LatencySpike {
+        /// Extra virtual seconds charged per operation/batch.
+        extra_secs: f64,
+    },
+    /// Reads take `factor` times their normal virtual duration (congestion
+    /// on the return path). Applies to the whole operation or batch.
+    SlowReads {
+        /// Multiplier on the inner operation's virtual cost (>= 1).
+        factor: f64,
+    },
+    /// Elevated per-key transient failure probability inside the window.
+    ErrorBurst {
+        /// Failure probability in `[0, 1]` while the burst lasts.
+        rate: f64,
+    },
+}
+
+/// A seeded, scripted fault model: background per-`(key, attempt)` failure
+/// and corruption rates plus any number of virtual-time windows.
+///
+/// ```
+/// use nsdf_storage::fault::FaultPlan;
+/// let plan = FaultPlan::new(42)
+///     .with_fault_rate(0.05)      // 5 % of requests fail transiently
+///     .with_corrupt_rate(0.01)    // 1 % of payloads arrive damaged
+///     .outage(10.0, 12.5)         // endpoint dark for 2.5 virtual secs
+///     .latency_spike(20.0, 25.0, 0.25)
+///     .slow_reads(30.0, 40.0, 3.0)
+///     .error_burst(50.0, 55.0, 0.5);
+/// assert!(plan.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed for every stochastic draw in the plan.
+    pub seed: u64,
+    /// Which operation classes the plan may disturb.
+    pub scope: FailScope,
+    /// Background transient failure probability per `(key, attempt)`.
+    pub fault_rate: f64,
+    /// Payload corruption probability per `(key, attempt)` on reads.
+    pub corrupt_rate: f64,
+    /// Scripted windows, applied on the virtual clock.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// A clean plan (no faults at all) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            scope: FailScope::All,
+            fault_rate: 0.0,
+            corrupt_rate: 0.0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Restrict the plan to reads or writes.
+    pub fn with_scope(mut self, scope: FailScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Set the background transient failure rate.
+    pub fn with_fault_rate(mut self, rate: f64) -> Self {
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Set the payload corruption rate (reads only).
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Script a total outage over `[start, end)` virtual seconds.
+    pub fn outage(mut self, start_secs: f64, end_secs: f64) -> Self {
+        self.windows.push(FaultWindow { start_secs, end_secs, kind: FaultKind::Outage });
+        self
+    }
+
+    /// Script a latency spike: `extra_secs` charged per op in the window.
+    pub fn latency_spike(mut self, start_secs: f64, end_secs: f64, extra_secs: f64) -> Self {
+        self.windows.push(FaultWindow {
+            start_secs,
+            end_secs,
+            kind: FaultKind::LatencySpike { extra_secs },
+        });
+        self
+    }
+
+    /// Script a slow-read window: reads cost `factor`× their virtual time.
+    pub fn slow_reads(mut self, start_secs: f64, end_secs: f64, factor: f64) -> Self {
+        self.windows.push(FaultWindow {
+            start_secs,
+            end_secs,
+            kind: FaultKind::SlowReads { factor },
+        });
+        self
+    }
+
+    /// Script an error burst: failure rate `rate` inside the window.
+    pub fn error_burst(mut self, start_secs: f64, end_secs: f64, rate: f64) -> Self {
+        self.windows.push(FaultWindow {
+            start_secs,
+            end_secs,
+            kind: FaultKind::ErrorBurst { rate },
+        });
+        self
+    }
+
+    /// Check every probability and window for validity.
+    pub fn validate(&self) -> Result<()> {
+        let unit = |v: f64, what: &str| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(NsdfError::invalid(format!("{what} must be in [0, 1], got {v}")))
+            }
+        };
+        unit(self.fault_rate, "fault rate")?;
+        unit(self.corrupt_rate, "corrupt rate")?;
+        for w in &self.windows {
+            if !(w.start_secs >= 0.0 && w.end_secs > w.start_secs) {
+                return Err(NsdfError::invalid(format!(
+                    "fault window [{}, {}) is not a forward interval",
+                    w.start_secs, w.end_secs
+                )));
+            }
+            match w.kind {
+                FaultKind::ErrorBurst { rate } => unit(rate, "error burst rate")?,
+                FaultKind::LatencySpike { extra_secs } if extra_secs < 0.0 => {
+                    return Err(NsdfError::invalid("latency spike must be non-negative"));
+                }
+                FaultKind::SlowReads { factor } if factor < 1.0 => {
+                    return Err(NsdfError::invalid("slow-read factor must be >= 1"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The failure rate in force at virtual time `now` (background rate,
+    /// raised by any active error burst).
+    pub fn rate_at(&self, now_secs: f64) -> f64 {
+        let mut rate = self.fault_rate;
+        for w in &self.windows {
+            if let FaultKind::ErrorBurst { rate: r } = w.kind {
+                if w.contains(now_secs) {
+                    rate = rate.max(r);
+                }
+            }
+        }
+        rate
+    }
+
+    /// True when an outage window covers virtual time `now`.
+    pub fn in_outage(&self, now_secs: f64) -> bool {
+        self.windows.iter().any(|w| matches!(w.kind, FaultKind::Outage) && w.contains(now_secs))
+    }
+
+    /// Sum of active latency-spike charges at virtual time `now`.
+    pub fn spike_at(&self, now_secs: f64) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now_secs))
+            .filter_map(|w| match w.kind {
+                FaultKind::LatencySpike { extra_secs } => Some(extra_secs),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Combined slow-read factor at virtual time `now` (1.0 = no slowdown).
+    pub fn slow_factor_at(&self, now_secs: f64) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now_secs))
+            .filter_map(|w| match w.kind {
+                FaultKind::SlowReads { factor } => Some(factor),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Registry handles for one `FaultStore`, under a configurable scope
+/// (`fault` by default, `flaky` for the compatibility wrapper).
+struct FaultMetrics {
+    injected: Counter,
+    outage_failures: Counter,
+    corrupted: Counter,
+    delay_vns: Counter,
+    slow_vns: Counter,
+}
+
+impl FaultMetrics {
+    fn new(obs: &Obs, label: &str) -> Self {
+        let obs = obs.scoped(label);
+        FaultMetrics {
+            injected: obs.counter("injected"),
+            outage_failures: obs.counter("outage_failures"),
+            corrupted: obs.counter("corrupted"),
+            delay_vns: obs.counter("delay_vns"),
+            slow_vns: obs.counter("slow_vns"),
+        }
+    }
+}
+
+/// An [`ObjectStore`] that executes a [`FaultPlan`] over its inner store.
+///
+/// Layer it directly above the WAN simulator so scripted latency charges
+/// and the WAN's own costs share one [`SimClock`]:
+/// `RetryStore(IntegrityStore(FaultStore(CloudStore(MemoryStore))))`.
+pub struct FaultStore {
+    inner: Arc<dyn ObjectStore>,
+    plan: FaultPlan,
+    clock: SimClock,
+    /// Per-key attempt counters: the `attempt` input of every draw.
+    attempts: Mutex<HashMap<String, u64>>,
+    label: &'static str,
+    m: FaultMetrics,
+}
+
+impl FaultStore {
+    /// Wrap `inner`, executing `plan` against `clock`.
+    pub fn new(inner: Arc<dyn ObjectStore>, plan: FaultPlan, clock: SimClock) -> Result<Self> {
+        Self::with_label(inner, plan, clock, "fault")
+    }
+
+    /// As [`FaultStore::new`] but reporting metrics under `label` (used by
+    /// the `FlakyStore` compatibility wrapper, which reports as `flaky`).
+    pub(crate) fn with_label(
+        inner: Arc<dyn ObjectStore>,
+        plan: FaultPlan,
+        clock: SimClock,
+        label: &'static str,
+    ) -> Result<Self> {
+        plan.validate()?;
+        Ok(FaultStore {
+            inner,
+            plan,
+            clock,
+            attempts: Mutex::new(HashMap::new()),
+            label,
+            m: FaultMetrics::new(&Obs::default(), label),
+        })
+    }
+
+    /// Report injection accounting into `obs` (scope `…fault`, or the
+    /// label given at construction).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = FaultMetrics::new(obs, self.label);
+        self
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The virtual clock windows trigger on.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Transient failures injected so far (background + bursts + outages).
+    pub fn injected_failures(&self) -> u64 {
+        self.m.injected.get() + self.m.outage_failures.get()
+    }
+
+    /// Payloads corrupted so far.
+    pub fn corrupted_payloads(&self) -> u64 {
+        self.m.corrupted.get()
+    }
+
+    /// The wrapped store's own description (for wrappers that present
+    /// their own layer description, like `FlakyStore`).
+    pub(crate) fn inner_describe(&self) -> String {
+        self.inner.describe()
+    }
+
+    /// Attempts consumed for `key` so far (draw-stream position).
+    pub fn attempts_for(&self, key: &str) -> u64 {
+        self.attempts.lock().get(key).copied().unwrap_or(0)
+    }
+
+    fn in_scope(&self, is_read: bool) -> bool {
+        match self.plan.scope {
+            FailScope::Reads => is_read,
+            FailScope::Writes => !is_read,
+            FailScope::All => true,
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`, pure in `(seed, salt, key, attempt)`.
+    fn draw(&self, salt: u64, key: &str, attempt: u64) -> f64 {
+        let mixed = splitmix64(self.plan.seed ^ salt)
+            ^ fnv1a64(key.as_bytes())
+            ^ splitmix64(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        splitmix64(mixed) as f64 / u64::MAX as f64
+    }
+
+    /// Consume the next attempt number for `key`.
+    fn next_attempt(&self, key: &str) -> u64 {
+        let mut attempts = self.attempts.lock();
+        let slot = attempts.entry(key.to_string()).or_insert(0);
+        let attempt = *slot;
+        *slot += 1;
+        attempt
+    }
+
+    /// Charge any latency spike active right now (once per op or batch).
+    fn charge_spike(&self, now_secs: f64) {
+        let extra = self.plan.spike_at(now_secs);
+        if extra > 0.0 {
+            self.clock.advance_secs(extra);
+            self.m.delay_vns.add(secs_to_ns(extra));
+        }
+    }
+
+    /// Charge the slow-read surcharge: `(factor - 1) ×` the virtual cost
+    /// the inner operation accrued. The factor is sampled at entry time so
+    /// the decision is deterministic even when the op itself moves the
+    /// clock past the window edge.
+    fn charge_slowdown(&self, factor: f64, entry_ns: u64) {
+        if factor > 1.0 {
+            let inner_ns = self.clock.now_ns().saturating_sub(entry_ns);
+            let extra_ns = ((factor - 1.0) * inner_ns as f64).round() as u64;
+            if extra_ns > 0 {
+                self.clock.advance_ns(extra_ns);
+                self.m.slow_vns.add(extra_ns);
+            }
+        }
+    }
+
+    fn outage_error(&self, what: &str) -> NsdfError {
+        self.m.outage_failures.inc();
+        NsdfError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            format!("endpoint outage during {what}"),
+        ))
+    }
+
+    fn injected_error(&self, what: &str, key: &str) -> NsdfError {
+        self.m.injected.inc();
+        NsdfError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            format!("injected transient failure during {what} of {key:?}"),
+        ))
+    }
+
+    /// Per-key admission: consume an attempt and decide failure. Returns
+    /// the attempt number consumed (for the corruption draw).
+    fn admit(&self, key: &str, rate: f64, what: &str) -> Result<u64> {
+        let attempt = self.next_attempt(key);
+        if rate > 0.0 && self.draw(SALT_FAIL, key, attempt) < rate {
+            return Err(self.injected_error(what, key));
+        }
+        Ok(attempt)
+    }
+
+    /// Deterministically damage one byte of `data` when the corruption
+    /// draw for `(key, attempt)` fires. Empty payloads are left alone.
+    fn maybe_corrupt(&self, key: &str, attempt: u64, data: &mut [u8]) {
+        if self.plan.corrupt_rate <= 0.0 || data.is_empty() || !self.in_scope(true) {
+            return;
+        }
+        if self.draw(SALT_CORRUPT, key, attempt) < self.plan.corrupt_rate {
+            let mixed = splitmix64(self.plan.seed ^ SALT_SITE)
+                ^ fnv1a64(key.as_bytes())
+                ^ splitmix64(attempt);
+            let site = (splitmix64(mixed) % data.len() as u64) as usize;
+            data[site] ^= 0x5A; // non-zero mask: payload always changes
+            self.m.corrupted.inc();
+        }
+    }
+
+    /// Shared prologue for single-key ops: window effects + failure draw.
+    /// Returns `(attempt, slow_factor, entry_ns)` for the epilogue.
+    fn gate(&self, is_read: bool, key: &str, what: &str) -> Result<Option<(u64, f64, u64)>> {
+        if !self.in_scope(is_read) {
+            return Ok(None);
+        }
+        let now = self.clock.now_secs();
+        if self.plan.in_outage(now) {
+            // Outages still consume an attempt so the draw stream stays
+            // aligned with a healthy run of the same call sequence.
+            let _ = self.next_attempt(key);
+            return Err(self.outage_error(what));
+        }
+        self.charge_spike(now);
+        let attempt = self.admit(key, self.plan.rate_at(now), what)?;
+        let factor = if is_read { self.plan.slow_factor_at(now) } else { 1.0 };
+        Ok(Some((attempt, factor, self.clock.now_ns())))
+    }
+}
+
+impl ObjectStore for FaultStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        self.gate(false, key, "put")?;
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        match self.gate(true, key, "get")? {
+            None => self.inner.get(key),
+            Some((attempt, factor, entry_ns)) => {
+                let mut data = self.inner.get(key)?;
+                self.charge_slowdown(factor, entry_ns);
+                self.maybe_corrupt(key, attempt, &mut data);
+                Ok(data)
+            }
+        }
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        match self.gate(true, key, "get_range")? {
+            None => self.inner.get_range(key, offset, len),
+            Some((attempt, factor, entry_ns)) => {
+                let mut data = self.inner.get_range(key, offset, len)?;
+                self.charge_slowdown(factor, entry_ns);
+                self.maybe_corrupt(key, attempt, &mut data);
+                Ok(data)
+            }
+        }
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        if !self.in_scope(true) {
+            return self.inner.get_many(keys);
+        }
+        let now = self.clock.now_secs();
+        if self.plan.in_outage(now) {
+            return keys
+                .iter()
+                .map(|k| {
+                    let _ = self.next_attempt(k);
+                    Err(self.outage_error("get_many"))
+                })
+                .collect();
+        }
+        // One spike charge and one slow-read factor per batch: the batch is
+        // one network episode, mirroring the WAN model's single jitter draw.
+        self.charge_spike(now);
+        let rate = self.plan.rate_at(now);
+        let factor = self.plan.slow_factor_at(now);
+
+        let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut pass_idx = Vec::with_capacity(keys.len());
+        let mut pass_keys = Vec::with_capacity(keys.len());
+        let mut pass_attempts = Vec::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            match self.admit(k, rate, "get_many") {
+                Ok(attempt) => {
+                    pass_idx.push(i);
+                    pass_keys.push(*k);
+                    pass_attempts.push(attempt);
+                }
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        if !pass_keys.is_empty() {
+            let entry_ns = self.clock.now_ns();
+            let results = self.inner.get_many(&pass_keys);
+            self.charge_slowdown(factor, entry_ns);
+            for ((i, attempt), r) in pass_idx.into_iter().zip(pass_attempts).zip(results) {
+                out[i] = Some(r.map(|mut data| {
+                    self.maybe_corrupt(keys[i], attempt, &mut data);
+                    data
+                }));
+            }
+        }
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.gate(true, key, "head")?;
+        self.inner.head(key)
+    }
+
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        if !self.in_scope(true) {
+            return self.inner.head_many(keys);
+        }
+        let now = self.clock.now_secs();
+        if self.plan.in_outage(now) {
+            return keys
+                .iter()
+                .map(|k| {
+                    let _ = self.next_attempt(k);
+                    Err(self.outage_error("head_many"))
+                })
+                .collect();
+        }
+        self.charge_spike(now);
+        let rate = self.plan.rate_at(now);
+        let mut out: Vec<Option<Result<ObjectMeta>>> = keys.iter().map(|_| None).collect();
+        let mut pass_idx = Vec::with_capacity(keys.len());
+        let mut pass_keys = Vec::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            match self.admit(k, rate, "head_many") {
+                Ok(_) => {
+                    pass_idx.push(i);
+                    pass_keys.push(*k);
+                }
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        if !pass_keys.is_empty() {
+            for (i, r) in pass_idx.into_iter().zip(self.inner.head_many(&pass_keys)) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.gate(true, prefix, "list")?;
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.gate(false, key, "delete")?;
+        self.inner.delete(key)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} under fault plan (rate {:.0}%, corrupt {:.1}%, {} windows)",
+            self.inner.describe(),
+            self.plan.fault_rate * 100.0,
+            self.plan.corrupt_rate * 100.0,
+            self.plan.windows.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+
+    fn seeded_store(n: usize) -> (Arc<MemoryStore>, Vec<String>) {
+        let mem = Arc::new(MemoryStore::new());
+        let keys: Vec<String> = (0..n).map(|i| format!("k{i}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            mem.put(k, format!("v{i}").as_bytes()).unwrap();
+        }
+        (mem, keys)
+    }
+
+    fn fault(mem: Arc<MemoryStore>, plan: FaultPlan, clock: SimClock) -> FaultStore {
+        FaultStore::new(mem, plan, clock).unwrap()
+    }
+
+    #[test]
+    fn clean_plan_injects_nothing() {
+        let (mem, keys) = seeded_store(20);
+        let s = fault(mem, FaultPlan::new(1), SimClock::new());
+        for k in &keys {
+            s.get(k).unwrap();
+        }
+        assert_eq!(s.injected_failures(), 0);
+        assert_eq!(s.corrupted_payloads(), 0);
+    }
+
+    #[test]
+    fn failure_decision_is_pure_in_seed_key_attempt() {
+        // The same key must see the same fail/pass sequence no matter what
+        // other keys share its batches.
+        let plan = || FaultPlan::new(99).with_fault_rate(0.5).with_scope(FailScope::Reads);
+        let (mem, keys) = seeded_store(12);
+        let solo = fault(mem.clone(), plan(), SimClock::new());
+        let solo_outcomes: Vec<Vec<bool>> =
+            keys.iter().map(|k| (0..4).map(|_| solo.get(k).is_ok()).collect()).collect();
+
+        // Same draws, but interleaved through batches of shifting shape.
+        let batched = fault(mem, plan(), SimClock::new());
+        let mut batch_outcomes: Vec<Vec<bool>> = keys.iter().map(|_| Vec::new()).collect();
+        for round in 0..4 {
+            // Rotate the batch order each round so draw order differs.
+            let mut order: Vec<usize> = (0..keys.len()).collect();
+            order.rotate_left(round * 3 % keys.len());
+            let refs: Vec<&str> = order.iter().map(|&i| keys[i].as_str()).collect();
+            for (&i, r) in order.iter().zip(batched.get_many(&refs)) {
+                batch_outcomes[i].push(r.is_ok());
+            }
+        }
+        assert_eq!(solo_outcomes, batch_outcomes);
+    }
+
+    #[test]
+    fn outage_window_fails_everything_then_recovers() {
+        let (mem, keys) = seeded_store(4);
+        let clock = SimClock::new();
+        let s = fault(mem, FaultPlan::new(7).outage(1.0, 2.0), clock.clone());
+        for k in &keys {
+            s.get(k).unwrap(); // before the window
+        }
+        clock.advance_secs(1.5);
+        for k in &keys {
+            assert!(s.get(k).is_err(), "inside the outage window");
+        }
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        assert!(s.get_many(&refs).iter().all(|r| r.is_err()));
+        clock.advance_secs(1.0);
+        for k in &keys {
+            s.get(k).unwrap(); // after the window
+        }
+        assert!(s.injected_failures() >= 8);
+    }
+
+    #[test]
+    fn latency_spike_charges_virtual_time() {
+        let (mem, keys) = seeded_store(2);
+        let clock = SimClock::new();
+        let s = fault(mem, FaultPlan::new(7).latency_spike(0.0, 10.0, 0.25), clock.clone());
+        s.get(&keys[0]).unwrap();
+        assert_eq!(clock.now_ns(), 250_000_000);
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        s.get_many(&refs); // one charge per batch
+        assert_eq!(clock.now_ns(), 500_000_000);
+    }
+
+    #[test]
+    fn slow_reads_multiply_inner_cost() {
+        use crate::wan::{CloudStore, NetworkProfile};
+        let (mem, keys) = seeded_store(1);
+        let clock = SimClock::new();
+        let wan = Arc::new(CloudStore::new(mem.clone(), NetworkProfile::local(), clock.clone(), 3));
+        let plain_cost = {
+            wan.get(&keys[0]).unwrap();
+            clock.now_ns()
+        };
+        let clock2 = SimClock::new();
+        let wan2 = Arc::new(CloudStore::new(mem, NetworkProfile::local(), clock2.clone(), 3));
+        let s = fault(
+            Arc::new(MemoryStore::new()), // placeholder, replaced below
+            FaultPlan::new(7),
+            clock2.clone(),
+        );
+        drop(s);
+        let s = FaultStore::new(wan2, FaultPlan::new(7).slow_reads(0.0, 10.0, 3.0), clock2.clone())
+            .unwrap();
+        s.get(&keys[0]).unwrap();
+        // 3x the WAN cost: the surcharge is exactly 2x the inner charge.
+        assert_eq!(clock2.now_ns(), plain_cost * 3);
+    }
+
+    #[test]
+    fn error_burst_raises_rate_inside_window_only() {
+        let (mem, keys) = seeded_store(40);
+        let clock = SimClock::new();
+        let s = fault(mem, FaultPlan::new(11).error_burst(5.0, 6.0, 1.0), clock.clone());
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        assert!(s.get_many(&refs).iter().all(|r| r.is_ok()), "no faults outside the burst");
+        clock.advance_secs(5.5);
+        assert!(s.get_many(&refs).iter().all(|r| r.is_err()), "burst rate 1.0 fails all");
+        clock.advance_secs(1.0);
+        assert!(s.get_many(&refs).iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn corruption_damages_payload_deterministically() {
+        let (mem, keys) = seeded_store(50);
+        let run = || {
+            let s = fault(mem.clone(), FaultPlan::new(5).with_corrupt_rate(0.3), SimClock::new());
+            keys.iter().map(|k| s.get(k).unwrap()).collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "corruption sites are seed-deterministic");
+        let clean: Vec<Vec<u8>> = keys.iter().map(|k| mem.get(k).unwrap()).collect();
+        let damaged = a.iter().zip(&clean).filter(|(got, want)| got != want).count();
+        assert!(damaged > 5, "rate 0.3 over 50 reads corrupts something, got {damaged}");
+        assert!(damaged < 30, "rate 0.3 must not corrupt everything, got {damaged}");
+    }
+
+    #[test]
+    fn writes_untouched_under_read_scope() {
+        let mem = Arc::new(MemoryStore::new());
+        let s = fault(
+            mem,
+            FaultPlan::new(3).with_fault_rate(1.0).with_scope(FailScope::Reads),
+            SimClock::new(),
+        );
+        s.put("k", b"v").unwrap();
+        assert!(s.get("k").is_err());
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let mem: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        for plan in [
+            FaultPlan::new(1).with_fault_rate(1.5),
+            FaultPlan::new(1).with_corrupt_rate(-0.1),
+            FaultPlan::new(1).outage(5.0, 5.0),
+            FaultPlan::new(1).error_burst(0.0, 1.0, 2.0),
+            FaultPlan::new(1).slow_reads(0.0, 1.0, 0.5),
+            FaultPlan::new(1).latency_spike(0.0, 1.0, -0.5),
+        ] {
+            assert!(FaultStore::new(mem.clone(), plan, SimClock::new()).is_err());
+        }
+    }
+
+    #[test]
+    fn head_many_draws_per_key() {
+        let (mem, keys) = seeded_store(30);
+        let plan = || FaultPlan::new(21).with_fault_rate(0.4).with_scope(FailScope::Reads);
+        let singles = {
+            let s = fault(mem.clone(), plan(), SimClock::new());
+            keys.iter().map(|k| s.head(k).is_ok()).collect::<Vec<_>>()
+        };
+        let batched = {
+            let s = fault(mem, plan(), SimClock::new());
+            let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            s.head_many(&refs).iter().map(|r| r.is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(singles, batched);
+        assert!(singles.iter().any(|&ok| !ok) && singles.iter().any(|&ok| ok));
+    }
+}

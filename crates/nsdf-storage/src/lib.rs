@@ -10,12 +10,18 @@
 //! * [`local`] — filesystem backend;
 //! * [`wan`] — [`wan::CloudStore`] WAN wrapper with [`wan::NetworkProfile`]s;
 //! * [`cache`] — [`cache::CachedStore`] byte-budgeted LRU cache;
-//! * [`reliability`] — deterministic failure injection and retry layers.
+//! * [`fault`] — scripted, seeded chaos: [`fault::FaultPlan`] windows
+//!   (outages, latency spikes, slow reads, error bursts, corruption)
+//!   executed by [`fault::FaultStore`] on the virtual clock;
+//! * [`reliability`] — the resilience stack: failure injection, retries
+//!   with hedged backup waves, a per-endpoint circuit breaker, and
+//!   checksum verification.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod local;
 pub mod memory;
 pub mod reliability;
@@ -23,8 +29,12 @@ pub mod store;
 pub mod wan;
 
 pub use cache::{CacheStats, CachedStore};
+pub use fault::{FaultKind, FaultPlan, FaultStore, FaultWindow};
 pub use local::LocalStore;
 pub use memory::MemoryStore;
-pub use reliability::{FailScope, FlakyStore, RetryPolicy, RetryStore};
+pub use reliability::{
+    BreakerPolicy, BreakerState, BreakerStore, FailScope, FlakyStore, HedgePolicy, IntegrityStore,
+    RetryPolicy, RetryStore,
+};
 pub use store::{validate_key, ObjectMeta, ObjectStore};
 pub use wan::{CloudStore, NetworkProfile, TransferLog};

@@ -1,17 +1,25 @@
-//! Failure injection and retry.
+//! Resilience layers: failure injection, retries, hedging, circuit
+//! breaking, and end-to-end payload integrity.
 //!
 //! Wide-area transfers fail; the NSDF testbed papers (refs \[2\], \[12\])
 //! treat transient request failures as a fact of life. `FlakyStore`
 //! injects deterministic, seed-driven failures into any inner store so
-//! tests and benches can exercise error paths, and `RetryStore` layers
-//! bounded exponential-backoff retries (charging backoff to the virtual
-//! clock) on top — the pairing lets the workspace prove end-to-end that a
-//! lossy substrate still yields correct datasets.
+//! tests and benches can exercise error paths (it is a thin uniform-rate
+//! wrapper over the scripted [`crate::fault::FaultStore`]), and
+//! `RetryStore` layers bounded exponential-backoff retries — optionally
+//! with hedged backup waves — on top, charging all waiting to the virtual
+//! clock. `BreakerStore` adds a per-endpoint circuit breaker so a dead
+//! endpoint fails fast instead of burning retry budget, and
+//! `IntegrityStore` verifies payload checksums against stored metadata so
+//! corrupted-in-flight payloads surface as retryable I/O errors. The
+//! stack proves end-to-end that a lossy substrate still yields correct
+//! datasets.
 
+use crate::fault::{FaultPlan, FaultStore};
 use crate::store::{ObjectMeta, ObjectStore};
-use nsdf_util::obs::{Counter, Obs};
-use nsdf_util::{secs_to_ns, splitmix64, NsdfError, Result, SimClock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use nsdf_util::obs::{Counter, Gauge, Obs};
+use nsdf_util::{fnv1a64, secs_to_ns, NsdfError, Result, SimClock};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Which operations may be failed by the injector.
@@ -26,14 +34,14 @@ pub enum FailScope {
 }
 
 /// A store that fails a deterministic fraction of operations.
+///
+/// Kept as the simple entry point for uniform i.i.d. fault injection; it
+/// delegates to a [`FaultStore`] running a window-less [`FaultPlan`], so a
+/// key's failure decision is a pure function of `(seed, key, attempt)` —
+/// batch composition cannot change which keys fail.
 pub struct FlakyStore {
-    inner: Arc<dyn ObjectStore>,
-    /// Failure probability in [0, 1].
+    inner: FaultStore,
     fail_rate: f64,
-    scope: FailScope,
-    seed: u64,
-    op_counter: AtomicU64,
-    injected: Counter,
 }
 
 impl FlakyStore {
@@ -44,109 +52,64 @@ impl FlakyStore {
         scope: FailScope,
         seed: u64,
     ) -> Result<Self> {
-        if !(0.0..=1.0).contains(&fail_rate) {
-            return Err(NsdfError::invalid("fail rate must be in [0, 1]"));
-        }
+        let plan = FaultPlan::new(seed).with_fault_rate(fail_rate).with_scope(scope);
         Ok(FlakyStore {
-            inner,
+            inner: FaultStore::with_label(inner, plan, SimClock::new(), "flaky")?,
             fail_rate,
-            scope,
-            seed,
-            op_counter: AtomicU64::new(0),
-            injected: Obs::default().scoped("flaky").counter("injected"),
         })
     }
 
     /// Report the injected-failure count into `obs` (scope `…flaky`).
     pub fn with_obs(mut self, obs: &Obs) -> Self {
-        self.injected = obs.scoped("flaky").counter("injected");
+        self.inner = self.inner.with_obs(obs);
         self
     }
 
     /// Number of failures injected so far.
     pub fn injected_failures(&self) -> u64 {
-        self.injected.get()
-    }
-
-    fn maybe_fail(&self, is_read: bool, what: &str) -> Result<()> {
-        let in_scope = match self.scope {
-            FailScope::Reads => is_read,
-            FailScope::Writes => !is_read,
-            FailScope::All => true,
-        };
-        if !in_scope {
-            return Ok(());
-        }
-        let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
-        let u = splitmix64(self.seed ^ op) as f64 / u64::MAX as f64;
-        if u < self.fail_rate {
-            self.injected.inc();
-            return Err(NsdfError::Io(std::io::Error::new(
-                std::io::ErrorKind::ConnectionReset,
-                format!("injected transient failure during {what}"),
-            )));
-        }
-        Ok(())
+        self.inner.injected_failures()
     }
 }
 
 impl ObjectStore for FlakyStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
-        self.maybe_fail(false, "put")?;
         self.inner.put(key, data)
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
-        self.maybe_fail(true, "get")?;
         self.inner.get(key)
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
-        self.maybe_fail(true, "get_range")?;
         self.inner.get_range(key, offset, len)
     }
 
     fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
-        // One injection draw per key — a batch of n reads must face the
-        // same loss odds as n single reads — then the survivors still go
-        // to the inner store as one batch so its amortization is kept.
-        let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
-        let mut pass_idx = Vec::with_capacity(keys.len());
-        let mut pass_keys = Vec::with_capacity(keys.len());
-        for (i, k) in keys.iter().enumerate() {
-            match self.maybe_fail(true, "get_many") {
-                Ok(()) => {
-                    pass_idx.push(i);
-                    pass_keys.push(*k);
-                }
-                Err(e) => out[i] = Some(Err(e)),
-            }
-        }
-        if !pass_keys.is_empty() {
-            for (i, r) in pass_idx.into_iter().zip(self.inner.get_many(&pass_keys)) {
-                out[i] = Some(r);
-            }
-        }
-        out.into_iter().map(|o| o.expect("every slot decided")).collect()
+        self.inner.get_many(keys)
     }
 
     fn head(&self, key: &str) -> Result<ObjectMeta> {
-        self.maybe_fail(true, "head")?;
         self.inner.head(key)
     }
 
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        self.inner.head_many(keys)
+    }
+
     fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
-        self.maybe_fail(true, "list")?;
         self.inner.list(prefix)
     }
 
     fn delete(&self, key: &str) -> Result<()> {
-        self.maybe_fail(false, "delete")?;
         self.inner.delete(key)
     }
 
     fn describe(&self) -> String {
-        format!("{} with {:.0}% injected failures", self.inner.describe(), self.fail_rate * 100.0)
+        format!(
+            "{} with {:.0}% injected failures",
+            self.inner.inner_describe(),
+            self.fail_rate * 100.0
+        )
     }
 }
 
@@ -168,14 +131,38 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Hedged-request policy for [`RetryStore::get_many`].
+///
+/// When a primary wave leaves transient failures behind, the store waits a
+/// short virtual `delay_secs` (far below a backoff step) and launches a
+/// backup wave for just those keys — first success wins. Hedge waves hit
+/// the inner store like any other request, so their cost lands on the WAN
+/// model; they do not consume retry attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Virtual delay before a backup wave, in seconds.
+    pub delay_secs: f64,
+    /// Maximum backup waves per retry round (>= 1).
+    pub max_hedges: u32,
+}
+
+impl Default for HedgePolicy {
+    /// One backup wave after 20 ms.
+    fn default() -> Self {
+        HedgePolicy { delay_secs: 0.02, max_hedges: 1 }
+    }
+}
+
 /// A store that retries transient failures with exponential backoff.
 ///
 /// Only I/O-class errors are retried; `NotFound`/`InvalidArg`/`Corrupt`
 /// are permanent and propagate immediately. Backoff sleeps advance the
 /// virtual clock, so retries show up in end-to-end virtual timings.
+/// [`RetryStore::with_hedging`] adds hedged backup waves to `get_many`.
 pub struct RetryStore {
     inner: Arc<dyn ObjectStore>,
     policy: RetryPolicy,
+    hedge: Option<HedgePolicy>,
     clock: SimClock,
     m: RetryMetrics,
 }
@@ -185,11 +172,18 @@ pub struct RetryStore {
 /// `backoff_vns` mirrors every backoff clock charge in integer nanoseconds
 /// (via [`secs_to_ns`]); `waves` counts backoff episodes, so "one backoff
 /// charge per wave" is directly assertable: `backoff_vns` grows by exactly
-/// one policy step each time `waves` ticks.
+/// one policy step each time `waves` ticks. Hedge accounting is separate:
+/// `hedge_waves`/`hedge_vns` count backup waves and their (short) delays,
+/// `hedges` the keys hedged, and `hedge_wins` the keys a backup rescued
+/// before any backoff was paid.
 struct RetryMetrics {
     retries: Counter,
     waves: Counter,
     backoff_vns: Counter,
+    hedges: Counter,
+    hedge_waves: Counter,
+    hedge_wins: Counter,
+    hedge_vns: Counter,
 }
 
 impl RetryMetrics {
@@ -199,6 +193,10 @@ impl RetryMetrics {
             retries: obs.counter("retries"),
             waves: obs.counter("waves"),
             backoff_vns: obs.counter("backoff_vns"),
+            hedges: obs.counter("hedges"),
+            hedge_waves: obs.counter("hedge_waves"),
+            hedge_wins: obs.counter("hedge_wins"),
+            hedge_vns: obs.counter("hedge_vns"),
         }
     }
 }
@@ -209,13 +207,30 @@ impl RetryStore {
         if policy.max_attempts == 0 {
             return Err(NsdfError::invalid("retry policy needs at least one attempt"));
         }
-        Ok(RetryStore { inner, policy, clock, m: RetryMetrics::new(&Obs::default()) })
+        Ok(RetryStore { inner, policy, hedge: None, clock, m: RetryMetrics::new(&Obs::default()) })
+    }
+
+    /// Enable hedged backup waves on `get_many`.
+    pub fn with_hedging(mut self, hedge: HedgePolicy) -> Result<Self> {
+        if hedge.delay_secs < 0.0 {
+            return Err(NsdfError::invalid("hedge delay must be non-negative"));
+        }
+        if hedge.max_hedges == 0 {
+            return Err(NsdfError::invalid("hedge policy needs at least one backup wave"));
+        }
+        self.hedge = Some(hedge);
+        Ok(self)
     }
 
     /// Report retry accounting into `obs` (scope `…retry`).
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.m = RetryMetrics::new(obs);
         self
+    }
+
+    /// Keys rescued by a hedged backup wave so far.
+    pub fn hedge_wins(&self) -> u64 {
+        self.m.hedge_wins.get()
     }
 
     /// Total retry attempts performed (excludes first attempts).
@@ -268,7 +283,10 @@ impl ObjectStore for RetryStore {
         // them together, charging one shared backoff per wave (concurrent
         // retries back off in parallel, not in sequence). Permanent errors
         // resolve immediately; the retry counter still counts per key so
-        // it agrees with the single-get accounting.
+        // it agrees with the single-get accounting. With hedging enabled,
+        // each round may launch backup waves for its transient failures
+        // after a short hedge delay — rescued keys skip the backoff wave
+        // entirely, the rest fall through to the normal schedule.
         let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
         let mut pending: Vec<usize> = (0..keys.len()).collect();
         let mut backoff = self.policy.initial_backoff_secs;
@@ -281,6 +299,29 @@ impl ObjectStore for RetryStore {
                 match r {
                     Err(NsdfError::Io(_)) if attempt < self.policy.max_attempts => next.push(i),
                     r => out[i] = Some(r),
+                }
+            }
+            if let Some(hedge) = self.hedge {
+                let mut round = 0;
+                while round < hedge.max_hedges && !next.is_empty() {
+                    self.m.hedge_waves.inc();
+                    self.m.hedge_vns.add(secs_to_ns(hedge.delay_secs));
+                    self.clock.advance_secs(hedge.delay_secs);
+                    let hedge_keys: Vec<&str> = next.iter().map(|&i| keys[i]).collect();
+                    self.m.hedges.add(hedge_keys.len() as u64);
+                    let hedge_results = self.inner.get_many(&hedge_keys);
+                    let mut still = Vec::new();
+                    for (&i, r) in next.iter().zip(hedge_results) {
+                        match r {
+                            Err(NsdfError::Io(_)) => still.push(i),
+                            r => {
+                                self.m.hedge_wins.inc();
+                                out[i] = Some(r);
+                            }
+                        }
+                    }
+                    next = still;
+                    round += 1;
                 }
             }
             if next.is_empty() {
@@ -307,6 +348,389 @@ impl ObjectStore for RetryStore {
 
     fn describe(&self) -> String {
         format!("{} with {}-attempt retry", self.inner.describe(), self.policy.max_attempts)
+    }
+}
+
+/// Circuit-breaker policy for [`BreakerStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive transient failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Virtual seconds the breaker stays open before probing (half-open).
+    pub cooldown_secs: f64,
+    /// Consecutive half-open successes that close the breaker again.
+    pub success_threshold: u32,
+}
+
+impl Default for BreakerPolicy {
+    /// Trip after 5 consecutive failures, probe after 1 virtual second,
+    /// close after 2 probe successes.
+    fn default() -> Self {
+        BreakerPolicy { failure_threshold: 5, cooldown_secs: 1.0, success_threshold: 2 }
+    }
+}
+
+/// Circuit-breaker state, visible through [`BreakerStore::state`] and the
+/// `breaker.state` gauge (0 = closed, 1 = open, 2 = half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive transient failures are counted.
+    Closed,
+    /// Requests fail fast without touching the endpoint.
+    Open,
+    /// Cooldown elapsed; probe requests flow, one failure re-opens.
+    HalfOpen,
+}
+
+struct BreakerCore {
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    opened_at_ns: u64,
+}
+
+/// Registry handles for one `BreakerStore`, under the `breaker` scope.
+struct BreakerMetrics {
+    obs: Obs,
+    opened: Counter,
+    half_opened: Counter,
+    closed: Counter,
+    fast_failures: Counter,
+    state: Gauge,
+}
+
+impl BreakerMetrics {
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("breaker");
+        BreakerMetrics {
+            opened: obs.counter("opened"),
+            half_opened: obs.counter("half_opened"),
+            closed: obs.counter("closed"),
+            fast_failures: obs.counter("fast_failures"),
+            state: obs.gauge("state"),
+            obs,
+        }
+    }
+}
+
+/// A per-endpoint circuit breaker over any [`ObjectStore`].
+///
+/// Closed → open after `failure_threshold` consecutive transient (I/O)
+/// failures; open fast-fails every request *without touching the inner
+/// store* (so a dark endpoint costs nothing on the WAN model) until
+/// `cooldown_secs` of virtual time elapse; the first request after
+/// cooldown half-opens the breaker and probes the endpoint — a probe
+/// failure re-opens it, `success_threshold` consecutive successes close
+/// it. All transitions land in the observability registry as counters,
+/// a state gauge, and instantaneous `breaker.open` / `breaker.half_open` /
+/// `breaker.closed` span events on the virtual timeline.
+///
+/// `NotFound` and other permanent errors are responses from a live
+/// endpoint, so they count as successes.
+pub struct BreakerStore {
+    inner: Arc<dyn ObjectStore>,
+    policy: BreakerPolicy,
+    clock: SimClock,
+    core: Mutex<BreakerCore>,
+    m: BreakerMetrics,
+}
+
+impl BreakerStore {
+    /// Wrap `inner` with `policy`, timing the cooldown on `clock`.
+    pub fn new(
+        inner: Arc<dyn ObjectStore>,
+        policy: BreakerPolicy,
+        clock: SimClock,
+    ) -> Result<Self> {
+        if policy.failure_threshold == 0 || policy.success_threshold == 0 {
+            return Err(NsdfError::invalid("breaker thresholds must be >= 1"));
+        }
+        if policy.cooldown_secs <= 0.0 {
+            return Err(NsdfError::invalid("breaker cooldown must be positive"));
+        }
+        Ok(BreakerStore {
+            inner,
+            policy,
+            clock,
+            core: Mutex::new(BreakerCore {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                half_open_successes: 0,
+                opened_at_ns: 0,
+            }),
+            m: BreakerMetrics::new(&Obs::default()),
+        })
+    }
+
+    /// Report breaker accounting into `obs` (scope `…breaker`).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = BreakerMetrics::new(obs);
+        self
+    }
+
+    /// The breaker's current state (open may lazily report half-open once
+    /// the cooldown has elapsed and a request arrives).
+    pub fn state(&self) -> BreakerState {
+        self.core.lock().state
+    }
+
+    /// Requests fast-failed while open.
+    pub fn fast_failures(&self) -> u64 {
+        self.m.fast_failures.get()
+    }
+
+    fn open_error(&self) -> NsdfError {
+        NsdfError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "circuit breaker open: endpoint fast-failed",
+        ))
+    }
+
+    /// Admit `n` requests, or fast-fail them all. Transitions open →
+    /// half-open when the cooldown has elapsed on the virtual clock.
+    fn admit(&self, n: u64) -> bool {
+        let mut core = self.core.lock();
+        match core.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let reopen_at = core.opened_at_ns + secs_to_ns(self.policy.cooldown_secs);
+                if self.clock.now_ns() >= reopen_at {
+                    core.state = BreakerState::HalfOpen;
+                    core.half_open_successes = 0;
+                    self.m.half_opened.inc();
+                    self.m.state.set(2.0);
+                    self.m.obs.event("half_open");
+                    true
+                } else {
+                    self.m.fast_failures.add(n);
+                    false
+                }
+            }
+        }
+    }
+
+    fn trip(&self, core: &mut BreakerCore) {
+        core.state = BreakerState::Open;
+        core.opened_at_ns = self.clock.now_ns();
+        core.consecutive_failures = 0;
+        core.half_open_successes = 0;
+        self.m.opened.inc();
+        self.m.state.set(1.0);
+        self.m.obs.event("open");
+    }
+
+    /// Record one outcome. Transient (I/O) failures drive the breaker;
+    /// permanent errors are live-endpoint responses and count as success.
+    fn record(&self, ok: bool) {
+        let mut core = self.core.lock();
+        match (core.state, ok) {
+            (BreakerState::Closed, true) => core.consecutive_failures = 0,
+            (BreakerState::Closed, false) => {
+                core.consecutive_failures += 1;
+                if core.consecutive_failures >= self.policy.failure_threshold {
+                    self.trip(&mut core);
+                }
+            }
+            (BreakerState::HalfOpen, true) => {
+                core.half_open_successes += 1;
+                if core.half_open_successes >= self.policy.success_threshold {
+                    core.state = BreakerState::Closed;
+                    core.consecutive_failures = 0;
+                    self.m.closed.inc();
+                    self.m.state.set(0.0);
+                    self.m.obs.event("closed");
+                }
+            }
+            (BreakerState::HalfOpen, false) => self.trip(&mut core),
+            (BreakerState::Open, _) => {}
+        }
+    }
+
+    fn guarded<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        if !self.admit(1) {
+            return Err(self.open_error());
+        }
+        let r = f();
+        self.record(!matches!(&r, Err(NsdfError::Io(_))));
+        r
+    }
+}
+
+impl ObjectStore for BreakerStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        self.guarded(|| self.inner.put(key, data))
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.guarded(|| self.inner.get(key))
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.guarded(|| self.inner.get_range(key, offset, len))
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        if !self.admit(keys.len() as u64) {
+            return keys.iter().map(|_| Err(self.open_error())).collect();
+        }
+        let results = self.inner.get_many(keys);
+        for r in &results {
+            self.record(!matches!(r, Err(NsdfError::Io(_))));
+        }
+        results
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.guarded(|| self.inner.head(key))
+    }
+
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        if !self.admit(keys.len() as u64) {
+            return keys.iter().map(|_| Err(self.open_error())).collect();
+        }
+        let results = self.inner.head_many(keys);
+        for r in &results {
+            self.record(!matches!(r, Err(NsdfError::Io(_))));
+        }
+        results
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.guarded(|| self.inner.list(prefix))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.guarded(|| self.inner.delete(key))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} behind a circuit breaker ({} failures open it)",
+            self.inner.describe(),
+            self.policy.failure_threshold
+        )
+    }
+}
+
+/// Registry handles for one `IntegrityStore`, under the `integrity` scope.
+struct IntegrityMetrics {
+    verified: Counter,
+    rejected: Counter,
+}
+
+impl IntegrityMetrics {
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("integrity");
+        IntegrityMetrics { verified: obs.counter("verified"), rejected: obs.counter("rejected") }
+    }
+}
+
+/// End-to-end payload verification over any [`ObjectStore`].
+///
+/// Every `get`/`get_many` payload is checked against the FNV-1a checksum
+/// the store's metadata carries ([`ObjectMeta::checksum`]); a mismatch —
+/// e.g. a payload damaged in flight by a [`FaultStore`] corruption draw —
+/// surfaces as a retryable I/O error, so a [`RetryStore`] above re-fetches
+/// instead of handing corrupt bytes to the decoder. Batch verification
+/// rides [`ObjectStore::head_many`], which the WAN model amortizes like
+/// the data fetch itself. Ranged reads pass through unverified (there is
+/// no whole-object checksum to check a fragment against).
+pub struct IntegrityStore {
+    inner: Arc<dyn ObjectStore>,
+    m: IntegrityMetrics,
+}
+
+impl IntegrityStore {
+    /// Wrap `inner`, verifying full-object read payloads.
+    pub fn new(inner: Arc<dyn ObjectStore>) -> Self {
+        IntegrityStore { inner, m: IntegrityMetrics::new(&Obs::default()) }
+    }
+
+    /// Report verification accounting into `obs` (scope `…integrity`).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = IntegrityMetrics::new(obs);
+        self
+    }
+
+    /// Payloads rejected for checksum mismatch so far.
+    pub fn rejected(&self) -> u64 {
+        self.m.rejected.get()
+    }
+
+    fn check(&self, key: &str, data: &[u8], meta: &ObjectMeta) -> Result<()> {
+        if fnv1a64(data) == meta.checksum {
+            self.m.verified.inc();
+            Ok(())
+        } else {
+            self.m.rejected.inc();
+            Err(NsdfError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("checksum mismatch for {key:?}: payload damaged in flight"),
+            )))
+        }
+    }
+}
+
+impl ObjectStore for IntegrityStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let data = self.inner.get(key)?;
+        let meta = self.inner.head(key)?;
+        self.check(key, &data, &meta)?;
+        Ok(data)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.inner.get_range(key, offset, len)
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        let mut results = self.inner.get_many(keys);
+        let ok_idx: Vec<usize> =
+            results.iter().enumerate().filter(|(_, r)| r.is_ok()).map(|(i, _)| i).collect();
+        if ok_idx.is_empty() {
+            return results;
+        }
+        let ok_keys: Vec<&str> = ok_idx.iter().map(|&i| keys[i]).collect();
+        let metas = self.inner.head_many(&ok_keys);
+        for (&i, meta) in ok_idx.iter().zip(metas) {
+            let verdict = match meta {
+                Ok(meta) => {
+                    let data = results[i].as_ref().expect("index filtered on Ok");
+                    self.check(keys[i], data, &meta)
+                }
+                // The payload arrived but its checksum did not: treat the
+                // pair as one failed (retryable) fetch.
+                Err(e) => Err(e),
+            };
+            if let Err(e) = verdict {
+                results[i] = Err(e);
+            }
+        }
+        results
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.inner.head(key)
+    }
+
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        self.inner.head_many(keys)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(key)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} with checksum verification", self.inner.describe())
     }
 }
 
@@ -454,11 +878,15 @@ mod tests {
             assert_eq!(r.as_ref().unwrap(), format!("v{i}").as_bytes(), "key {i}");
         }
         assert!(retry.retries() > 0, "rate 0.4 over 30 keys must retry");
-        // Waves share one backoff each: total backoff is far below what
-        // per-key sequential retries (0.05s each, doubling) would charge.
+        // Waves share one backoff each: the clock charge is exactly the
+        // per-wave schedule (0.05 doubling), while the retry counter counts
+        // per key — strictly more retried keys than backoff episodes.
         let charged = clock.now_secs() - before;
+        let waves = retry.m.waves.get();
+        let schedule: f64 = (0..waves).map(|w| 0.05 * 2f64.powi(w as i32)).sum();
         assert!(charged > 0.0);
-        assert!(charged < 0.05 * retry.retries() as f64, "backoff charged per wave, not per key");
+        assert!((charged - schedule).abs() < 1e-9, "one backoff per wave: {charged} vs {schedule}");
+        assert!(retry.retries() > waves, "waves must be shared across keys");
     }
 
     #[test]
@@ -548,10 +976,307 @@ mod tests {
         let inner: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
         assert!(FlakyStore::new(inner.clone(), 1.5, FailScope::All, 1).is_err());
         assert!(RetryStore::new(
-            inner,
+            inner.clone(),
             RetryPolicy { max_attempts: 0, initial_backoff_secs: 0.1, multiplier: 2.0 },
             SimClock::new()
         )
         .is_err());
+        let retry =
+            RetryStore::new(inner.clone(), RetryPolicy::default(), SimClock::new()).unwrap();
+        assert!(retry.with_hedging(HedgePolicy { delay_secs: -0.1, max_hedges: 1 }).is_err());
+        let retry =
+            RetryStore::new(inner.clone(), RetryPolicy::default(), SimClock::new()).unwrap();
+        assert!(retry.with_hedging(HedgePolicy { delay_secs: 0.1, max_hedges: 0 }).is_err());
+        assert!(BreakerStore::new(
+            inner.clone(),
+            BreakerPolicy { failure_threshold: 0, ..BreakerPolicy::default() },
+            SimClock::new()
+        )
+        .is_err());
+        assert!(BreakerStore::new(
+            inner,
+            BreakerPolicy { cooldown_secs: 0.0, ..BreakerPolicy::default() },
+            SimClock::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flaky_draws_independent_of_batch_composition() {
+        // Regression for the old global-op-counter draws: interleaving a
+        // key with different batch-mates must not change its fate. Drive
+        // the same key sequence through different groupings and require
+        // identical per-key outcome streams.
+        let keys: Vec<String> = (0..20).map(|i| format!("k{i}")).collect();
+        let build = || {
+            let s = flaky(0.5, FailScope::Reads);
+            for k in &keys {
+                s.put(k, b"v").unwrap();
+            }
+            s
+        };
+        // Grouping A: one batch of everything, three times.
+        let a = {
+            let s = build();
+            let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            (0..3)
+                .map(|_| s.get_many(&refs).iter().map(|r| r.is_ok()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        // Grouping B: pairs in reverse order, then singles — same number of
+        // draws per key, radically different draw order overall.
+        let b = {
+            let s = build();
+            let mut rounds: Vec<Vec<bool>> = vec![vec![false; keys.len()]; 3];
+            for chunk in keys.chunks(2).rev() {
+                let refs: Vec<&str> = chunk.iter().map(|k| k.as_str()).collect();
+                let base = keys.iter().position(|k| k == &chunk[0]).unwrap();
+                for (j, r) in s.get_many(&refs).iter().enumerate() {
+                    rounds[0][base + j] = r.is_ok();
+                }
+            }
+            for (i, k) in keys.iter().enumerate() {
+                rounds[1][i] = s.get(k).is_ok();
+            }
+            let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            for (i, r) in s.get_many(&refs).iter().enumerate() {
+                rounds[2][i] = r.is_ok();
+            }
+            rounds
+        };
+        assert_eq!(a, b, "per-key fate must be pure in (seed, key, attempt)");
+    }
+
+    #[test]
+    fn hedged_get_many_rescues_failures_cheaper_than_backoff() {
+        let run = |hedged: bool| {
+            let obs = Obs::new(SimClock::new());
+            let flaky = Arc::new(
+                FlakyStore::new(Arc::new(MemoryStore::new()), 0.35, FailScope::Reads, 17)
+                    .unwrap()
+                    .with_obs(&obs),
+            );
+            let policy =
+                RetryPolicy { max_attempts: 6, initial_backoff_secs: 0.1, multiplier: 2.0 };
+            let mut retry =
+                RetryStore::new(flaky, policy, obs.clock().clone()).unwrap().with_obs(&obs);
+            if hedged {
+                retry =
+                    retry.with_hedging(HedgePolicy { delay_secs: 0.005, max_hedges: 1 }).unwrap();
+            }
+            let keys: Vec<String> = (0..40).map(|i| format!("k{i}")).collect();
+            for (i, k) in keys.iter().enumerate() {
+                retry.put(k, format!("v{i}").as_bytes()).unwrap();
+            }
+            let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            let results = retry.get_many(&refs);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.as_ref().unwrap(), format!("v{i}").as_bytes(), "key {i}");
+            }
+            (obs.clock().now_ns(), obs.snapshot(), retry.hedge_wins())
+        };
+        let (plain_ns, plain_snap, _) = run(false);
+        let (hedged_ns, hedged_snap, wins) = run(true);
+        assert!(wins > 0, "rate 0.35 over 40 keys must let some hedge win");
+        assert_eq!(hedged_snap.counter("retry.hedge_wins"), wins);
+        assert!(hedged_snap.counter("retry.hedge_waves") >= 1);
+        assert!(
+            hedged_ns < plain_ns,
+            "hedging at 5 ms must beat 100 ms+ backoff waves: {hedged_ns} vs {plain_ns}"
+        );
+        // Hedge waves do not consume retry attempts, and the hedge clock
+        // charge mirrors the delay schedule exactly.
+        assert_eq!(
+            hedged_snap.counter("retry.hedge_vns"),
+            hedged_snap.counter("retry.hedge_waves") * secs_to_ns(0.005)
+        );
+        let _ = plain_snap;
+    }
+
+    #[test]
+    fn hedging_is_deterministic() {
+        let run = || {
+            let obs = Obs::new(SimClock::new());
+            let flaky = Arc::new(
+                FlakyStore::new(Arc::new(MemoryStore::new()), 0.3, FailScope::Reads, 23)
+                    .unwrap()
+                    .with_obs(&obs),
+            );
+            let retry = RetryStore::new(flaky, RetryPolicy::default(), obs.clock().clone())
+                .unwrap()
+                .with_obs(&obs)
+                .with_hedging(HedgePolicy::default())
+                .unwrap();
+            let keys: Vec<String> = (0..30).map(|i| format!("k{i}")).collect();
+            for (i, k) in keys.iter().enumerate() {
+                retry.put(k, format!("v{i}").as_bytes()).unwrap();
+            }
+            let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            let ok: Vec<bool> = retry.get_many(&refs).iter().map(|r| r.is_ok()).collect();
+            (ok, obs.clock().now_ns(), obs.snapshot().to_json())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn breaker_trips_fast_fails_and_recovers() {
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let dead = Arc::new(
+            FlakyStore::new(Arc::new(MemoryStore::new()), 1.0, FailScope::Reads, 3).unwrap(),
+        );
+        let policy =
+            BreakerPolicy { failure_threshold: 3, cooldown_secs: 0.5, success_threshold: 2 };
+        let breaker =
+            BreakerStore::new(dead.clone(), policy, clock.clone()).unwrap().with_obs(&obs);
+        breaker.put("k", b"v").unwrap(); // writes pass (scope Reads)
+
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(breaker.get("k").is_err());
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let injected_when_open = dead.injected_failures();
+
+        // Open: fast-fail without touching the inner store.
+        for _ in 0..5 {
+            assert!(breaker.get("k").is_err());
+        }
+        assert_eq!(dead.injected_failures(), injected_when_open, "open breaker shields inner");
+        assert_eq!(breaker.fast_failures(), 5);
+
+        // Cooldown elapses on the virtual clock; next request half-opens
+        // and probes. The endpoint is still dead, so the probe re-opens.
+        clock.advance_secs(0.6);
+        assert!(breaker.get("k").is_err());
+        assert!(dead.injected_failures() > injected_when_open, "half-open probes the endpoint");
+        assert_eq!(breaker.state(), BreakerState::Open);
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("breaker.opened"), 2, "tripped once, re-opened once");
+        assert_eq!(snap.counter("breaker.half_opened"), 1);
+        assert_eq!(snap.counter("breaker.fast_failures"), 5);
+        assert_eq!(snap.gauge("breaker.state"), 1.0);
+        // Transitions land on the span timeline as zero-duration events.
+        let labels: Vec<String> = obs.span_tree().iter().map(|s| s.label.clone()).collect();
+        assert!(labels.contains(&"breaker.open".to_string()));
+        assert!(labels.contains(&"breaker.half_open".to_string()));
+    }
+
+    #[test]
+    fn breaker_closes_after_probe_successes() {
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        // Fails exactly while we trip the breaker, then the window ends and
+        // the endpoint is healthy again — the scripted-outage shape.
+        let plan = crate::fault::FaultPlan::new(1).error_burst(0.0, 1.0, 1.0);
+        let inner = Arc::new(MemoryStore::new());
+        inner.put("k", b"v").unwrap();
+        let faulty = Arc::new(crate::fault::FaultStore::new(inner, plan, clock.clone()).unwrap());
+        let policy =
+            BreakerPolicy { failure_threshold: 2, cooldown_secs: 0.5, success_threshold: 2 };
+        let breaker = BreakerStore::new(faulty, policy, clock.clone()).unwrap().with_obs(&obs);
+
+        assert!(breaker.get("k").is_err());
+        assert!(breaker.get("k").is_err());
+        assert_eq!(breaker.state(), BreakerState::Open);
+        clock.advance_secs(1.1); // past cooldown AND past the burst window
+        assert!(breaker.get("k").is_ok(), "first probe succeeds");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(breaker.get("k").is_ok(), "second probe closes");
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("breaker.opened"), 1);
+        assert_eq!(snap.counter("breaker.closed"), 1);
+        assert_eq!(snap.gauge("breaker.state"), 0.0);
+    }
+
+    #[test]
+    fn breaker_batches_fast_fail_per_key() {
+        let clock = SimClock::new();
+        let dead = Arc::new(
+            FlakyStore::new(Arc::new(MemoryStore::new()), 1.0, FailScope::Reads, 3).unwrap(),
+        );
+        let breaker = BreakerStore::new(
+            dead,
+            BreakerPolicy { failure_threshold: 2, ..BreakerPolicy::default() },
+            clock,
+        )
+        .unwrap();
+        let r = breaker.get_many(&["a", "b", "c"]);
+        assert!(r.iter().all(|x| x.is_err()), "dead endpoint fails the batch and trips");
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let r = breaker.get_many(&["a", "b", "c"]);
+        assert!(r.iter().all(|x| x.is_err()));
+        assert_eq!(breaker.fast_failures(), 3, "every key of the shed batch is counted");
+    }
+
+    #[test]
+    fn not_found_does_not_trip_breaker() {
+        let breaker = BreakerStore::new(
+            Arc::new(MemoryStore::new()),
+            BreakerPolicy { failure_threshold: 1, ..BreakerPolicy::default() },
+            SimClock::new(),
+        )
+        .unwrap();
+        for _ in 0..5 {
+            assert!(breaker.get("missing").unwrap_err().is_not_found());
+        }
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn integrity_store_detects_corruption_and_retry_recovers() {
+        let obs = Obs::new(SimClock::new());
+        let inner = Arc::new(MemoryStore::new());
+        let keys: Vec<String> = (0..40).map(|i| format!("k{i}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            inner.put(k, format!("payload-{i}").as_bytes()).unwrap();
+        }
+        let plan = crate::fault::FaultPlan::new(31).with_corrupt_rate(0.3);
+        let faulty = Arc::new(
+            crate::fault::FaultStore::new(inner, plan, obs.clock().clone()).unwrap().with_obs(&obs),
+        );
+        let verified = Arc::new(IntegrityStore::new(faulty.clone()).with_obs(&obs));
+
+        // Unverified, corruption slips through: some payload differs.
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        let raw = faulty.get_many(&refs);
+        let damaged = raw
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| r.as_ref().unwrap() != format!("payload-{i}").as_bytes())
+            .count();
+        assert!(damaged > 0, "corrupt rate 0.3 over 40 keys must damage something");
+
+        // Verified + retried: every payload comes back clean.
+        let retry = RetryStore::new(
+            verified,
+            RetryPolicy { max_attempts: 8, initial_backoff_secs: 0.01, multiplier: 2.0 },
+            obs.clock().clone(),
+        )
+        .unwrap()
+        .with_obs(&obs);
+        for (i, r) in retry.get_many(&refs).iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), format!("payload-{i}").as_bytes(), "key {i}");
+        }
+        let snap = obs.snapshot();
+        assert!(snap.counter("integrity.rejected") > 0, "mismatches must be caught");
+        assert!(snap.counter("integrity.verified") > 0);
+        assert!(snap.counter("fault.corrupted") >= snap.counter("integrity.rejected"));
+    }
+
+    #[test]
+    fn integrity_single_get_detects_corruption() {
+        let inner = Arc::new(MemoryStore::new());
+        inner.put("k", b"payload").unwrap();
+        // corrupt_rate 1.0: every read is damaged.
+        let plan = crate::fault::FaultPlan::new(2).with_corrupt_rate(1.0);
+        let faulty = Arc::new(crate::fault::FaultStore::new(inner, plan, SimClock::new()).unwrap());
+        let verified = IntegrityStore::new(faulty);
+        let err = verified.get("k").unwrap_err();
+        assert!(matches!(err, NsdfError::Io(_)), "mismatch must be retryable I/O");
+        assert_eq!(verified.rejected(), 1);
+        assert!(verified.head("k").is_ok(), "metadata itself is fine");
     }
 }

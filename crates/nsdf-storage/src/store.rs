@@ -57,6 +57,17 @@ pub trait ObjectStore: Send + Sync {
     /// Metadata without the payload.
     fn head(&self, key: &str) -> Result<ObjectMeta>;
 
+    /// Metadata for many objects in one call, per-key results in input
+    /// order.
+    ///
+    /// The integrity layer uses this to verify a whole fetched batch
+    /// against stored checksums without paying one WAN round trip per key;
+    /// the WAN simulator overrides it to amortize like [`ObjectStore::get_many`].
+    /// A failed key never aborts the batch.
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        keys.iter().map(|k| self.head(k)).collect()
+    }
+
     /// All objects whose key starts with `prefix`, sorted by key.
     fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>>;
 

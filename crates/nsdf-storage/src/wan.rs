@@ -274,6 +274,20 @@ impl ObjectStore for CloudStore {
         Ok(meta)
     }
 
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        let results = self.inner.head_many(keys);
+        let fetched = results.iter().filter(|r| r.is_ok()).count() as u64;
+        if fetched > 0 {
+            // Same amortization as `get_many`: the batch of HEADs rides the
+            // parallel streams, so ceil(n/streams) round-trips serialize and
+            // one jitter draw covers the episode. No payload to move.
+            let trips = (fetched as u32).div_ceil(self.profile.streams.max(1));
+            self.charge(trips, 0);
+            self.m.read_ops.add(fetched);
+        }
+        results
+    }
+
     fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
         let listing = self.inner.list(prefix)?;
         // Listing payload: ~100 bytes of metadata per entry.

@@ -73,4 +73,66 @@ proptest! {
         let n = (bytes.len() as f64 * cut) as usize;
         let _ = read_tiff::<f32>(&bytes[..n]);
     }
+
+    #[test]
+    fn u32_roundtrip(w in 1usize..60, h in 1usize..60, comp in any_compression(), seed in any::<u32>()) {
+        let r = Raster::<u32>::from_fn(w, h, |x, y| {
+            (x as u32).wrapping_mul(2654435761).wrapping_add((y as u32) ^ seed)
+        });
+        let bytes = write_tiff(&r, comp).unwrap();
+        let back = read_tiff::<u32>(&bytes).unwrap();
+        prop_assert_eq!(back.data(), r.data());
+    }
+
+    #[test]
+    fn degenerate_row_and_column_rasters_roundtrip(
+        n in 1usize..300,
+        comp in any_compression(),
+        seed in any::<u32>(),
+    ) {
+        // 1xN and Nx1 shapes stress strip layout and per-row compression.
+        let row = Raster::<f32>::from_fn(n, 1, |x, _| (x as u32 ^ seed) as f32);
+        let b = write_tiff(&row, comp).unwrap();
+        prop_assert_eq!(read_tiff::<f32>(&b).unwrap().data(), row.data());
+        let col = Raster::<u8>::from_fn(1, n, |_, y| ((y as u32).wrapping_add(seed) % 256) as u8);
+        let b = write_tiff(&col, comp).unwrap();
+        prop_assert_eq!(read_tiff::<u8>(&b).unwrap().data(), col.data());
+    }
+
+    #[test]
+    fn corrupted_headers_return_structured_errors(
+        site in 0usize..8,
+        flip in 1u8..=255,
+        comp in any_compression(),
+    ) {
+        // Damage inside the 8-byte header (byte order, magic, IFD offset):
+        // the reader must refuse with a structured error, never panic.
+        let r = Raster::<u16>::from_fn(12, 9, |x, y| (x * 31 + y) as u16);
+        let mut bytes = write_tiff(&r, comp).unwrap();
+        bytes[site] ^= flip;
+        match read_tiff::<u16>(&bytes) {
+            Err(e) => {
+                // Structured error with a message, not a panic or a silent
+                // empty raster.
+                prop_assert!(!e.to_string().is_empty());
+            }
+            // Some flips are survivable (e.g. IFD offset still valid after
+            // redundant-bit damage) — then the payload must be intact.
+            Ok(back) => prop_assert_eq!(back.data(), r.data()),
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_anywhere_never_panics(
+        frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+        comp in any_compression(),
+    ) {
+        let r = Raster::<f32>::from_fn(16, 16, |x, y| (x + y * 16) as f32);
+        let mut bytes = write_tiff(&r, comp).unwrap();
+        let site = ((bytes.len() - 1) as f64 * frac) as usize;
+        bytes[site] ^= flip;
+        let _ = tiff_info(&bytes);
+        let _ = read_tiff::<f32>(&bytes);
+    }
 }

@@ -332,6 +332,14 @@ impl Obs {
         SpanGuard { inner: Arc::clone(&self.inner), idx, started: Instant::now() }
     }
 
+    /// Record an instantaneous event: a zero-duration span stamped at the
+    /// current virtual time, parented like [`Obs::span`]. State transitions
+    /// (circuit breaker opening, degradation decisions) use this so they
+    /// land on the span timeline without holding a guard across calls.
+    pub fn event(&self, label: &str) {
+        drop(self.span(label));
+    }
+
     /// Reset every metric whose name falls under this handle's scope
     /// (all metrics for the root handle). Registrations and handles stay
     /// valid; values return to zero. Spans are unaffected (see
