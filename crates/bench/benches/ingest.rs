@@ -1,0 +1,187 @@
+//! Parallel ingest: virtual-time cost of tile-by-tile GEOtiled→IDX
+//! conversion as `write_concurrency` scales the `put_many` upload waves,
+//! over both WAN profiles of §III. Emits `BENCH_ingest.json` at the repo
+//! root; numbers are quoted in EXPERIMENTS.md ("Parallel ingest").
+//!
+//! Every quantity in the artifact is virtual-clock or counter state —
+//! nothing samples wall time or ambient entropy — so two runs with the
+//! same seed produce byte-identical files, and CI diffs them.
+
+use nsdf_compress::Codec;
+use nsdf_geotiled::{compute_terrain_tiled, DemConfig, Sun, TerrainParam, TilePlan};
+use nsdf_idx::{Field, IdxDataset, IdxMeta, WriteStats};
+use nsdf_storage::{CloudStore, MemoryStore, NetworkProfile};
+use nsdf_util::{Box2i, DType, Obs, Raster, SimClock};
+use std::sync::Arc;
+
+const SEED: u64 = 42;
+const W: usize = 384;
+const H: usize = 256;
+const TILES_X: usize = 6;
+const TILES_Y: usize = 4;
+const CONCURRENCIES: [usize; 4] = [1, 2, 4, 8];
+
+struct Record {
+    profile: String,
+    write_concurrency: usize,
+    virtual_secs: f64,
+    blocks_written: u64,
+    put_batches: u64,
+    rmw_fetches: u64,
+    wan_write_ops: u64,
+    wan_waves: u64,
+    bytes_up: u64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"profile\":\"{}\",\"write_concurrency\":{},\"virtual_secs\":{:.6},\
+             \"blocks_written\":{},\"put_batches\":{},\"rmw_fetches\":{},\
+             \"wan_write_ops\":{},\"wan_waves\":{},\"bytes_up\":{}}}",
+            self.profile,
+            self.write_concurrency,
+            self.virtual_secs,
+            self.blocks_written,
+            self.put_batches,
+            self.rmw_fetches,
+            self.wan_write_ops,
+            self.wan_waves,
+            self.bytes_up,
+        )
+    }
+}
+
+/// The ingest payload: a hillshade computed by the tiled GEOtiled
+/// pipeline, plus the tile grid its upload follows.
+fn payload() -> (Raster<f32>, Vec<Box2i>) {
+    let dem = DemConfig::conus_like(W, H, SEED).generate();
+    let plan = TilePlan::new(TILES_X, TILES_Y, 2).expect("valid plan");
+    let (shade, _) = compute_terrain_tiled(&dem, TerrainParam::Hillshade, Sun::default(), &plan, 4)
+        .expect("terrain");
+    (shade, plan.tiles(W, H))
+}
+
+fn sub_raster(src: &Raster<f32>, b: &Box2i) -> Raster<f32> {
+    Raster::from_fn((b.x1 - b.x0) as usize, (b.y1 - b.y0) as usize, |x, y| {
+        src.get(b.x0 as usize + x, b.y0 as usize + y)
+    })
+}
+
+/// One measured configuration: the full tile sweep written through a
+/// WAN-modeled store at one `write_concurrency`.
+fn run_case(
+    shade: &Raster<f32>,
+    tiles: &[Box2i],
+    profile: NetworkProfile,
+    write_concurrency: usize,
+) -> Record {
+    let profile_name = profile.name.clone();
+    let clock = SimClock::new();
+    let obs = Obs::new(clock.clone());
+    let wan = Arc::new(
+        CloudStore::new(Arc::new(MemoryStore::new()), profile, clock.clone(), SEED).with_obs(&obs),
+    );
+    let meta = IdxMeta::new_2d(
+        "ingest",
+        W as u64,
+        H as u64,
+        vec![Field::new("hillshade", DType::F32).expect("field")],
+        8,
+        Codec::Lz4,
+    )
+    .expect("meta");
+    let ds = IdxDataset::create(wan, "ingest", meta)
+        .expect("create")
+        .with_write_concurrency(write_concurrency)
+        .with_obs(&obs);
+
+    // Measure the tile sweep only, not the header upload.
+    let mut ingest = WriteStats::default();
+    let v0 = clock.now_secs();
+    let snap0 = obs.snapshot();
+    for b in tiles {
+        let stats = ds
+            .write_box("hillshade", 0, b.x0 as u64, b.y0 as u64, &sub_raster(shade, b))
+            .expect("tile write");
+        ingest.merge(&stats);
+    }
+    let snap = obs.snapshot();
+    Record {
+        profile: profile_name,
+        write_concurrency,
+        virtual_secs: clock.now_secs() - v0,
+        blocks_written: ingest.blocks_written,
+        put_batches: ingest.put_batches,
+        rmw_fetches: ingest.rmw_fetches,
+        wan_write_ops: snap.counter("wan.write_ops") - snap0.counter("wan.write_ops"),
+        wan_waves: snap.counter("wan.waves") - snap0.counter("wan.waves"),
+        bytes_up: snap.counter("wan.bytes_up") - snap0.counter("wan.bytes_up"),
+    }
+}
+
+fn main() {
+    let (shade, tiles) = payload();
+    let mut records = Vec::new();
+    for profile in [NetworkProfile::public_dataverse, NetworkProfile::private_seal] {
+        for wc in CONCURRENCIES {
+            let rec = run_case(&shade, &tiles, profile(), wc);
+            println!(
+                "{:<17} wc={:<2} virtual={:>8.3}s blocks={:<4} batches={:<4} rmw={:<4} \
+                 waves={:<4} bytes_up={}",
+                rec.profile,
+                rec.write_concurrency,
+                rec.virtual_secs,
+                rec.blocks_written,
+                rec.put_batches,
+                rec.rmw_fetches,
+                rec.wan_waves,
+                rec.bytes_up,
+            );
+            records.push(rec);
+        }
+    }
+
+    // Acceptance: batched uploads at concurrency >= 4 beat the sequential
+    // ingest on virtual time over the private (Seal-class) profile.
+    let find = |profile: &str, wc: usize| {
+        records
+            .iter()
+            .find(|r| r.profile == profile && r.write_concurrency == wc)
+            .expect("case present")
+    };
+    let mut pass = true;
+    let mut ratios = Vec::new();
+    for profile in ["public-dataverse", "private-seal"] {
+        let sequential = find(profile, 1).virtual_secs;
+        for wc in [4, 8] {
+            let ratio = find(profile, wc).virtual_secs / sequential;
+            let ok = ratio < 1.0;
+            if profile == "private-seal" {
+                pass &= ok;
+            }
+            println!(
+                "acceptance: {profile} wc={wc}/sequential virtual time = {ratio:.3} ({})",
+                if ok { "PASS: < 1.0" } else { "FAIL: >= 1.0" }
+            );
+            ratios.push(format!(
+                "{{\"profile\":\"{profile}\",\"write_concurrency\":{wc},\
+                 \"over_sequential_virtual\":{ratio:.4}}}"
+            ));
+        }
+    }
+
+    let body = records.iter().map(Record::to_json).collect::<Vec<_>>().join(",\n    ");
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"seed\": {SEED},\n  \"workload\": {{\"width\": {W}, \
+         \"height\": {H}, \"tiles\": {}, \"concurrencies\": [1, 2, 4, 8]}},\n  \"records\": [\n    \
+         {body}\n  ],\n  \"acceptance\": [{}]\n}}\n",
+        tiles.len(),
+        ratios.join(", ")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(out, json).expect("write BENCH_ingest.json");
+    println!("wrote {out}");
+
+    assert!(pass, "batched ingest at concurrency >= 4 must beat sequential on private-seal");
+}

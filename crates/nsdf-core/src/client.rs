@@ -360,6 +360,33 @@ mod tests {
     }
 
     #[test]
+    fn chaos_stack_batched_writes_survive_write_faults() {
+        use nsdf_storage::FailScope;
+        let plan = FaultPlan::new(77)
+            .with_scope(FailScope::Writes)
+            .with_fault_rate(0.2)
+            .with_corrupt_rate(0.05);
+        let policy = EndpointPolicy {
+            retry: RetryPolicy { max_attempts: 6, ..RetryPolicy::default() },
+            ..EndpointPolicy::default()
+        };
+        let c = NsdfClient::simulated_chaos(5, &plan, &policy).unwrap();
+        let store = c.store("seal").unwrap();
+        let keys: Vec<String> = (0..32).map(|i| format!("batch/{i}")).collect();
+        let payloads: Vec<Vec<u8>> = (0..32).map(|i| vec![i as u8; 8 << 10]).collect();
+        let items: Vec<(&str, &[u8])> =
+            keys.iter().zip(&payloads).map(|(k, d)| (k.as_str(), d.as_slice())).collect();
+        let metas = store.put_many(&items);
+        assert!(metas.iter().all(|m| m.is_ok()), "retry + integrity absorb write faults");
+        for (k, d) in &items {
+            assert_eq!(&store.get(k).unwrap(), d, "stored bytes are the clean payload");
+        }
+        let snap = c.obs().snapshot();
+        assert!(snap.counter("seal.fault.injected") > 0, "write faults were injected");
+        assert!(snap.counter("seal.retry.retries") > 0, "the retry layer absorbed them");
+    }
+
+    #[test]
     fn chaos_endpoints_fail_independently_but_deterministically() {
         let run = || {
             let plan = FaultPlan::new(23).with_fault_rate(0.3);

@@ -12,7 +12,7 @@ use crate::client::NsdfClient;
 use nsdf_compress::Codec;
 use nsdf_dashboard::{Colormap, Dashboard, FrameInfo, RangeMode};
 use nsdf_geotiled::{compute_terrain_tiled_obs, DemConfig, Sun, TerrainParam, TilePlan};
-use nsdf_idx::{Field, IdxDataset, IdxMeta};
+use nsdf_idx::{Field, IdxDataset, IdxMeta, WriteStats};
 use nsdf_tiff::{read_tiff, write_tiff, TiffCompression};
 use nsdf_util::{AccuracyReport, Box2i, DType, NsdfError, Raster, Result};
 use nsdf_workflow::{Artifact, Provenance, RunContext, Workflow};
@@ -36,6 +36,8 @@ pub struct TutorialConfig {
     pub codec: Codec,
     /// log2 samples per IDX block.
     pub bits_per_block: u32,
+    /// Blocks uploaded per `put_many` batch during Step 2's conversion.
+    pub write_concurrency: usize,
     /// Storage endpoint holding the TIFFs and the IDX dataset
     /// (`"local"`, `"dataverse"`, or `"seal"` on a simulated client).
     pub storage_endpoint: String,
@@ -54,6 +56,7 @@ impl TutorialConfig {
             threads: 4,
             codec: Codec::LzssHuff { sample_size: 4 },
             bits_per_block: 12,
+            write_concurrency: 8,
             storage_endpoint: "seal".into(),
             viewport_px: 256,
         }
@@ -80,6 +83,8 @@ pub struct TutorialReport {
     pub tiff_bytes: u64,
     /// Total stored bytes of the IDX dataset (Step 2 output).
     pub idx_bytes: u64,
+    /// Merged ingest accounting across Step 2's per-parameter writes.
+    pub ingest: WriteStats,
     /// Per-parameter accuracy of IDX-read-back vs the original rasters
     /// (Step 3's validation).
     pub accuracy: Vec<(TerrainParam, AccuracyReport)>,
@@ -175,9 +180,11 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
             if let Some(g) = geo {
                 meta = meta.with_geo(g);
             }
-            let ds = IdxDataset::create(store2.clone(), "tutorial/idx", meta)?.with_obs(&obs2);
+            let ds = IdxDataset::create(store2.clone(), "tutorial/idx", meta)?
+                .with_obs(&obs2)
+                .with_write_concurrency(cfg2.write_concurrency);
             let mut artifacts = Vec::new();
-            let mut total_stored = 0u64;
+            let mut ingest = WriteStats::default();
             for param in TerrainParam::all() {
                 let key = format!("tutorial/tiff/{}.tif", param.name());
                 let tiff_bytes = store2.get(&key)?;
@@ -185,14 +192,15 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
                 let raster = read_tiff::<f32>(&tiff_bytes)?;
                 let stats = ds.write_raster(param.name(), 0, &raster)?;
                 ctx.clock().advance_secs(wall.elapsed().as_secs_f64());
-                total_stored += stats.bytes_stored;
                 artifacts.push(Artifact::of_size(
                     format!("{}.idx-blocks", param.name()),
                     stats.bytes_stored,
                     format!("tutorial/idx/f{}", param.name()),
                 ));
+                ingest.merge(&stats);
             }
-            ctx.put("idx_bytes", total_stored);
+            ctx.put("idx_bytes", ingest.bytes_stored);
+            ctx.put("ingest", ingest);
             Ok(artifacts)
         },
     )?;
@@ -319,12 +327,14 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
 
     let tiff_bytes = provenance.steps[0].produced.iter().map(|a| a.bytes).sum();
     let idx_bytes: u64 = ctx.take("idx_bytes")?;
+    let ingest: WriteStats = ctx.take("ingest")?;
     let accuracy: Vec<(TerrainParam, AccuracyReport)> = ctx.take("accuracy")?;
     let interactions: Vec<Interaction> = ctx.take("interactions")?;
     Ok(TutorialReport {
         provenance,
         tiff_bytes,
         idx_bytes,
+        ingest,
         accuracy,
         interactions,
         total_virtual_secs: clock.now_secs() - t_start,
@@ -374,6 +384,13 @@ mod tests {
         );
         assert!(report.validation_exact(), "lossless codec must validate exactly");
         assert_eq!(report.accuracy.len(), 4);
+        // Step 2's merged ingest accounting agrees with the byte totals and
+        // records the batched upload pipeline.
+        assert_eq!(report.ingest.bytes_stored, report.idx_bytes);
+        assert!(report.ingest.blocks_written > 0);
+        assert_eq!(report.ingest.write_concurrency, 8);
+        assert!(report.ingest.put_batches > 0);
+        assert_eq!(report.ingest.rmw_fetches, 0, "full-raster conversion never RMWs");
     }
 
     #[test]

@@ -23,7 +23,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Accounting for one write ("convert to IDX") operation — the size numbers
-/// behind the paper's "~20 % smaller than TIFF" claim (§IV-B).
+/// behind the paper's "~20 % smaller than TIFF" claim (§IV-B), plus the
+/// ingest-pipeline counters mirroring [`QueryStats`] on the read side.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WriteStats {
     /// Blocks written.
@@ -34,6 +35,17 @@ pub struct WriteStats {
     pub bytes_raw: u64,
     /// Stored (compressed) bytes.
     pub bytes_stored: u64,
+    /// Partially covered blocks fetched back from the store for
+    /// read-modify-write merges.
+    pub rmw_fetches: u64,
+    /// Batched `put_many` calls issued to the object store.
+    pub put_batches: u64,
+    /// Upload batch size (block put concurrency) in force for this write.
+    pub write_concurrency: u64,
+    /// Wall-clock seconds spent merging and encoding blocks.
+    pub encode_secs: f64,
+    /// Wall-clock seconds spent uploading encoded blocks.
+    pub put_secs: f64,
 }
 
 impl WriteStats {
@@ -44,6 +56,20 @@ impl WriteStats {
         } else {
             self.bytes_stored as f64 / self.bytes_raw as f64
         }
+    }
+
+    /// Fold another write's accounting into this one (used by tile-by-tile
+    /// ingest pipelines aggregating per-tile stats).
+    pub fn merge(&mut self, other: &WriteStats) {
+        self.blocks_written += other.blocks_written;
+        self.blocks_skipped += other.blocks_skipped;
+        self.bytes_raw += other.bytes_raw;
+        self.bytes_stored += other.bytes_stored;
+        self.rmw_fetches += other.rmw_fetches;
+        self.put_batches += other.put_batches;
+        self.write_concurrency = self.write_concurrency.max(other.write_concurrency);
+        self.encode_secs += other.encode_secs;
+        self.put_secs += other.put_secs;
     }
 }
 
@@ -119,11 +145,24 @@ struct DecodedCache {
     queue: VecDeque<BlockKey>,
     bytes: u64,
     budget: u64,
+    /// Bumped by every write-side invalidation. A read records the epoch
+    /// when it partitions against the cache; if a write lands while its
+    /// fetch/decode is in flight the epochs no longer match and the decoded
+    /// payloads (possibly pre-write) still answer that read but are never
+    /// installed — so a racing read can never re-populate an entry a write
+    /// just invalidated.
+    write_epoch: u64,
 }
 
 impl DecodedCache {
     fn new(budget: u64) -> Self {
-        DecodedCache { entries: HashMap::new(), queue: VecDeque::new(), bytes: 0, budget }
+        DecodedCache {
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            bytes: 0,
+            budget,
+            write_epoch: 0,
+        }
     }
 
     fn cost(entry: &DecodedEntry) -> u64 {
@@ -162,6 +201,9 @@ impl DecodedCache {
 /// Default number of blocks fetched per `get_many` batch.
 pub(crate) const DEFAULT_FETCH_CONCURRENCY: usize = 8;
 
+/// Default number of blocks uploaded per `put_many` batch.
+pub(crate) const DEFAULT_WRITE_CONCURRENCY: usize = 8;
+
 /// Default decoded-block cache budget (raw bytes).
 const DEFAULT_DECODED_CACHE_BYTES: u64 = 256 << 20;
 
@@ -171,10 +213,11 @@ type LevelLayout = (i64, i64, i64, i64, usize, usize);
 
 /// Registry handles for one `IdxDataset`, under the `idx` scope.
 ///
-/// `fetch_vns` accumulates the *virtual* nanoseconds the shared clock
-/// advanced during store fetches — when the dataset shares a registry (and
-/// therefore a clock) with the WAN stores below it, this attributes WAN
-/// time to the query layer deterministically, independent of wall time.
+/// `fetch_vns`, `rmw_fetch_vns`, and `put_vns` accumulate the *virtual*
+/// nanoseconds the shared clock advanced during store fetches and uploads —
+/// when the dataset shares a registry (and therefore a clock) with the WAN
+/// stores below it, this attributes WAN time to the query and ingest layers
+/// deterministically, independent of wall time.
 struct IdxMetrics {
     obs: Obs,
     queries: Counter,
@@ -187,6 +230,13 @@ struct IdxMetrics {
     fetch_vns: Counter,
     degraded_queries: Counter,
     blocks_unavailable: Counter,
+    writes: Counter,
+    blocks_written: Counter,
+    bytes_written: Counter,
+    rmw_fetches: Counter,
+    put_batches: Counter,
+    rmw_fetch_vns: Counter,
+    put_vns: Counter,
 }
 
 impl IdxMetrics {
@@ -203,6 +253,13 @@ impl IdxMetrics {
             fetch_vns: obs.counter("fetch_vns"),
             degraded_queries: obs.counter("degraded_queries"),
             blocks_unavailable: obs.counter("blocks_unavailable"),
+            writes: obs.counter("writes"),
+            blocks_written: obs.counter("blocks_written"),
+            bytes_written: obs.counter("bytes_written"),
+            rmw_fetches: obs.counter("rmw_fetches"),
+            put_batches: obs.counter("put_batches"),
+            rmw_fetch_vns: obs.counter("rmw_fetch_vns"),
+            put_vns: obs.counter("put_vns"),
             obs,
         }
     }
@@ -215,6 +272,7 @@ pub struct IdxDataset {
     meta: IdxMeta,
     curve: HzCurve,
     fetch_concurrency: usize,
+    write_concurrency: usize,
     degraded_reads: bool,
     decoded: Mutex<DecodedCache>,
     m: IdxMetrics,
@@ -250,6 +308,7 @@ impl IdxDataset {
             meta,
             curve,
             fetch_concurrency: DEFAULT_FETCH_CONCURRENCY,
+            write_concurrency: DEFAULT_WRITE_CONCURRENCY,
             degraded_reads: false,
             decoded: Mutex::new(DecodedCache::new(DEFAULT_DECODED_CACHE_BYTES)),
             m: IdxMetrics::new(&Obs::default()),
@@ -280,6 +339,14 @@ impl IdxDataset {
         self
     }
 
+    /// Set how many encoded blocks each batched store upload carries
+    /// (>= 1). Higher values amortize WAN round-trips across parallel
+    /// streams on ingest; 1 restores strictly sequential uploads.
+    pub fn with_write_concurrency(mut self, n: usize) -> Self {
+        self.write_concurrency = n.max(1);
+        self
+    }
+
     /// Set the decoded-block cache budget in raw bytes (0 disables it).
     pub fn with_decoded_cache_bytes(self, budget: u64) -> Self {
         *self.decoded.lock() = DecodedCache::new(budget);
@@ -302,6 +369,11 @@ impl IdxDataset {
     /// Fetch batch size in force.
     pub fn fetch_concurrency(&self) -> usize {
         self.fetch_concurrency
+    }
+
+    /// Upload batch size in force.
+    pub fn write_concurrency(&self) -> usize {
+        self.write_concurrency
     }
 
     /// Dataset metadata.
@@ -372,6 +444,8 @@ impl IdxDataset {
         let block_samples = self.meta.block_samples() as usize;
         let mask = self.curve.mask();
 
+        let _write_span = self.m.obs.span("write_raster");
+        let plan_span = self.m.obs.span("plan");
         // Scatter row-major samples into per-block HZ-ordered buffers.
         let mut blocks: BTreeMap<u64, Vec<T>> = BTreeMap::new();
         for y in 0..h {
@@ -388,27 +462,96 @@ impl IdxDataset {
         let total_blocks = self.meta.blocks_per_field();
         let mut stats = WriteStats {
             blocks_skipped: total_blocks - blocks.len() as u64,
+            write_concurrency: self.write_concurrency as u64,
             ..WriteStats::default()
         };
 
-        // Encode blocks in parallel, then store.
+        // A full-resolution raster covers every non-padding sample of every
+        // block it touches, so no block needs a read-modify-write fetch.
         let entries: Vec<(u64, Vec<T>)> = blocks.into_iter().collect();
-        let encoded =
-            nsdf_util::par::par_map(&entries, nsdf_util::par::num_threads(), |(block, samples)| {
-                let raw = samples_to_bytes(samples);
-                let enc = self.meta.codec.encode(&raw)?;
-                Ok::<(u64, usize, Vec<u8>), NsdfError>((*block, raw.len(), enc))
-            });
-        for item in encoded {
-            let (block, raw_len, enc) = item?;
-            let key = self.block_key(field_idx, time, block);
-            self.store.put(&key, &enc)?;
-            self.decoded.lock().remove(&(field_idx, time, block));
-            stats.blocks_written += 1;
-            stats.bytes_raw += raw_len as u64;
-            stats.bytes_stored += enc.len() as u64;
-        }
+        drop(plan_span);
+        self.encode_and_put(field_idx, time, &entries, &mut stats)?;
+        self.note_write(&stats);
         Ok(stats)
+    }
+
+    /// Shared tail of the ingest pipeline: encode complete block payloads in
+    /// parallel (deterministic earliest-block error), then upload them in
+    /// `write_concurrency`-sized `put_many` batches, invalidating the
+    /// decoded-block cache entry of every block that actually stored so a
+    /// later read can never observe stale decoded bytes.
+    fn encode_and_put<T: Sample>(
+        &self,
+        field_idx: usize,
+        time: u32,
+        entries: &[(u64, Vec<T>)],
+        stats: &mut WriteStats,
+    ) -> Result<()> {
+        let t_encode = Instant::now();
+        let encoded = {
+            let _encode_span = self.m.obs.span("encode");
+            try_par_map(entries, num_threads(), |(block, samples)| -> Result<_> {
+                let raw_len = samples.len() * T::DTYPE.size_bytes();
+                let enc = self.meta.codec.encode(&samples_to_bytes(samples))?;
+                Ok((*block, raw_len, enc))
+            })?
+        };
+        stats.encode_secs += t_encode.elapsed().as_secs_f64();
+
+        for batch in encoded.chunks(self.write_concurrency.max(1)) {
+            let keys: Vec<String> =
+                batch.iter().map(|(b, _, _)| self.block_key(field_idx, time, *b)).collect();
+            let items: Vec<(&str, &[u8])> = keys
+                .iter()
+                .zip(batch)
+                .map(|(k, (_, _, enc))| (k.as_str(), enc.as_slice()))
+                .collect();
+            let t_put = Instant::now();
+            let results = {
+                let _put_span = self.m.obs.span("put");
+                let v0 = self.m.obs.clock().now_ns();
+                let results = self.store.put_many(&items);
+                self.m.put_vns.add(self.m.obs.clock().now_ns().saturating_sub(v0));
+                results
+            };
+            stats.put_secs += t_put.elapsed().as_secs_f64();
+            stats.put_batches += 1;
+
+            // Invalidate under one lock, then surface the earliest error of
+            // the batch: blocks that stored before it remain written (and
+            // invalidated) — exactly what a sequential put loop would leave.
+            let mut first_err = None;
+            {
+                let mut cache = self.decoded.lock();
+                cache.write_epoch += 1;
+                for ((block, raw_len, enc), r) in batch.iter().zip(results) {
+                    match r {
+                        Ok(_) => {
+                            cache.remove(&(field_idx, time, *block));
+                            stats.blocks_written += 1;
+                            stats.bytes_raw += *raw_len as u64;
+                            stats.bytes_stored += enc.len() as u64;
+                        }
+                        Err(e) if first_err.is_none() => first_err = Some(e),
+                        Err(_) => {}
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Feed the registry with one write's totals so cross-layer snapshots
+    /// see ingest-side accounting alongside the store-side counters.
+    fn note_write(&self, stats: &WriteStats) {
+        self.m.writes.inc();
+        self.m.blocks_written.add(stats.blocks_written);
+        self.m.bytes_written.add(stats.bytes_stored);
+        self.m.rmw_fetches.add(stats.rmw_fetches);
+        self.m.put_batches.add(stats.put_batches);
     }
 
     /// Write a raster into a sub-region of the dataset at full resolution,
@@ -446,6 +589,20 @@ impl IdxDataset {
         let sample_size = T::DTYPE.size_bytes();
         let mask = self.curve.mask();
 
+        /// Where a touched block's current contents come from before the
+        /// incoming updates are merged in.
+        enum RmwSource {
+            /// No current contents: fully overwritten, known missing from
+            /// storage, or never written — start from a zero block.
+            Fresh,
+            /// Decoded raw payload already resident in the decoded cache.
+            Cached(Arc<Vec<u8>>),
+            /// Encoded payload fetched from the store.
+            Fetched(Vec<u8>),
+        }
+
+        let _write_span = self.m.obs.span("write_box");
+        let plan_span = self.m.obs.span("plan");
         // Group incoming samples by block.
         let mut touched: BTreeMap<u64, Vec<(usize, T)>> = BTreeMap::new();
         for y in 0..rh {
@@ -458,30 +615,88 @@ impl IdxDataset {
             }
         }
 
-        let mut stats = WriteStats::default();
-        for (block, updates) in touched {
-            let key = self.block_key(field_idx, time, block);
-            // Read-modify-write: merge into the existing block (or a fresh
-            // zero block when it does not exist yet).
-            let mut samples: Vec<T> = match self.store.get(&key) {
-                Ok(enc) => {
-                    let raw = self.meta.codec.decode(&enc, block_samples * sample_size)?;
-                    bytes_to_samples(&raw)?
+        let mut stats = WriteStats {
+            write_concurrency: self.write_concurrency as u64,
+            ..WriteStats::default()
+        };
+
+        // Partition touched blocks: fully covered blocks (every offset
+        // updated) need no current contents; partially covered ones resolve
+        // from the decoded cache when possible and otherwise join the
+        // batched read-modify-write fetch.
+        let mut sources: BTreeMap<u64, RmwSource> = BTreeMap::new();
+        let mut to_fetch: Vec<u64> = Vec::new();
+        {
+            let cache = self.decoded.lock();
+            for (&block, updates) in &touched {
+                if updates.len() == block_samples {
+                    sources.insert(block, RmwSource::Fresh);
+                    continue;
                 }
-                Err(e) if e.is_not_found() => vec![T::ZERO; block_samples],
-                Err(e) => return Err(e),
-            };
-            for (offset, v) in updates {
-                samples[offset] = v;
+                match cache.get(&(field_idx, time, block)) {
+                    Some(Some(raw)) => {
+                        sources.insert(block, RmwSource::Cached(raw));
+                    }
+                    Some(None) => {
+                        sources.insert(block, RmwSource::Fresh);
+                    }
+                    None => to_fetch.push(block),
+                }
             }
-            let raw = samples_to_bytes(&samples);
-            let enc = self.meta.codec.encode(&raw)?;
-            self.store.put(&key, &enc)?;
-            self.decoded.lock().remove(&(field_idx, time, block));
-            stats.blocks_written += 1;
-            stats.bytes_raw += raw.len() as u64;
-            stats.bytes_stored += enc.len() as u64;
         }
+        drop(plan_span);
+
+        // Batched RMW fetches through the same `get_many` path reads use;
+        // `NotFound` means the block was never written (zero contents), any
+        // other error aborts the write.
+        for chunk in to_fetch.chunks(self.fetch_concurrency.max(1)) {
+            let keys: Vec<String> =
+                chunk.iter().map(|&b| self.block_key(field_idx, time, b)).collect();
+            let key_refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+            let results = {
+                let _rmw_span = self.m.obs.span("rmw-fetch");
+                let v0 = self.m.obs.clock().now_ns();
+                let results = self.store.get_many(&key_refs);
+                self.m.rmw_fetch_vns.add(self.m.obs.clock().now_ns().saturating_sub(v0));
+                results
+            };
+            stats.rmw_fetches += chunk.len() as u64;
+            for (&block, r) in chunk.iter().zip(results) {
+                match r {
+                    Ok(enc) => {
+                        sources.insert(block, RmwSource::Fetched(enc));
+                    }
+                    Err(e) if e.is_not_found() => {
+                        sources.insert(block, RmwSource::Fresh);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Merge updates into each block's current samples in parallel with
+        // deterministic earliest-block error; encode + upload downstream.
+        let work: Vec<(u64, RmwSource)> = sources.into_iter().collect();
+        let t_merge = Instant::now();
+        let entries: Vec<(u64, Vec<T>)> =
+            try_par_map(&work, num_threads(), |(block, source)| -> Result<_> {
+                let mut samples: Vec<T> = match source {
+                    RmwSource::Fresh => vec![T::ZERO; block_samples],
+                    RmwSource::Cached(raw) => bytes_to_samples(raw.as_slice())?,
+                    RmwSource::Fetched(enc) => {
+                        let raw = self.meta.codec.decode(enc, block_samples * sample_size)?;
+                        bytes_to_samples(&raw)?
+                    }
+                };
+                for &(offset, v) in &touched[block] {
+                    samples[offset] = v;
+                }
+                Ok((*block, samples))
+            })?;
+        stats.encode_secs += t_merge.elapsed().as_secs_f64();
+
+        self.encode_and_put(field_idx, time, &entries, &mut stats)?;
+        self.note_write(&stats);
         Ok(stats)
     }
 
@@ -590,8 +805,10 @@ impl IdxDataset {
         // decode each block exactly once.
         let mut raw_blocks: BTreeMap<u64, Option<Arc<Vec<u8>>>> = BTreeMap::new();
         let mut to_fetch: Vec<u64> = Vec::new();
+        let epoch;
         {
             let cache = self.decoded.lock();
+            epoch = cache.write_epoch;
             for &block in &needed {
                 match cache.get(&(field_idx, time, block)) {
                     Some(entry) => {
@@ -654,12 +871,15 @@ impl IdxDataset {
             stats.decode_secs += t_decode.elapsed().as_secs_f64();
 
             let mut cache = self.decoded.lock();
+            let install = cache.write_epoch == epoch;
             for (block, enc_len, raw) in decoded {
                 stats.bytes_fetched += enc_len;
                 if raw.is_some() {
                     stats.blocks_decoded += 1;
                 }
-                cache.insert((field_idx, time, block), raw.clone());
+                if install {
+                    cache.insert((field_idx, time, block), raw.clone());
+                }
                 raw_blocks.insert(block, raw);
             }
         }
@@ -1214,14 +1434,148 @@ mod tests {
         ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
         ds.read_full::<f32>("v", 0).unwrap();
         let tree = obs.span_tree();
-        assert_eq!(tree.len(), 1);
-        let q = &tree[0];
+        assert_eq!(tree.len(), 2, "one write root, one read root");
+        let q = &tree[1];
         assert_eq!(q.label, "idx.read_box");
         let child_labels: Vec<&str> = q.children.iter().map(|c| c.label.as_str()).collect();
         assert_eq!(child_labels[0], "idx.plan");
         assert!(child_labels.contains(&"idx.fetch"));
         assert!(child_labels.contains(&"idx.decode"));
         assert_eq!(*child_labels.last().unwrap(), "idx.gather");
+    }
+
+    #[test]
+    fn write_raster_spans_cover_pipeline_stages() {
+        let obs = Obs::default();
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let ds = ds.with_obs(&obs);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        let tree = obs.span_tree();
+        assert_eq!(tree.len(), 1);
+        let w = &tree[0];
+        assert_eq!(w.label, "idx.write_raster");
+        let child_labels: Vec<&str> = w.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(child_labels[0], "idx.plan");
+        assert!(child_labels.contains(&"idx.encode"));
+        assert!(child_labels.contains(&"idx.put"));
+        assert!(!child_labels.contains(&"idx.rmw-fetch"), "full write never RMWs");
+    }
+
+    #[test]
+    fn write_box_spans_include_rmw_fetch() {
+        let obs = Obs::default();
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let ds = ds.with_obs(&obs).with_decoded_cache_bytes(0);
+        ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        obs.clear_spans();
+        // A 3x3 patch straddles blocks without covering any fully, so every
+        // touched block needs a read-modify-write fetch.
+        let patch = Raster::<f32>::filled(3, 3, -2.0);
+        let stats = ds.write_box("v", 0, 30, 30, &patch).unwrap();
+        assert!(stats.rmw_fetches > 0);
+        let tree = obs.span_tree();
+        assert_eq!(tree.len(), 1);
+        let w = &tree[0];
+        assert_eq!(w.label, "idx.write_box");
+        let child_labels: Vec<&str> = w.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(child_labels[0], "idx.plan");
+        assert!(child_labels.contains(&"idx.rmw-fetch"));
+        assert!(child_labels.contains(&"idx.encode"));
+        assert_eq!(*child_labels.last().unwrap(), "idx.put");
+    }
+
+    #[test]
+    fn write_raster_deterministic_across_write_concurrency() {
+        // Stored block bytes are identical whether uploads go one at a time
+        // or in wide put_many batches.
+        let r = ramp(100, 37);
+        let mut reference: Option<Vec<(String, Vec<u8>)>> = None;
+        for conc in [1usize, 2, 4, 8, 32] {
+            let (store, ds) = make_dataset(100, 37, Codec::ShuffleLzss { sample_size: 4 });
+            let ds = ds.with_write_concurrency(conc);
+            let stats = ds.write_raster("v", 0, &r).unwrap();
+            assert_eq!(stats.write_concurrency, conc as u64);
+            assert_eq!(stats.put_batches, stats.blocks_written.div_ceil(conc as u64));
+            assert_eq!(stats.rmw_fetches, 0, "full write never RMWs");
+            let dump: Vec<(String, Vec<u8>)> = store
+                .list("")
+                .unwrap()
+                .into_iter()
+                .map(|m| (m.key.clone(), store.get(&m.key).unwrap()))
+                .collect();
+            match &reference {
+                None => reference = Some(dump),
+                Some(want) => assert_eq!(&dump, want, "write_concurrency {conc}"),
+            }
+        }
+    }
+
+    #[test]
+    fn write_stats_merge_accumulates() {
+        let mut a = WriteStats {
+            blocks_written: 3,
+            bytes_raw: 1024,
+            bytes_stored: 700,
+            put_batches: 1,
+            write_concurrency: 4,
+            encode_secs: 0.25,
+            ..WriteStats::default()
+        };
+        let b = WriteStats {
+            blocks_written: 2,
+            blocks_skipped: 1,
+            rmw_fetches: 2,
+            put_batches: 1,
+            write_concurrency: 8,
+            put_secs: 0.5,
+            ..WriteStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks_written, 5);
+        assert_eq!(a.blocks_skipped, 1);
+        assert_eq!(a.bytes_raw, 1024);
+        assert_eq!(a.rmw_fetches, 2);
+        assert_eq!(a.put_batches, 2);
+        assert_eq!(a.write_concurrency, 8);
+        assert!((a.encode_secs - 0.25).abs() < 1e-12);
+        assert!((a.put_secs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_stats_merge_identity() {
+        let stats = WriteStats {
+            blocks_written: 7,
+            blocks_skipped: 2,
+            bytes_raw: 512,
+            bytes_stored: 300,
+            rmw_fetches: 3,
+            put_batches: 2,
+            write_concurrency: 8,
+            encode_secs: 0.125,
+            put_secs: 0.25,
+        };
+        let mut from_default = WriteStats::default();
+        from_default.merge(&stats);
+        assert_eq!(from_default, stats);
+        let mut into_x = stats.clone();
+        into_x.merge(&WriteStats::default());
+        assert_eq!(into_x, stats);
+    }
+
+    #[test]
+    fn write_metrics_feed_registry() {
+        let obs = Obs::default();
+        let (_s, ds) = make_dataset(64, 64, Codec::Raw);
+        let ds = ds.with_obs(&obs).with_write_concurrency(4);
+        let s1 = ds.write_raster("v", 0, &ramp(64, 64)).unwrap();
+        let patch = Raster::<f32>::filled(3, 3, 1.5);
+        let s2 = ds.write_box("v", 0, 10, 10, &patch).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("idx.writes"), 2);
+        assert_eq!(snap.counter("idx.blocks_written"), s1.blocks_written + s2.blocks_written);
+        assert_eq!(snap.counter("idx.bytes_written"), s1.bytes_stored + s2.bytes_stored);
+        assert_eq!(snap.counter("idx.rmw_fetches"), s1.rmw_fetches + s2.rmw_fetches);
+        assert_eq!(snap.counter("idx.put_batches"), s1.put_batches + s2.put_batches);
     }
 
     #[test]

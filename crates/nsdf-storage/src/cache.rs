@@ -64,6 +64,12 @@ struct LruState {
     queue: VecDeque<(String, u64)>,
     next_tick: u64,
     resident: u64,
+    /// Bumped by every write/delete. A single-flight leader records the
+    /// epoch when it misses; if a write lands while its fetch is in flight
+    /// the epochs no longer match at publish time and the (possibly
+    /// pre-write) payload is handed to waiters but never admitted — so a
+    /// fetch that raced a write can never clobber the newer write-through.
+    write_epoch: u64,
 }
 
 impl LruState {
@@ -246,15 +252,18 @@ impl CachedStore {
         }
     }
 
-    /// Leader-side completion: admit a success to the LRU, publish the
-    /// result to waiters, and retire the in-flight slot. Errors are handed
-    /// to current waiters but never cached — the next reader retries.
-    fn publish(&self, key: &str, flight: &InFlight, result: Result<Arc<Vec<u8>>>) {
+    /// Leader-side completion: admit a success to the LRU (unless a write
+    /// bumped the epoch since the leader missed), publish the result to
+    /// waiters, and retire the in-flight slot. Errors are handed to current
+    /// waiters but never cached — the next reader retries.
+    fn publish(&self, key: &str, flight: &InFlight, result: Result<Arc<Vec<u8>>>, epoch: u64) {
         if let Ok(data) = &result {
             let mut st = self.state.lock();
-            let evicted = st.insert(key.to_string(), data.clone(), self.capacity);
-            self.m.evictions.add(evicted);
-            self.m.resident_bytes.set(st.resident as f64);
+            if st.write_epoch == epoch {
+                let evicted = st.insert(key.to_string(), data.clone(), self.capacity);
+                self.m.evictions.add(evicted);
+                self.m.resident_bytes.set(st.resident as f64);
+            }
         }
         *flight.done.lock() = Some(result);
         self.inflight.lock().remove(key);
@@ -262,13 +271,14 @@ impl CachedStore {
     }
 
     fn cached_get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
-        {
+        let epoch = {
             let mut st = self.state.lock();
             if let Some(data) = st.touch(key) {
                 self.m.hits.inc();
                 return Ok(data);
             }
-        }
+            st.write_epoch
+        };
         match self.join_flight(key) {
             Flight::Leader(f) => {
                 self.m.misses.inc();
@@ -279,7 +289,7 @@ impl CachedStore {
                     Ok(data) => Ok(data.clone()),
                     Err(e) => Err(e.replicate()),
                 };
-                self.publish(key, &f, replica);
+                self.publish(key, &f, replica, epoch);
                 result
             }
             Flight::Follower(f) => {
@@ -295,10 +305,29 @@ impl ObjectStore for CachedStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
         let meta = self.inner.put(key, data)?;
         let mut st = self.state.lock();
+        st.write_epoch += 1;
         let evicted = st.insert(key.to_string(), Arc::new(data.to_vec()), self.capacity);
         self.m.evictions.add(evicted);
         self.m.resident_bytes.set(st.resident as f64);
         Ok(meta)
+    }
+
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        // One inner batch (so the WAN amortizes the upload wave), then
+        // write-through every stored payload under one lock acquisition —
+        // the cache can never serve bytes older than an acked write.
+        let results = self.inner.put_many(items);
+        let mut st = self.state.lock();
+        st.write_epoch += 1;
+        let mut evicted = 0;
+        for ((k, d), r) in items.iter().zip(&results) {
+            if r.is_ok() {
+                evicted += st.insert(k.to_string(), Arc::new(d.to_vec()), self.capacity);
+            }
+        }
+        self.m.evictions.add(evicted);
+        self.m.resident_bytes.set(st.resident as f64);
+        results
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
@@ -308,10 +337,14 @@ impl ObjectStore for CachedStore {
     fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
         let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
 
-        // Phase 1: partition hits from misses under one lock acquisition.
+        // Phase 1: partition hits from misses under one lock acquisition,
+        // recording the write epoch so a write landing mid-batch keeps this
+        // batch's fetches out of the cache.
         let mut missing = Vec::new();
+        let epoch;
         {
             let mut st = self.state.lock();
+            epoch = st.write_epoch;
             let mut hits = 0;
             for (i, k) in keys.iter().enumerate() {
                 if let Some(data) = st.touch(k) {
@@ -360,7 +393,7 @@ impl ObjectStore for CachedStore {
                     Ok(data) => Ok(data.clone()),
                     Err(e) => Err(e.replicate()),
                 };
-                self.publish(keys[i], &f, replica);
+                self.publish(keys[i], &f, replica, epoch);
                 out[i] = Some(r.map(|d| d.as_ref().clone()));
             }
         }
@@ -400,6 +433,7 @@ impl ObjectStore for CachedStore {
     fn delete(&self, key: &str) -> Result<()> {
         self.inner.delete(key)?;
         let mut st = self.state.lock();
+        st.write_epoch += 1;
         st.remove(key);
         self.m.resident_bytes.set(st.resident as f64);
         Ok(())
@@ -662,6 +696,130 @@ mod tests {
         assert!(results.iter().all(|r| r.as_ref().unwrap() == b"v"));
         assert_eq!(counting.gets(), 1, "repeated key fetched once per batch");
         assert_eq!(cached.stats().coalesced_waits, 2);
+    }
+
+    #[test]
+    fn put_many_writes_through_successes_only() {
+        let c = cached(1 << 20);
+        let results = c.put_many(&[("a", b"alpha" as &[u8]), ("bad//key", b"x"), ("b", b"beta")]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        // Both stored payloads are warm; the failed key cached nothing.
+        c.get("a").unwrap();
+        c.get("b").unwrap();
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.resident_bytes, 9);
+    }
+
+    #[test]
+    fn put_many_overwrite_never_serves_stale_bytes() {
+        let c = cached(1 << 20);
+        c.put("k", b"old-bytes").unwrap();
+        assert_eq!(c.get("k").unwrap(), b"old-bytes");
+        c.put_many(&[("k", b"new-bytes" as &[u8])]);
+        assert_eq!(c.get("k").unwrap(), b"new-bytes", "write-through replaces the cached copy");
+        assert_eq!(c.stats().misses, 0, "the fresh copy is served from cache, not refetched");
+    }
+
+    /// Inner store whose `get` captures the stored value, then parks until
+    /// the test releases it — freezing a single-flight leader mid-fetch so
+    /// a write can land deterministically inside the miss window.
+    struct GateStore {
+        inner: MemoryStore,
+        entered: Mutex<bool>,
+        entered_cv: Condvar,
+        release: Mutex<bool>,
+        release_cv: Condvar,
+    }
+
+    impl GateStore {
+        fn new() -> Self {
+            GateStore {
+                inner: MemoryStore::new(),
+                entered: Mutex::new(false),
+                entered_cv: Condvar::new(),
+                release: Mutex::new(false),
+                release_cv: Condvar::new(),
+            }
+        }
+
+        /// Block until a `get` has read its value and parked at the gate.
+        fn wait_entered(&self) {
+            let mut e = self.entered.lock();
+            while !*e {
+                e = self.entered_cv.wait(e);
+            }
+        }
+
+        /// Open the gate, letting parked `get`s return their captured value.
+        fn open(&self) {
+            *self.release.lock() = true;
+            self.release_cv.notify_all();
+        }
+    }
+
+    impl ObjectStore for GateStore {
+        fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+            self.inner.put(key, data)
+        }
+
+        fn get(&self, key: &str) -> Result<Vec<u8>> {
+            let v = self.inner.get(key); // capture the pre-write value
+            *self.entered.lock() = true;
+            self.entered_cv.notify_all();
+            let mut r = self.release.lock();
+            while !*r {
+                r = self.release_cv.wait(r);
+            }
+            drop(r);
+            v
+        }
+
+        fn head(&self, key: &str) -> Result<ObjectMeta> {
+            self.inner.head(key)
+        }
+
+        fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+            self.inner.list(prefix)
+        }
+
+        fn delete(&self, key: &str) -> Result<()> {
+            self.inner.delete(key)
+        }
+    }
+
+    #[test]
+    fn miss_in_flight_during_write_never_caches_stale_bytes() {
+        // Regression: a single-flight leader reads the old payload, then a
+        // put_many write-through lands while that fetch is still in flight.
+        // The leader's publish must NOT clobber the newer cached copy.
+        let gate = Arc::new(GateStore::new());
+        gate.put("k", b"old-bytes").unwrap();
+        let cached = Arc::new(CachedStore::new(gate.clone(), 1 << 20));
+        crossbeam::scope(|s| {
+            let reader = {
+                let cached = cached.clone();
+                s.spawn(move |_| cached.get("k").unwrap())
+            };
+            gate.wait_entered(); // the leader holds the pre-write payload
+            cached.put_many(&[("k", b"new-bytes" as &[u8])]);
+            gate.open();
+            // The racing read began before the write, so the old payload is
+            // a linearizable result for it.
+            assert_eq!(reader.join().unwrap(), b"old-bytes");
+        })
+        .unwrap();
+        assert_eq!(
+            cached.get("k").unwrap(),
+            b"new-bytes",
+            "publish of an in-flight fetch must not overwrite a newer write-through"
+        );
+        let s = cached.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1, "the fresh payload is served from cache, not refetched");
     }
 
     #[test]

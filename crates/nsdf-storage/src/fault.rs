@@ -98,7 +98,10 @@ pub struct FaultPlan {
     pub scope: FailScope,
     /// Background transient failure probability per `(key, attempt)`.
     pub fault_rate: f64,
-    /// Payload corruption probability per `(key, attempt)` on reads.
+    /// Payload corruption probability per `(key, attempt)`: fetched
+    /// payloads arrive damaged (reads), stored payloads land damaged
+    /// (writes) — both within the plan's scope, both caught by checksum
+    /// verification in the integrity layer.
     pub corrupt_rate: f64,
     /// Scripted windows, applied on the virtual clock.
     pub windows: Vec<FaultWindow>,
@@ -128,7 +131,7 @@ impl FaultPlan {
         self
     }
 
-    /// Set the payload corruption rate (reads only).
+    /// Set the payload corruption rate (reads and writes, per scope).
     pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
         self.corrupt_rate = rate;
         self
@@ -424,8 +427,10 @@ impl FaultStore {
 
     /// Deterministically damage one byte of `data` when the corruption
     /// draw for `(key, attempt)` fires. Empty payloads are left alone.
+    /// Callers gate on scope; the draw itself is the same pure
+    /// `(seed, key, attempt)` stream for reads and writes.
     fn maybe_corrupt(&self, key: &str, attempt: u64, data: &mut [u8]) {
-        if self.plan.corrupt_rate <= 0.0 || data.is_empty() || !self.in_scope(true) {
+        if self.plan.corrupt_rate <= 0.0 || data.is_empty() {
             return;
         }
         if self.draw(SALT_CORRUPT, key, attempt) < self.plan.corrupt_rate {
@@ -460,8 +465,22 @@ impl FaultStore {
 
 impl ObjectStore for FaultStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
-        self.gate(false, key, "put")?;
-        self.inner.put(key, data)
+        match self.gate(false, key, "put")? {
+            None => self.inner.put(key, data),
+            Some((attempt, _, _)) => {
+                // Write-path corruption lands in the stored object, so the
+                // returned meta checksums the damaged bytes — which is how
+                // the integrity layer catches it against the original
+                // payload and turns it into a retryable failure.
+                if self.plan.corrupt_rate > 0.0 {
+                    let mut payload = data.to_vec();
+                    self.maybe_corrupt(key, attempt, &mut payload);
+                    self.inner.put(key, &payload)
+                } else {
+                    self.inner.put(key, data)
+                }
+            }
+        }
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
@@ -531,6 +550,58 @@ impl ObjectStore for FaultStore {
                     self.maybe_corrupt(keys[i], attempt, &mut data);
                     data
                 }));
+            }
+        }
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
+    }
+
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        if !self.in_scope(false) {
+            return self.inner.put_many(items);
+        }
+        let now = self.clock.now_secs();
+        if self.plan.in_outage(now) {
+            return items
+                .iter()
+                .map(|(k, _)| {
+                    let _ = self.next_attempt(k);
+                    Err(self.outage_error("put_many"))
+                })
+                .collect();
+        }
+        // One spike charge per batch, exactly like `get_many`: the upload
+        // wave is one network episode. Per-key admission and corruption
+        // draws consume the same pure `(seed, key, attempt)` stream as
+        // single puts, so batch composition never shifts the sequence.
+        self.charge_spike(now);
+        let rate = self.plan.rate_at(now);
+        let mut out: Vec<Option<Result<ObjectMeta>>> = items.iter().map(|_| None).collect();
+        let mut pass_idx = Vec::with_capacity(items.len());
+        let mut pass_payloads: Vec<std::borrow::Cow<[u8]>> = Vec::with_capacity(items.len());
+        for (i, (k, d)) in items.iter().enumerate() {
+            match self.admit(k, rate, "put_many") {
+                Ok(attempt) => {
+                    let payload = if self.plan.corrupt_rate > 0.0 {
+                        let mut copy = d.to_vec();
+                        self.maybe_corrupt(k, attempt, &mut copy);
+                        std::borrow::Cow::Owned(copy)
+                    } else {
+                        std::borrow::Cow::Borrowed(*d)
+                    };
+                    pass_idx.push(i);
+                    pass_payloads.push(payload);
+                }
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        if !pass_idx.is_empty() {
+            let pass_items: Vec<(&str, &[u8])> = pass_idx
+                .iter()
+                .zip(&pass_payloads)
+                .map(|(&i, p)| (items[i].0, p.as_ref()))
+                .collect();
+            for (&i, r) in pass_idx.iter().zip(self.inner.put_many(&pass_items)) {
+                out[i] = Some(r);
             }
         }
         out.into_iter().map(|o| o.expect("every slot decided")).collect()
@@ -650,6 +721,74 @@ mod tests {
             }
         }
         assert_eq!(solo_outcomes, batch_outcomes);
+    }
+
+    #[test]
+    fn write_failure_decision_is_pure_in_seed_key_attempt() {
+        // Satellite-4 regression: the write scope draws from the same pure
+        // `(seed, key, attempt)` stream as reads — the same key sees the
+        // same fail/pass sequence whether written one `put` at a time or
+        // through `put_many` batches of shifting shape and order.
+        let plan = || FaultPlan::new(99).with_fault_rate(0.5).with_scope(FailScope::Writes);
+        let keys: Vec<String> = (0..12).map(|i| format!("k{i}")).collect();
+        let body = b"payload";
+        let solo = fault(Arc::new(MemoryStore::new()), plan(), SimClock::new());
+        let solo_outcomes: Vec<Vec<bool>> =
+            keys.iter().map(|k| (0..4).map(|_| solo.put(k, body).is_ok()).collect()).collect();
+
+        let batched = fault(Arc::new(MemoryStore::new()), plan(), SimClock::new());
+        let mut batch_outcomes: Vec<Vec<bool>> = keys.iter().map(|_| Vec::new()).collect();
+        for round in 0..4 {
+            let mut order: Vec<usize> = (0..keys.len()).collect();
+            order.rotate_left(round * 3 % keys.len());
+            let items: Vec<(&str, &[u8])> =
+                order.iter().map(|&i| (keys[i].as_str(), body as &[u8])).collect();
+            for (&i, r) in order.iter().zip(batched.put_many(&items)) {
+                batch_outcomes[i].push(r.is_ok());
+            }
+        }
+        assert_eq!(solo_outcomes, batch_outcomes);
+        // And the read stream is the *same* stream: a write consumes the
+        // attempt a subsequent read would otherwise have drawn.
+        assert_eq!(solo.attempts_for("k0"), 4);
+    }
+
+    #[test]
+    fn write_corruption_lands_in_store_and_checksums_the_damage() {
+        let mem = Arc::new(MemoryStore::new());
+        let run = |mem: &Arc<MemoryStore>| {
+            let s = fault(
+                mem.clone(),
+                FaultPlan::new(5).with_corrupt_rate(0.4).with_scope(FailScope::Writes),
+                SimClock::new(),
+            );
+            let keys: Vec<String> = (0..40).map(|i| format!("w{i}")).collect();
+            let items: Vec<(&str, &[u8])> =
+                keys.iter().map(|k| (k.as_str(), b"clean-payload" as &[u8])).collect();
+            let metas = s.put_many(&items);
+            (keys, metas, s.corrupted_payloads())
+        };
+        let (keys, metas, corrupted) = run(&mem);
+        assert!(corrupted > 5, "rate 0.4 over 40 writes corrupts something");
+        assert!(corrupted < 40, "but not everything");
+        let mut damaged = 0;
+        for (k, m) in keys.iter().zip(&metas) {
+            let stored = mem.get(k).unwrap();
+            // The returned meta checksums the *stored* (possibly damaged)
+            // bytes — that mismatch versus the original payload is what the
+            // integrity layer detects.
+            assert_eq!(m.as_ref().unwrap().checksum, fnv1a64(&stored));
+            if stored != b"clean-payload" {
+                damaged += 1;
+            }
+        }
+        assert_eq!(damaged, corrupted as usize);
+        // Same seed, same damage: byte-determinism across reruns.
+        let mem2 = Arc::new(MemoryStore::new());
+        run(&mem2);
+        for k in &keys {
+            assert_eq!(mem.get(k).unwrap(), mem2.get(k).unwrap());
+        }
     }
 
     #[test]

@@ -139,6 +139,12 @@ impl ObjectStore for LocalStore {
         nsdf_util::par::par_map(keys, nsdf_util::par::num_threads(), |k| self.get(k))
     }
 
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        // Independent files: overlap the per-file write/rename syscalls.
+        // Each put is still atomic on its own (write-then-rename).
+        nsdf_util::par::par_map(items, nsdf_util::par::num_threads(), |(k, d)| self.put(k, d))
+    }
+
     fn delete(&self, key: &str) -> Result<()> {
         let path = self.path_for(key)?;
         fs::remove_file(&path).map_err(|e| {
@@ -207,6 +213,23 @@ mod tests {
         let s = temp_store("traversal");
         assert!(s.put("../escape", b"x").is_err());
         assert!(s.get("/etc/passwd").is_err());
+    }
+
+    #[test]
+    fn put_many_writes_every_file() {
+        let s = temp_store("putmany");
+        let keys: Vec<String> = (0..10).map(|i| format!("dir{}/obj{i}", i % 3)).collect();
+        let payloads: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8 + 1; 64 + i]).collect();
+        let items: Vec<(&str, &[u8])> =
+            keys.iter().zip(&payloads).map(|(k, d)| (k.as_str(), d.as_slice())).collect();
+        let metas = s.put_many(&items);
+        assert!(metas.iter().all(|m| m.is_ok()));
+        for (k, d) in &items {
+            assert_eq!(&s.get(k).unwrap(), d);
+        }
+        let mixed = s.put_many(&[("../escape", b"x" as &[u8]), ("valid", b"ok")]);
+        assert!(mixed[0].is_err());
+        assert!(mixed[1].is_ok());
     }
 
     #[test]

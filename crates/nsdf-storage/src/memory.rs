@@ -92,6 +92,13 @@ impl ObjectStore for MemoryStore {
         nsdf_util::par::par_map(keys, nsdf_util::par::num_threads(), |k| self.get(k))
     }
 
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        // Each put takes the write lock only briefly; the parallel map
+        // overlaps validation, checksumming, and payload copies, which
+        // dominate for block-sized objects.
+        nsdf_util::par::par_map(items, nsdf_util::par::num_threads(), |(k, d)| self.put(k, d))
+    }
+
     fn delete(&self, key: &str) -> Result<()> {
         self.objects
             .write()
@@ -173,6 +180,25 @@ mod tests {
     fn rejects_invalid_keys() {
         let s = MemoryStore::new();
         assert!(s.put("/bad", b"x").is_err());
+    }
+
+    #[test]
+    fn put_many_matches_sequential_puts() {
+        let s = MemoryStore::new();
+        let keys: Vec<String> = (0..12).map(|i| format!("batch/{i}")).collect();
+        let payloads: Vec<Vec<u8>> = (0..12).map(|i| vec![i as u8; 100 + i]).collect();
+        let items: Vec<(&str, &[u8])> =
+            keys.iter().zip(&payloads).map(|(k, d)| (k.as_str(), d.as_slice())).collect();
+        let metas = s.put_many(&items);
+        for ((k, d), m) in items.iter().zip(&metas) {
+            let m = m.as_ref().unwrap();
+            assert_eq!(m.key, *k);
+            assert_eq!(m.checksum, fnv1a64(d));
+            assert_eq!(s.get(k).unwrap(), *d);
+        }
+        let bad = s.put_many(&[("ok/key", b"x" as &[u8]), ("/bad", b"y")]);
+        assert!(bad[0].is_ok());
+        assert!(bad[1].is_err(), "a failed key never aborts the batch");
     }
 
     #[test]

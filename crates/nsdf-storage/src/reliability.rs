@@ -88,6 +88,10 @@ impl ObjectStore for FlakyStore {
         self.inner.get_many(keys)
     }
 
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        self.inner.put_many(items)
+    }
+
     fn head(&self, key: &str) -> Result<ObjectMeta> {
         self.inner.head(key)
     }
@@ -322,6 +326,35 @@ impl ObjectStore for RetryStore {
                     }
                     next = still;
                     round += 1;
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            backoff = self.charge_backoff(backoff, next.len() as u64);
+            attempt += 1;
+            pending = next;
+        }
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
+    }
+
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        // Wave-based retry exactly like `get_many`, minus hedging: a
+        // hedged backup wave would race two writes of the same key, and
+        // "first ack wins" is not a coherent write semantic. Transiently
+        // failed keys re-batch and share one backoff per wave.
+        let mut out: Vec<Option<Result<ObjectMeta>>> = items.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..items.len()).collect();
+        let mut backoff = self.policy.initial_backoff_secs;
+        let mut attempt = 1;
+        loop {
+            let wave: Vec<(&str, &[u8])> = pending.iter().map(|&i| items[i]).collect();
+            let results = self.inner.put_many(&wave);
+            let mut next = Vec::new();
+            for (&i, r) in pending.iter().zip(results) {
+                match r {
+                    Err(NsdfError::Io(_)) if attempt < self.policy.max_attempts => next.push(i),
+                    r => out[i] = Some(r),
                 }
             }
             if next.is_empty() {
@@ -580,6 +613,17 @@ impl ObjectStore for BreakerStore {
         results
     }
 
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        if !self.admit(items.len() as u64) {
+            return items.iter().map(|_| Err(self.open_error())).collect();
+        }
+        let results = self.inner.put_many(items);
+        for r in &results {
+            self.record(!matches!(r, Err(NsdfError::Io(_))));
+        }
+        results
+    }
+
     fn head(&self, key: &str) -> Result<ObjectMeta> {
         self.guarded(|| self.inner.head(key))
     }
@@ -635,6 +679,11 @@ impl IntegrityMetrics {
 /// rides [`ObjectStore::head_many`], which the WAN model amortizes like
 /// the data fetch itself. Ranged reads pass through unverified (there is
 /// no whole-object checksum to check a fragment against).
+///
+/// Writes are verified symmetrically: the [`ObjectMeta`] a `put`/`put_many`
+/// returns checksums what the endpoint actually stored, so comparing it
+/// against the payload we sent catches write-path corruption — again as a
+/// retryable I/O error, so the retry layer re-uploads clean bytes.
 pub struct IntegrityStore {
     inner: Arc<dyn ObjectStore>,
     m: IntegrityMetrics,
@@ -673,7 +722,23 @@ impl IntegrityStore {
 
 impl ObjectStore for IntegrityStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
-        self.inner.put(key, data)
+        let meta = self.inner.put(key, data)?;
+        self.check(key, data, &meta)?;
+        Ok(meta)
+    }
+
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        let mut results = self.inner.put_many(items);
+        for (r, (k, d)) in results.iter_mut().zip(items) {
+            let verdict = match &*r {
+                Ok(meta) => self.check(k, d, meta),
+                Err(_) => Ok(()),
+            };
+            if let Err(e) = verdict {
+                *r = Err(e);
+            }
+        }
+        results
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
@@ -1264,6 +1329,120 @@ mod tests {
         assert!(snap.counter("integrity.rejected") > 0, "mismatches must be caught");
         assert!(snap.counter("integrity.verified") > 0);
         assert!(snap.counter("fault.corrupted") >= snap.counter("integrity.rejected"));
+    }
+
+    #[test]
+    fn retry_put_many_recovers_in_waves() {
+        let clock = SimClock::new();
+        let flaky = flaky(0.4, FailScope::Writes);
+        let retry = RetryStore::new(
+            flaky,
+            RetryPolicy { max_attempts: 10, initial_backoff_secs: 0.05, multiplier: 2.0 },
+            clock.clone(),
+        )
+        .unwrap();
+        let keys: Vec<String> = (0..30).map(|i| format!("k{i}")).collect();
+        let bodies: Vec<Vec<u8>> = (0..30).map(|i| format!("v{i}").into_bytes()).collect();
+        let items: Vec<(&str, &[u8])> =
+            keys.iter().zip(&bodies).map(|(k, d)| (k.as_str(), d.as_slice())).collect();
+        let before = clock.now_secs();
+        let results = retry.put_many(&items);
+        assert!(results.iter().all(|r| r.is_ok()), "retries absorb 40% write faults");
+        for (k, d) in keys.iter().zip(&bodies) {
+            assert_eq!(&retry.get(k).unwrap(), d);
+        }
+        assert!(retry.retries() > 0);
+        // One shared backoff per wave, same schedule as reads.
+        let charged = clock.now_secs() - before;
+        let waves = retry.m.waves.get();
+        let schedule: f64 = (0..waves).map(|w| 0.05 * 2f64.powi(w as i32)).sum();
+        assert!((charged - schedule).abs() < 1e-9, "one backoff per wave: {charged} vs {schedule}");
+        assert!(retry.retries() > waves, "waves must be shared across keys");
+    }
+
+    #[test]
+    fn retry_put_many_permanent_errors_resolve_immediately() {
+        let clock = SimClock::new();
+        let retry =
+            RetryStore::new(Arc::new(MemoryStore::new()), RetryPolicy::default(), clock.clone())
+                .unwrap();
+        let results = retry.put_many(&[("fine", b"ok" as &[u8]), ("bad//key", b"x")]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert_eq!(retry.retries(), 0, "invalid-key errors are permanent");
+        assert_eq!(clock.now_secs(), 0.0);
+    }
+
+    #[test]
+    fn breaker_shields_dead_endpoint_from_put_many() {
+        let clock = SimClock::new();
+        let dead = Arc::new(
+            FlakyStore::new(Arc::new(MemoryStore::new()), 1.0, FailScope::Writes, 3).unwrap(),
+        );
+        let breaker = BreakerStore::new(
+            dead.clone(),
+            BreakerPolicy { failure_threshold: 2, ..BreakerPolicy::default() },
+            clock,
+        )
+        .unwrap();
+        let items: Vec<(&str, &[u8])> = vec![("a", b"1"), ("b", b"2"), ("c", b"3")];
+        assert!(breaker.put_many(&items).iter().all(|r| r.is_err()));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let injected = dead.injected_failures();
+        assert!(breaker.put_many(&items).iter().all(|r| r.is_err()));
+        assert_eq!(dead.injected_failures(), injected, "open breaker shields inner");
+        assert_eq!(breaker.fast_failures(), 3);
+    }
+
+    #[test]
+    fn integrity_catches_write_corruption_and_retry_reuploads() {
+        let obs = Obs::new(SimClock::new());
+        let inner = Arc::new(MemoryStore::new());
+        let plan =
+            crate::fault::FaultPlan::new(31).with_corrupt_rate(0.3).with_scope(FailScope::Writes);
+        let faulty = Arc::new(
+            crate::fault::FaultStore::new(inner.clone(), plan, obs.clock().clone())
+                .unwrap()
+                .with_obs(&obs),
+        );
+        let verified = Arc::new(IntegrityStore::new(faulty).with_obs(&obs));
+        let retry = RetryStore::new(
+            verified,
+            RetryPolicy { max_attempts: 8, initial_backoff_secs: 0.01, multiplier: 2.0 },
+            obs.clock().clone(),
+        )
+        .unwrap()
+        .with_obs(&obs);
+
+        let keys: Vec<String> = (0..40).map(|i| format!("k{i}")).collect();
+        let bodies: Vec<Vec<u8>> = (0..40).map(|i| format!("payload-{i}").into_bytes()).collect();
+        let items: Vec<(&str, &[u8])> =
+            keys.iter().zip(&bodies).map(|(k, d)| (k.as_str(), d.as_slice())).collect();
+        let results = retry.put_many(&items);
+        assert!(results.iter().all(|r| r.is_ok()));
+        // Every stored object is bitwise the payload we sent: corrupted
+        // uploads were caught by the checksum check and re-uploaded clean.
+        for (k, d) in keys.iter().zip(&bodies) {
+            assert_eq!(&inner.get(k).unwrap(), d);
+        }
+        let snap = obs.snapshot();
+        assert!(snap.counter("fault.corrupted") > 0, "corruption was injected");
+        assert!(snap.counter("integrity.rejected") > 0, "and caught on the write path");
+        assert!(snap.counter("retry.retries") > 0, "and healed by re-upload");
+    }
+
+    #[test]
+    fn integrity_single_put_detects_corruption() {
+        let plan =
+            crate::fault::FaultPlan::new(2).with_corrupt_rate(1.0).with_scope(FailScope::Writes);
+        let faulty = Arc::new(
+            crate::fault::FaultStore::new(Arc::new(MemoryStore::new()), plan, SimClock::new())
+                .unwrap(),
+        );
+        let verified = IntegrityStore::new(faulty);
+        let err = verified.put("k", b"payload").unwrap_err();
+        assert!(matches!(err, NsdfError::Io(_)), "mismatch must be retryable I/O");
+        assert_eq!(verified.rejected(), 1);
     }
 
     #[test]

@@ -54,6 +54,19 @@ pub trait ObjectStore: Send + Sync {
         keys.iter().map(|k| self.get(k)).collect()
     }
 
+    /// Store many objects in one call, returning per-key results in input
+    /// order.
+    ///
+    /// The batched entry point of the parallel ingest pipeline, mirroring
+    /// [`ObjectStore::get_many`] on the write side: backends that can
+    /// amortize per-request overhead (the WAN simulator's parallel upload
+    /// streams, thread-parallel disk writes) override it; the default
+    /// simply loops over [`ObjectStore::put`]. A failed key never aborts
+    /// the batch — callers retry or surface failures per key.
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        items.iter().map(|(k, d)| self.put(k, d)).collect()
+    }
+
     /// Metadata without the payload.
     fn head(&self, key: &str) -> Result<ObjectMeta>;
 

@@ -267,6 +267,31 @@ impl ObjectStore for CloudStore {
         results
     }
 
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        let _wave = self.m.obs.span("wave");
+        let results = self.inner.put_many(items);
+        let stored: u64 = results.iter().filter(|r| r.is_ok()).count() as u64;
+        if stored > 0 {
+            // Upload waves amortize exactly like `get_many`: each parallel
+            // stream serializes ceil(n/streams) uploads, each a
+            // handshake + ack pair (matching single `put`'s two round
+            // trips), while `transfer_secs` spreads the payload across the
+            // streams. One jitter draw for the whole episode.
+            let total: u64 = results
+                .iter()
+                .zip(items)
+                .filter(|(r, _)| r.is_ok())
+                .map(|(_, (_, d))| d.len() as u64)
+                .sum();
+            let trips = 2 * (stored as u32).div_ceil(self.profile.streams.max(1));
+            self.charge(trips, total);
+            self.m.waves.inc();
+            self.m.write_ops.add(stored);
+            self.m.bytes_up.add(total);
+        }
+        results
+    }
+
     fn head(&self, key: &str) -> Result<ObjectMeta> {
         let meta = self.inner.head(key)?;
         self.charge(1, 0);
@@ -439,6 +464,68 @@ mod tests {
         assert!(all_missing.iter().all(|r| r.as_ref().unwrap_err().is_not_found()));
         assert_eq!(c.transfer_log().read_ops, 0);
         assert_eq!(c.clock().now_ns(), t1, "all-error batch charges nothing");
+    }
+
+    #[test]
+    fn put_many_amortizes_round_trips() {
+        let keys: Vec<String> = (0..16).map(|i| format!("k{i}")).collect();
+        let payload = vec![3u8; 64 << 10];
+
+        let sequential = cloud(NetworkProfile::private_seal());
+        let t0 = sequential.clock().now_secs();
+        for k in &keys {
+            sequential.put(k, &payload).unwrap();
+        }
+        let seq_secs = sequential.clock().now_secs() - t0;
+
+        let batched = cloud(NetworkProfile::private_seal());
+        let t0 = batched.clock().now_secs();
+        let items: Vec<(&str, &[u8])> = keys.iter().map(|k| (k.as_str(), &payload[..])).collect();
+        let results = batched.put_many(&items);
+        let batch_secs = batched.clock().now_secs() - t0;
+
+        assert!(results.iter().all(|r| r.is_ok()));
+        // 16 puts over 8 streams: 2 serialized handshake+ack pairs instead
+        // of 16, same payload time.
+        assert!(
+            batch_secs < seq_secs * 0.5,
+            "batched {batch_secs:.4}s vs sequential {seq_secs:.4}s"
+        );
+        let log = batched.transfer_log();
+        assert_eq!(log.write_ops, 16);
+        assert_eq!(log.bytes_up, 16 * payload.len() as u64);
+        for k in &keys {
+            assert_eq!(batched.get(k).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn put_many_charges_only_successes() {
+        let c = cloud(NetworkProfile::private_seal());
+        let t0 = c.clock().now_ns();
+        let results = c.put_many(&[("bad//key", b"x" as &[u8]), ("fine", b"data")]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+        assert_eq!(c.transfer_log().write_ops, 1);
+        assert_eq!(c.transfer_log().bytes_up, 4);
+        assert!(c.clock().now_ns() > t0, "the one success must charge time");
+
+        let t1 = c.clock().now_ns();
+        let all_bad = c.put_many(&[("also//bad", b"y" as &[u8])]);
+        assert!(all_bad[0].is_err());
+        assert_eq!(c.clock().now_ns(), t1, "all-error batch charges nothing");
+    }
+
+    #[test]
+    fn put_many_records_wave_span_and_mirrors_busy_vns() {
+        let c = cloud(NetworkProfile::private_seal());
+        let items: Vec<(&str, &[u8])> = vec![("a", b"xx"), ("b", b"yy")];
+        c.put_many(&items);
+        let spans = c.obs().span_tree();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label, "wan.wave");
+        assert_eq!(c.obs().counter("waves").get(), 1);
+        assert_eq!(c.obs().counter("busy_vns").get(), c.clock().now_ns());
     }
 
     #[test]
