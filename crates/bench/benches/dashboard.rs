@@ -1,71 +1,443 @@
-//! Fig. 7: dashboard interaction cost — frame rendering at the auto level,
-//! zoomed navigation, progressive refinement, slices, and the snip tool,
-//! over local storage (wall time; the WAN side is virtual-time territory
-//! covered by `reproduce -- fig7`).
+//! Interactive query sessions (Fig. 7): a scripted dashboard interaction
+//! trace — cold progressive overview, zoom, pan, speculative prefetch, and
+//! playback — driven through the stateful [`QuerySession`] engine on both
+//! WAN profiles of §III. Emits `BENCH_dashboard.json` at the repo root
+//! with per-interaction latency and refinement curves; numbers are quoted
+//! in EXPERIMENTS.md ("Interactive sessions").
+//!
+//! Every reported latency is *virtual* time charged to the shared
+//! [`SimClock`] by the simulated WAN, and every count comes from the
+//! shared observability registry, so reruns emit byte-identical files —
+//! CI runs the bench twice and `cmp`s the artifacts.
+//!
+//! The same trace is replayed against a pre-refactor baseline stack (per
+//! level `read_box` on an identical WAN + cache, no sessions, no
+//! prefetch); acceptance asserts that the session's pan-after-zoom is
+//! strictly cheaper in virtual time on both profiles and that cold
+//! refinement fetches each planned block exactly once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nsdf_bench::{bench_dem, fast_criterion, publish_idx};
 use nsdf_compress::Codec;
-use nsdf_dashboard::{Colormap, Dashboard, RangeMode};
-use nsdf_util::Box2i;
+use nsdf_dashboard::Dashboard;
+use nsdf_idx::{Field, IdxDataset, IdxMeta, QuerySession};
+use nsdf_storage::{CachedStore, CloudStore, MemoryStore, NetworkProfile, ObjectStore};
+use nsdf_util::{DType, Obs, Raster, SimClock};
 use std::sync::Arc;
 
-fn session_dashboard() -> Dashboard {
-    let dem = bench_dem(512);
-    let ds = publish_idx(&dem, Codec::ShuffleLzss { sample_size: 4 }, 12);
+/// 256x256 f32 at 2^10 samples/block = 64 blocks per timestep.
+const SIZE: usize = 256;
+const BITS_PER_BLOCK: u32 = 10;
+const TIMESTEPS: u32 = 4;
+const WAN_SEED: u64 = 42;
+/// Coarsest level progressive refinement starts from.
+const START_LEVEL: u32 = 6;
+/// Small viewport so the overview's auto level sits well below max and
+/// zooming genuinely raises the resolution the session must refine to.
+const VIEWPORT_PX: usize = 64;
+
+fn vsecs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Seed the dataset into a plain memory store: writes are not part of the
+/// measurement, so they bypass the WAN wrapper entirely.
+fn seed_store() -> Arc<MemoryStore> {
+    let mem = Arc::new(MemoryStore::new());
+    let meta = IdxMeta::new_2d(
+        "dash",
+        SIZE as u64,
+        SIZE as u64,
+        vec![Field::new("v", DType::F32).expect("valid field")],
+        BITS_PER_BLOCK,
+        Codec::Raw,
+    )
+    .expect("valid meta")
+    .with_timesteps(TIMESTEPS)
+    .expect("timesteps");
+    let ds = IdxDataset::create(mem.clone() as Arc<dyn ObjectStore>, "dash", meta).expect("create");
+    for t in 0..TIMESTEPS {
+        let data =
+            Raster::from_fn(SIZE, SIZE, move |x, y| (y * SIZE + x) as f32 + t as f32 * 65536.0);
+        ds.write_raster("v", t, &data).expect("write raster");
+    }
+    mem
+}
+
+/// Counter/clock marks bracketing one user interaction.
+struct Marks {
+    vns: u64,
+    fetched: u64,
+    reused: u64,
+    prefetch_issued: u64,
+    prefetch_hits: u64,
+    wan_reads: u64,
+}
+
+fn marks(clock: &SimClock, obs: &Obs) -> Marks {
+    let s = obs.snapshot();
+    Marks {
+        vns: clock.now_ns(),
+        fetched: s.counter("session.blocks_fetched"),
+        reused: s.counter("session.blocks_reused"),
+        prefetch_issued: s.counter("session.prefetch_issued"),
+        prefetch_hits: s.counter("session.prefetch_hits"),
+        wan_reads: s.counter("wan.read_ops"),
+    }
+}
+
+struct Interaction {
+    name: &'static str,
+    virtual_secs: f64,
+    blocks_fetched: u64,
+    blocks_reused: u64,
+    prefetch_issued: u64,
+    prefetch_hits: u64,
+    wan_read_ops: u64,
+}
+
+impl Interaction {
+    fn end(name: &'static str, m0: &Marks, clock: &SimClock, obs: &Obs) -> Interaction {
+        let m1 = marks(clock, obs);
+        Interaction {
+            name,
+            virtual_secs: vsecs(m1.vns - m0.vns),
+            blocks_fetched: m1.fetched - m0.fetched,
+            blocks_reused: m1.reused - m0.reused,
+            prefetch_issued: m1.prefetch_issued - m0.prefetch_issued,
+            prefetch_hits: m1.prefetch_hits - m0.prefetch_hits,
+            wan_read_ops: m1.wan_reads - m0.wan_reads,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"virtual_secs\":{:.6},\"blocks_fetched\":{},\
+             \"blocks_reused\":{},\"prefetch_issued\":{},\"prefetch_hits\":{},\
+             \"wan_read_ops\":{}}}",
+            self.name,
+            self.virtual_secs,
+            self.blocks_fetched,
+            self.blocks_reused,
+            self.prefetch_issued,
+            self.prefetch_hits,
+            self.wan_read_ops,
+        )
+    }
+}
+
+/// One point of a refinement curve: the marginal cost of one more level.
+struct LevelPoint {
+    level: u32,
+    virtual_secs: f64,
+    blocks_fetched: u64,
+}
+
+impl LevelPoint {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"level\":{},\"virtual_secs\":{:.6},\"blocks_fetched\":{}}}",
+            self.level, self.virtual_secs, self.blocks_fetched
+        )
+    }
+}
+
+struct ProfileReport {
+    profile: String,
+    interactions: Vec<Interaction>,
+    overview_curve: Vec<LevelPoint>,
+    zoom_curve: Vec<LevelPoint>,
+    planner_blocks: u64,
+    cold_fetched: u64,
+    cold_wan_reads: u64,
+    session_pan_cold_secs: f64,
+    session_pan_prefetched_secs: f64,
+    baseline_pan1_secs: f64,
+    baseline_pan2_secs: f64,
+    session_step_cold_secs: f64,
+    session_step_prefetched_secs: f64,
+    baseline_step_secs: f64,
+    total_virtual_secs: f64,
+}
+
+impl ProfileReport {
+    fn to_json(&self) -> String {
+        let joined = |v: &[String]| -> String { format!("[{}]", v.join(",")) };
+        let interactions: Vec<String> = self.interactions.iter().map(|i| i.to_json()).collect();
+        let overview: Vec<String> = self.overview_curve.iter().map(|p| p.to_json()).collect();
+        let zoom: Vec<String> = self.zoom_curve.iter().map(|p| p.to_json()).collect();
+        format!(
+            "{{\"profile\":\"{}\",\"interactions\":{},\
+             \"refinement\":{{\"overview\":{},\"zoom\":{}}},\
+             \"fetch_once\":{{\"planner_blocks\":{},\"session_blocks_fetched\":{},\
+             \"wan_read_ops\":{},\"pass\":{}}},\
+             \"pan_after_zoom\":{{\"session_cold_secs\":{:.6},\
+             \"session_prefetched_secs\":{:.6},\"baseline_cold_secs\":{:.6},\
+             \"baseline_repeat_secs\":{:.6},\"saved_secs\":{:.6},\"pass\":{}}},\
+             \"playback\":{{\"session_cold_step_secs\":{:.6},\
+             \"session_prefetched_step_secs\":{:.6},\"baseline_step_secs\":{:.6}}},\
+             \"total_virtual_secs\":{:.6}}}",
+            self.profile,
+            joined(&interactions),
+            joined(&overview),
+            joined(&zoom),
+            self.planner_blocks,
+            self.cold_fetched,
+            self.cold_wan_reads,
+            self.fetch_once_pass(),
+            self.session_pan_cold_secs,
+            self.session_pan_prefetched_secs,
+            self.baseline_pan1_secs,
+            self.baseline_pan2_secs,
+            self.baseline_pan2_secs - self.session_pan_prefetched_secs,
+            self.pan_pass(),
+            self.session_step_cold_secs,
+            self.session_step_prefetched_secs,
+            self.baseline_step_secs,
+            self.total_virtual_secs,
+        )
+    }
+
+    fn fetch_once_pass(&self) -> bool {
+        self.cold_fetched == self.planner_blocks && self.cold_wan_reads == self.planner_blocks
+    }
+
+    fn pan_pass(&self) -> bool {
+        self.session_pan_prefetched_secs < self.baseline_pan2_secs
+    }
+}
+
+/// Drive the scripted interaction trace through a session-backed dashboard
+/// over `profile`, then replay the same trace against the pre-refactor
+/// per-level `read_box` baseline on an identical fresh stack.
+fn run_trace(mem: &Arc<MemoryStore>, profile: NetworkProfile) -> ProfileReport {
+    let profile_name = profile.name.clone();
+
+    // Session stack: WAN -> block cache -> dataset -> dashboard, all on one
+    // virtual clock and one observability registry.
+    let clock = SimClock::new();
+    let obs = Obs::new(clock.clone());
+    let cloud = CloudStore::new(
+        mem.clone() as Arc<dyn ObjectStore>,
+        profile.clone(),
+        clock.clone(),
+        WAN_SEED,
+    )
+    .with_obs(&obs);
+    let cached: Arc<dyn ObjectStore> =
+        Arc::new(CachedStore::new(Arc::new(cloud), 256 << 20).with_obs(&obs));
+    let ds = Arc::new(IdxDataset::open(cached, "dash").expect("open").with_obs(&obs));
+    let bounds = ds.bounds();
     let mut dash = Dashboard::new();
-    dash.add_dataset("bench", Arc::new(ds));
-    dash.select_dataset("bench").unwrap();
-    dash.set_viewport_px(256).unwrap();
-    dash.set_colormap(Colormap::Terrain);
-    dash
-}
+    dash.set_obs(&obs);
+    dash.add_dataset("conus", Arc::clone(&ds));
+    dash.select_dataset("conus").expect("select");
+    dash.set_viewport_px(VIEWPORT_PX).expect("viewport");
+    // The metadata fetch above is setup, not part of the measured trace.
+    obs.reset();
+    obs.clear_spans();
+    let trace_start = clock.now_ns();
 
-fn frame_rendering(c: &mut Criterion) {
-    let dash = session_dashboard();
-    let mut g = c.benchmark_group("dashboard/frame");
-    g.bench_function("overview", |b| b.iter(|| dash.render_frame().unwrap().1.level));
-    let mut zoomed = session_dashboard();
-    zoomed.zoom(8.0).unwrap();
-    g.bench_function("zoom_8x", |b| b.iter(|| zoomed.render_frame().unwrap().1.level));
-    g.finish();
-}
+    let mut interactions = Vec::new();
 
-fn progressive(c: &mut Criterion) {
-    let dash = session_dashboard();
-    let mut g = c.benchmark_group("dashboard/progressive");
-    g.bench_function("refine_from_level4", |b| {
-        b.iter(|| dash.render_progressive(4).unwrap().len())
-    });
-    g.finish();
-}
-
-fn analysis_tools(c: &mut Criterion) {
-    let dash = session_dashboard();
-    let mut g = c.benchmark_group("dashboard/tools");
-    g.bench_function("horizontal_slice", |b| b.iter(|| dash.horizontal_slice(0.5).unwrap().len()));
-    g.bench_function("snip_64x64", |b| {
-        b.iter(|| dash.snip(Box2i::new(100, 100, 164, 164)).unwrap().raster.len())
-    });
-    g.finish();
-}
-
-fn render_cost_by_viewport(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dashboard/viewport_px");
-    for px in [128usize, 256, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(px), &px, |b, &px| {
-            let mut dash = session_dashboard();
-            dash.set_viewport_px(px).unwrap();
-            dash.set_range(RangeMode::Manual(0.0, 4000.0)).unwrap();
-            b.iter(|| dash.render_frame().unwrap().0.rgb.len())
+    // 1. Cold progressive overview: refine the full map from START_LEVEL up
+    // to the level the viewport warrants, one frame per level.
+    let overview_level = dash.auto_level().expect("auto level");
+    assert!(START_LEVEL < overview_level, "viewport too coarse for a refinement curve");
+    let m_cold = marks(&clock, &obs);
+    let mut overview_curve = Vec::new();
+    for level in START_LEVEL..=overview_level {
+        let m = marks(&clock, &obs);
+        dash.render_at_level(level).expect("overview frame");
+        let d = Interaction::end("level", &m, &clock, &obs);
+        overview_curve.push(LevelPoint {
+            level,
+            virtual_secs: d.virtual_secs,
+            blocks_fetched: d.blocks_fetched,
         });
     }
-    g.finish();
+    let cold = Interaction::end("cold_overview_refine", &m_cold, &clock, &obs);
+
+    // Fetch-once acceptance: the whole progressive sequence resolves
+    // exactly the planner's unique block set, one WAN GET per block.
+    let planner_blocks = ds.blocks_for_query(bounds, overview_level).expect("plan").len() as u64;
+    let (cold_fetched, cold_wan_reads) = (cold.blocks_fetched, cold.wan_read_ops);
+    interactions.push(cold);
+
+    // 2. Re-render the finished overview: everything resident, zero WAN.
+    let m = marks(&clock, &obs);
+    dash.render_at_level(overview_level).expect("warm frame");
+    interactions.push(Interaction::end("warm_rerender", &m, &clock, &obs));
+
+    // 3. Zoom 4x and jump to the left edge: auto level jumps to full
+    // resolution; refine the zoomed viewport, reusing the coarse blocks
+    // the overview already delivered. Starting at the edge leaves the
+    // pans below genuinely cold territory to walk into.
+    dash.zoom(4.0).expect("zoom");
+    dash.pan(-10_000, 0).expect("jump to left edge");
+    let zoom_region = dash.region();
+    let zoom_level = dash.auto_level().expect("zoom auto level");
+    assert!(zoom_level > overview_level, "zoom must raise the auto level");
+    let m_zoom = marks(&clock, &obs);
+    let mut zoom_curve = Vec::new();
+    for level in overview_level..=zoom_level {
+        let m = marks(&clock, &obs);
+        dash.render_at_level(level).expect("zoom frame");
+        let d = Interaction::end("level", &m, &clock, &obs);
+        zoom_curve.push(LevelPoint {
+            level,
+            virtual_secs: d.virtual_secs,
+            blocks_fetched: d.blocks_fetched,
+        });
+    }
+    interactions.push(Interaction::end("zoom_refine", &m_zoom, &clock, &obs));
+
+    // 4. Pan three quarters of a viewport right: the newly exposed strip's
+    // blocks are cold; the overlap stays resident.
+    let pan_step = zoom_region.width() * 3 / 4;
+    dash.pan(pan_step, 0).expect("pan");
+    let pan1_region = dash.region();
+    let m = marks(&clock, &obs);
+    dash.render_at_level(zoom_level).expect("pan frame");
+    let pan_cold = Interaction::end("pan_cold", &m, &clock, &obs);
+    let session_pan_cold_secs = pan_cold.virtual_secs;
+    interactions.push(pan_cold);
+
+    // 5. Think-time speculation: warm the neighbor viewport in the pan
+    // direction through the session and the shared block cache.
+    let m = marks(&clock, &obs);
+    dash.prefetch_neighbors().expect("prefetch neighbors");
+    interactions.push(Interaction::end("prefetch_neighbors", &m, &clock, &obs));
+
+    // 6. Pan again in the same direction: the newly exposed strip was
+    // prefetched, so the frame renders without touching the WAN.
+    dash.pan(pan_step, 0).expect("pan again");
+    let pan2_region = dash.region();
+    let m = marks(&clock, &obs);
+    dash.render_at_level(zoom_level).expect("prefetched pan frame");
+    let pan_prefetched = Interaction::end("pan_prefetched", &m, &clock, &obs);
+    let session_pan_prefetched_secs = pan_prefetched.virtual_secs;
+    assert!(pan_prefetched.prefetch_hits > 0, "prefetched pan must consume prefetched blocks");
+    interactions.push(pan_prefetched);
+
+    // 7. Playback: each tick advances the slider and speculatively warms
+    // the *next* timestep, so after the first (cold) step every frame
+    // renders from the decoded cache.
+    dash.set_playing(true);
+    dash.set_speed(1.0).expect("speed");
+    let m = marks(&clock, &obs);
+    dash.tick(1.0).expect("tick"); // t=1, prefetches t=2
+    interactions.push(Interaction::end("tick_prefetch_next", &m, &clock, &obs));
+    let m = marks(&clock, &obs);
+    dash.render_frame().expect("playback frame t1");
+    let step_cold = Interaction::end("playback_step_cold", &m, &clock, &obs);
+    let session_step_cold_secs = step_cold.virtual_secs;
+    interactions.push(step_cold);
+    dash.tick(1.0).expect("tick"); // t=2, prefetches t=3
+    let m = marks(&clock, &obs);
+    dash.render_frame().expect("playback frame t2");
+    let step_prefetched = Interaction::end("playback_step_prefetched", &m, &clock, &obs);
+    let session_step_prefetched_secs = step_prefetched.virtual_secs;
+    assert!(step_prefetched.prefetch_hits > 0, "playback step must hit the prefetched timestep");
+    interactions.push(step_prefetched);
+    dash.set_playing(false);
+    let total_virtual_secs = vsecs(clock.now_ns() - trace_start);
+
+    // Pre-refactor baseline: the identical user trace as stateless
+    // per-level read_box calls on an identical fresh WAN + cache stack.
+    // No sessions, so no speculative prefetch — each interaction pays its
+    // cold blocks at render time.
+    let bclock = SimClock::new();
+    let bcloud =
+        CloudStore::new(mem.clone() as Arc<dyn ObjectStore>, profile, bclock.clone(), WAN_SEED);
+    let bcached: Arc<dyn ObjectStore> = Arc::new(CachedStore::new(Arc::new(bcloud), 256 << 20));
+    let bds = IdxDataset::open(bcached, "dash").expect("open baseline");
+    bds.read_progressive::<f32>("v", 0, bounds, START_LEVEL, overview_level)
+        .expect("baseline overview");
+    bds.read_progressive::<f32>("v", 0, zoom_region, overview_level, zoom_level)
+        .expect("baseline zoom");
+    let v0 = bclock.now_ns();
+    bds.read_box::<f32>("v", 0, pan1_region, zoom_level).expect("baseline pan1");
+    let baseline_pan1_secs = vsecs(bclock.now_ns() - v0);
+    let v0 = bclock.now_ns();
+    bds.read_box::<f32>("v", 0, pan2_region, zoom_level).expect("baseline pan2");
+    let baseline_pan2_secs = vsecs(bclock.now_ns() - v0);
+    bds.read_box::<f32>("v", 1, pan2_region, zoom_level).expect("baseline t1");
+    let v0 = bclock.now_ns();
+    bds.read_box::<f32>("v", 2, pan2_region, zoom_level).expect("baseline t2");
+    let baseline_step_secs = vsecs(bclock.now_ns() - v0);
+
+    ProfileReport {
+        profile: profile_name,
+        interactions,
+        overview_curve,
+        zoom_curve,
+        planner_blocks,
+        cold_fetched,
+        cold_wan_reads,
+        session_pan_cold_secs,
+        session_pan_prefetched_secs,
+        baseline_pan1_secs,
+        baseline_pan2_secs,
+        session_step_cold_secs,
+        session_step_prefetched_secs,
+        baseline_step_secs,
+        total_virtual_secs,
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = fast_criterion();
-    targets = frame_rendering, progressive, analysis_tools, render_cost_by_viewport
+fn main() {
+    // `cargo bench` passes harness flags; this target ignores them.
+    let _ = QuerySession::<f32>::new; // the engine under test, re-exported
+    let mem = seed_store();
+    let mut profiles = Vec::new();
+    for profile in [NetworkProfile::public_dataverse(), NetworkProfile::private_seal()] {
+        let rep = run_trace(&mem, profile);
+        println!(
+            "{:<17} cold overview {:.3}s ({} blocks = planner {}), \
+             pan cold {:.3}s / prefetched {:.3}s (baseline {:.3}s), \
+             playback cold {:.3}s / prefetched {:.3}s (baseline {:.3}s)",
+            rep.profile,
+            rep.interactions[0].virtual_secs,
+            rep.cold_fetched,
+            rep.planner_blocks,
+            rep.session_pan_cold_secs,
+            rep.session_pan_prefetched_secs,
+            rep.baseline_pan2_secs,
+            rep.session_step_cold_secs,
+            rep.session_step_prefetched_secs,
+            rep.baseline_step_secs,
+        );
+        assert!(
+            rep.fetch_once_pass(),
+            "{}: fetch-once violated: planner {} blocks, session fetched {}, WAN GETs {}",
+            rep.profile,
+            rep.planner_blocks,
+            rep.cold_fetched,
+            rep.cold_wan_reads,
+        );
+        assert!(
+            rep.pan_pass(),
+            "{}: session pan-after-zoom ({:.6}s) not cheaper than per-level read_box \
+             baseline ({:.6}s)",
+            rep.profile,
+            rep.session_pan_prefetched_secs,
+            rep.baseline_pan2_secs,
+        );
+        assert!(
+            rep.session_step_prefetched_secs < rep.baseline_step_secs,
+            "{}: prefetched playback step ({:.6}s) not cheaper than baseline ({:.6}s)",
+            rep.profile,
+            rep.session_step_prefetched_secs,
+            rep.baseline_step_secs,
+        );
+        profiles.push(rep.to_json());
+    }
+    let json = format!(
+        "{{\n\"bench\":\"dashboard\",\"seed\":{WAN_SEED},\
+         \"dataset\":{{\"size\":{SIZE},\"bits_per_block\":{BITS_PER_BLOCK},\
+         \"timesteps\":{TIMESTEPS},\"viewport_px\":{VIEWPORT_PX}}},\n\"profiles\":[\n{}\n]\n}}\n",
+        profiles.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dashboard.json");
+    std::fs::write(path, &json).expect("write artifact");
+    println!("wrote {path}");
 }
-criterion_main!(benches);

@@ -34,6 +34,47 @@ fn large_files(c: &mut Criterion) {
     g.finish();
 }
 
+/// Round-trip economics of the batched Chunked/Packed paths: chunk reads
+/// and writes now go through `get_many`/`put_many`, so a whole file costs
+/// a handful of WAN waves instead of one round trip per chunk.
+fn batched_round_trips(c: &mut Criterion) {
+    let mix = OpMix { files: 4, file_bytes: 2 << 20, read_passes: 1, delete: false };
+    let chunked = run_workload(
+        Mapping::Chunked { chunk_bytes: 256 << 10 },
+        NetworkProfile::private_seal(),
+        mix,
+        7,
+    )
+    .unwrap();
+    println!(
+        "fuse chunked(256k, seal): {} reads + {} writes in {} WAN waves \
+         ({:.3} virtual secs) — {:.1} requests per round trip",
+        chunked.store_read_ops,
+        chunked.store_write_ops,
+        chunked.store_waves,
+        chunked.virtual_secs,
+        (chunked.store_read_ops + chunked.store_write_ops) as f64 / chunked.store_waves as f64,
+    );
+    assert!(
+        chunked.store_waves < chunked.store_read_ops + chunked.store_write_ops,
+        "batched chunk I/O must collapse round trips"
+    );
+    let mut g = c.benchmark_group("fuse/batched_round_trips");
+    g.bench_function("chunked_256k_seal", |b| {
+        b.iter(|| {
+            run_workload(
+                Mapping::Chunked { chunk_bytes: 256 << 10 },
+                NetworkProfile::private_seal(),
+                mix,
+                7,
+            )
+            .unwrap()
+            .store_waves
+        })
+    });
+    g.finish();
+}
+
 fn chunk_size_ablation(c: &mut Criterion) {
     let mix = OpMix { files: 2, file_bytes: 4 << 20, read_passes: 1, delete: false };
     let mut g = c.benchmark_group("fuse/chunk_bytes");
@@ -51,6 +92,6 @@ fn chunk_size_ablation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = fast_criterion();
-    targets = small_files, large_files, chunk_size_ablation
+    targets = small_files, large_files, batched_round_trips, chunk_size_ablation
 }
 criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! from `nsdf-storage`, sharing a single [`SimClock`] so cross-service
 //! workflows report coherent end-to-end times.
 
+use nsdf_idx::{IdxDataset, QuerySession};
 use nsdf_storage::{
     BreakerPolicy, BreakerStore, CachedStore, CloudStore, FaultPlan, FaultStore, HedgePolicy,
     IntegrityStore, MemoryStore, NetworkProfile, ObjectStore, RetryPolicy, RetryStore,
@@ -261,6 +262,30 @@ impl NsdfClient {
     pub fn transfer(&self, from: &str, key: &str, to: &str, to_key: &str) -> Result<u64> {
         let data = self.download(from, key)?;
         self.upload(to, to_key, &data)
+    }
+
+    /// Open an IDX dataset stored under `base` at an endpoint, wired into
+    /// the client's registry under the endpoint's scope
+    /// (`seal.idx.fetch_vns`, ...) on the shared clock.
+    pub fn open_dataset(&self, endpoint: &str, base: &str) -> Result<Arc<IdxDataset>> {
+        let store = self.store(endpoint)?;
+        Ok(Arc::new(IdxDataset::open(store, base)?.with_obs(&self.obs.scoped(endpoint))))
+    }
+
+    /// Open an interactive [`QuerySession`] on `field` of the dataset at
+    /// `endpoint`/`base` — the stateful progressive-query engine one viewer
+    /// owns (level-delta refinement, cancellation, prefetch). Session
+    /// counters land under the endpoint's scope (`seal.session.*`), where
+    /// `session.fetch_vns` reconciles exactly with `wan.busy_vns` for cold
+    /// reads.
+    pub fn open_session(
+        &self,
+        endpoint: &str,
+        base: &str,
+        field: &str,
+    ) -> Result<QuerySession<f32>> {
+        let ds = self.open_dataset(endpoint, base)?;
+        Ok(QuerySession::<f32>::new(ds, field)?.with_obs(&self.obs.scoped(endpoint)))
     }
 }
 

@@ -13,9 +13,11 @@
 
 use crate::colormap::Colormap;
 use crate::render::{render, Image, RangeMode};
-use nsdf_idx::{IdxDataset, QueryStats};
+use nsdf_idx::{CancelToken, IdxDataset, QuerySession, QueryStats, SessionStats};
 use nsdf_util::obs::Obs;
 use nsdf_util::{Box2i, NsdfError, Result};
+use parking_lot::Mutex;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -67,6 +69,10 @@ pub struct Snippet {
 /// The dashboard.
 pub struct Dashboard {
     datasets: BTreeMap<String, Arc<IdxDataset>>,
+    /// One stateful [`QuerySession`] per registered dataset, created
+    /// lazily — every render path goes through a session so pans, slices,
+    /// playback, and progressive refinement share one gather buffer.
+    sessions: Mutex<BTreeMap<String, QuerySession<f32>>>,
     selected: Option<String>,
     field: Option<String>,
     time: u32,
@@ -79,13 +85,17 @@ pub struct Dashboard {
     range: RangeMode,
     playback: Playback,
     obs: Obs,
+    /// The unscoped registry sessions report into (`session.*` counters).
+    obs_root: Obs,
 }
 
 impl Dashboard {
     /// An empty dashboard with a `512 px` viewport, viridis, dynamic range.
     pub fn new() -> Dashboard {
+        let base = Obs::default();
         Dashboard {
             datasets: BTreeMap::new(),
+            sessions: Mutex::new(BTreeMap::new()),
             selected: None,
             field: None,
             time: 0,
@@ -95,15 +105,21 @@ impl Dashboard {
             colormap: Colormap::Viridis,
             range: RangeMode::Dynamic,
             playback: Playback::default(),
-            obs: Obs::default().scoped("dashboard"),
+            obs: base.scoped("dashboard"),
+            obs_root: base,
         }
     }
 
     /// Report into a shared observability registry. Pass the same registry
     /// the datasets/stores were built with so the status view's span tree
-    /// shows rendering, IDX, and storage activity on one timeline.
+    /// shows rendering, IDX, and storage activity on one timeline, and the
+    /// sessions' `session.*` counters reconcile with the WAN counters.
+    /// Existing sessions are dropped so they re-register on the new
+    /// registry.
     pub fn set_obs(&mut self, obs: &Obs) {
         self.obs = obs.scoped("dashboard");
+        self.obs_root = obs.clone();
+        self.sessions.lock().clear();
     }
 
     /// The dashboard's observability handle (scope `dashboard`).
@@ -140,6 +156,28 @@ impl Dashboard {
         let name =
             self.selected.as_ref().ok_or_else(|| NsdfError::invalid("no dataset selected"))?;
         Ok(&self.datasets[name])
+    }
+
+    /// Run `f` against the selected dataset's session, creating it lazily
+    /// and syncing its field / time / viewport to the dashboard's current
+    /// state first (a genuine change interrupts that session's in-flight
+    /// refinement, exactly like a user interaction would).
+    fn with_session<R>(&self, f: impl FnOnce(&mut QuerySession<f32>) -> Result<R>) -> Result<R> {
+        let name =
+            self.selected.as_ref().ok_or_else(|| NsdfError::invalid("no dataset selected"))?;
+        let ds = &self.datasets[name];
+        let field = self.field.as_ref().expect("field set on select");
+        let mut sessions = self.sessions.lock();
+        let session = match sessions.entry(name.clone()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                v.insert(QuerySession::<f32>::new(Arc::clone(ds), field)?.with_obs(&self.obs_root))
+            }
+        };
+        session.set_field(field)?;
+        session.set_time(self.time)?;
+        session.set_view(self.region, 0, ds.max_level())?;
+        f(session)
     }
 
     // ---- field dropdown ---------------------------------------------------
@@ -199,6 +237,10 @@ impl Dashboard {
 
     /// Advance playback by `dt_secs`; wraps around the time range.
     /// Returns the (possibly unchanged) current timestep.
+    ///
+    /// While playing, advancing the timestep also speculatively prefetches
+    /// the step after it (best effort) so steady playback renders from
+    /// warm caches.
     pub fn tick(&mut self, dt_secs: f64) -> Result<u32> {
         if self.playback.playing && dt_secs > 0.0 {
             let n = self.timesteps()? as f64;
@@ -207,9 +249,42 @@ impl Dashboard {
             if steps >= 1.0 {
                 self.playback.accum -= steps;
                 self.time = ((self.time as f64 + steps) % n) as u32;
+                let _ = self.prefetch_next_time();
             }
         }
         Ok(self.time)
+    }
+
+    /// Speculatively warm the next timestep of the current viewport at the
+    /// level playback would render it. Returns blocks resolved.
+    pub fn prefetch_next_time(&self) -> Result<u64> {
+        let n = self.timesteps()?;
+        if n <= 1 {
+            return Ok(0);
+        }
+        let next = (self.time + 1) % n;
+        let level = self.min_renderable_level(self.auto_level()?)?;
+        self.with_session(|s| s.prefetch_time(next, level))
+    }
+
+    /// Speculatively warm the neighbor viewport in the last pan direction
+    /// at the level it would render at. Returns blocks resolved (0 when no
+    /// pan has happened yet).
+    pub fn prefetch_neighbors(&self) -> Result<u64> {
+        let level = self.min_renderable_level(self.auto_level()?)?;
+        self.with_session(|s| s.prefetch_pan_neighbor(level))
+    }
+
+    /// The cancel token guarding the selected dataset's in-flight session
+    /// work — cancel it (or arm a virtual-clock deadline) to abandon
+    /// refinement at the next fetch-wave boundary.
+    pub fn cancel_token(&self) -> Result<CancelToken> {
+        self.with_session(|s| Ok(s.cancel_token()))
+    }
+
+    /// Cumulative session accounting for the selected dataset.
+    pub fn session_stats(&self) -> Result<SessionStats> {
+        self.with_session(|s| Ok(s.stats()))
     }
 
     // ---- viewport: zoom & pan ----------------------------------------------
@@ -340,23 +415,25 @@ impl Dashboard {
     }
 
     /// Render the current view at an explicit level (clamped up to the
-    /// first renderable level for the viewport).
+    /// first renderable level for the viewport) through the dataset's
+    /// session: blocks already delivered by coarser frames or pans of the
+    /// same view are reused instead of refetched.
     pub fn render_at_level(&self, level: u32) -> Result<(Image, FrameInfo)> {
         let _frame_span = self.obs.span("frame");
         let level = self.min_renderable_level(level)?;
-        let ds = self.current()?;
-        let field = self.field.as_ref().expect("field set on select");
-        let (raster, stats) = ds.read_box::<f32>(field, self.time, self.region, level)?;
-        let (rw, rh) = raster.shape();
-        let img = render(&raster, self.colormap, self.range)?;
+        let frame = self.with_session(|s| s.frame_at(level))?;
+        let (rw, rh) = frame.raster.shape();
+        let img = render(&frame.raster, self.colormap, self.range)?;
         self.obs.counter("frames").inc();
         self.obs.counter("pixels_rendered").add((rw * rh) as u64);
         self.obs.gauge("last_level").set(level as f64);
-        Ok((img, FrameInfo { level, raster_width: rw, raster_height: rh, stats }))
+        Ok((img, FrameInfo { level, raster_width: rw, raster_height: rh, stats: frame.stats }))
     }
 
     /// Progressive refinement of the current view: frames from `start_level`
-    /// up to the auto level — what a user sees while data streams in.
+    /// up to the auto level — what a user sees while data streams in. The
+    /// session's level-delta planning fetches and decodes each block at
+    /// most once across the whole sequence.
     pub fn render_progressive(&self, start_level: u32) -> Result<Vec<(Image, FrameInfo)>> {
         let end = self.auto_level()?;
         let start = start_level.min(end);
@@ -371,10 +448,9 @@ impl Dashboard {
         if !(0.0..=1.0).contains(&fy) {
             return Err(NsdfError::invalid("slice fraction must be in [0, 1]"));
         }
-        let ds = self.current()?;
-        let field = self.field.as_ref().expect("field set on select");
         let level = self.min_renderable_level(self.auto_level()?)?;
-        let (raster, _) = ds.read_box::<f32>(field, self.time, self.region, level)?;
+        let frame = self.with_session(|s| s.frame_at(level))?;
+        let raster = frame.raster;
         let y = ((raster.height() - 1) as f64 * fy).round() as usize;
         Ok(raster.row(y).iter().map(|&v| v as f64).collect())
     }
@@ -384,22 +460,24 @@ impl Dashboard {
         if !(0.0..=1.0).contains(&fx) {
             return Err(NsdfError::invalid("slice fraction must be in [0, 1]"));
         }
-        let ds = self.current()?;
-        let field = self.field.as_ref().expect("field set on select");
         let level = self.min_renderable_level(self.auto_level()?)?;
-        let (raster, _) = ds.read_box::<f32>(field, self.time, self.region, level)?;
+        let frame = self.with_session(|s| s.frame_at(level))?;
+        let raster = frame.raster;
         let x = ((raster.width() - 1) as f64 * fx).round() as usize;
         Ok((0..raster.height()).map(|y| raster.get(x, y) as f64).collect())
     }
 
-    /// Snip a rectangle (in dataset coordinates) at full resolution.
+    /// Snip a rectangle (in dataset coordinates) at full resolution. Goes
+    /// through the session's one-shot read path so blocks the viewport
+    /// already refined are reused.
     pub fn snip(&self, region: Box2i) -> Result<Snippet> {
         let ds = self.current()?;
         let field = self.field.as_ref().expect("field set on select");
+        let max_level = ds.max_level();
         let region = region
             .intersect(&ds.bounds())
             .ok_or_else(|| NsdfError::invalid("snip region outside dataset"))?;
-        let (raster, _) = ds.read_box::<f32>(field, self.time, region, ds.max_level())?;
+        let raster = self.with_session(|s| s.read_region(region, max_level))?.raster;
         let name = self.selected.as_deref().unwrap_or("dataset");
         let python_script = format!(
             concat!(
@@ -451,6 +529,25 @@ impl Dashboard {
             let count: u64 = h.counts.iter().sum();
             let _ = writeln!(out, "{name}: count {count} sum {:.6}s", h.sum);
         }
+        out.push_str("\n-- sessions --\n");
+        let sessions = self.sessions.lock();
+        if sessions.is_empty() {
+            out.push_str("(no active sessions)\n");
+        }
+        for (name, s) in sessions.iter() {
+            let st = s.stats();
+            let _ = writeln!(
+                out,
+                "{name}: frames {} reused {} fetched {} cancelled {} prefetch hits {}/{} issued",
+                st.frames,
+                st.blocks_reused,
+                st.blocks_fetched,
+                st.cancelled,
+                st.prefetch_hits,
+                st.prefetch_issued,
+            );
+        }
+        drop(sessions);
         out.push_str("\n-- spans --\n");
         out.push_str(&self.obs.render_spans());
         out

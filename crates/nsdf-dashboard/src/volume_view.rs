@@ -8,13 +8,22 @@
 
 use crate::colormap::Colormap;
 use crate::render::{render, Image, RangeMode};
-use nsdf_idx::{IdxVolume, QueryStats};
+use nsdf_idx::{IdxVolume, QueryStats, SessionStats, VolumeSliceSession};
+use nsdf_util::obs::Obs;
 use nsdf_util::{NsdfError, Result};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Interactive slice view over an [`IdxVolume`].
+///
+/// Slices are read through a lazily created [`VolumeSliceSession`]: the
+/// coarse blocks adjacent z-planes share stay resident, so dragging the
+/// slider (or a flythrough sweep) refetches only what each new plane
+/// actually adds.
 pub struct VolumeExplorer {
     volume: Arc<IdxVolume>,
+    session: Mutex<Option<VolumeSliceSession<f32>>>,
+    obs_root: Obs,
     field: String,
     time: u32,
     z: i64,
@@ -32,6 +41,8 @@ impl VolumeExplorer {
         let level = volume.max_level();
         VolumeExplorer {
             volume,
+            session: Mutex::new(None),
+            obs_root: Obs::default(),
             field,
             time: 0,
             z: depth / 2,
@@ -39,6 +50,37 @@ impl VolumeExplorer {
             colormap: Colormap::Viridis,
             range: RangeMode::Dynamic,
         }
+    }
+
+    /// Report the explorer's session counters (`session.*`) into a shared
+    /// registry. Drops any existing session so it re-registers.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs_root = obs.clone();
+        *self.session.lock() = None;
+    }
+
+    /// Cumulative accounting of the slice session, if one exists yet.
+    pub fn session_stats(&self) -> Option<SessionStats> {
+        self.session.lock().as_ref().map(|s| s.stats())
+    }
+
+    /// Run `f` against the slice session, creating it lazily and syncing
+    /// field and timestep first.
+    fn with_session<R>(
+        &self,
+        f: impl FnOnce(&mut VolumeSliceSession<f32>) -> Result<R>,
+    ) -> Result<R> {
+        let mut guard = self.session.lock();
+        if guard.is_none() {
+            *guard = Some(
+                VolumeSliceSession::<f32>::new(Arc::clone(&self.volume), &self.field)?
+                    .with_obs(&self.obs_root),
+            );
+        }
+        let session = guard.as_mut().expect("session just created");
+        session.set_field(&self.field)?;
+        session.set_time(self.time)?;
+        f(session)
     }
 
     /// Depth of the volume (number of z-slices).
@@ -96,17 +138,19 @@ impl VolumeExplorer {
         Ok(())
     }
 
-    /// Render the active slice.
+    /// Render the active slice through the slice session.
     pub fn render_slice(&self) -> Result<(Image, QueryStats)> {
-        let (raster, stats) =
-            self.volume.read_slice_z::<f32>(&self.field, self.time, self.z, self.level)?;
+        let (raster, stats) = self.with_session(|s| s.slice_z(self.z, self.level))?;
+        let raster =
+            raster.ok_or_else(|| NsdfError::invalid("slice fetch cancelled mid-flight"))?;
         let img = render(&raster, self.colormap, self.range)?;
         Ok((img, stats))
     }
 
     /// Flythrough: render `count` slices evenly spaced through the volume
     /// (the playback walkthrough along z instead of time). Returns the
-    /// slice depths with their images.
+    /// slice depths with their images. All planes share one session, so
+    /// blocks spanning several z-planes are fetched once for the sweep.
     pub fn flythrough(&self, count: usize) -> Result<Vec<(i64, Image)>> {
         if count == 0 {
             return Err(NsdfError::invalid("flythrough needs at least one slice"));
@@ -116,8 +160,9 @@ impl VolumeExplorer {
         for i in 0..count {
             let z =
                 if count == 1 { depth / 2 } else { i as i64 * (depth - 1) / (count as i64 - 1) };
-            let (raster, _) =
-                self.volume.read_slice_z::<f32>(&self.field, self.time, z, self.level)?;
+            let (raster, _) = self.with_session(|s| s.slice_z(z, self.level))?;
+            let raster =
+                raster.ok_or_else(|| NsdfError::invalid("slice fetch cancelled mid-flight"))?;
             out.push((z, render(&raster, self.colormap, self.range)?));
         }
         Ok(out)

@@ -95,8 +95,14 @@ impl VirtualFs {
                 let chunks = data.chunks(chunk_bytes.max(1)).collect::<Vec<_>>();
                 // Replace semantics: drop stale chunks from a previous version.
                 let _ = self.delete_chunked(path);
-                for (i, c) in chunks.iter().enumerate() {
-                    self.store.put(&self.chunk_key(path, i), c)?;
+                // One batched round trip for all chunks instead of a put
+                // per chunk (a WAN store overlaps these across streams).
+                let keys: Vec<String> =
+                    (0..chunks.len()).map(|i| self.chunk_key(path, i)).collect();
+                let items: Vec<(&str, &[u8])> =
+                    keys.iter().map(String::as_str).zip(chunks.iter().copied()).collect();
+                for r in self.store.put_many(&items) {
+                    r?;
                 }
                 let manifest = format!(
                     "size={}\nchunks={}\nchunk_bytes={}\n",
@@ -131,9 +137,12 @@ impl VirtualFs {
             Mapping::OneToOne => self.store.get(&self.o_key(path)),
             Mapping::Chunked { .. } => {
                 let (size, chunks) = self.read_manifest(path)?;
+                // Fetch every chunk in one batched round trip.
+                let keys: Vec<String> = (0..chunks).map(|i| self.chunk_key(path, i)).collect();
+                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
                 let mut out = Vec::with_capacity(size as usize);
-                for i in 0..chunks {
-                    out.extend_from_slice(&self.store.get(&self.chunk_key(path, i))?);
+                for r in self.store.get_many(&key_refs) {
+                    out.extend_from_slice(&r?);
                 }
                 if out.len() as u64 != size {
                     return Err(NsdfError::corrupt(format!(
@@ -379,14 +388,34 @@ impl VirtualFs {
             .collect();
         let entries: Vec<(String, PackLoc)> =
             st.index.iter().map(|(p, l)| (p.clone(), *l)).collect();
+        // One batched fetch of every distinct live pack, then slice the
+        // entries out in memory — instead of a get_range round trip per
+        // live file.
+        let live_packs: Vec<u64> = {
+            let mut p: Vec<u64> = entries.iter().map(|(_, l)| l.pack).collect();
+            p.sort_unstable();
+            p.dedup();
+            p
+        };
+        let pack_keys: Vec<String> = live_packs.iter().map(|&n| self.pack_key(n)).collect();
+        let pack_key_refs: Vec<&str> = pack_keys.iter().map(String::as_str).collect();
+        let mut pack_data: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (&n, r) in live_packs.iter().zip(self.store.get_many(&pack_key_refs)) {
+            pack_data.insert(n, r?);
+        }
         let base = st.next_pack;
         let mut buffer = Vec::new();
         let mut pack_no = base;
         let mut new_index = std::collections::BTreeMap::new();
         for (path, loc) in entries {
-            let data = self.store.get_range(&self.pack_key(loc.pack), loc.offset, loc.len)?;
+            let pack = pack_data
+                .get(&loc.pack)
+                .ok_or_else(|| NsdfError::corrupt(format!("pack {} missing", loc.pack)))?;
+            let data = pack.get(loc.offset as usize..(loc.offset + loc.len) as usize).ok_or_else(
+                || NsdfError::corrupt(format!("file {path:?} outside pack {}", loc.pack)),
+            )?;
             let offset = buffer.len() as u64;
-            buffer.extend_from_slice(&data);
+            buffer.extend_from_slice(data);
             new_index.insert(path, PackLoc { pack: pack_no, offset, len: loc.len });
             if buffer.len() >= pack_target_bytes {
                 self.store.put(&self.pack_key(pack_no), &buffer)?;

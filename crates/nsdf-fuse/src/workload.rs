@@ -4,7 +4,7 @@
 use crate::mapping::Mapping;
 use crate::vfs::VirtualFs;
 use nsdf_storage::{CloudStore, MemoryStore, NetworkProfile, ObjectStore};
-use nsdf_util::{Result, SimClock};
+use nsdf_util::{Obs, Result, SimClock};
 use std::sync::Arc;
 
 /// A create/read/delete workload over `files` files of `file_bytes` each.
@@ -45,6 +45,10 @@ pub struct FuseBenchResult {
     pub store_read_ops: u64,
     /// Object-store write requests.
     pub store_write_ops: u64,
+    /// WAN round trips those requests cost: batched `get_many`/`put_many`
+    /// calls ride the profile's parallel streams, so one wave can carry
+    /// many requests.
+    pub store_waves: u64,
     /// Total virtual seconds the workload took.
     pub virtual_secs: f64,
 }
@@ -58,12 +62,11 @@ pub fn run_workload(
     seed: u64,
 ) -> Result<FuseBenchResult> {
     let clock = SimClock::new();
-    let cloud = Arc::new(CloudStore::new(
-        Arc::new(MemoryStore::new()),
-        profile.clone(),
-        clock.clone(),
-        seed,
-    ));
+    let obs = Obs::new(clock.clone());
+    let cloud = Arc::new(
+        CloudStore::new(Arc::new(MemoryStore::new()), profile.clone(), clock.clone(), seed)
+            .with_obs(&obs),
+    );
     let fs = VirtualFs::new(cloud.clone() as Arc<dyn ObjectStore>, "bench", mapping)?;
 
     let payload: Vec<u8> = (0..mix.file_bytes).map(|i| (i % 251) as u8).collect();
@@ -97,6 +100,7 @@ pub fn run_workload(
         file_ops,
         store_read_ops: log.read_ops,
         store_write_ops: log.write_ops,
+        store_waves: obs.snapshot().counter("wan.waves"),
         virtual_secs: clock.now_secs() - t0,
     })
 }
@@ -131,6 +135,28 @@ mod tests {
             run_workload(Mapping::Chunked { chunk_bytes: 1 << 20 }, profile, mix, 2).unwrap();
         assert!(chunked.store_write_ops > o2o.store_write_ops);
         assert_eq!(o2o.file_ops, chunked.file_ops);
+    }
+
+    #[test]
+    fn chunked_batches_collapse_round_trips() {
+        let mix = OpMix { files: 2, file_bytes: 1 << 20, read_passes: 1, delete: false };
+        let r = run_workload(
+            Mapping::Chunked { chunk_bytes: 128 << 10 },
+            NetworkProfile::private_seal(),
+            mix,
+            4,
+        )
+        .unwrap();
+        // 2 files x 8 chunks each: batched get_many/put_many ride the
+        // profile's parallel streams, so round trips stay well below the
+        // per-chunk request count.
+        assert!(
+            r.store_waves < r.store_read_ops + r.store_write_ops,
+            "waves {} vs ops {}+{}",
+            r.store_waves,
+            r.store_read_ops,
+            r.store_write_ops
+        );
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl QueryStats {
 /// Identity of one decoded block: (field index, timestep, block index).
 type BlockKey = (usize, u32, u64);
 /// Decoded raw payload, or `None` for a block known missing from storage.
-type DecodedEntry = Option<Arc<Vec<u8>>>;
+pub(crate) type DecodedEntry = Option<Arc<Vec<u8>>>;
 
 /// Byte-budgeted FIFO cache of decoded (raw, uncompressed) block payloads,
 /// keyed by `(field, time, block)`. `None` records a block known to be
@@ -209,7 +209,7 @@ const DEFAULT_DECODED_CACHE_BYTES: u64 = 256 << 20;
 
 /// Aligned origin, per-axis strides, and output dims of a box query at one
 /// resolution level: `(x0, y0, sx, sy, out_w, out_h)`.
-type LevelLayout = (i64, i64, i64, i64, usize, usize);
+pub(crate) type LevelLayout = (i64, i64, i64, i64, usize, usize);
 
 /// Registry handles for one `IdxDataset`, under the `idx` scope.
 ///
@@ -401,7 +401,7 @@ impl IdxDataset {
         format!("{}/f{field_idx}/t{time}/b{block:08}.bin", self.base)
     }
 
-    fn check_time(&self, time: u32) -> Result<()> {
+    pub(crate) fn check_time(&self, time: u32) -> Result<()> {
         if time >= self.meta.timesteps {
             return Err(NsdfError::invalid(format!(
                 "timestep {time} out of range (dataset has {})",
@@ -409,6 +409,50 @@ impl IdxDataset {
             )));
         }
         Ok(())
+    }
+
+    /// The object store this dataset reads and writes through — sessions
+    /// drive their own batched fetches against it.
+    pub(crate) fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
+    /// Partition `blocks` against the decoded-block cache: entries already
+    /// decoded (including known-missing ones), blocks still to fetch, and
+    /// the write epoch observed — pass it back to
+    /// [`IdxDataset::decoded_install`] so payloads decoded while a write
+    /// landed are never installed.
+    pub(crate) fn decoded_partition(
+        &self,
+        field_idx: usize,
+        time: u32,
+        blocks: &[u64],
+    ) -> (Vec<(u64, DecodedEntry)>, Vec<u64>, u64) {
+        let cache = self.decoded.lock();
+        let mut hits = Vec::new();
+        let mut misses = Vec::new();
+        for &block in blocks {
+            match cache.get(&(field_idx, time, block)) {
+                Some(entry) => hits.push((block, entry)),
+                None => misses.push(block),
+            }
+        }
+        (hits, misses, cache.write_epoch)
+    }
+
+    /// Install decoded payloads into the shared cache, unless a write
+    /// invalidated the cache since `epoch` was observed.
+    pub(crate) fn decoded_install<I>(&self, field_idx: usize, time: u32, epoch: u64, items: I)
+    where
+        I: IntoIterator<Item = (u64, DecodedEntry)>,
+    {
+        let mut cache = self.decoded.lock();
+        if cache.write_epoch != epoch {
+            return;
+        }
+        for (block, entry) in items {
+            cache.insert((field_idx, time, block), entry);
+        }
     }
 
     /// Write a full-resolution raster into `field` at `time`.
@@ -715,7 +759,7 @@ impl IdxDataset {
     /// Output layout of a box query at `level`: aligned origin `(x0, y0)`,
     /// per-axis strides `(sx, sy)`, and output dimensions. `None` when the
     /// region contains no samples on that level's grid.
-    fn level_layout(&self, region: Box2i, level: u32) -> Result<Option<LevelLayout>> {
+    pub(crate) fn level_layout(&self, region: Box2i, level: u32) -> Result<Option<LevelLayout>> {
         let strides = self.curve.mask().level_strides(level)?;
         // Degenerate axes (e.g. a 100x1 dataset) own no mask bits and report
         // a single-axis stride vector; their stride is 1.

@@ -14,7 +14,9 @@
 //! * [`dataset`] — [`IdxDataset`] with write, box query, progressive read;
 //! * [`layout`] — HZ vs Z vs row-major block-touch ablation baselines;
 //! * [`volume`] — 3-D volumetric datasets ([`IdxVolume`]) with sub-box
-//!   queries and z-slice extraction.
+//!   queries and z-slice extraction;
+//! * [`session`] — stateful interactive [`QuerySession`]s with level-delta
+//!   planning, cancellation, and speculative prefetch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +24,14 @@
 pub mod dataset;
 pub mod layout;
 pub mod meta;
+pub mod session;
 pub mod volume;
 
 pub use dataset::{IdxDataset, QueryStats, WriteStats};
 pub use layout::{blocks_touched, Layout};
 pub use meta::{Field, IdxMeta, IDX_VERSION};
+pub use session::{
+    CancelToken, QuerySession, RefineOutcome, RefineRun, SessionFrame, SessionStats,
+    VolumeSliceSession,
+};
 pub use volume::IdxVolume;

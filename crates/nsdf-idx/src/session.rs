@@ -1,0 +1,1098 @@
+//! Stateful interactive query sessions.
+//!
+//! A [`QuerySession`] is the progressive-query engine one viewer (a
+//! dashboard viewport, a notebook cell, a FUSE reader) owns for the
+//! lifetime of its interaction with a dataset. Where a bare
+//! [`IdxDataset::read_box`] starts from zero every call, a session:
+//!
+//! * plans **level deltas** — stepping refinement from level `L-1` to `L`
+//!   enumerates only the blocks newly required at `L` (via
+//!   [`nsdf_hz::HzCurve::blocks_at_level`]) and subtracts blocks already
+//!   resident, so a full refinement sequence fetches and decodes each
+//!   block at most once;
+//! * keeps a per-session **gather buffer** of typed decoded blocks that
+//!   upgrades in place as finer samples land — pans and slice probes over
+//!   the same data reuse it wholesale;
+//! * honors a [`CancelToken`] checked between `get_many` waves, so a new
+//!   interaction (pan / zoom / time change) abandons in-flight refinement
+//!   deterministically on the virtual clock;
+//! * issues **speculative prefetch** (neighbor viewport in the last pan
+//!   direction, next timestep during playback) through the same store
+//!   path, warming the shared caches so the next interaction is cheap.
+//!
+//! Sessions report `session.{frames,blocks_reused,blocks_fetched,
+//! cancelled,prefetch_issued,prefetch_hits,fetch_vns,prefetch_vns}`
+//! counters and `session.fetch` spans into the registry passed to
+//! [`QuerySession::with_obs`]; on a shared clock the `fetch_vns` counter
+//! reconciles exactly with the store's `wan.busy_vns`.
+
+use crate::dataset::{DecodedEntry, IdxDataset, QueryStats};
+use crate::volume::IdxVolume;
+use nsdf_hz::hz_from_z;
+use nsdf_util::obs::{Counter, Obs};
+use nsdf_util::par::{num_threads, try_par_map};
+use nsdf_util::{
+    bytes_to_samples, Box2i, Box3i, NsdfError, Raster, Result, Sample, SimClock, Volume,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default byte budget of a session's resident typed-block buffer.
+const DEFAULT_RESIDENT_BUDGET: u64 = 256 << 20;
+
+#[derive(Debug)]
+struct CancelInner {
+    flag: AtomicBool,
+    /// Virtual-clock deadline in nanoseconds; `u64::MAX` means none.
+    deadline_vns: AtomicU64,
+}
+
+/// A shareable cancellation handle checked between fetch waves.
+///
+/// Cancellation is deterministic two ways: [`CancelToken::cancel`] flips a
+/// flag (the "user clicked something else" path), and
+/// [`CancelToken::cancel_at`] arms a virtual-clock deadline — because all
+/// WAN cost is charged on the shared [`SimClock`], the same seed abandons
+/// refinement at exactly the same wave every run.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline_vns: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Cancel immediately (takes effect at the next wave boundary).
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Arm a virtual-clock deadline: the token reads as cancelled once the
+    /// session's clock reaches `deadline_vns` nanoseconds.
+    pub fn cancel_at(&self, deadline_vns: u64) {
+        self.inner.deadline_vns.store(deadline_vns, Ordering::SeqCst);
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<u64> {
+        let d = self.inner.deadline_vns.load(Ordering::SeqCst);
+        (d != u64::MAX).then_some(d)
+    }
+
+    /// Whether the token is cancelled as of virtual time `now_vns`.
+    pub fn is_cancelled_at(&self, now_vns: u64) -> bool {
+        self.inner.flag.load(Ordering::SeqCst)
+            || now_vns >= self.inner.deadline_vns.load(Ordering::SeqCst)
+    }
+}
+
+/// Cumulative per-session accounting (mirrored into `session.*` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Completed frames gathered from the resident buffer.
+    pub frames: u64,
+    /// Needed blocks served from the resident buffer without any resolve.
+    pub blocks_reused: u64,
+    /// Blocks the session resolved (store fetch or decoded-cache hit) —
+    /// over a cold refinement this equals the planner's unique block count.
+    pub blocks_fetched: u64,
+    /// Refinement steps abandoned by the cancel token mid-fetch.
+    pub cancelled: u64,
+    /// Blocks resolved speculatively by prefetch calls.
+    pub prefetch_issued: u64,
+    /// Prefetched blocks a later frame actually needed.
+    pub prefetch_hits: u64,
+    /// Virtual nanoseconds the clock advanced inside demand fetch waves.
+    pub fetch_vns: u64,
+    /// Virtual nanoseconds the clock advanced inside prefetch waves.
+    pub prefetch_vns: u64,
+}
+
+/// Registry handles for one session, under the `session` scope.
+struct SessionMetrics {
+    obs: Obs,
+    frames: Counter,
+    blocks_reused: Counter,
+    blocks_fetched: Counter,
+    cancelled: Counter,
+    prefetch_issued: Counter,
+    prefetch_hits: Counter,
+    fetch_vns: Counter,
+    prefetch_vns: Counter,
+}
+
+impl SessionMetrics {
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("session");
+        SessionMetrics {
+            frames: obs.counter("frames"),
+            blocks_reused: obs.counter("blocks_reused"),
+            blocks_fetched: obs.counter("blocks_fetched"),
+            cancelled: obs.counter("cancelled"),
+            prefetch_issued: obs.counter("prefetch_issued"),
+            prefetch_hits: obs.counter("prefetch_hits"),
+            fetch_vns: obs.counter("fetch_vns"),
+            prefetch_vns: obs.counter("prefetch_vns"),
+            obs,
+        }
+    }
+}
+
+/// One gathered frame of a session.
+#[derive(Debug, Clone)]
+pub struct SessionFrame<T: Sample> {
+    /// Resolution level the frame was gathered at.
+    pub level: u32,
+    /// The gathered raster (missing blocks read as zeros, like `read_box`).
+    pub raster: Raster<T>,
+    /// Query accounting compatible with the non-session read path.
+    pub stats: QueryStats,
+    /// Needed blocks already resident before this frame.
+    pub blocks_reused: u64,
+    /// Blocks resolved for this frame (store fetch or decoded-cache hit).
+    pub blocks_fetched: u64,
+    /// Needed blocks that arrived via an earlier speculative prefetch.
+    pub prefetch_hits: u64,
+    /// True when the cancel token fired mid-fetch: the raster holds the
+    /// partially upgraded state of the resident buffer.
+    pub cancelled: bool,
+}
+
+/// Outcome of one [`QuerySession::refine_step`].
+#[derive(Debug)]
+pub enum RefineOutcome<T: Sample> {
+    /// The next level completed.
+    Frame(SessionFrame<T>),
+    /// The step was abandoned mid-fetch; the frame holds the partial state
+    /// and the same level is retried by the next step.
+    Cancelled(SessionFrame<T>),
+    /// The target level has been delivered; nothing left to refine.
+    Done,
+}
+
+/// Result of running [`QuerySession::refine`] to completion or cancellation.
+#[derive(Debug)]
+pub struct RefineRun<T: Sample> {
+    /// Frames delivered, coarse to fine (a trailing cancelled frame holds
+    /// the partial state of the abandoned level).
+    pub frames: Vec<SessionFrame<T>>,
+    /// The level abandoned mid-fetch, if the run was cancelled.
+    pub cancelled_at: Option<u32>,
+}
+
+/// Per-frame resolve accounting threaded through the fetch path.
+#[derive(Debug, Default)]
+struct FrameAcct {
+    reused: u64,
+    fetched: u64,
+    prefetch_hits: u64,
+}
+
+/// A stateful progressive-query session over a 2-D [`IdxDataset`].
+///
+/// See the [module docs](crate::session) for the full behavioural model.
+pub struct QuerySession<T: Sample> {
+    ds: Arc<IdxDataset>,
+    field: String,
+    field_idx: usize,
+    time: u32,
+    region: Box2i,
+    start_level: u32,
+    target_level: u32,
+    /// Next level `refine_step` delivers (`> target_level` = done).
+    next_level: u32,
+    /// Finest level whose cumulative block plan is held in `view_blocks`
+    /// and fully resolved for the current view.
+    covered: Option<u32>,
+    /// Cumulative planned block set of the current view (up to the finest
+    /// level planned so far, which may exceed `covered` after a cancel).
+    view_blocks: BTreeSet<u64>,
+    planned: Option<u32>,
+    /// The gather buffer: typed decoded blocks (`None` = known missing).
+    resident: BTreeMap<u64, Option<Arc<Vec<T>>>>,
+    resident_queue: VecDeque<u64>,
+    resident_bytes: u64,
+    resident_budget: u64,
+    /// Blocks resolved speculatively, keyed `(time, block)`; consumed (and
+    /// counted as hits) by the first frame that needs them.
+    prefetched: BTreeSet<(u32, u64)>,
+    cancel: CancelToken,
+    last_pan: (i64, i64),
+    clock: SimClock,
+    stats: SessionStats,
+    m: SessionMetrics,
+}
+
+impl<T: Sample> QuerySession<T> {
+    /// Open a session on `field`, viewing the full dataset bounds with a
+    /// refinement target of the finest level.
+    ///
+    /// The session checks cancellation deadlines against the clock of the
+    /// dataset's observability registry — wire the dataset with
+    /// [`IdxDataset::with_obs`] on the WAN clock for deterministic
+    /// deadline cancellation.
+    pub fn new(ds: Arc<IdxDataset>, field: &str) -> Result<QuerySession<T>> {
+        let field_idx = ds.meta().field_index(field)?;
+        if ds.meta().fields[field_idx].dtype != T::DTYPE {
+            return Err(NsdfError::invalid(format!(
+                "field {field:?} holds {}, session requested {}",
+                ds.meta().fields[field_idx].dtype,
+                T::DTYPE
+            )));
+        }
+        let clock = ds.obs().clock().clone();
+        let region = ds.bounds();
+        let target = ds.max_level();
+        let m = SessionMetrics::new(&Obs::new(clock.clone()));
+        Ok(QuerySession {
+            ds,
+            field: field.to_string(),
+            field_idx,
+            time: 0,
+            region,
+            start_level: 0,
+            target_level: target,
+            next_level: 0,
+            covered: None,
+            view_blocks: BTreeSet::new(),
+            planned: None,
+            resident: BTreeMap::new(),
+            resident_queue: VecDeque::new(),
+            resident_bytes: 0,
+            resident_budget: DEFAULT_RESIDENT_BUDGET,
+            prefetched: BTreeSet::new(),
+            cancel: CancelToken::new(),
+            last_pan: (0, 0),
+            clock,
+            stats: SessionStats::default(),
+            m,
+        })
+    }
+
+    /// Report `session.*` counters and spans into `obs` — pass the same
+    /// registry the dataset and stores share so session fetch time lines up
+    /// with `wan.busy_vns` on one timeline.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = SessionMetrics::new(obs);
+        self
+    }
+
+    /// Cap the resident typed-block buffer (bytes, FIFO eviction).
+    pub fn with_resident_budget(mut self, bytes: u64) -> Self {
+        self.resident_budget = bytes;
+        self
+    }
+
+    /// The field this session reads.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// The current timestep.
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// The current viewport region.
+    pub fn region(&self) -> Box2i {
+        self.region
+    }
+
+    /// The refinement target level.
+    pub fn target_level(&self) -> u32 {
+        self.target_level
+    }
+
+    /// Finest level fully resolved for the current view, if any.
+    pub fn covered_level(&self) -> Option<u32> {
+        self.covered
+    }
+
+    /// Cumulative session accounting.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The dataset this session reads.
+    pub fn dataset(&self) -> &Arc<IdxDataset> {
+        &self.ds
+    }
+
+    /// A handle on the token guarding the current refinement — cancel it
+    /// (or arm a virtual-clock deadline) to abandon in-flight work at the
+    /// next wave boundary.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replace a fired token with a fresh one so refinement can resume.
+    pub fn reset_cancel(&mut self) {
+        self.cancel = CancelToken::new();
+    }
+
+    /// Abandon the in-flight refinement (if any) and arm a fresh token for
+    /// the next interaction.
+    fn interrupt(&mut self) {
+        self.cancel.cancel();
+        self.cancel = CancelToken::new();
+    }
+
+    /// Point the session at a new viewport: `region` (clipped to bounds)
+    /// refined from `start_level` up to `target_level`. A genuine change
+    /// interrupts in-flight refinement and restarts the cursor; a no-op
+    /// call leaves the session untouched. Pure translations record the pan
+    /// direction for [`QuerySession::prefetch_pan_neighbor`].
+    pub fn set_view(&mut self, region: Box2i, start_level: u32, target_level: u32) -> Result<()> {
+        let region = region
+            .intersect(&self.ds.bounds())
+            .ok_or_else(|| NsdfError::invalid("view region does not intersect dataset"))?;
+        let target = target_level.min(self.ds.max_level());
+        let start = start_level.min(target);
+        if region == self.region && start == self.start_level && target == self.target_level {
+            return Ok(());
+        }
+        if region != self.region {
+            if region.width() == self.region.width() && region.height() == self.region.height() {
+                self.last_pan =
+                    ((region.x0 - self.region.x0).signum(), (region.y0 - self.region.y0).signum());
+            }
+            self.covered = None;
+            self.planned = None;
+            self.view_blocks.clear();
+        }
+        self.region = region;
+        self.start_level = start;
+        self.target_level = target;
+        self.next_level = start;
+        self.interrupt();
+        Ok(())
+    }
+
+    /// Pan the viewport by `(dx, dy)` cells, clamped to the dataset bounds,
+    /// recording the pan direction for speculative prefetch.
+    pub fn pan(&mut self, dx: i64, dy: i64) -> Result<()> {
+        let bounds = self.ds.bounds();
+        let (w, h) = (self.region.width(), self.region.height());
+        let x0 = (self.region.x0 + dx).clamp(bounds.x0, bounds.x1 - w);
+        let y0 = (self.region.y0 + dy).clamp(bounds.y0, bounds.y1 - h);
+        let region = Box2i::new(x0, y0, x0 + w, y0 + h);
+        self.set_view(region, self.start_level, self.target_level)?;
+        // set_view derives the direction from the clamped translation; keep
+        // the caller's intent when clamping swallowed the move entirely.
+        if (dx, dy) != (0, 0) {
+            self.last_pan = (dx.signum(), dy.signum());
+        }
+        Ok(())
+    }
+
+    /// Move the time slider. Flushes the resident buffer (blocks are
+    /// per-timestep) and interrupts in-flight refinement.
+    pub fn set_time(&mut self, time: u32) -> Result<()> {
+        self.ds.check_time(time)?;
+        if time == self.time {
+            return Ok(());
+        }
+        self.time = time;
+        self.flush_resident();
+        self.next_level = self.start_level;
+        self.interrupt();
+        Ok(())
+    }
+
+    /// Switch fields. Flushes the resident buffer and interrupts in-flight
+    /// refinement.
+    pub fn set_field(&mut self, field: &str) -> Result<()> {
+        if field == self.field {
+            return Ok(());
+        }
+        let field_idx = self.ds.meta().field_index(field)?;
+        if self.ds.meta().fields[field_idx].dtype != T::DTYPE {
+            return Err(NsdfError::invalid(format!(
+                "field {field:?} holds {}, session requested {}",
+                self.ds.meta().fields[field_idx].dtype,
+                T::DTYPE
+            )));
+        }
+        self.field = field.to_string();
+        self.field_idx = field_idx;
+        self.flush_resident();
+        self.next_level = self.start_level;
+        self.interrupt();
+        Ok(())
+    }
+
+    fn flush_resident(&mut self) {
+        self.resident.clear();
+        self.resident_queue.clear();
+        self.resident_bytes = 0;
+        self.covered = None;
+        self.planned = None;
+        self.view_blocks.clear();
+    }
+
+    fn resident_insert(&mut self, block: u64, entry: Option<Arc<Vec<T>>>) {
+        let cost = |e: &Option<Arc<Vec<T>>>| {
+            e.as_ref().map_or(0, |v| (v.len() * T::DTYPE.size_bytes()) as u64)
+        };
+        let added = cost(&entry);
+        if added > self.resident_budget {
+            return;
+        }
+        match self.resident.insert(block, entry) {
+            Some(old) => self.resident_bytes -= cost(&old),
+            None => self.resident_queue.push_back(block),
+        }
+        self.resident_bytes += added;
+        while self.resident_bytes > self.resident_budget {
+            let Some(victim) = self.resident_queue.pop_front() else { break };
+            if let Some(old) = self.resident.remove(&victim) {
+                self.resident_bytes -= cost(&old);
+            }
+        }
+    }
+
+    /// Resolve `to_resolve` blocks of `time` — decoded-cache hits first,
+    /// then batched store fetches in `fetch_concurrency`-wide waves with
+    /// the cancel token checked before each wave. Resolved blocks of the
+    /// session's current timestep land in the resident buffer; all decoded
+    /// payloads land in the dataset's shared decoded cache (and therefore
+    /// warmed any `CachedStore` below on the way).
+    ///
+    /// Returns `true` when the token fired and the resolve was abandoned.
+    fn resolve_blocks(
+        &mut self,
+        time: u32,
+        to_resolve: &[u64],
+        prefetch: bool,
+        stats: &mut QueryStats,
+        acct: &mut FrameAcct,
+    ) -> Result<bool> {
+        let ds = Arc::clone(&self.ds);
+        let obs = self.m.obs.clone();
+        let vns_counter =
+            if prefetch { self.m.prefetch_vns.clone() } else { self.m.fetch_vns.clone() };
+        let span_label = if prefetch { "prefetch" } else { "fetch" };
+        let block_samples = ds.meta().block_samples() as usize;
+        let sample_size = T::DTYPE.size_bytes();
+        let threads = num_threads();
+        let install_resident = time == self.time;
+
+        let (hits, misses, epoch) = ds.decoded_partition(self.field_idx, time, to_resolve);
+        for (block, raw) in hits {
+            stats.decoded_cache_hits += 1;
+            acct.fetched += 1;
+            if prefetch {
+                self.note_prefetched(time, block);
+            } else if self.prefetched.remove(&(time, block)) {
+                // Prefetched earlier, kept warm by the decoded cache.
+                acct.prefetch_hits += 1;
+            }
+            if install_resident {
+                let typed = match raw {
+                    Some(r) => Some(Arc::new(bytes_to_samples::<T>(&r)?)),
+                    None => None,
+                };
+                self.resident_insert(block, typed);
+            }
+        }
+
+        for chunk in misses.chunks(ds.fetch_concurrency().max(1)) {
+            if self.cancel.is_cancelled_at(self.clock.now_ns()) {
+                return Ok(true);
+            }
+            let keys: Vec<String> =
+                chunk.iter().map(|&b| ds.block_key(self.field_idx, time, b)).collect();
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let t_fetch = Instant::now();
+            let results = {
+                let _fetch_span = obs.span(span_label);
+                let v0 = self.clock.now_ns();
+                let results = ds.store().get_many(&key_refs);
+                vns_counter.add(self.clock.now_ns().saturating_sub(v0));
+                results
+            };
+            stats.fetch_secs += t_fetch.elapsed().as_secs_f64();
+            stats.fetch_batches += 1;
+
+            let mut encoded: Vec<(u64, Option<Vec<u8>>)> = Vec::with_capacity(chunk.len());
+            for (&block, r) in chunk.iter().zip(results) {
+                match r {
+                    Ok(enc) => encoded.push((block, Some(enc))),
+                    Err(e) if e.is_not_found() => encoded.push((block, None)),
+                    Err(e) => return Err(e),
+                }
+            }
+            let t_decode = Instant::now();
+            let decoded = {
+                let _decode_span = obs.span("decode");
+                try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
+                    match enc {
+                        Some(enc) => {
+                            let raw = ds.meta().codec.decode(enc, block_samples * sample_size)?;
+                            Ok((*block, enc.len() as u64, Some(Arc::new(raw))))
+                        }
+                        None => Ok((*block, 0, None)),
+                    }
+                })?
+            };
+            stats.decode_secs += t_decode.elapsed().as_secs_f64();
+
+            ds.decoded_install(
+                self.field_idx,
+                time,
+                epoch,
+                decoded.iter().map(|(b, _, raw)| (*b, raw.clone() as DecodedEntry)),
+            );
+            for (block, enc_len, raw) in decoded {
+                stats.bytes_fetched += enc_len;
+                if raw.is_some() {
+                    stats.blocks_decoded += 1;
+                }
+                acct.fetched += 1;
+                if prefetch {
+                    self.note_prefetched(time, block);
+                } else {
+                    // A marker on a block that still needed a store trip is
+                    // stale (evicted since); consume it without a hit.
+                    self.prefetched.remove(&(time, block));
+                }
+                if install_resident {
+                    let typed = match raw {
+                        Some(r) => Some(Arc::new(bytes_to_samples::<T>(&r)?)),
+                        None => None,
+                    };
+                    self.resident_insert(block, typed);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn note_prefetched(&mut self, time: u32, block: u64) {
+        if self.prefetched.insert((time, block)) {
+            self.stats.prefetch_issued += 1;
+            self.m.prefetch_issued.inc();
+        }
+    }
+
+    /// Extend the view's cumulative block plan to `level` and resolve every
+    /// planned block not yet resident. Returns `true` if cancelled.
+    fn ensure_level(
+        &mut self,
+        level: u32,
+        stats: &mut QueryStats,
+        acct: &mut FrameAcct,
+    ) -> Result<bool> {
+        let bs = self.ds.meta().block_samples();
+        match self.planned {
+            // Level-delta planning: the only new blocks stepping from a
+            // planned level P to `level` can need are those holding samples
+            // of exactly P+1..=level.
+            Some(p) if p >= level => {}
+            Some(p) => {
+                for l in (p + 1)..=level {
+                    self.view_blocks.extend(self.ds.curve().blocks_at_level(self.region, l, bs)?);
+                }
+                self.planned = Some(level);
+            }
+            None => {
+                self.view_blocks =
+                    self.ds.blocks_for_query(self.region, level)?.into_iter().collect();
+                self.planned = Some(level);
+            }
+        }
+        stats.blocks_touched = self.view_blocks.len() as u64;
+
+        let mut to_resolve = Vec::new();
+        for &b in &self.view_blocks {
+            if self.resident.contains_key(&b) {
+                acct.reused += 1;
+                if self.prefetched.remove(&(self.time, b)) {
+                    acct.prefetch_hits += 1;
+                }
+            } else {
+                to_resolve.push(b);
+            }
+        }
+        let cancelled = self.resolve_blocks(self.time, &to_resolve, false, stats, acct)?;
+        if !cancelled {
+            self.covered = Some(self.covered.map_or(level, |c| c.max(level)));
+        }
+        Ok(cancelled)
+    }
+
+    /// Gather a raster for `region` at `level` from the resident buffer.
+    fn gather(&self, region: Box2i, level: u32) -> Result<Raster<T>> {
+        let Some((x0, y0, sx, sy, out_w, out_h)) = self.ds.level_layout(region, level)? else {
+            return Err(NsdfError::invalid(
+                "query region contains no samples at the requested level",
+            ));
+        };
+        let block_samples = self.ds.meta().block_samples() as usize;
+        let n_bits = self.ds.curve().max_level();
+        let mask = self.ds.curve().mask();
+        let mut out = Raster::<T>::zeros(out_w, out_h);
+        for j in 0..out_h {
+            let y = y0 + j as i64 * sy;
+            for i in 0..out_w {
+                let x = x0 + i as i64 * sx;
+                let z = mask.encode(&[x as u64, y as u64])?;
+                let hz = hz_from_z(z, n_bits);
+                let block = hz / block_samples as u64;
+                let offset = (hz % block_samples as u64) as usize;
+                if let Some(Some(samples)) = self.resident.get(&block) {
+                    out.set(i, j, samples[offset]);
+                }
+            }
+        }
+        out.geo = self.ds.meta().geo.map(|g| {
+            let windowed = g.for_window(x0, y0);
+            nsdf_util::GeoTransform {
+                x0: windowed.x0,
+                y0: windowed.y0,
+                dx: windowed.dx * sx as f64,
+                dy: windowed.dy * sy as f64,
+            }
+        });
+        Ok(out)
+    }
+
+    /// Ensure blocks for the current view at `level` and gather a frame.
+    ///
+    /// If the cancel token fires mid-fetch the returned frame is flagged
+    /// [`SessionFrame::cancelled`] and holds the partially upgraded state
+    /// (useful to display while the retry runs).
+    pub fn frame_at(&mut self, level: u32) -> Result<SessionFrame<T>> {
+        if level > self.ds.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.ds.max_level()
+            )));
+        }
+        let _frame_span = self.m.obs.span("frame");
+        let mut stats = QueryStats {
+            fetch_concurrency: self.ds.fetch_concurrency() as u64,
+            requested_level: level,
+            delivered_level: level,
+            ..QueryStats::default()
+        };
+        let mut acct = FrameAcct::default();
+        let cancelled = self.ensure_level(level, &mut stats, &mut acct)?;
+        let raster = self.gather(self.region, level)?;
+        stats.samples_out = (raster.width() * raster.height()) as u64;
+        stats.blocks_missing =
+            self.view_blocks.iter().filter(|b| matches!(self.resident.get(b), Some(None))).count()
+                as u64;
+
+        // Blocks resolved before a cancellation still cost WAN time and
+        // stay resident; credit them so fetched-block accounting always
+        // sums to the planner's unique block count.
+        self.stats.blocks_fetched += acct.fetched;
+        self.m.blocks_fetched.add(acct.fetched);
+        if cancelled {
+            self.stats.cancelled += 1;
+            self.m.cancelled.inc();
+            self.m.obs.event("cancelled");
+        } else {
+            self.stats.frames += 1;
+            self.m.frames.inc();
+            self.stats.blocks_reused += acct.reused;
+            self.m.blocks_reused.add(acct.reused);
+            self.stats.prefetch_hits += acct.prefetch_hits;
+            self.m.prefetch_hits.add(acct.prefetch_hits);
+        }
+        self.stats.fetch_vns = self.m.fetch_vns.get();
+        self.stats.prefetch_vns = self.m.prefetch_vns.get();
+        Ok(SessionFrame {
+            level,
+            raster,
+            stats,
+            blocks_reused: acct.reused,
+            blocks_fetched: acct.fetched,
+            prefetch_hits: acct.prefetch_hits,
+            cancelled,
+        })
+    }
+
+    /// Deliver the next refinement level of the current view.
+    ///
+    /// Levels whose grid has no samples inside the viewport are skipped. A
+    /// cancelled step leaves the cursor in place so the same level is
+    /// retried after [`QuerySession::reset_cancel`] (or a view change).
+    pub fn refine_step(&mut self) -> Result<RefineOutcome<T>> {
+        while self.next_level <= self.target_level {
+            if self.ds.level_layout(self.region, self.next_level)?.is_none() {
+                self.next_level += 1;
+                continue;
+            }
+            let frame = self.frame_at(self.next_level)?;
+            if frame.cancelled {
+                return Ok(RefineOutcome::Cancelled(frame));
+            }
+            self.next_level += 1;
+            return Ok(RefineOutcome::Frame(frame));
+        }
+        Ok(RefineOutcome::Done)
+    }
+
+    /// Run refinement until the target level is delivered or the token
+    /// fires.
+    pub fn refine(&mut self) -> Result<RefineRun<T>> {
+        let mut frames = Vec::new();
+        loop {
+            match self.refine_step()? {
+                RefineOutcome::Frame(f) => frames.push(f),
+                RefineOutcome::Cancelled(f) => {
+                    let cancelled_at = Some(f.level);
+                    frames.push(f);
+                    return Ok(RefineRun { frames, cancelled_at });
+                }
+                RefineOutcome::Done => return Ok(RefineRun { frames, cancelled_at: None }),
+            }
+        }
+    }
+
+    /// One-shot read of an arbitrary `region` at `level` through the
+    /// session (the snip / slice-probe path): resolves only blocks not
+    /// already resident, without disturbing the refinement cursor of the
+    /// current view.
+    pub fn read_region(&mut self, region: Box2i, level: u32) -> Result<SessionFrame<T>> {
+        if level > self.ds.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.ds.max_level()
+            )));
+        }
+        let region = region
+            .intersect(&self.ds.bounds())
+            .ok_or_else(|| NsdfError::invalid("query region does not intersect dataset"))?;
+        let _frame_span = self.m.obs.span("frame");
+        let mut stats = QueryStats {
+            fetch_concurrency: self.ds.fetch_concurrency() as u64,
+            requested_level: level,
+            delivered_level: level,
+            ..QueryStats::default()
+        };
+        let mut acct = FrameAcct::default();
+        let needed = self.ds.blocks_for_query(region, level)?;
+        stats.blocks_touched = needed.len() as u64;
+        let mut to_resolve = Vec::new();
+        for &b in &needed {
+            if self.resident.contains_key(&b) {
+                acct.reused += 1;
+                if self.prefetched.remove(&(self.time, b)) {
+                    acct.prefetch_hits += 1;
+                }
+            } else {
+                to_resolve.push(b);
+            }
+        }
+        let cancelled =
+            self.resolve_blocks(self.time, &to_resolve, false, &mut stats, &mut acct)?;
+        let raster = self.gather(region, level)?;
+        stats.samples_out = (raster.width() * raster.height()) as u64;
+        stats.blocks_missing =
+            needed.iter().filter(|b| matches!(self.resident.get(b), Some(None))).count() as u64;
+        self.stats.blocks_fetched += acct.fetched;
+        self.m.blocks_fetched.add(acct.fetched);
+        if cancelled {
+            self.stats.cancelled += 1;
+            self.m.cancelled.inc();
+        } else {
+            self.stats.frames += 1;
+            self.m.frames.inc();
+            self.stats.blocks_reused += acct.reused;
+            self.m.blocks_reused.add(acct.reused);
+            self.stats.prefetch_hits += acct.prefetch_hits;
+            self.m.prefetch_hits.add(acct.prefetch_hits);
+        }
+        Ok(SessionFrame {
+            level,
+            raster,
+            stats,
+            blocks_reused: acct.reused,
+            blocks_fetched: acct.fetched,
+            prefetch_hits: acct.prefetch_hits,
+            cancelled,
+        })
+    }
+
+    /// Speculatively resolve the neighbor viewport one region-width ahead
+    /// in the last pan direction, refined to `level`. Blocks land in the
+    /// resident buffer and shared caches and are counted as
+    /// `prefetch_hits` when a later frame needs them. Returns the number
+    /// of blocks resolved.
+    pub fn prefetch_pan_neighbor(&mut self, level: u32) -> Result<u64> {
+        let (dx, dy) = self.last_pan;
+        if (dx, dy) == (0, 0) {
+            return Ok(0);
+        }
+        let (w, h) = (self.region.width(), self.region.height());
+        let shifted = Box2i::new(
+            self.region.x0 + dx * w,
+            self.region.y0 + dy * h,
+            self.region.x1 + dx * w,
+            self.region.y1 + dy * h,
+        );
+        let Some(neighbor) = shifted.intersect(&self.ds.bounds()) else {
+            return Ok(0);
+        };
+        let level = level.min(self.ds.max_level());
+        let needed = self.ds.blocks_for_query(neighbor, level)?;
+        let to_resolve: Vec<u64> =
+            needed.into_iter().filter(|b| !self.resident.contains_key(b)).collect();
+        let mut stats = QueryStats::default();
+        let mut acct = FrameAcct::default();
+        self.resolve_blocks(self.time, &to_resolve, true, &mut stats, &mut acct)?;
+        Ok(acct.fetched)
+    }
+
+    /// Speculatively resolve the current viewport's blocks for another
+    /// timestep (playback's next step) refined to `level`, warming the
+    /// shared decoded cache and any `CachedStore` below. Returns the
+    /// number of blocks resolved.
+    pub fn prefetch_time(&mut self, time: u32, level: u32) -> Result<u64> {
+        self.ds.check_time(time)?;
+        if time == self.time {
+            return Ok(0);
+        }
+        let level = level.min(self.ds.max_level());
+        let needed = self.ds.blocks_for_query(self.region, level)?;
+        let mut stats = QueryStats::default();
+        let mut acct = FrameAcct::default();
+        self.resolve_blocks(time, &needed, true, &mut stats, &mut acct)?;
+        Ok(acct.fetched)
+    }
+}
+
+/// A stateful slice-exploration session over a 3-D [`IdxVolume`]: the
+/// volumetric analogue of [`QuerySession`], holding resident decoded
+/// blocks so adjacent z-slices and repeated flythroughs reuse the coarse
+/// blocks they share instead of refetching per slice.
+pub struct VolumeSliceSession<T: Sample> {
+    vol: Arc<IdxVolume>,
+    field: String,
+    field_idx: usize,
+    time: u32,
+    resident: BTreeMap<u64, Option<Arc<Vec<T>>>>,
+    cancel: CancelToken,
+    clock: SimClock,
+    stats: SessionStats,
+    m: SessionMetrics,
+}
+
+impl<T: Sample> VolumeSliceSession<T> {
+    /// Open a slice session on `field` of `vol` at timestep 0.
+    pub fn new(vol: Arc<IdxVolume>, field: &str) -> Result<VolumeSliceSession<T>> {
+        let field_idx = vol.field_checked::<T>(field)?;
+        Ok(VolumeSliceSession {
+            vol,
+            field: field.to_string(),
+            field_idx,
+            time: 0,
+            resident: BTreeMap::new(),
+            cancel: CancelToken::new(),
+            clock: SimClock::new(),
+            stats: SessionStats::default(),
+            m: SessionMetrics::new(&Obs::default()),
+        })
+    }
+
+    /// Report `session.*` counters into `obs`, and check cancellation
+    /// deadlines against its clock.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.clock = obs.clock().clone();
+        self.m = SessionMetrics::new(obs);
+        self
+    }
+
+    /// The field this session reads.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Cumulative session accounting.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// A handle on the token guarding in-flight slice fetches.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replace a fired token with a fresh one.
+    pub fn reset_cancel(&mut self) {
+        self.cancel = CancelToken::new();
+    }
+
+    /// Switch fields, flushing the resident buffer.
+    pub fn set_field(&mut self, field: &str) -> Result<()> {
+        if field == self.field {
+            return Ok(());
+        }
+        self.field_idx = self.vol.field_checked::<T>(field)?;
+        self.field = field.to_string();
+        self.resident.clear();
+        Ok(())
+    }
+
+    /// Switch timesteps, flushing the resident buffer.
+    pub fn set_time(&mut self, time: u32) -> Result<()> {
+        if time >= self.vol.meta().timesteps {
+            return Err(NsdfError::invalid("timestep out of range"));
+        }
+        if time != self.time {
+            self.time = time;
+            self.resident.clear();
+        }
+        Ok(())
+    }
+
+    /// Read the z-slice at depth `z` (snapped to the level's z-stride) as a
+    /// 2-D raster, reusing resident blocks across calls. Returns the frame
+    /// plus per-call accounting; a `None` raster means the cancel token
+    /// fired mid-fetch.
+    pub fn slice_z(&mut self, z: i64, level: u32) -> Result<(Option<Raster<T>>, QueryStats)> {
+        let b = self.vol.bounds();
+        if z < 0 || z >= b.z1 {
+            return Err(NsdfError::invalid(format!("slice z={z} outside volume")));
+        }
+        if level > self.vol.max_level() {
+            return Err(NsdfError::invalid(format!(
+                "level {level} exceeds max {}",
+                self.vol.max_level()
+            )));
+        }
+        let strides = self.vol.curve().mask().level_strides(level)?;
+        let sz = strides.get(2).copied().unwrap_or(1) as i64;
+        let z_snapped = (z / sz) * sz;
+        let region = Box3i::new(b.x0, b.y0, z_snapped, b.x1, b.y1, z_snapped + 1);
+
+        let block_samples = self.vol.meta().block_samples() as usize;
+        let sample_size = T::DTYPE.size_bytes();
+        let mut stats = QueryStats {
+            fetch_concurrency: self.vol.fetch_concurrency() as u64,
+            requested_level: level,
+            delivered_level: level,
+            ..QueryStats::default()
+        };
+
+        // Plan: cumulative sample walk (3-D has no subtree planner yet).
+        let mut needed: BTreeSet<u64> = BTreeSet::new();
+        for l in 0..=level {
+            for (_, _, _, hz) in self.vol.curve().level_samples_in_box3(l, region)? {
+                needed.insert(hz / block_samples as u64);
+            }
+        }
+        stats.blocks_touched = needed.len() as u64;
+        let to_resolve: Vec<u64> =
+            needed.iter().copied().filter(|b| !self.resident.contains_key(b)).collect();
+        let reused = needed.len() as u64 - to_resolve.len() as u64;
+
+        let threads = num_threads();
+        for chunk in to_resolve.chunks(self.vol.fetch_concurrency().max(1)) {
+            if self.cancel.is_cancelled_at(self.clock.now_ns()) {
+                self.stats.cancelled += 1;
+                self.m.cancelled.inc();
+                return Ok((None, stats));
+            }
+            let keys: Vec<String> = chunk
+                .iter()
+                .map(|&blk| self.vol.block_key(self.field_idx, self.time, blk))
+                .collect();
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let t_fetch = Instant::now();
+            let results = {
+                let _fetch_span = self.m.obs.span("fetch");
+                let v0 = self.clock.now_ns();
+                let results = self.vol.store().get_many(&key_refs);
+                self.m.fetch_vns.add(self.clock.now_ns().saturating_sub(v0));
+                results
+            };
+            stats.fetch_secs += t_fetch.elapsed().as_secs_f64();
+            stats.fetch_batches += 1;
+            let mut encoded: Vec<(u64, Option<Vec<u8>>)> = Vec::with_capacity(chunk.len());
+            for (&block, r) in chunk.iter().zip(results) {
+                match r {
+                    Ok(enc) => encoded.push((block, Some(enc))),
+                    Err(e) if e.is_not_found() => encoded.push((block, None)),
+                    Err(e) => return Err(e),
+                }
+            }
+            let t_decode = Instant::now();
+            let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
+                match enc {
+                    Some(enc) => {
+                        let raw = self.vol.meta().codec.decode(enc, block_samples * sample_size)?;
+                        Ok((*block, enc.len() as u64, Some(Arc::new(bytes_to_samples::<T>(&raw)?))))
+                    }
+                    None => Ok((*block, 0, None)),
+                }
+            })?;
+            stats.decode_secs += t_decode.elapsed().as_secs_f64();
+            for (block, enc_len, typed) in decoded {
+                stats.bytes_fetched += enc_len;
+                if typed.is_some() {
+                    stats.blocks_decoded += 1;
+                }
+                self.resident.insert(block, typed);
+            }
+        }
+        stats.blocks_missing =
+            needed.iter().filter(|b| matches!(self.resident.get(b), Some(None))).count() as u64;
+        self.stats.blocks_fetched += to_resolve.len() as u64;
+        self.m.blocks_fetched.add(to_resolve.len() as u64);
+        self.stats.blocks_reused += reused;
+        self.m.blocks_reused.add(reused);
+        self.stats.frames += 1;
+        self.m.frames.inc();
+
+        // Gather the plane.
+        let sx = strides[0] as i64;
+        let sy = strides.get(1).copied().unwrap_or(1) as i64;
+        let x0 = crate::volume::align_up(region.x0, sx);
+        let y0 = crate::volume::align_up(region.y0, sy);
+        if x0 >= region.x1 || y0 >= region.y1 {
+            return Err(NsdfError::invalid(
+                "query region contains no samples at the requested level",
+            ));
+        }
+        let ow = ((region.x1 - x0) as u64).div_ceil(sx as u64) as usize;
+        let oh = ((region.y1 - y0) as u64).div_ceil(sy as u64) as usize;
+        let mut out = Volume::<T>::zeros(ow, oh, 1);
+        let n_bits = self.vol.curve().max_level();
+        let mask = self.vol.curve().mask();
+        for j in 0..oh {
+            let y = y0 + j as i64 * sy;
+            for i in 0..ow {
+                let x = x0 + i as i64 * sx;
+                let zaddr = mask.encode(&[x as u64, y as u64, z_snapped as u64])?;
+                let hz = hz_from_z(zaddr, n_bits);
+                let block = hz / block_samples as u64;
+                let offset = (hz % block_samples as u64) as usize;
+                if let Some(Some(data)) = self.resident.get(&block) {
+                    out.set(i, j, 0, data[offset]);
+                }
+            }
+        }
+        stats.samples_out = (ow * oh) as u64;
+        Ok((Some(out.slice_z(0)?), stats))
+    }
+}

@@ -116,11 +116,26 @@ impl IdxVolume {
         )
     }
 
-    fn block_key(&self, field_idx: usize, time: u32, block: u64) -> String {
+    pub(crate) fn block_key(&self, field_idx: usize, time: u32, block: u64) -> String {
         format!("{}/f{field_idx}/t{time}/b{block:08}.bin", self.base)
     }
 
-    fn field_checked<T: Sample>(&self, field: &str) -> Result<usize> {
+    /// The object store behind this volume (for slice sessions).
+    pub(crate) fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
+    /// The HZ curve of this volume (for slice sessions).
+    pub(crate) fn curve(&self) -> &HzCurve {
+        &self.curve
+    }
+
+    /// Block fetch batch width (for slice sessions).
+    pub(crate) fn fetch_concurrency(&self) -> usize {
+        self.fetch_concurrency
+    }
+
+    pub(crate) fn field_checked<T: Sample>(&self, field: &str) -> Result<usize> {
         let idx = self.meta.field_index(field)?;
         if self.meta.fields[idx].dtype != T::DTYPE {
             return Err(NsdfError::invalid(format!(
@@ -348,7 +363,7 @@ impl IdxVolume {
 }
 
 /// Smallest multiple of `m` that is `>= v` (`v >= 0`).
-fn align_up(v: i64, m: i64) -> i64 {
+pub(crate) fn align_up(v: i64, m: i64) -> i64 {
     debug_assert!(v >= 0 && m > 0);
     let r = v % m;
     if r == 0 {
