@@ -19,7 +19,7 @@ fn conversion_write(c: &mut Criterion) {
         Codec::FixedRate { bits: 16 },
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
-            b.iter(|| publish_idx(&dem, codec, 12).meta().codec)
+            b.iter(|| publish_idx(&dem, codec, 12).meta().codec_policy)
         });
     }
     g.finish();

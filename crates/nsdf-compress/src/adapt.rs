@@ -1,0 +1,525 @@
+//! Per-block adaptive codec selection.
+//!
+//! A dataset-wide static codec leaves bytes on the table: smooth terrain
+//! blocks want the full shuffle+delta+LZ+Huffman pipeline, noise blocks are
+//! barely compressible and should stay near `Raw`, categorical blocks are
+//! runs a cheap RLE already nails. This module adds the block-granular
+//! decision layer: a cheap [`analyze`] pass samples entropy, run structure,
+//! and post-filter smoothness of each block at encode time, and
+//! [`encode_adaptive`] picks the cheapest palette codec predicted to meet a
+//! configurable ratio target, trial-encodes it, and escalates to the
+//! strongest codec (keeping the smaller payload, with a `Raw` floor) when
+//! the prediction was optimistic.
+//!
+//! The chosen codec is recorded in a 1-byte versioned block header
+//! ([`encode_block`] / [`decode_block_into`]), so a single dataset can mix
+//! codecs block-by-block and still decode transparently; legacy headerless
+//! datasets bypass this layer entirely.
+//!
+//! # Block header format
+//!
+//! ```text
+//! byte 0: (format_version << 4) | codec_tag     — see [`Codec::tag`]
+//! byte 1: codec parameter (FixedRate bits)      — only when tag = FixedRate
+//! rest:   codec payload
+//! ```
+//!
+//! `sample_size` for the shuffle codecs is *not* stored: block decoders
+//! recover it from the field dtype, which is authoritative metadata.
+
+use crate::codec::Codec;
+use nsdf_util::{NsdfError, Result};
+
+/// Version nibble written into every block header.
+pub const BLOCK_FORMAT_VERSION: u8 = 1;
+
+/// How blocks of a dataset pick their codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodecPolicy {
+    /// Every block uses the same codec (the pre-adaptive behaviour).
+    Static(Codec),
+    /// Each block is analyzed at encode time and gets the cheapest codec
+    /// predicted to reach `target_ratio` (raw/compressed); an infinite
+    /// target means "smallest payload available".
+    Adaptive {
+        /// Desired `raw / compressed` ratio; `f64::INFINITY` = best effort.
+        target_ratio: f64,
+        /// When false, the selector may fall back to the lossy fixed-rate
+        /// codec on `f32` blocks that cannot reach the target losslessly.
+        lossless_only: bool,
+    },
+}
+
+impl CodecPolicy {
+    /// Best-effort lossless adaptive policy: every block gets the smallest
+    /// lossless payload the palette can produce.
+    pub fn adaptive_best() -> CodecPolicy {
+        CodecPolicy::Adaptive { target_ratio: f64::INFINITY, lossless_only: true }
+    }
+
+    /// True when every block decodes bit-exactly under this policy.
+    pub fn is_lossless(&self) -> bool {
+        match *self {
+            CodecPolicy::Static(c) => c.is_lossless(),
+            CodecPolicy::Adaptive { lossless_only, .. } => lossless_only,
+        }
+    }
+
+    /// Stable textual name, as stored in `.idx` metadata: a plain codec
+    /// name for `Static`, `adaptive:<ratio>:<lossless|lossy>` otherwise.
+    pub fn name(&self) -> String {
+        match *self {
+            CodecPolicy::Static(c) => c.name(),
+            CodecPolicy::Adaptive { target_ratio, lossless_only } => {
+                let mode = if lossless_only { "lossless" } else { "lossy" };
+                format!("adaptive:{target_ratio}:{mode}")
+            }
+        }
+    }
+
+    /// Parse a name produced by [`CodecPolicy::name`].
+    pub fn parse(s: &str) -> Result<CodecPolicy> {
+        if let Some(rest) = s.strip_prefix("adaptive:") {
+            let (ratio, mode) = rest
+                .split_once(':')
+                .ok_or_else(|| NsdfError::format(format!("bad codec policy `{s}`")))?;
+            let target_ratio: f64 =
+                ratio.parse().map_err(|_| NsdfError::format(format!("bad codec policy `{s}`")))?;
+            if target_ratio.is_nan() || target_ratio < 1.0 {
+                return Err(NsdfError::format("adaptive target ratio must be >= 1"));
+            }
+            let lossless_only = match mode {
+                "lossless" => true,
+                "lossy" => false,
+                _ => return Err(NsdfError::format(format!("bad codec policy `{s}`"))),
+            };
+            return Ok(CodecPolicy::Adaptive { target_ratio, lossless_only });
+        }
+        Ok(CodecPolicy::Static(Codec::parse(s)?))
+    }
+}
+
+impl std::fmt::Display for CodecPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Cheap statistical fingerprint of one block, from a strided sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockProfile {
+    /// Shannon entropy (bits/byte) of the sampled raw bytes.
+    pub entropy_bits: f64,
+    /// Shannon entropy (bits/byte) after shuffle+delta filtering.
+    pub filtered_entropy_bits: f64,
+    /// Fraction of sampled adjacent byte pairs that are equal.
+    pub run_fraction: f64,
+    /// Bytes actually inspected.
+    pub sampled_bytes: usize,
+}
+
+/// Total bytes [`analyze`] will look at per block, spread over a few
+/// sample-aligned windows so both ends of the block contribute.
+const MAX_SAMPLE: usize = 4096;
+const SAMPLE_WINDOWS: usize = 8;
+
+/// Sample `src` and estimate the statistics the codec predictor needs.
+///
+/// Cost is bounded by [`MAX_SAMPLE`] regardless of block size, and the
+/// result is a pure function of the bytes — adaptive encoding stays
+/// deterministic.
+pub fn analyze(src: &[u8], sample_size: usize) -> BlockProfile {
+    let ss = sample_size.max(1);
+    if src.is_empty() {
+        return BlockProfile {
+            entropy_bits: 0.0,
+            filtered_entropy_bits: 0.0,
+            run_fraction: 1.0,
+            sampled_bytes: 0,
+        };
+    }
+
+    let mut raw_hist = [0u64; 256];
+    let mut filt_hist = [0u64; 256];
+    let mut runs = 0u64;
+    let mut pairs = 0u64;
+    let mut sampled = 0usize;
+
+    let mut scan = |win: &[u8]| {
+        for &b in win {
+            raw_hist[b as usize] += 1;
+        }
+        for pair in win.windows(2) {
+            pairs += 1;
+            runs += (pair[0] == pair[1]) as u64;
+        }
+        // Per-plane byte deltas of the window approximate the shuffle+delta
+        // stream the filtered codecs actually see.
+        for plane in 0..ss.min(win.len()) {
+            let mut prev = 0u8;
+            for &b in win[plane..].iter().step_by(ss) {
+                filt_hist[b.wrapping_sub(prev) as usize] += 1;
+                prev = b;
+            }
+        }
+        sampled += win.len();
+    };
+
+    if src.len() <= MAX_SAMPLE {
+        scan(src);
+    } else {
+        let win_bytes = (MAX_SAMPLE / SAMPLE_WINDOWS).div_ceil(ss) * ss;
+        let samples = src.len() / ss;
+        let win_samples = win_bytes / ss;
+        let stride = samples / SAMPLE_WINDOWS;
+        for w in 0..SAMPLE_WINDOWS {
+            let start = (w * stride).min(samples - win_samples) * ss;
+            scan(&src[start..start + win_bytes]);
+        }
+    }
+
+    BlockProfile {
+        entropy_bits: entropy_of(&raw_hist),
+        filtered_entropy_bits: entropy_of(&filt_hist),
+        run_fraction: if pairs == 0 { 1.0 } else { runs as f64 / pairs as f64 },
+        sampled_bytes: sampled,
+    }
+}
+
+fn entropy_of(hist: &[u64; 256]) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    let mut h = 0.0;
+    for &c in hist.iter().filter(|&&c| c > 0) {
+        let p = c as f64 / total_f;
+        h -= p * p.log2();
+    }
+    h
+}
+
+/// Predicted compression ratio of `codec` on a block with this profile.
+///
+/// Deliberately coarse — it only has to *order* the candidates sensibly;
+/// [`encode_adaptive`] verifies the winner by actually encoding and
+/// escalates when the prediction was optimistic.
+pub fn predict_ratio(profile: &BlockProfile, codec: Codec) -> f64 {
+    // Expected run length under a geometric model of adjacent-equal pairs.
+    let run_len = (1.0 / (1.0 - profile.run_fraction).max(1.0 / 128.0)).clamp(1.0, 128.0);
+    let h = profile.entropy_bits.max(0.25);
+    let hf = profile.filtered_entropy_bits.max(0.25);
+    match codec {
+        Codec::Raw => 1.0,
+        Codec::PackBits => {
+            if run_len >= 3.0 {
+                run_len / 2.0
+            } else {
+                0.99
+            }
+        }
+        Codec::Lz4 => (8.0 / h * 0.55).max(run_len / 3.0).max(0.95),
+        Codec::Lzss => (8.0 / h * 0.7).max(run_len / 2.5).max(0.95),
+        Codec::ShuffleLzss { .. } => (8.0 / hf * 0.7).max(0.95),
+        Codec::LzssHuff { .. } => (8.0 / hf * 0.8).max(1.0),
+        Codec::FixedRate { bits } => 32.0 / bits as f64,
+    }
+}
+
+/// Pick and run a codec for one block under an adaptive policy.
+///
+/// Returns the chosen codec and its payload (header *not* included — see
+/// [`encode_block`]). The procedure is deterministic:
+///
+/// 1. analyze the block and predict a ratio per lossless candidate,
+///    ordered cheapest-first;
+/// 2. trial-encode the cheapest candidate predicted to meet
+///    `target_ratio` (or the best-predicted one if none qualify);
+/// 3. if the achieved ratio misses the target, also encode the strongest
+///    codec and keep the smaller payload;
+/// 4. floor at `Raw` whenever the winner failed to shrink the block;
+/// 5. only if `lossless_only` is false, the block is `f32`-shaped, and the
+///    target is finite but still unmet, fall back to the lossy fixed-rate
+///    codec sized to the target.
+pub fn encode_adaptive(
+    src: &[u8],
+    sample_size: u8,
+    target_ratio: f64,
+    lossless_only: bool,
+) -> Result<(Codec, Vec<u8>)> {
+    if src.is_empty() {
+        return Ok((Codec::Raw, Vec::new()));
+    }
+    let ss = sample_size.max(1) as usize;
+    let shuffleable = src.len().is_multiple_of(ss);
+    let profile = analyze(src, ss);
+
+    let mut candidates = vec![Codec::PackBits, Codec::Lz4, Codec::Lzss];
+    if shuffleable {
+        candidates.push(Codec::ShuffleLzss { sample_size: ss as u8 });
+        candidates.push(Codec::LzssHuff { sample_size: ss as u8 });
+    }
+    let strongest = *candidates.last().expect("non-empty palette");
+
+    let predictions: Vec<(Codec, f64)> =
+        candidates.iter().map(|&c| (c, predict_ratio(&profile, c))).collect();
+    let pick = predictions
+        .iter()
+        .find(|(_, r)| *r >= target_ratio)
+        .or_else(|| {
+            predictions.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+        })
+        .map(|(c, _)| *c)
+        .expect("non-empty palette");
+
+    let mut chosen = pick;
+    let mut payload = pick.encode(src)?;
+    let achieved = |len: usize| src.len() as f64 / len.max(1) as f64;
+    if achieved(payload.len()) < target_ratio && chosen != strongest {
+        let escalated = strongest.encode(src)?;
+        if escalated.len() < payload.len() {
+            chosen = strongest;
+            payload = escalated;
+        }
+    }
+    if payload.len() >= src.len() {
+        chosen = Codec::Raw;
+        payload = src.to_vec();
+    }
+    if !lossless_only
+        && ss == 4
+        && target_ratio.is_finite()
+        && achieved(payload.len()) < target_ratio
+    {
+        let bits = (32.0 / target_ratio).floor().clamp(8.0, 24.0) as u8;
+        let lossy = Codec::FixedRate { bits };
+        let enc = lossy.encode(src)?;
+        if enc.len() < payload.len() {
+            chosen = lossy;
+            payload = enc;
+        }
+    }
+    Ok((chosen, payload))
+}
+
+/// Encode one block under `policy`, prepending the versioned block header.
+///
+/// Returns the codec actually used (for per-codec write stats) and the
+/// complete stored payload.
+pub fn encode_block(policy: &CodecPolicy, src: &[u8], sample_size: u8) -> Result<(Codec, Vec<u8>)> {
+    let (codec, payload) = match *policy {
+        CodecPolicy::Static(c) => (c, c.encode(src)?),
+        CodecPolicy::Adaptive { target_ratio, lossless_only } => {
+            encode_adaptive(src, sample_size, target_ratio, lossless_only)?
+        }
+    };
+    let mut out = Vec::with_capacity(payload.len() + 2);
+    out.push((BLOCK_FORMAT_VERSION << 4) | codec.tag());
+    if let Codec::FixedRate { bits } = codec {
+        out.push(bits);
+    }
+    out.extend_from_slice(&payload);
+    Ok((codec, out))
+}
+
+/// Decode one headered block into `dst`, returning the codec that was used.
+///
+/// `sample_size` must be the byte width of the field's dtype — it is the
+/// context the header deliberately does not store.
+pub fn decode_block_into(src: &[u8], sample_size: u8, dst: &mut [u8]) -> Result<Codec> {
+    let &hdr = src.first().ok_or_else(|| NsdfError::corrupt("block header missing"))?;
+    let version = hdr >> 4;
+    if version != BLOCK_FORMAT_VERSION {
+        return Err(NsdfError::corrupt(format!("unsupported block format version {version}")));
+    }
+    let tag = hdr & 0x0F;
+    let mut body = 1usize;
+    let fixed_rate_tag = Codec::FixedRate { bits: 2 }.tag();
+    let fixed_bits = if tag == fixed_rate_tag {
+        let &bits =
+            src.get(1).ok_or_else(|| NsdfError::corrupt("block header missing codec parameter"))?;
+        if !(2..=30).contains(&bits) {
+            return Err(NsdfError::corrupt(format!("bad fixed-rate bits {bits} in block header")));
+        }
+        body = 2;
+        bits
+    } else {
+        0
+    };
+    let codec = Codec::from_tag(tag, sample_size, fixed_bits)?;
+    codec.decode_into(&src[body..], dst)?;
+    Ok(codec)
+}
+
+/// Convenience wrapper over [`decode_block_into`] that allocates.
+pub fn decode_block(src: &[u8], sample_size: u8, dst_len: usize) -> Result<(Codec, Vec<u8>)> {
+    let mut out = vec![0u8; dst_len];
+    let codec = decode_block_into(src, sample_size, &mut out)?;
+    Ok((codec, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_f32_block(n: usize) -> Vec<u8> {
+        (0..n).flat_map(|i| (((i as f32) * 0.013).sin() * 800.0).to_le_bytes()).collect()
+    }
+
+    fn noise_block(n: usize) -> Vec<u8> {
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn categorical_block(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i / 97) % 5) as u8 * 40).collect()
+    }
+
+    #[test]
+    fn policy_names_roundtrip() {
+        let policies = [
+            CodecPolicy::Static(Codec::Raw),
+            CodecPolicy::Static(Codec::LzssHuff { sample_size: 4 }),
+            CodecPolicy::Adaptive { target_ratio: 1.5, lossless_only: true },
+            CodecPolicy::Adaptive { target_ratio: 3.25, lossless_only: false },
+            CodecPolicy::adaptive_best(),
+        ];
+        for p in policies {
+            assert_eq!(CodecPolicy::parse(&p.name()).unwrap(), p, "{p}");
+        }
+        assert!(CodecPolicy::parse("adaptive:0.5:lossless").is_err());
+        assert!(CodecPolicy::parse("adaptive:2:sometimes").is_err());
+        assert!(CodecPolicy::parse("adaptive:2").is_err());
+        assert!(CodecPolicy::parse("zstd").is_err());
+    }
+
+    #[test]
+    fn analyzer_separates_field_types() {
+        let smooth = analyze(&smooth_f32_block(4096), 4);
+        let noise = analyze(&noise_block(16384), 1);
+        let cats = analyze(&categorical_block(16384), 1);
+        assert!(
+            smooth.filtered_entropy_bits < smooth.entropy_bits,
+            "filter must help smooth floats: {smooth:?}"
+        );
+        assert!(noise.entropy_bits > 7.5, "{noise:?}");
+        assert!(cats.run_fraction > 0.9, "{cats:?}");
+        assert!(smooth.sampled_bytes <= MAX_SAMPLE + 8 * 4);
+    }
+
+    #[test]
+    fn adaptive_best_never_bigger_than_any_palette_codec() {
+        for (block, ss) in
+            [(smooth_f32_block(4096), 4u8), (noise_block(16384), 1), (categorical_block(16384), 1)]
+        {
+            let (codec, payload) = encode_adaptive(&block, ss, f64::INFINITY, true).unwrap();
+            assert!(payload.len() <= block.len(), "{codec} expanded the block");
+            let strongest = Codec::LzssHuff { sample_size: ss };
+            let best = strongest.encode(&block).unwrap().len().min(block.len());
+            assert!(
+                payload.len() <= best,
+                "adaptive {} ({}) vs strongest/raw floor {best}",
+                payload.len(),
+                codec
+            );
+            // And the payload decodes back exactly.
+            assert_eq!(codec.decode(&payload, block.len()).unwrap(), block);
+        }
+    }
+
+    #[test]
+    fn noise_blocks_stay_near_raw() {
+        let block = noise_block(16384);
+        let (codec, payload) = encode_adaptive(&block, 1, f64::INFINITY, true).unwrap();
+        assert!(payload.len() <= block.len());
+        // Pure noise must not pay a strong-codec penalty.
+        assert!(
+            matches!(codec, Codec::Raw) || payload.len() < block.len(),
+            "noise got {codec} at {} bytes",
+            payload.len()
+        );
+    }
+
+    #[test]
+    fn modest_target_picks_cheap_codec_on_easy_data() {
+        let block = categorical_block(16384);
+        let (codec, payload) = encode_adaptive(&block, 1, 2.0, true).unwrap();
+        let ratio = block.len() as f64 / payload.len() as f64;
+        assert!(ratio >= 2.0, "target missed: {ratio} via {codec}");
+        // Long runs should not need the full zlib pipeline.
+        assert!(
+            matches!(codec, Codec::PackBits | Codec::Lz4 | Codec::Lzss),
+            "expected a cheap codec, got {codec}"
+        );
+    }
+
+    #[test]
+    fn lossy_fallback_is_gated() {
+        let block = noise_block(16384); // not f32-shaped (ss = 1)
+        let (codec, _) = encode_adaptive(&block, 1, 4.0, false).unwrap();
+        assert!(codec.is_lossless(), "ss=1 must never go lossy, got {codec}");
+
+        let floats = noise_block(16384); // 4096 f32s of noise
+        let (codec, payload) = encode_adaptive(&floats, 4, 4.0, false).unwrap();
+        assert_eq!(codec, Codec::FixedRate { bits: 8 });
+        assert!(payload.len() * 3 < floats.len(), "{}", payload.len());
+
+        let (codec, _) = encode_adaptive(&floats, 4, 4.0, true).unwrap();
+        assert!(codec.is_lossless(), "lossless_only violated by {codec}");
+    }
+
+    #[test]
+    fn block_header_roundtrip_all_policies() {
+        let block = smooth_f32_block(2048);
+        let policies = [
+            CodecPolicy::Static(Codec::Raw),
+            CodecPolicy::Static(Codec::PackBits),
+            CodecPolicy::Static(Codec::LzssHuff { sample_size: 4 }),
+            CodecPolicy::Static(Codec::FixedRate { bits: 16 }),
+            CodecPolicy::Adaptive { target_ratio: 2.0, lossless_only: true },
+            CodecPolicy::adaptive_best(),
+        ];
+        for p in policies {
+            let (codec, stored) = encode_block(&p, &block, 4).unwrap();
+            let mut out = vec![0u8; block.len()];
+            let seen = decode_block_into(&stored, 4, &mut out).unwrap();
+            assert_eq!(seen, codec, "{p}");
+            if p.is_lossless() {
+                assert_eq!(out, block, "{p}");
+            } else {
+                assert_eq!(out.len(), block.len());
+            }
+        }
+    }
+
+    #[test]
+    fn block_header_rejects_bad_version_and_tag() {
+        let block = categorical_block(512);
+        let (_, mut stored) =
+            encode_block(&CodecPolicy::Static(Codec::PackBits), &block, 1).unwrap();
+        let good = stored[0];
+        stored[0] = (0x2 << 4) | (good & 0x0F); // future version
+        let mut out = vec![0u8; block.len()];
+        assert!(decode_block_into(&stored, 1, &mut out).unwrap_err().is_corrupt());
+        stored[0] = (BLOCK_FORMAT_VERSION << 4) | 0x0F; // unknown tag
+        assert!(decode_block_into(&stored, 1, &mut out).unwrap_err().is_corrupt());
+        assert!(decode_block_into(&[], 1, &mut out).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let (codec, stored) = encode_block(&CodecPolicy::adaptive_best(), &[], 4).unwrap();
+        assert_eq!(codec, Codec::Raw);
+        assert_eq!(stored.len(), 1);
+        let mut out = Vec::new();
+        assert_eq!(decode_block_into(&stored, 4, &mut out).unwrap(), Codec::Raw);
+    }
+}

@@ -1,13 +1,14 @@
 //! The codec palette: one enum unifying every compressor in the crate so
 //! IDX block storage, TIFF strips, and the FUSE layer can negotiate codecs
-//! through a stable textual name (stored in `.idx` metadata).
+//! through a stable textual name (stored in `.idx` metadata) and a stable
+//! 1-nibble tag (stored in per-block headers by the adaptive layer).
 
-use crate::filter::{delta_decode, delta_encode, shuffle, unshuffle};
+use crate::filter::{shuffle_delta, undelta_unshuffle_into};
 use crate::fixedrate::{fixedrate_decode_bytes, fixedrate_encode_bytes};
 use crate::huffman::{huffman_decode, huffman_encode};
-use crate::lz4like::{lz4_decode, lz4_encode};
-use crate::lzss::{lzss_decode, lzss_encode};
-use crate::rle::{packbits_decode, packbits_encode};
+use crate::lz4like::{lz4_decode_into, lz4_encode};
+use crate::lzss::{lzss_decode, lzss_decode_into, lzss_encode};
+use crate::rle::{packbits_decode_into, packbits_encode};
 use nsdf_util::{NsdfError, Result};
 
 /// A compression method for byte buffers.
@@ -56,12 +57,10 @@ impl Codec {
             Codec::Lzss => Ok(lzss_encode(src)),
             Codec::Lz4 => Ok(lz4_encode(src)),
             Codec::ShuffleLzss { sample_size } => {
-                let filtered = delta_encode(&shuffle(src, sample_size as usize)?);
-                Ok(lzss_encode(&filtered))
+                Ok(lzss_encode(&shuffle_delta(src, sample_size as usize)?))
             }
             Codec::LzssHuff { sample_size } => {
-                let filtered = delta_encode(&shuffle(src, sample_size as usize)?);
-                let lz = lzss_encode(&filtered);
+                let lz = lzss_encode(&shuffle_delta(src, sample_size as usize)?);
                 // Prefix the LZ length so decode can size the middle stage.
                 let mut out = (lz.len() as u32).to_le_bytes().to_vec();
                 out.extend_from_slice(&huffman_encode(&lz));
@@ -73,33 +72,59 @@ impl Codec {
 
     /// Decompress `src` into exactly `dst_len` bytes.
     pub fn decode(&self, src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; dst_len];
+        self.decode_into(src, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decompress `src` to exactly fill `dst`.
+    ///
+    /// This is the hot-path variant: block readers decode straight into the
+    /// gather/cache buffer instead of allocating one `Vec` per block.
+    pub fn decode_into(&self, src: &[u8], dst: &mut [u8]) -> Result<()> {
         match *self {
             Codec::Raw => {
-                if src.len() != dst_len {
+                if src.len() != dst.len() {
                     return Err(NsdfError::corrupt(format!(
-                        "raw codec: stored {} bytes, expected {dst_len}",
-                        src.len()
+                        "raw codec: stored {} bytes, expected {}",
+                        src.len(),
+                        dst.len()
                     )));
                 }
-                Ok(src.to_vec())
+                dst.copy_from_slice(src);
+                Ok(())
             }
-            Codec::PackBits => packbits_decode(src, dst_len),
-            Codec::Lzss => lzss_decode(src, dst_len),
-            Codec::Lz4 => lz4_decode(src, dst_len),
+            Codec::PackBits => packbits_decode_into(src, dst),
+            Codec::Lzss => lzss_decode_into(src, dst),
+            Codec::Lz4 => lz4_decode_into(src, dst),
             Codec::ShuffleLzss { sample_size } => {
-                let filtered = lzss_decode(src, dst_len)?;
-                unshuffle(&delta_decode(&filtered), sample_size as usize)
+                let filtered = lzss_decode(src, dst.len())?;
+                undelta_unshuffle_into(&filtered, sample_size as usize, dst)
             }
             Codec::LzssHuff { sample_size } => {
                 let lz_len = src
                     .get(..4)
                     .ok_or_else(|| NsdfError::corrupt("lzss-huff: missing length prefix"))?;
                 let lz_len = u32::from_le_bytes(lz_len.try_into().expect("4 bytes")) as usize;
+                // A valid LZSS stream for `dst.len()` output bytes carries at
+                // most 1 flag byte per 8 tokens of overhead; anything larger
+                // is a corrupt prefix and must not size an allocation.
+                let max_lz = dst.len() + dst.len() / 8 + 64;
+                if lz_len > max_lz {
+                    return Err(NsdfError::corrupt(format!(
+                        "lzss-huff: implausible LZ length {lz_len} for {} output bytes",
+                        dst.len()
+                    )));
+                }
                 let lz = huffman_decode(&src[4..], lz_len)?;
-                let filtered = lzss_decode(&lz, dst_len)?;
-                unshuffle(&delta_decode(&filtered), sample_size as usize)
+                let filtered = lzss_decode(&lz, dst.len())?;
+                undelta_unshuffle_into(&filtered, sample_size as usize, dst)
             }
-            Codec::FixedRate { bits } => fixedrate_decode_bytes(src, bits, dst_len),
+            Codec::FixedRate { bits } => {
+                let v = fixedrate_decode_bytes(src, bits, dst.len())?;
+                dst.copy_from_slice(&v);
+                Ok(())
+            }
         }
     }
 
@@ -118,6 +143,38 @@ impl Codec {
             Codec::ShuffleLzss { sample_size } => format!("shuffle{sample_size}-lzss"),
             Codec::LzssHuff { sample_size } => format!("zlib{sample_size}"),
             Codec::FixedRate { bits } => format!("fixedrate{bits}"),
+        }
+    }
+
+    /// Stable 4-bit tag for per-block headers written by `nsdf_compress::adapt`.
+    ///
+    /// Parameters (`sample_size`, `bits`) are *not* part of the tag; block
+    /// decoders recover them from dataset metadata via [`Codec::from_tag`].
+    pub fn tag(&self) -> u8 {
+        match *self {
+            Codec::Raw => 0,
+            Codec::PackBits => 1,
+            Codec::Lzss => 2,
+            Codec::Lz4 => 3,
+            Codec::ShuffleLzss { .. } => 4,
+            Codec::LzssHuff { .. } => 5,
+            Codec::FixedRate { .. } => 6,
+        }
+    }
+
+    /// Inverse of [`Codec::tag`]: rebuild a codec from a block-header tag
+    /// plus the contextual parameters (`sample_size` from the field dtype,
+    /// `fixed_bits` from the dataset's codec policy).
+    pub fn from_tag(tag: u8, sample_size: u8, fixed_bits: u8) -> Result<Codec> {
+        match tag {
+            0 => Ok(Codec::Raw),
+            1 => Ok(Codec::PackBits),
+            2 => Ok(Codec::Lzss),
+            3 => Ok(Codec::Lz4),
+            4 => Ok(Codec::ShuffleLzss { sample_size }),
+            5 => Ok(Codec::LzssHuff { sample_size }),
+            6 => Ok(Codec::FixedRate { bits: fixed_bits }),
+            other => Err(NsdfError::corrupt(format!("unknown block codec tag {other}"))),
         }
     }
 
@@ -196,10 +253,11 @@ impl CompressionStats {
         Ok(CompressionStats { codec, raw_bytes: src.len(), compressed_bytes: out.len() })
     }
 
-    /// `raw / compressed` (higher is better); 0 for empty input.
+    /// `raw / compressed` (higher is better). Empty input — and therefore
+    /// empty output — is ratio-neutral: `1.0`, never `0.0` or NaN.
     pub fn ratio(&self) -> f64 {
-        if self.compressed_bytes == 0 {
-            0.0
+        if self.raw_bytes == 0 || self.compressed_bytes == 0 {
+            1.0
         } else {
             self.raw_bytes as f64 / self.compressed_bytes as f64
         }
@@ -232,6 +290,10 @@ mod tests {
             let dec = codec.decode(&enc, data.len()).unwrap();
             assert_eq!(dec, data, "codec {codec}");
             assert!(codec.is_lossless());
+            // decode_into agrees with decode.
+            let mut buf = vec![0u8; data.len()];
+            codec.decode_into(&enc, &mut buf).unwrap();
+            assert_eq!(buf, data, "decode_into, codec {codec}");
         }
     }
 
@@ -270,10 +332,40 @@ mod tests {
     }
 
     #[test]
+    fn tags_roundtrip() {
+        let codecs = [
+            Codec::Raw,
+            Codec::PackBits,
+            Codec::Lzss,
+            Codec::Lz4,
+            Codec::ShuffleLzss { sample_size: 4 },
+            Codec::LzssHuff { sample_size: 4 },
+            Codec::FixedRate { bits: 16 },
+        ];
+        for c in codecs {
+            assert_eq!(Codec::from_tag(c.tag(), 4, 16).unwrap(), c);
+        }
+        assert!(Codec::from_tag(7, 4, 16).unwrap_err().is_corrupt());
+        assert!(Codec::from_tag(15, 4, 16).is_err());
+    }
+
+    #[test]
     fn raw_codec_checks_length() {
         let c = Codec::Raw;
         assert!(c.decode(&[1, 2, 3], 4).is_err());
         assert_eq!(c.decode(&[1, 2, 3], 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lzss_huff_rejects_implausible_length_prefix_without_allocating() {
+        let data = sample_data();
+        let codec = Codec::LzssHuff { sample_size: 4 };
+        let mut enc = codec.encode(&data).unwrap();
+        // Corrupt the LZ length prefix to ~4 GiB; decode must fail with a
+        // structured corrupt error, not attempt the allocation.
+        enc[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = codec.decode(&enc, data.len()).unwrap_err();
+        assert!(err.is_corrupt(), "{err}");
     }
 
     #[test]
@@ -295,6 +387,22 @@ mod tests {
         let s = CompressionStats { codec: Codec::Raw, raw_bytes: 100, compressed_bytes: 80 };
         assert!((s.ratio() - 1.25).abs() < 1e-12);
         assert!((s.savings() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_ratio_neutral() {
+        // Empty input, empty output (what Raw/LZSS produce for 0 bytes).
+        let s = CompressionStats { codec: Codec::Raw, raw_bytes: 0, compressed_bytes: 0 };
+        assert_eq!(s.ratio(), 1.0);
+        assert!(s.ratio().is_finite());
+        // Empty input with container overhead (e.g. a header-only stream).
+        let s = CompressionStats {
+            codec: Codec::LzssHuff { sample_size: 4 },
+            raw_bytes: 0,
+            compressed_bytes: 4,
+        };
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.savings(), 0.0);
     }
 
     #[test]

@@ -6,33 +6,83 @@
 //! plane is contiguous, and **delta** coding turns slowly varying planes
 //! into near-zero runs — together they are what lets the LZ codecs reach
 //! the "IDX is ~20 % smaller than TIFF" regime the paper quotes (§IV-B).
+//!
+//! The transpose kernels here work a block of eight samples at a time,
+//! gathering each byte plane into a `u64` word before storing it, which
+//! keeps the inner loop free of per-byte bounds checks; the original
+//! byte-at-a-time versions live in [`reference`] as test oracles.
 
 use nsdf_util::{NsdfError, Result};
+
+/// The seed scalar filter implementations, kept verbatim as oracles for the
+/// kernel-equivalence tests and the `BENCH_codecs.json` speedup baseline.
+pub mod reference {
+    use super::check_sample_size;
+    use nsdf_util::Result;
+
+    /// Byte-at-a-time shuffle transpose (seed implementation).
+    pub fn shuffle(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
+        check_sample_size(src.len(), sample_size)?;
+        let n = src.len() / sample_size;
+        let mut out = vec![0u8; src.len()];
+        for plane in 0..sample_size {
+            for i in 0..n {
+                out[plane * n + i] = src[i * sample_size + plane];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Byte-at-a-time inverse transpose (seed implementation).
+    pub fn unshuffle(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
+        check_sample_size(src.len(), sample_size)?;
+        let n = src.len() / sample_size;
+        let mut out = vec![0u8; src.len()];
+        for plane in 0..sample_size {
+            for i in 0..n {
+                out[i * sample_size + plane] = src[plane * n + i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Allocating byte-wise delta coder (seed implementation).
+    pub fn delta_encode(src: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(src.len());
+        let mut prev = 0u8;
+        for &b in src {
+            out.push(b.wrapping_sub(prev));
+            prev = b;
+        }
+        out
+    }
+
+    /// Allocating inverse of [`delta_encode`] (seed implementation).
+    pub fn delta_decode(src: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(src.len());
+        let mut prev = 0u8;
+        for &d in src {
+            prev = prev.wrapping_add(d);
+            out.push(prev);
+        }
+        out
+    }
+}
 
 /// Transpose `src` (a sequence of `sample_size`-byte samples) so all first
 /// bytes come first, then all second bytes, and so on.
 pub fn shuffle(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
     check_sample_size(src.len(), sample_size)?;
-    let n = src.len() / sample_size;
     let mut out = vec![0u8; src.len()];
-    for plane in 0..sample_size {
-        for i in 0..n {
-            out[plane * n + i] = src[i * sample_size + plane];
-        }
-    }
+    shuffle_into(src, sample_size, &mut out);
     Ok(out)
 }
 
 /// Inverse of [`shuffle`].
 pub fn unshuffle(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
     check_sample_size(src.len(), sample_size)?;
-    let n = src.len() / sample_size;
     let mut out = vec![0u8; src.len()];
-    for plane in 0..sample_size {
-        for i in 0..n {
-            out[i * sample_size + plane] = src[plane * n + i];
-        }
-    }
+    unshuffle_into(src, sample_size, &mut out);
     Ok(out)
 }
 
@@ -40,24 +90,292 @@ pub fn unshuffle(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
 /// the previous input byte. Applied after [`shuffle`], slowly varying byte
 /// planes become runs of zeros.
 pub fn delta_encode(src: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(src.len());
-    let mut prev = 0u8;
-    for &b in src {
-        out.push(b.wrapping_sub(prev));
-        prev = b;
-    }
+    let mut out = src.to_vec();
+    delta_encode_in_place(&mut out);
     out
 }
 
 /// Inverse of [`delta_encode`].
 pub fn delta_decode(src: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(src.len());
-    let mut prev = 0u8;
-    for &d in src {
-        prev = prev.wrapping_add(d);
-        out.push(prev);
-    }
+    let mut out = src.to_vec();
+    delta_decode_in_place(&mut out);
     out
+}
+
+/// In-place [`delta_encode`]: no allocation, single forward sweep.
+pub fn delta_encode_in_place(buf: &mut [u8]) {
+    let mut prev = 0u8;
+    for b in buf.iter_mut() {
+        let cur = *b;
+        *b = cur.wrapping_sub(prev);
+        prev = cur;
+    }
+}
+
+/// In-place [`delta_decode`]: no allocation, single forward sweep.
+pub fn delta_decode_in_place(buf: &mut [u8]) {
+    let mut prev = 0u8;
+    for b in buf.iter_mut() {
+        prev = prev.wrapping_add(*b);
+        *b = prev;
+    }
+}
+
+/// Fused shuffle + delta: byte-identical to
+/// `delta_encode(&shuffle(src, sample_size)?)` in one transpose pass (the
+/// delta is computed inside the word gather, so the shuffled intermediate
+/// is never materialised).
+pub fn shuffle_delta(src: &[u8], sample_size: usize) -> Result<Vec<u8>> {
+    check_sample_size(src.len(), sample_size)?;
+    let mut out = vec![0u8; src.len()];
+    match sample_size {
+        1 => {
+            out.copy_from_slice(src);
+            delta_encode_in_place(&mut out);
+        }
+        2 => shuffle_delta_fixed::<2>(src, &mut out),
+        4 => shuffle_delta_fixed::<4>(src, &mut out),
+        8 => shuffle_delta_fixed::<8>(src, &mut out),
+        _ => {
+            shuffle_into(src, sample_size, &mut out);
+            delta_encode_in_place(&mut out);
+        }
+    }
+    Ok(out)
+}
+
+/// Fused inverse of [`shuffle_delta`], writing straight into `dst` (which
+/// must be exactly `src.len()` bytes).
+pub fn undelta_unshuffle_into(src: &[u8], sample_size: usize, dst: &mut [u8]) -> Result<()> {
+    check_sample_size(src.len(), sample_size)?;
+    if dst.len() != src.len() {
+        return Err(NsdfError::invalid(format!(
+            "filter output buffer is {} bytes, expected {}",
+            dst.len(),
+            src.len()
+        )));
+    }
+    let n = src.len() / sample_size;
+    if n == 0 {
+        return Ok(());
+    }
+    // The delta prefix sum is inherently serial, so integrate while
+    // scattering each plane back into its sample slot.
+    let mut prev = 0u8;
+    for plane in 0..sample_size {
+        let col = &src[plane * n..(plane + 1) * n];
+        for (d, &b) in dst[plane..].iter_mut().step_by(sample_size).zip(col) {
+            prev = prev.wrapping_add(b);
+            *d = prev;
+        }
+    }
+    Ok(())
+}
+
+fn shuffle_into(src: &[u8], sample_size: usize, out: &mut [u8]) {
+    match sample_size {
+        1 => out.copy_from_slice(src),
+        2 => transpose_fixed::<2>(src, out),
+        4 => transpose_fixed::<4>(src, out),
+        8 => transpose_fixed::<8>(src, out),
+        ss => {
+            let n = src.len() / ss;
+            for plane in 0..ss {
+                for (o, &b) in
+                    out[plane * n..(plane + 1) * n].iter_mut().zip(src[plane..].iter().step_by(ss))
+                {
+                    *o = b;
+                }
+            }
+        }
+    }
+}
+
+fn unshuffle_into(src: &[u8], sample_size: usize, out: &mut [u8]) {
+    match sample_size {
+        1 => out.copy_from_slice(src),
+        2 => untranspose_fixed::<2>(src, out),
+        4 => untranspose_fixed::<4>(src, out),
+        8 => untranspose_fixed::<8>(src, out),
+        ss => {
+            let n = src.len() / ss;
+            for plane in 0..ss {
+                for (&b, o) in
+                    src[plane * n..(plane + 1) * n].iter().zip(out[plane..].iter_mut().step_by(ss))
+                {
+                    *o = b;
+                }
+            }
+        }
+    }
+}
+
+/// Gather eight `SS`-byte samples at a time: each byte plane of the block
+/// is assembled into one `u64` word and stored with a single 8-byte write.
+fn transpose_fixed<const SS: usize>(src: &[u8], out: &mut [u8]) {
+    let n = src.len() / SS;
+    let full = n / 8;
+    for (blk, s) in src.chunks_exact(SS * 8).enumerate().take(full) {
+        let base = blk * 8;
+        let planes = transpose_tile::<SS>(s);
+        for (p, w) in planes.iter().enumerate() {
+            out[p * n + base..p * n + base + 8].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+    for k in full * 8..n {
+        for p in 0..SS {
+            out[p * n + k] = src[k * SS + p];
+        }
+    }
+}
+
+/// Scatter eight samples at a time: each plane word is loaded with one
+/// 8-byte read and its bytes written back into the sample-major layout.
+fn untranspose_fixed<const SS: usize>(src: &[u8], out: &mut [u8]) {
+    let n = src.len() / SS;
+    let full = n / 8;
+    for (blk, d) in out.chunks_exact_mut(SS * 8).enumerate().take(full) {
+        let base = blk * 8;
+        for p in 0..SS {
+            let w = u64::from_le_bytes(
+                src[p * n + base..p * n + base + 8].try_into().expect("8-byte plane word"),
+            );
+            let bytes = w.to_le_bytes();
+            for (j, &b) in bytes.iter().enumerate() {
+                d[j * SS + p] = b;
+            }
+        }
+    }
+    for k in full * 8..n {
+        for p in 0..SS {
+            out[k * SS + p] = src[p * n + k];
+        }
+    }
+}
+
+/// Fused transpose + delta: same gather loop as [`transpose_fixed`] but the
+/// stored word is the SWAR byte-wise difference against the previous sample
+/// in the same plane, chained across planes exactly like a flat
+/// [`delta_encode`] over the shuffled stream.
+fn shuffle_delta_fixed<const SS: usize>(src: &[u8], out: &mut [u8]) {
+    let n = src.len() / SS;
+    if n == 0 {
+        return;
+    }
+    // First byte of plane p is delta'd against the last byte of plane p-1
+    // in the shuffled stream (0 for the very first byte).
+    let mut prevs = [0u8; SS];
+    for p in 1..SS {
+        prevs[p] = src[(n - 1) * SS + p - 1];
+    }
+    let full = n / 8;
+    for (blk, s) in src.chunks_exact(SS * 8).enumerate().take(full) {
+        let base = blk * 8;
+        let planes = transpose_tile::<SS>(s);
+        for (p, &w) in planes.iter().enumerate() {
+            let shifted = (w << 8) | prevs[p] as u64;
+            let delta = swar_sub_bytes(w, shifted);
+            out[p * n + base..p * n + base + 8].copy_from_slice(&delta.to_le_bytes());
+            prevs[p] = (w >> 56) as u8;
+        }
+    }
+    for k in full * 8..n {
+        for p in 0..SS {
+            let b = src[k * SS + p];
+            out[p * n + k] = b.wrapping_sub(prevs[p]);
+            prevs[p] = b;
+        }
+    }
+}
+
+#[inline]
+fn load_u64(s: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(s[off..off + 8].try_into().expect("8-byte word"))
+}
+
+/// Transpose one eight-sample tile (`SS * 8` bytes of `s`) into plane words:
+/// word `p` of the result holds byte `p` of each of the eight samples in
+/// sample order. The whole tile is loaded as `u64` words and rearranged with
+/// shift/mask SWAR steps, so the kernel issues no per-byte loads at all.
+#[inline]
+fn transpose_tile<const SS: usize>(s: &[u8]) -> [u64; SS] {
+    let mut planes = [0u64; SS];
+    match SS {
+        2 => {
+            // A word holds four samples; keep every other byte, then close
+            // the gaps with two halving compaction steps.
+            #[inline]
+            fn compact_even(t: u64) -> u64 {
+                let u = (t | (t >> 8)) & 0x0000_FFFF_0000_FFFF;
+                (u | (u >> 16)) & 0x0000_0000_FFFF_FFFF
+            }
+            const EVEN: u64 = 0x00FF_00FF_00FF_00FF;
+            let w0 = load_u64(s, 0);
+            let w1 = load_u64(s, 8);
+            planes[0] = compact_even(w0 & EVEN) | (compact_even(w1 & EVEN) << 32);
+            planes[1] = compact_even((w0 >> 8) & EVEN) | (compact_even((w1 >> 8) & EVEN) << 32);
+        }
+        4 => {
+            // A word holds two samples: byte p sits at lanes p and p + 4.
+            let w = [load_u64(s, 0), load_u64(s, 8), load_u64(s, 16), load_u64(s, 24)];
+            for (p, plane) in planes.iter_mut().enumerate() {
+                let mut acc = 0u64;
+                for (k, &wk) in w.iter().enumerate() {
+                    let t = (wk >> (8 * p)) & 0x0000_00FF_0000_00FF;
+                    let pair = (t | (t >> 24)) & 0xFFFF;
+                    acc |= pair << (16 * k);
+                }
+                *plane = acc;
+            }
+        }
+        8 => {
+            // Full 8x8 byte-matrix transpose: three rounds of block swaps at
+            // distance 4, 2, 1 (the recursive-halving transpose), entirely in
+            // registers.
+            let mut x = [0u64; 8];
+            for (k, xk) in x.iter_mut().enumerate() {
+                *xk = load_u64(s, 8 * k);
+            }
+            for i in 0..4 {
+                let t = ((x[i] >> 32) ^ x[i + 4]) & 0x0000_0000_FFFF_FFFF;
+                x[i] ^= t << 32;
+                x[i + 4] ^= t;
+            }
+            for (a, b) in [(0, 2), (1, 3), (4, 6), (5, 7)] {
+                let t = ((x[a] >> 16) ^ x[b]) & 0x0000_FFFF_0000_FFFF;
+                x[a] ^= t << 16;
+                x[b] ^= t;
+            }
+            for (a, b) in [(0, 1), (2, 3), (4, 5), (6, 7)] {
+                let t = ((x[a] >> 8) ^ x[b]) & 0x00FF_00FF_00FF_00FF;
+                x[a] ^= t << 8;
+                x[b] ^= t;
+            }
+            planes.copy_from_slice(&x);
+        }
+        _ => {
+            for (p, plane) in planes.iter_mut().enumerate() {
+                *plane = u64::from_le_bytes([
+                    s[p],
+                    s[SS + p],
+                    s[2 * SS + p],
+                    s[3 * SS + p],
+                    s[4 * SS + p],
+                    s[5 * SS + p],
+                    s[6 * SS + p],
+                    s[7 * SS + p],
+                ]);
+            }
+        }
+    }
+    planes
+}
+
+/// Lane-wise `a - b` over eight packed bytes (no borrow across lanes).
+#[inline]
+fn swar_sub_bytes(a: u64, b: u64) -> u64 {
+    const H: u64 = 0x8080_8080_8080_8080;
+    ((a | H) - (b & !H)) ^ ((a ^ !b) & H)
 }
 
 fn check_sample_size(len: usize, sample_size: usize) -> Result<()> {
@@ -102,10 +420,52 @@ mod tests {
     }
 
     #[test]
+    fn word_kernels_match_reference() {
+        let src: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for size in [1, 2, 3, 4, 5, 8, 16] {
+            let take = src.len() / size * size;
+            let s = &src[..take];
+            assert_eq!(
+                shuffle(s, size).unwrap(),
+                reference::shuffle(s, size).unwrap(),
+                "ss {size}"
+            );
+            let shuf = reference::shuffle(s, size).unwrap();
+            assert_eq!(unshuffle(&shuf, size).unwrap(), reference::unshuffle(&shuf, size).unwrap());
+        }
+    }
+
+    #[test]
+    fn fused_shuffle_delta_matches_composition() {
+        let src: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(48271) >> 9) as u8).collect();
+        for size in [1, 2, 3, 4, 8] {
+            let take = src.len() / size * size;
+            let s = &src[..take];
+            let fused = shuffle_delta(s, size).unwrap();
+            let composed = reference::delta_encode(&reference::shuffle(s, size).unwrap());
+            assert_eq!(fused, composed, "ss {size}");
+            let mut back = vec![0u8; s.len()];
+            undelta_unshuffle_into(&fused, size, &mut back).unwrap();
+            assert_eq!(back, s, "ss {size}");
+        }
+    }
+
+    #[test]
     fn delta_roundtrip() {
         let src: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
         assert_eq!(delta_decode(&delta_encode(&src)), src);
         assert!(delta_encode(&[]).is_empty());
+    }
+
+    #[test]
+    fn in_place_delta_matches_reference() {
+        let src: Vec<u8> = (0..513u32).map(|i| (i * 31 % 257) as u8).collect();
+        let mut enc = src.clone();
+        delta_encode_in_place(&mut enc);
+        assert_eq!(enc, reference::delta_encode(&src));
+        let mut dec = enc.clone();
+        delta_decode_in_place(&mut dec);
+        assert_eq!(dec, src);
     }
 
     #[test]

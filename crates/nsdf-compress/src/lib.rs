@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod bits;
 pub mod codec;
 pub mod filter;
@@ -25,4 +26,5 @@ pub mod lz4like;
 pub mod lzss;
 pub mod rle;
 
+pub use adapt::{BlockProfile, CodecPolicy};
 pub use codec::{Codec, CompressionStats};

@@ -4,18 +4,50 @@
 //! nibble is the literal count and low nibble the match length minus 4,
 //! both extended with 255-continuation bytes; literals; then a 2-byte
 //! little-endian match offset. The final sequence carries literals only.
-//! Matching uses a single-probe hash table, trading ratio for speed exactly
-//! as LZ4 does.
+//! Matching uses a bounded hash chain (a few probes per position instead of
+//! LZ4's single table slot), with `u64`-wide match extension; decode fills
+//! the caller's buffer with memmove-style copies instead of per-byte pushes.
 
+use crate::lzss::copy_match;
 use nsdf_util::{NsdfError, Result};
 
 const MIN_MATCH: usize = 4;
 const HASH_BITS: u32 = 16;
+/// Offsets are 2-byte little-endian, so the window is capped at `u16::MAX`.
+const WINDOW: usize = u16::MAX as usize;
+const MAX_CHAIN: usize = 16;
 
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
     let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Common-prefix length of `src[a..]` and `src[b..]` up to `limit`,
+/// compared a `u64` word at a time.
+#[inline]
+fn match_len(src: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let pa = &src[a..a + limit];
+    let pb = &src[b..b + limit];
+    let mut l = 0usize;
+    let mut ca = pa.chunks_exact(8);
+    let mut cb = pb.chunks_exact(8);
+    for (x, y) in ca.by_ref().zip(cb.by_ref()) {
+        let xv = u64::from_le_bytes(x.try_into().expect("8-byte chunk"));
+        let yv = u64::from_le_bytes(y.try_into().expect("8-byte chunk"));
+        let diff = xv ^ yv;
+        if diff != 0 {
+            return l + (diff.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        if x != y {
+            break;
+        }
+        l += 1;
+    }
+    l
 }
 
 fn write_len(out: &mut Vec<u8>, mut extra: usize) {
@@ -47,40 +79,59 @@ pub fn lz4_encode(src: &[u8]) -> Vec<u8> {
     if src.is_empty() {
         return out;
     }
-    let mut table = vec![u32::MAX; 1 << HASH_BITS];
+    // head[h] = most recent position with hash h + 1 (0 = none);
+    // prev[i & 0xFFFF] = previous position with the same hash + 1.
+    let mut head = vec![0u32; 1 << HASH_BITS];
+    let mut prev = vec![0u32; 1 << 16];
     let mut anchor = 0usize; // start of pending literals
     let mut i = 0usize;
 
     while i + MIN_MATCH <= src.len() {
         let h = hash4(&src[i..]);
-        let cand = table[h];
-        table[h] = i as u32;
-        let matched = cand != u32::MAX && {
-            let c = cand as usize;
-            i - c <= u16::MAX as usize && src[c..c + MIN_MATCH] == src[i..i + MIN_MATCH]
-        };
-        if !matched {
+        let mut cand = head[h];
+        prev[i & 0xFFFF] = cand;
+        head[h] = i as u32 + 1;
+
+        let probe = u32::from_le_bytes(src[i..i + 4].try_into().expect("4 bytes"));
+        let limit = src.len() - i;
+        let mut best_len = 0usize;
+        let mut best_c = 0usize;
+        let mut probes = 0;
+        while cand != 0 && probes < MAX_CHAIN {
+            let c = (cand - 1) as usize;
+            if i - c > WINDOW {
+                break;
+            }
+            if u32::from_le_bytes(src[c..c + 4].try_into().expect("4 bytes")) == probe {
+                let l = match_len(src, c, i, limit);
+                if l > best_len {
+                    best_len = l;
+                    best_c = c;
+                    if l >= limit {
+                        break;
+                    }
+                }
+            }
+            cand = prev[c & 0xFFFF];
+            probes += 1;
+        }
+        if best_len < MIN_MATCH {
             i += 1;
             continue;
         }
-        let c = cand as usize;
-        let mut len = MIN_MATCH;
-        while i + len < src.len() && src[c + len] == src[i + len] {
-            len += 1;
-        }
         let lit = i - anchor;
         let lit_nib = lit.min(15) as u8;
-        let match_nib = (len - MIN_MATCH).min(15) as u8;
+        let match_nib = (best_len - MIN_MATCH).min(15) as u8;
         out.push((lit_nib << 4) | match_nib);
         if lit_nib == 15 {
             write_len(&mut out, lit - 15);
         }
         out.extend_from_slice(&src[anchor..i]);
-        out.extend_from_slice(&((i - c) as u16).to_le_bytes());
+        out.extend_from_slice(&((i - best_c) as u16).to_le_bytes());
         if match_nib == 15 {
-            write_len(&mut out, len - MIN_MATCH - 15);
+            write_len(&mut out, best_len - MIN_MATCH - 15);
         }
-        i += len;
+        i += best_len;
         anchor = i;
     }
 
@@ -97,10 +148,17 @@ pub fn lz4_encode(src: &[u8]) -> Vec<u8> {
 
 /// Decompress into exactly `dst_len` bytes.
 pub fn lz4_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(dst_len);
+    let mut out = vec![0u8; dst_len];
+    lz4_decode_into(src, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress to exactly fill `dst`, allocation-free.
+pub fn lz4_decode_into(src: &[u8], dst: &mut [u8]) -> Result<()> {
     let mut i = 0usize;
-    if dst_len == 0 {
-        return Ok(out);
+    let mut pos = 0usize;
+    if dst.is_empty() {
+        return Ok(());
     }
     loop {
         let &token = src.get(i).ok_or_else(|| NsdfError::corrupt("lz4: missing token"))?;
@@ -108,9 +166,16 @@ pub fn lz4_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
         let lit = read_len(src, &mut i, (token >> 4) as usize)?;
         let bytes =
             src.get(i..i + lit).ok_or_else(|| NsdfError::corrupt("lz4: literals overrun input"))?;
-        out.extend_from_slice(bytes);
+        if lit > dst.len() - pos {
+            return Err(NsdfError::corrupt(format!(
+                "lz4: produced more than the expected {} bytes",
+                dst.len()
+            )));
+        }
+        dst[pos..pos + lit].copy_from_slice(bytes);
+        pos += lit;
         i += lit;
-        if out.len() >= dst_len {
+        if pos >= dst.len() {
             break;
         }
         let off_bytes =
@@ -118,22 +183,25 @@ pub fn lz4_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
         let off = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
         i += 2;
         let len = read_len(src, &mut i, (token & 0xF) as usize)? + MIN_MATCH;
-        if off == 0 || off > out.len() {
+        if off == 0 || off > pos {
             return Err(NsdfError::corrupt("lz4: offset out of range"));
         }
-        let start = out.len() - off;
-        for k in 0..len {
-            let b = out[start + k];
-            out.push(b);
+        if len > dst.len() - pos {
+            return Err(NsdfError::corrupt(format!(
+                "lz4: produced more than the expected {} bytes",
+                dst.len()
+            )));
         }
+        copy_match(dst, pos, off, len);
+        pos += len;
     }
-    if out.len() != dst_len {
+    if pos != dst.len() {
         return Err(NsdfError::corrupt(format!(
-            "lz4: produced {} bytes, expected {dst_len}",
-            out.len()
+            "lz4: produced {pos} bytes, expected {}",
+            dst.len()
         )));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -200,6 +268,22 @@ mod tests {
             .collect();
         let n = roundtrip(&src);
         assert!(n <= src.len() + src.len() / 250 + 16);
+    }
+
+    #[test]
+    fn chain_matcher_beats_or_ties_single_probe_on_mixed_data() {
+        // Alternating motifs that collide in a single-slot table still
+        // compress once the chain can look past the most recent insert.
+        let mut src = Vec::new();
+        for i in 0..400 {
+            src.extend_from_slice(if i % 2 == 0 {
+                b"alpha-block-0123"
+            } else {
+                b"beta-block-4567"
+            });
+        }
+        let n = roundtrip(&src);
+        assert!(n < src.len() / 4, "{n} of {}", src.len());
     }
 
     #[test]

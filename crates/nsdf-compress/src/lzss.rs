@@ -1,11 +1,20 @@
 //! LZSS — the "zlib-class" lossless codec of the palette.
 //!
-//! Greedy LZ77 parsing over a 32 KiB window with a hash-chain matcher,
-//! emitted as flag-grouped tokens: each group byte carries eight flags
-//! (bit set → match token of offset+length, clear → literal byte). This is
-//! deliberately the same family as DEFLATE minus the entropy stage, which
-//! keeps the implementation self-contained while landing in the same
+//! Greedy LZ77 parsing over a 32 KiB window with a bounded hash-chain
+//! matcher, emitted as flag-grouped tokens: each group byte carries eight
+//! flags (bit set → match token of offset+length, clear → literal byte).
+//! This is deliberately the same family as DEFLATE minus the entropy stage,
+//! which keeps the implementation self-contained while landing in the same
 //! compression regime on raster data.
+//!
+//! The encoder extends candidate matches eight bytes at a time with a
+//! `u64` XOR + `trailing_zeros` compare, rejects candidates that cannot
+//! beat the current best with a single byte probe, and thins hash-chain
+//! insertion inside long matches (zlib's `max_insert_length` idea) — the
+//! wins that make block encode a non-hot-path again. The byte-at-a-time
+//! seed implementation is preserved in [`reference`] as a test oracle: both
+//! encoders emit the *same stream format* and either decoder accepts either
+//! encoder's output.
 
 use nsdf_util::{NsdfError, Result};
 
@@ -14,11 +23,55 @@ const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = 259; // MIN_MATCH + u8::MAX
 const MAX_CHAIN: usize = 64;
 const HASH_BITS: u32 = 15;
+/// Matches longer than this insert only every [`INSERT_STRIDE`]-th position
+/// into the hash chains; the skipped slots cost a little ratio on exotic
+/// inputs and buy a large constant factor on run-heavy filtered rasters.
+const MAX_INSERT: usize = 32;
+const INSERT_STRIDE: usize = 8;
+/// A match at least this long is accepted without walking the rest of the
+/// hash chain.
+const ACCEPT_LEN: usize = 128;
+/// Chain budget of the fast encoder. Shorter than the reference encoder's
+/// [`MAX_CHAIN`]: the probe-byte quick reject means the chain head is almost
+/// always the winner on raster data, so deep walks buy little ratio.
+const FAST_CHAIN: usize = 16;
+/// After `2^SKIP_TRIGGER` consecutive positions without a match, the
+/// encoder starts stepping over input bytes between searches (LZ4's skip
+/// acceleration): incompressible stretches — noisy mantissa planes — cost
+/// near-memcpy time instead of a full chain walk per byte.
+const SKIP_TRIGGER: usize = 5;
 
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
     let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Length of the common prefix of `src[a..a+limit]` and `src[b..b+limit]`,
+/// compared a `u64` word at a time.
+#[inline]
+fn match_len(src: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let pa = &src[a..a + limit];
+    let pb = &src[b..b + limit];
+    let mut l = 0usize;
+    let mut ca = pa.chunks_exact(8);
+    let mut cb = pb.chunks_exact(8);
+    for (x, y) in ca.by_ref().zip(cb.by_ref()) {
+        let xv = u64::from_le_bytes(x.try_into().expect("8-byte chunk"));
+        let yv = u64::from_le_bytes(y.try_into().expect("8-byte chunk"));
+        let diff = xv ^ yv;
+        if diff != 0 {
+            return l + (diff.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        if x != y {
+            break;
+        }
+        l += 1;
+    }
+    l
 }
 
 /// Compress `src` with LZSS.
@@ -58,28 +111,34 @@ pub fn lzss_encode(src: &[u8]) -> Vec<u8> {
         }
     };
 
+    let mut misses = 0usize;
     while i < src.len() {
-        let mut best_len = 0usize;
+        // Seeding at MIN_MATCH - 1 makes the probe byte below reject
+        // candidates that cannot reach a usable match at all; matches
+        // shorter than MIN_MATCH never win, so the output is unchanged.
+        let mut best_len = MIN_MATCH - 1;
         let mut best_off = 0usize;
         if i + MIN_MATCH <= src.len() {
+            let limit = (src.len() - i).min(MAX_MATCH);
             let h = hash4(&src[i..]);
             let mut cand = head[h];
             let mut probes = 0;
-            while cand != 0 && probes < MAX_CHAIN {
+            while cand != 0 && probes < FAST_CHAIN {
                 let c = (cand - 1) as usize;
                 if i - c > WINDOW.min(i) {
                     break;
                 }
-                let limit = (src.len() - i).min(MAX_MATCH);
-                let mut l = 0usize;
-                while l < limit && src[c + l] == src[i + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_off = i - c;
-                    if l >= limit {
-                        break;
+                // A candidate can only improve on the current best if it
+                // also agrees at position `best_len`; one probe byte skips
+                // the full compare for most losers.
+                if src[c + best_len] == src[i + best_len] {
+                    let l = match_len(src, c, i, limit);
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - c;
+                        if l >= limit || l >= ACCEPT_LEN {
+                            break;
+                        }
                     }
                 }
                 cand = prev[c % WINDOW];
@@ -88,18 +147,40 @@ pub fn lzss_encode(src: &[u8]) -> Vec<u8> {
         }
 
         if best_len >= MIN_MATCH {
+            misses = 0;
             push_flag!(true);
             out.extend_from_slice(&(best_off as u16).to_le_bytes());
             out.push((best_len - MIN_MATCH) as u8);
-            for k in 0..best_len {
+            let step = if best_len <= MAX_INSERT { 1 } else { INSERT_STRIDE };
+            let mut k = 0;
+            while k < best_len {
                 insert(&mut head, &mut prev, src, i + k);
+                k += step;
             }
             i += best_len;
         } else {
-            push_flag!(false);
-            out.push(src[i]);
+            // Emit this literal plus, deep into an incompressible stretch,
+            // a few more without searching at the skipped positions. Clear
+            // flags never touch the group byte, so a run of literals inside
+            // one group can be copied with a single `extend_from_slice`.
+            let step = (1 + (misses >> SKIP_TRIGGER)).min(src.len() - i);
+            misses += 1;
             insert(&mut head, &mut prev, src, i);
-            i += 1;
+            let mut k = i;
+            let mut rem = step;
+            while rem > 0 {
+                if flag_bit == 8 {
+                    flags_at = out.len();
+                    out.push(0);
+                    flag_bit = 0;
+                }
+                let m = rem.min(8 - flag_bit as usize);
+                out.extend_from_slice(&src[k..k + m]);
+                flag_bit += m as u8;
+                k += m;
+                rem -= m;
+            }
+            i += step;
         }
     }
     out
@@ -107,11 +188,18 @@ pub fn lzss_encode(src: &[u8]) -> Vec<u8> {
 
 /// Decompress LZSS output into exactly `dst_len` bytes.
 pub fn lzss_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(dst_len);
+    let mut out = vec![0u8; dst_len];
+    lzss_decode_into(src, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress LZSS output to exactly fill `dst`, allocation-free.
+pub fn lzss_decode_into(src: &[u8], dst: &mut [u8]) -> Result<()> {
     let mut i = 0usize;
+    let mut pos = 0usize;
     let mut flags = 0u8;
     let mut flag_bit = 8u8;
-    while out.len() < dst_len {
+    while pos < dst.len() {
         if flag_bit == 8 {
             flags = *src.get(i).ok_or_else(|| NsdfError::corrupt("lzss: missing flag byte"))?;
             i += 1;
@@ -126,24 +214,174 @@ pub fn lzss_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
             let off = u16::from_le_bytes([tok[0], tok[1]]) as usize;
             let len = tok[2] as usize + MIN_MATCH;
             i += 3;
-            if off == 0 || off > out.len() {
+            if off == 0 || off > pos {
                 return Err(NsdfError::corrupt("lzss: match offset out of range"));
             }
-            let start = out.len() - off;
-            for k in 0..len {
-                let b = out[start + k];
-                out.push(b);
+            if len > dst.len() - pos {
+                return Err(NsdfError::corrupt("lzss: output length mismatch"));
             }
+            copy_match(dst, pos, off, len);
+            pos += len;
         } else {
             let &b = src.get(i).ok_or_else(|| NsdfError::corrupt("lzss: missing literal"))?;
             i += 1;
-            out.push(b);
+            dst[pos] = b;
+            pos += 1;
         }
     }
-    if out.len() != dst_len {
-        return Err(NsdfError::corrupt("lzss: output length mismatch"));
+    Ok(())
+}
+
+/// Copy `len` bytes from `dst[pos-off..]` to `dst[pos..]` with LZ
+/// pattern-replication semantics when the regions overlap.
+///
+/// Caller guarantees `0 < off <= pos` and `pos + len <= dst.len()`.
+#[inline]
+pub(crate) fn copy_match(dst: &mut [u8], pos: usize, off: usize, len: usize) {
+    let start = pos - off;
+    if off >= len {
+        dst.copy_within(start..start + len, pos);
+    } else {
+        // Overlapping copy: seed one period, then double the filled span.
+        dst.copy_within(start..start + off, pos);
+        let mut filled = off;
+        while filled < len {
+            let take = filled.min(len - filled);
+            dst.copy_within(pos..pos + take, pos + filled);
+            filled += take;
+        }
     }
-    Ok(out)
+}
+
+/// The seed scalar LZSS, kept verbatim as the oracle for the
+/// kernel-equivalence tests and the `BENCH_codecs.json` speedup baseline.
+/// Emits the same stream format as [`lzss_encode`].
+pub mod reference {
+    use super::{hash4, MAX_CHAIN, MAX_MATCH, MIN_MATCH, WINDOW};
+    use nsdf_util::{NsdfError, Result};
+
+    /// Byte-at-a-time LZSS encoder (seed implementation).
+    pub fn lzss_encode(src: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(src.len() / 2 + 16);
+        if src.is_empty() {
+            return out;
+        }
+        let mut head = vec![0u32; 1 << super::HASH_BITS];
+        let mut prev = vec![0u32; WINDOW];
+
+        let mut flags_at = usize::MAX;
+        let mut flag_bit = 8u8;
+        let mut i = 0usize;
+
+        macro_rules! push_flag {
+            ($set:expr) => {
+                if flag_bit == 8 {
+                    flags_at = out.len();
+                    out.push(0);
+                    flag_bit = 0;
+                }
+                if $set {
+                    out[flags_at] |= 1 << flag_bit;
+                }
+                flag_bit += 1;
+            };
+        }
+
+        let insert = |head: &mut [u32], prev: &mut [u32], src: &[u8], pos: usize| {
+            if pos + MIN_MATCH <= src.len() {
+                let h = hash4(&src[pos..]);
+                prev[pos % WINDOW] = head[h];
+                head[h] = pos as u32 + 1;
+            }
+        };
+
+        while i < src.len() {
+            let mut best_len = 0usize;
+            let mut best_off = 0usize;
+            if i + MIN_MATCH <= src.len() {
+                let h = hash4(&src[i..]);
+                let mut cand = head[h];
+                let mut probes = 0;
+                while cand != 0 && probes < MAX_CHAIN {
+                    let c = (cand - 1) as usize;
+                    if i - c > WINDOW.min(i) {
+                        break;
+                    }
+                    let limit = (src.len() - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < limit && src[c + l] == src[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - c;
+                        if l >= limit {
+                            break;
+                        }
+                    }
+                    cand = prev[c % WINDOW];
+                    probes += 1;
+                }
+            }
+
+            if best_len >= MIN_MATCH {
+                push_flag!(true);
+                out.extend_from_slice(&(best_off as u16).to_le_bytes());
+                out.push((best_len - MIN_MATCH) as u8);
+                for k in 0..best_len {
+                    insert(&mut head, &mut prev, src, i + k);
+                }
+                i += best_len;
+            } else {
+                push_flag!(false);
+                out.push(src[i]);
+                insert(&mut head, &mut prev, src, i);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Byte-at-a-time LZSS decoder (seed implementation).
+    pub fn lzss_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(dst_len);
+        let mut i = 0usize;
+        let mut flags = 0u8;
+        let mut flag_bit = 8u8;
+        while out.len() < dst_len {
+            if flag_bit == 8 {
+                flags = *src.get(i).ok_or_else(|| NsdfError::corrupt("lzss: missing flag byte"))?;
+                i += 1;
+                flag_bit = 0;
+            }
+            let is_match = (flags >> flag_bit) & 1 == 1;
+            flag_bit += 1;
+            if is_match {
+                let tok = src
+                    .get(i..i + 3)
+                    .ok_or_else(|| NsdfError::corrupt("lzss: truncated match token"))?;
+                let off = u16::from_le_bytes([tok[0], tok[1]]) as usize;
+                let len = tok[2] as usize + MIN_MATCH;
+                i += 3;
+                if off == 0 || off > out.len() {
+                    return Err(NsdfError::corrupt("lzss: match offset out of range"));
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                let &b = src.get(i).ok_or_else(|| NsdfError::corrupt("lzss: missing literal"))?;
+                i += 1;
+                out.push(b);
+            }
+        }
+        if out.len() != dst_len {
+            return Err(NsdfError::corrupt("lzss: output length mismatch"));
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +392,10 @@ mod tests {
         let enc = lzss_encode(src);
         let dec = lzss_decode(&enc, src.len()).unwrap();
         assert_eq!(dec, src, "roundtrip failed for len {}", src.len());
+        // Cross-decoder format compatibility with the seed implementation.
+        assert_eq!(reference::lzss_decode(&enc, src.len()).unwrap(), src);
+        let ref_enc = reference::lzss_encode(src);
+        assert_eq!(lzss_decode(&ref_enc, src.len()).unwrap(), src);
         enc.len()
     }
 
@@ -236,5 +478,16 @@ mod tests {
         let src: Vec<u8> = (0..50_000).map(|i| (i / 200) as u8).collect();
         let n = roundtrip(&src);
         assert!(n < src.len() / 5);
+    }
+
+    #[test]
+    fn ratio_stays_close_to_reference_encoder() {
+        // Sparse chain insertion may cost a little ratio but not much.
+        let floats: Vec<u8> =
+            (0..8192).flat_map(|i| (((i as f32) * 0.02).sin() * 900.0).to_le_bytes()).collect();
+        let filtered = crate::filter::shuffle_delta(&floats, 4).unwrap();
+        let fast = lzss_encode(&filtered).len();
+        let slow = reference::lzss_encode(&filtered).len();
+        assert!(fast <= slow + slow / 10 + 64, "fast {fast} vs reference {slow}");
     }
 }

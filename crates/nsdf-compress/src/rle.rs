@@ -48,9 +48,18 @@ pub fn packbits_encode(src: &[u8]) -> Vec<u8> {
 
 /// Decompress PackBits into a buffer of exactly `dst_len` bytes.
 pub fn packbits_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(dst_len);
+    let mut out = vec![0u8; dst_len];
+    packbits_decode_into(src, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress PackBits to exactly fill `dst`, allocation-free.
+pub fn packbits_decode_into(src: &[u8], dst: &mut [u8]) -> Result<()> {
     let mut i = 0;
-    while i < src.len() && out.len() < dst_len {
+    let mut pos = 0usize;
+    let overrun =
+        |pos: usize| NsdfError::corrupt(format!("packbits produced more than {pos} bytes"));
+    while i < src.len() && pos < dst.len() {
         let ctrl = src[i];
         i += 1;
         match ctrl {
@@ -59,7 +68,11 @@ pub fn packbits_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
                 let lit = src
                     .get(i..i + n)
                     .ok_or_else(|| NsdfError::corrupt("packbits literal overruns input"))?;
-                out.extend_from_slice(lit);
+                if n > dst.len() - pos {
+                    return Err(overrun(dst.len()));
+                }
+                dst[pos..pos + n].copy_from_slice(lit);
+                pos += n;
                 i += n;
             }
             128 => {}
@@ -68,17 +81,21 @@ pub fn packbits_decode(src: &[u8], dst_len: usize) -> Result<Vec<u8>> {
                 let &b =
                     src.get(i).ok_or_else(|| NsdfError::corrupt("packbits run missing byte"))?;
                 i += 1;
-                out.extend(std::iter::repeat_n(b, n));
+                if n > dst.len() - pos {
+                    return Err(overrun(dst.len()));
+                }
+                dst[pos..pos + n].fill(b);
+                pos += n;
             }
         }
     }
-    if out.len() != dst_len {
+    if pos != dst.len() {
         return Err(NsdfError::corrupt(format!(
-            "packbits produced {} bytes, expected {dst_len}",
-            out.len()
+            "packbits produced {pos} bytes, expected {}",
+            dst.len()
         )));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,9 +1,23 @@
 //! Property-based round-trip guarantees for every codec in the palette.
 
+use nsdf_compress::adapt::{self, CodecPolicy};
 use nsdf_compress::codec::Codec;
 use nsdf_compress::filter::{delta_decode, delta_encode, shuffle, unshuffle};
 use nsdf_compress::fixedrate::{fixedrate_decode_f32, fixedrate_encode_f32};
 use proptest::prelude::*;
+
+/// Every codec in the palette, sample-framed variants at 4-byte samples.
+fn full_palette() -> Vec<Codec> {
+    vec![
+        Codec::Raw,
+        Codec::PackBits,
+        Codec::Lzss,
+        Codec::Lz4,
+        Codec::ShuffleLzss { sample_size: 4 },
+        Codec::LzssHuff { sample_size: 4 },
+        Codec::FixedRate { bits: 12 },
+    ]
+}
 
 /// Byte buffers with a bias toward runs and structure (worst case for
 /// branchy token coders) as well as pure noise.
@@ -129,6 +143,126 @@ proptest! {
     fn huffman_roundtrips_adversarial(src in byte_buffers()) {
         let enc = nsdf_compress::huffman::huffman_encode(&src);
         prop_assert_eq!(nsdf_compress::huffman::huffman_decode(&enc, src.len()).unwrap(), src);
+    }
+
+    // ---- Corruption hardening: a store can hand back anything. ------------
+    //
+    // For every codec the decoder must turn a damaged payload into either a
+    // correct round-trip (the damage missed the live bytes) or a structured
+    // error — never a panic, and never an attacker-controlled allocation.
+
+    #[test]
+    fn truncated_encodings_never_panic(src in byte_buffers(), cut_frac in 0.0f64..1.0) {
+        let mut framed = src;
+        framed.truncate(framed.len() / 4 * 4);
+        for codec in full_palette() {
+            let enc = codec.encode(&framed).unwrap();
+            let cut = ((enc.len() as f64) * cut_frac) as usize;
+            let _ = codec.decode(&enc[..cut], framed.len());
+            let mut dst = vec![0u8; framed.len()];
+            let _ = codec.decode_into(&enc[..cut], &mut dst);
+        }
+    }
+
+    #[test]
+    fn bitflipped_encodings_never_panic(
+        src in byte_buffers(),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut framed = src;
+        framed.truncate(framed.len() / 4 * 4);
+        for codec in full_palette() {
+            let mut enc = codec.encode(&framed).unwrap();
+            if !enc.is_empty() {
+                let p = pos_seed % enc.len();
+                enc[p] ^= 1 << bit;
+            }
+            if let Ok(out) = codec.decode(&enc, framed.len()) {
+                // A surviving decode must still honour the requested size.
+                prop_assert_eq!(out.len(), framed.len());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_headered_blocks_never_panic(
+        src in byte_buffers(),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut framed = src;
+        framed.truncate(framed.len() / 4 * 4);
+        prop_assume!(!framed.is_empty());
+        let policies =
+            [CodecPolicy::Static(Codec::LzssHuff { sample_size: 4 }), CodecPolicy::adaptive_best()];
+        for policy in policies {
+            let (_, block) = adapt::encode_block(&policy, &framed, 4).unwrap();
+            // Truncation, including cutting into (or entirely off) the header.
+            let cut = ((block.len() as f64) * cut_frac) as usize;
+            let mut dst = vec![0u8; framed.len()];
+            let _ = adapt::decode_block_into(&block[..cut], 4, &mut dst);
+            // Single bit flip anywhere, header byte included.
+            let mut flipped = block.clone();
+            let p = pos_seed % flipped.len();
+            flipped[p] ^= 1 << bit;
+            let _ = adapt::decode_block_into(&flipped, 4, &mut dst);
+            // Garbage must error, not panic, even when the flipped tag
+            // selects a different codec than the one that encoded the block.
+        }
+    }
+
+    #[test]
+    fn random_garbage_with_block_header_never_panics(
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+        dst_len in 0usize..2048,
+    ) {
+        let mut dst = vec![0u8; dst_len / 4 * 4];
+        let _ = adapt::decode_block_into(&garbage, 4, &mut dst);
+    }
+
+    // ---- Kernel equivalence: fast paths vs the seed scalar oracles. -------
+
+    #[test]
+    fn fast_filter_kernels_match_reference_oracles(src in byte_buffers(), size in 1usize..9) {
+        use nsdf_compress::filter;
+        let mut framed = src;
+        framed.truncate(framed.len() / size * size);
+        let want_sh = filter::reference::shuffle(&framed, size).unwrap();
+        prop_assert_eq!(filter::shuffle(&framed, size).unwrap(), want_sh.clone());
+        prop_assert_eq!(
+            filter::unshuffle(&want_sh, size).unwrap(),
+            filter::reference::unshuffle(&want_sh, size).unwrap()
+        );
+        // Fused shuffle+delta == reference shuffle then reference delta.
+        prop_assert_eq!(
+            filter::shuffle_delta(&framed, size).unwrap(),
+            filter::reference::delta_encode(&want_sh)
+        );
+        // In-place delta kernels match the allocating references.
+        let mut buf = framed.clone();
+        filter::delta_encode_in_place(&mut buf);
+        prop_assert_eq!(buf.clone(), filter::reference::delta_encode(&framed));
+        filter::delta_decode_in_place(&mut buf);
+        prop_assert_eq!(buf, framed.clone());
+        // The fused inverse restores the original bytes.
+        let enc = filter::shuffle_delta(&framed, size).unwrap();
+        let mut dst = vec![0u8; framed.len()];
+        filter::undelta_unshuffle_into(&enc, size, &mut dst).unwrap();
+        prop_assert_eq!(dst, framed);
+    }
+
+    #[test]
+    fn fast_lzss_interoperates_with_reference(src in byte_buffers()) {
+        use nsdf_compress::lzss;
+        // Fast encoder output decodes back with both decoders.
+        let fast = lzss::lzss_encode(&src);
+        prop_assert_eq!(lzss::lzss_decode(&fast, src.len()).unwrap(), src.clone());
+        prop_assert_eq!(lzss::reference::lzss_decode(&fast, src.len()).unwrap(), src.clone());
+        // Reference encoder output decodes with the fast decoder.
+        let slow = lzss::reference::lzss_encode(&src);
+        prop_assert_eq!(lzss::lzss_decode(&slow, src.len()).unwrap(), src);
     }
 }
 

@@ -9,7 +9,7 @@
 //! one coherent end-to-end timeline.
 
 use crate::client::NsdfClient;
-use nsdf_compress::Codec;
+use nsdf_compress::{Codec, CodecPolicy};
 use nsdf_dashboard::{Colormap, Dashboard, FrameInfo, RangeMode};
 use nsdf_geotiled::{compute_terrain_tiled_obs, DemConfig, Sun, TerrainParam, TilePlan};
 use nsdf_idx::{Field, IdxDataset, IdxMeta, WriteStats};
@@ -32,8 +32,8 @@ pub struct TutorialConfig {
     pub tiles: (usize, usize),
     /// Worker threads for tiled computation.
     pub threads: usize,
-    /// Block codec for the IDX dataset.
-    pub codec: Codec,
+    /// Block codec policy for the IDX dataset (static or adaptive).
+    pub codec: CodecPolicy,
     /// log2 samples per IDX block.
     pub bits_per_block: u32,
     /// Blocks uploaded per `put_many` batch during Step 2's conversion.
@@ -54,7 +54,7 @@ impl TutorialConfig {
             seed,
             tiles: (4, 2),
             threads: 4,
-            codec: Codec::LzssHuff { sample_size: 4 },
+            codec: CodecPolicy::Static(Codec::LzssHuff { sample_size: 4 }),
             bits_per_block: 12,
             write_concurrency: 8,
             storage_endpoint: "seal".into(),
@@ -175,8 +175,9 @@ pub fn run_tutorial(client: &NsdfClient, cfg: &TutorialConfig) -> Result<Tutoria
                 cfg2.height as u64,
                 fields,
                 cfg2.bits_per_block,
-                cfg2.codec,
-            )?;
+                Codec::Raw,
+            )?
+            .with_codec_policy(cfg2.codec);
             if let Some(g) = geo {
                 meta = meta.with_geo(g);
             }
@@ -461,7 +462,7 @@ mod tests {
         cfg.width = 64;
         cfg.height = 64;
         cfg.tiles = (2, 2);
-        cfg.codec = Codec::FixedRate { bits: 12 };
+        cfg.codec = CodecPolicy::Static(Codec::FixedRate { bits: 12 });
         cfg.storage_endpoint = "local".into();
         let report = run_tutorial(&client, &cfg).unwrap();
         assert!(!report.validation_exact());

@@ -14,7 +14,7 @@
 use crate::meta::IdxMeta;
 use nsdf_hz::{hz_from_z, HzCurve};
 use nsdf_storage::ObjectStore;
-use nsdf_util::obs::{Counter, Obs};
+use nsdf_util::obs::{Counter, HistogramMetric, Obs};
 use nsdf_util::par::{num_threads, try_par_map};
 use nsdf_util::{bytes_to_samples, samples_to_bytes, Box2i, NsdfError, Raster, Result, Sample};
 use parking_lot::Mutex;
@@ -46,6 +46,12 @@ pub struct WriteStats {
     pub encode_secs: f64,
     /// Wall-clock seconds spent uploading encoded blocks.
     pub put_secs: f64,
+    /// Stored blocks per codec name — under an adaptive policy this is the
+    /// per-block selection histogram; under a static policy a single entry.
+    pub codec_blocks: BTreeMap<String, u64>,
+    /// Raw bytes minus stored bytes, floored at zero per block: what the
+    /// codec choices actually saved.
+    pub bytes_saved: u64,
 }
 
 impl WriteStats {
@@ -70,6 +76,10 @@ impl WriteStats {
         self.write_concurrency = self.write_concurrency.max(other.write_concurrency);
         self.encode_secs += other.encode_secs;
         self.put_secs += other.put_secs;
+        for (codec, n) in &other.codec_blocks {
+            *self.codec_blocks.entry(codec.clone()).or_default() += n;
+        }
+        self.bytes_saved += other.bytes_saved;
     }
 }
 
@@ -106,6 +116,9 @@ pub struct QueryStats {
     pub blocks_unavailable: u64,
     /// True when the query fell back to a coarser level than requested.
     pub degraded: bool,
+    /// Blocks decoded per codec name — shows which codecs an adaptive
+    /// writer actually chose for the blocks this query touched.
+    pub codec_blocks: BTreeMap<String, u64>,
 }
 
 impl QueryStats {
@@ -126,6 +139,9 @@ impl QueryStats {
         self.delivered_level = self.delivered_level.max(other.delivered_level);
         self.blocks_unavailable += other.blocks_unavailable;
         self.degraded |= other.degraded;
+        for (codec, n) in &other.codec_blocks {
+            *self.codec_blocks.entry(codec.clone()).or_default() += n;
+        }
     }
 }
 
@@ -237,6 +253,12 @@ struct IdxMetrics {
     put_batches: Counter,
     rmw_fetch_vns: Counter,
     put_vns: Counter,
+    /// Raw-minus-stored bytes across all writes (`idx.compress.bytes_saved`).
+    bytes_saved: Counter,
+    /// Wall-clock encode/decode timings; registered as wall histograms so
+    /// deterministic snapshot JSON stays byte-stable.
+    encode_secs: HistogramMetric,
+    decode_secs: HistogramMetric,
 }
 
 impl IdxMetrics {
@@ -260,10 +282,23 @@ impl IdxMetrics {
             put_batches: obs.counter("put_batches"),
             rmw_fetch_vns: obs.counter("rmw_fetch_vns"),
             put_vns: obs.counter("put_vns"),
+            bytes_saved: obs.counter("compress.bytes_saved"),
+            encode_secs: obs.wall_histogram("compress.encode_secs", SECS_BOUNDS),
+            decode_secs: obs.wall_histogram("compress.decode_secs", SECS_BOUNDS),
             obs,
         }
     }
+
+    /// Counter of blocks stored or decoded with `codec`
+    /// (`idx.compress.blocks.<codec>`); registered on first use, so only
+    /// codecs the dataset actually picked appear in snapshots.
+    fn codec_blocks(&self, codec: &str) -> Counter {
+        self.obs.counter(&format!("compress.blocks.{codec}"))
+    }
 }
+
+/// Bucket bounds (seconds) for the wall-clock encode/decode histograms.
+const SECS_BOUNDS: &[f64] = &[0.001, 0.005, 0.02, 0.1, 0.5, 2.0];
 
 /// An open IDX dataset bound to an object store.
 pub struct IdxDataset {
@@ -536,19 +571,21 @@ impl IdxDataset {
             let _encode_span = self.m.obs.span("encode");
             try_par_map(entries, num_threads(), |(block, samples)| -> Result<_> {
                 let raw_len = samples.len() * T::DTYPE.size_bytes();
-                let enc = self.meta.codec.encode(&samples_to_bytes(samples))?;
-                Ok((*block, raw_len, enc))
+                let (codec, enc) = self.meta.encode_block(field_idx, &samples_to_bytes(samples))?;
+                Ok((*block, raw_len, codec, enc))
             })?
         };
-        stats.encode_secs += t_encode.elapsed().as_secs_f64();
+        let encode_secs = t_encode.elapsed().as_secs_f64();
+        stats.encode_secs += encode_secs;
+        self.m.encode_secs.observe(encode_secs);
 
         for batch in encoded.chunks(self.write_concurrency.max(1)) {
             let keys: Vec<String> =
-                batch.iter().map(|(b, _, _)| self.block_key(field_idx, time, *b)).collect();
+                batch.iter().map(|(b, _, _, _)| self.block_key(field_idx, time, *b)).collect();
             let items: Vec<(&str, &[u8])> = keys
                 .iter()
                 .zip(batch)
-                .map(|(k, (_, _, enc))| (k.as_str(), enc.as_slice()))
+                .map(|(k, (_, _, _, enc))| (k.as_str(), enc.as_slice()))
                 .collect();
             let t_put = Instant::now();
             let results = {
@@ -568,13 +605,18 @@ impl IdxDataset {
             {
                 let mut cache = self.decoded.lock();
                 cache.write_epoch += 1;
-                for ((block, raw_len, enc), r) in batch.iter().zip(results) {
+                for ((block, raw_len, codec, enc), r) in batch.iter().zip(results) {
                     match r {
                         Ok(_) => {
                             cache.remove(&(field_idx, time, *block));
                             stats.blocks_written += 1;
                             stats.bytes_raw += *raw_len as u64;
                             stats.bytes_stored += enc.len() as u64;
+                            let saved = (*raw_len as u64).saturating_sub(enc.len() as u64);
+                            stats.bytes_saved += saved;
+                            *stats.codec_blocks.entry(codec.name()).or_default() += 1;
+                            self.m.bytes_saved.add(saved);
+                            self.m.codec_blocks(&codec.name()).inc();
                         }
                         Err(e) if first_err.is_none() => first_err = Some(e),
                         Err(_) => {}
@@ -728,7 +770,8 @@ impl IdxDataset {
                     RmwSource::Fresh => vec![T::ZERO; block_samples],
                     RmwSource::Cached(raw) => bytes_to_samples(raw.as_slice())?,
                     RmwSource::Fetched(enc) => {
-                        let raw = self.meta.codec.decode(enc, block_samples * sample_size)?;
+                        let mut raw = vec![0u8; block_samples * sample_size];
+                        self.meta.decode_block_into(field_idx, enc, &mut raw)?;
                         bytes_to_samples(&raw)?
                     }
                 };
@@ -905,22 +948,31 @@ impl IdxDataset {
             let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
                 match enc {
                     Some(enc) => {
-                        let raw = self.meta.codec.decode(enc, block_samples * sample_size)?;
-                        Ok((*block, enc.len() as u64, Some(Arc::new(raw))))
+                        let mut raw = vec![0u8; block_samples * sample_size];
+                        let codec = self.meta.decode_block_into(field_idx, enc, &mut raw)?;
+                        Ok((*block, enc.len() as u64, Some((codec, Arc::new(raw)))))
                     }
                     None => Ok((*block, 0, None)),
                 }
             })?;
             drop(_decode_span);
-            stats.decode_secs += t_decode.elapsed().as_secs_f64();
+            let decode_secs = t_decode.elapsed().as_secs_f64();
+            stats.decode_secs += decode_secs;
+            self.m.decode_secs.observe(decode_secs);
 
             let mut cache = self.decoded.lock();
             let install = cache.write_epoch == epoch;
-            for (block, enc_len, raw) in decoded {
+            for (block, enc_len, decoded) in decoded {
                 stats.bytes_fetched += enc_len;
-                if raw.is_some() {
-                    stats.blocks_decoded += 1;
-                }
+                let raw = match decoded {
+                    Some((codec, raw)) => {
+                        stats.blocks_decoded += 1;
+                        *stats.codec_blocks.entry(codec.name()).or_default() += 1;
+                        self.m.codec_blocks(&codec.name()).inc();
+                        Some(raw)
+                    }
+                    None => None,
+                };
                 if install {
                     cache.insert((field_idx, time, block), raw.clone());
                 }
@@ -1396,6 +1448,7 @@ mod tests {
             delivered_level: 3,
             blocks_unavailable: 1,
             degraded: true,
+            codec_blocks: [("lz4".to_string(), 5u64)].into_iter().collect(),
         };
         // default ∪ x == x, and x ∪ default == x.
         let mut from_default = QueryStats::default();
@@ -1597,6 +1650,8 @@ mod tests {
             write_concurrency: 8,
             encode_secs: 0.125,
             put_secs: 0.25,
+            bytes_saved: 212,
+            codec_blocks: [("raw".to_string(), 7u64)].into_iter().collect(),
         };
         let mut from_default = WriteStats::default();
         from_default.merge(&stats);

@@ -1,16 +1,23 @@
 //! The `.idx` dataset header.
 //!
 //! Mirrors the role of OpenVisus's text `.idx` metadata file: logical
-//! dimensions, the HZ bitmask, field descriptors, block sizing, codec, and
-//! optional geo-referencing. Serialized through [`nsdf_util::Meta`] so the
-//! header stays a human-readable text object next to the block data.
+//! dimensions, the HZ bitmask, field descriptors, block sizing, codec
+//! policy, and optional geo-referencing. Serialized through
+//! [`nsdf_util::Meta`] so the header stays a human-readable text object
+//! next to the block data.
+//!
+//! Version 2 headers replace the single `codec=` key with a
+//! `codec_policy=` key (a static codec name or `adaptive:<ratio>:<mode>`)
+//! plus a `block_headers=` flag; version 1 headers still parse, mapping to
+//! a static policy over headerless legacy blocks, and their data reads
+//! back bit-identically.
 
-use nsdf_compress::Codec;
+use nsdf_compress::{adapt, Codec, CodecPolicy};
 use nsdf_hz::BitMask;
 use nsdf_util::{DType, GeoTransform, Meta, NsdfError, Result};
 
 /// Current header format version.
-pub const IDX_VERSION: u32 = 1;
+pub const IDX_VERSION: u32 = 2;
 
 /// One named field (variable) of the dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,8 +54,13 @@ pub struct IdxMeta {
     pub fields: Vec<Field>,
     /// log2 of samples per block.
     pub bits_per_block: u32,
-    /// Codec applied to each block.
-    pub codec: Codec,
+    /// How each block picks its codec (static, or adaptive per block).
+    pub codec_policy: CodecPolicy,
+    /// When true, every stored block starts with the 1-byte versioned
+    /// codec header ([`nsdf_compress::adapt`]); when false, blocks are the
+    /// bare codec payload of the version-1 layout and the policy must be
+    /// static.
+    pub block_headers: bool,
     /// Number of timesteps.
     pub timesteps: u32,
     /// Optional geo-referencing of the full-resolution grid.
@@ -79,10 +91,18 @@ impl IdxMeta {
             bitmask,
             fields,
             bits_per_block,
-            codec,
+            codec_policy: CodecPolicy::Static(codec),
+            block_headers: true,
             timesteps: 1,
             geo: None,
         })
+    }
+
+    /// Builder: replace the codec policy (e.g. switch the dataset to
+    /// per-block adaptive selection).
+    pub fn with_codec_policy(mut self, policy: CodecPolicy) -> IdxMeta {
+        self.codec_policy = policy;
+        self
     }
 
     /// Builder: set the number of timesteps.
@@ -120,6 +140,65 @@ impl IdxMeta {
         total.div_ceil(self.block_samples())
     }
 
+    /// Sample size the block-header codecs should use for `field_idx`.
+    ///
+    /// Normally the field's dtype width; a static shuffle-family codec with
+    /// an explicit different width wins, so such (legal, if odd) configs
+    /// keep round-tripping through the tag-only block header.
+    fn block_sample_size(&self, field_idx: usize) -> u8 {
+        if let CodecPolicy::Static(
+            Codec::ShuffleLzss { sample_size } | Codec::LzssHuff { sample_size },
+        ) = self.codec_policy
+        {
+            return sample_size;
+        }
+        self.fields[field_idx].dtype.size_bytes() as u8
+    }
+
+    /// Encode one raw block for `field_idx` under this dataset's codec
+    /// policy and block layout. Returns the codec actually used (for
+    /// per-codec write statistics) and the bytes to store.
+    pub fn encode_block(&self, field_idx: usize, raw: &[u8]) -> Result<(Codec, Vec<u8>)> {
+        if self.block_headers {
+            return adapt::encode_block(&self.codec_policy, raw, self.block_sample_size(field_idx));
+        }
+        match self.codec_policy {
+            CodecPolicy::Static(c) => Ok((c, c.encode(raw)?)),
+            CodecPolicy::Adaptive { .. } => {
+                Err(NsdfError::invalid("adaptive codec policy requires block headers"))
+            }
+        }
+    }
+
+    /// Decode one stored block of `field_idx` into `dst` (which must be
+    /// sized to the raw block length). Returns the codec that was used.
+    pub fn decode_block_into(&self, field_idx: usize, enc: &[u8], dst: &mut [u8]) -> Result<Codec> {
+        if self.block_headers {
+            return adapt::decode_block_into(enc, self.block_sample_size(field_idx), dst);
+        }
+        match self.codec_policy {
+            CodecPolicy::Static(c) => {
+                c.decode_into(enc, dst)?;
+                Ok(c)
+            }
+            CodecPolicy::Adaptive { .. } => {
+                Err(NsdfError::invalid("adaptive codec policy requires block headers"))
+            }
+        }
+    }
+
+    /// Allocating convenience over [`IdxMeta::decode_block_into`].
+    pub fn decode_block(
+        &self,
+        field_idx: usize,
+        enc: &[u8],
+        dst_len: usize,
+    ) -> Result<(Codec, Vec<u8>)> {
+        let mut out = vec![0u8; dst_len];
+        let codec = self.decode_block_into(field_idx, enc, &mut out)?;
+        Ok((codec, out))
+    }
+
     /// Serialize to the text header format.
     pub fn to_text(&self) -> String {
         let mut m = Meta::new();
@@ -140,7 +219,8 @@ impl IdxMeta {
                 .join(" "),
         );
         set(&mut m, "bits_per_block", self.bits_per_block.to_string());
-        set(&mut m, "codec", self.codec.name());
+        set(&mut m, "codec_policy", self.codec_policy.name());
+        set(&mut m, "block_headers", self.block_headers.to_string());
         set(&mut m, "timesteps", self.timesteps.to_string());
         if let Some(g) = self.geo {
             set(&mut m, "geo", format!("{} {} {} {}", g.x0, g.y0, g.dx, g.dy));
@@ -152,9 +232,21 @@ impl IdxMeta {
     pub fn from_text(text: &str) -> Result<IdxMeta> {
         let m = Meta::from_text(text)?;
         let version: u32 = m.get_parsed("version")?;
-        if version != IDX_VERSION {
+        if version == 0 || version > IDX_VERSION {
             return Err(NsdfError::format(format!("unsupported idx version {version}")));
         }
+        // v1 headers carry a bare `codec=` key and headerless blocks; v2
+        // headers carry a policy and the block-header flag.
+        let (codec_policy, block_headers) = if version == 1 {
+            (CodecPolicy::Static(Codec::parse(m.require("codec")?)?), false)
+        } else {
+            let policy = CodecPolicy::parse(m.require("codec_policy")?)?;
+            let headers: bool = m.get_parsed("block_headers")?;
+            if !headers && !matches!(policy, CodecPolicy::Static(_)) {
+                return Err(NsdfError::format("adaptive codec policy requires block headers"));
+            }
+            (policy, headers)
+        };
         let dims: Vec<u64> = m.get_list("dims")?;
         let bitmask = BitMask::parse(m.require("bitmask")?)?;
         let mut fields = Vec::new();
@@ -183,7 +275,8 @@ impl IdxMeta {
             bitmask,
             fields,
             bits_per_block: m.get_parsed("bits_per_block")?,
-            codec: Codec::parse(m.require("codec")?)?,
+            codec_policy,
+            block_headers,
             timesteps: m.get_parsed("timesteps")?,
             geo,
         })
@@ -256,6 +349,71 @@ mod tests {
         let text = sample_meta().to_text();
         assert!(text.contains("bitmask=V"));
         assert!(text.contains("fields=elevation:float32 slope:float32"));
-        assert!(text.contains("codec=shuffle4-lzss"));
+        assert!(text.contains("codec_policy=shuffle4-lzss"));
+        assert!(text.contains("block_headers=true"));
+
+        let adaptive = sample_meta().with_codec_policy(CodecPolicy::adaptive_best());
+        assert!(adaptive.to_text().contains("codec_policy=adaptive:inf:lossless"));
+    }
+
+    #[test]
+    fn adaptive_policy_roundtrips_through_text() {
+        let meta = sample_meta()
+            .with_codec_policy(CodecPolicy::Adaptive { target_ratio: 2.5, lossless_only: true });
+        let back = IdxMeta::from_text(&meta.to_text()).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn v1_header_parses_as_static_headerless() {
+        // A version-1 header as the seed wrote it: `codec=` key, no
+        // block-header flag.
+        let v1 = format!(
+            "bitmask={}\nbits_per_block=14\ncodec=shuffle4-lzss\ndims=4096 2160\n\
+             fields=elevation:float32\nname=legacy\ntimesteps=1\nversion=1\n",
+            sample_meta().bitmask.to_text()
+        );
+        let meta = IdxMeta::from_text(&v1).unwrap();
+        assert_eq!(meta.codec_policy, CodecPolicy::Static(Codec::ShuffleLzss { sample_size: 4 }));
+        assert!(!meta.block_headers);
+        // Re-serializing upgrades the header version but preserves the
+        // headerless block layout via the flag.
+        let back = IdxMeta::from_text(&meta.to_text()).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn adaptive_without_block_headers_is_rejected() {
+        let mut meta = sample_meta().with_codec_policy(CodecPolicy::adaptive_best());
+        meta.block_headers = false;
+        assert!(IdxMeta::from_text(&meta.to_text()).is_err());
+        assert!(meta.encode_block(0, &[0u8; 64]).is_err());
+        assert!(meta.decode_block_into(0, &[0u8; 64], &mut [0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn meta_block_helpers_roundtrip() {
+        let raw: Vec<u8> =
+            (0..2048).flat_map(|i| (((i as f32) * 0.01).sin() * 500.0).to_le_bytes()).collect();
+        for policy in [
+            CodecPolicy::Static(Codec::ShuffleLzss { sample_size: 4 }),
+            CodecPolicy::adaptive_best(),
+        ] {
+            let meta = sample_meta().with_codec_policy(policy);
+            let (codec, enc) = meta.encode_block(0, &raw).unwrap();
+            let (seen, back) = meta.decode_block(0, &enc, raw.len()).unwrap();
+            assert_eq!(seen, codec);
+            assert_eq!(back, raw, "{policy:?}");
+        }
+
+        // Headerless legacy layout still encodes/decodes via the helpers.
+        let mut legacy = sample_meta();
+        legacy.block_headers = false;
+        let (codec, enc) = legacy.encode_block(0, &raw).unwrap();
+        assert_eq!(codec, Codec::ShuffleLzss { sample_size: 4 });
+        // No header byte: the payload is the bare codec stream.
+        assert_eq!(codec.decode(&enc, raw.len()).unwrap(), raw);
+        let (_, back) = legacy.decode_block(0, &enc, raw.len()).unwrap();
+        assert_eq!(back, raw);
     }
 }

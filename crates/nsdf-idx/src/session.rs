@@ -544,8 +544,10 @@ impl<T: Sample> QuerySession<T> {
                 try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
                     match enc {
                         Some(enc) => {
-                            let raw = ds.meta().codec.decode(enc, block_samples * sample_size)?;
-                            Ok((*block, enc.len() as u64, Some(Arc::new(raw))))
+                            let mut raw = vec![0u8; block_samples * sample_size];
+                            let codec =
+                                ds.meta().decode_block_into(self.field_idx, enc, &mut raw)?;
+                            Ok((*block, enc.len() as u64, Some((codec, Arc::new(raw)))))
                         }
                         None => Ok((*block, 0, None)),
                     }
@@ -557,7 +559,9 @@ impl<T: Sample> QuerySession<T> {
                 self.field_idx,
                 time,
                 epoch,
-                decoded.iter().map(|(b, _, raw)| (*b, raw.clone() as DecodedEntry)),
+                decoded
+                    .iter()
+                    .map(|(b, _, raw)| (*b, raw.as_ref().map(|(_, r)| r.clone()) as DecodedEntry)),
             );
             for (block, enc_len, raw) in decoded {
                 stats.bytes_fetched += enc_len;
@@ -572,9 +576,12 @@ impl<T: Sample> QuerySession<T> {
                     // stale (evicted since); consume it without a hit.
                     self.prefetched.remove(&(time, block));
                 }
+                if let Some((codec, _)) = &raw {
+                    *stats.codec_blocks.entry(codec.name()).or_insert(0) += 1;
+                }
                 if install_resident {
                     let typed = match raw {
-                        Some(r) => Some(Arc::new(bytes_to_samples::<T>(&r)?)),
+                        Some((_, r)) => Some(Arc::new(bytes_to_samples::<T>(&r)?)),
                         None => None,
                     };
                     self.resident_insert(block, typed);
@@ -1040,8 +1047,11 @@ impl<T: Sample> VolumeSliceSession<T> {
             let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
                 match enc {
                     Some(enc) => {
-                        let raw = self.vol.meta().codec.decode(enc, block_samples * sample_size)?;
-                        Ok((*block, enc.len() as u64, Some(Arc::new(bytes_to_samples::<T>(&raw)?))))
+                        let mut raw = vec![0u8; block_samples * sample_size];
+                        let codec =
+                            self.vol.meta().decode_block_into(self.field_idx, enc, &mut raw)?;
+                        let typed = Arc::new(bytes_to_samples::<T>(&raw)?);
+                        Ok((*block, enc.len() as u64, Some((codec, typed))))
                     }
                     None => Ok((*block, 0, None)),
                 }
@@ -1049,9 +1059,14 @@ impl<T: Sample> VolumeSliceSession<T> {
             stats.decode_secs += t_decode.elapsed().as_secs_f64();
             for (block, enc_len, typed) in decoded {
                 stats.bytes_fetched += enc_len;
-                if typed.is_some() {
-                    stats.blocks_decoded += 1;
-                }
+                let typed = match typed {
+                    Some((codec, t)) => {
+                        stats.blocks_decoded += 1;
+                        *stats.codec_blocks.entry(codec.name()).or_insert(0) += 1;
+                        Some(t)
+                    }
+                    None => None,
+                };
                 self.resident.insert(block, typed);
             }
         }

@@ -195,27 +195,29 @@ impl IdxVolume {
         let encode_start = Instant::now();
         let encoded = try_par_map(&entries, num_threads(), |(block, samples)| -> Result<_> {
             let raw_len = samples.len() * T::DTYPE.size_bytes();
-            let enc = self.meta.codec.encode(&samples_to_bytes(samples))?;
-            Ok((*block, raw_len, enc))
+            let (codec, enc) = self.meta.encode_block(field_idx, &samples_to_bytes(samples))?;
+            Ok((*block, raw_len, codec, enc))
         })?;
         stats.encode_secs += encode_start.elapsed().as_secs_f64();
         for batch in encoded.chunks(self.write_concurrency.max(1)) {
             let keys: Vec<String> =
-                batch.iter().map(|(b, _, _)| self.block_key(field_idx, time, *b)).collect();
+                batch.iter().map(|(b, _, _, _)| self.block_key(field_idx, time, *b)).collect();
             let items: Vec<(&str, &[u8])> = keys
                 .iter()
                 .zip(batch)
-                .map(|(k, (_, _, enc))| (k.as_str(), enc.as_slice()))
+                .map(|(k, (_, _, _, enc))| (k.as_str(), enc.as_slice()))
                 .collect();
             let put_start = Instant::now();
             let results = self.store.put_many(&items);
             stats.put_secs += put_start.elapsed().as_secs_f64();
             stats.put_batches += 1;
-            for ((_, raw_len, enc), r) in batch.iter().zip(results) {
+            for ((_, raw_len, codec, enc), r) in batch.iter().zip(results) {
                 r?;
                 stats.blocks_written += 1;
                 stats.bytes_raw += *raw_len as u64;
                 stats.bytes_stored += enc.len() as u64;
+                stats.bytes_saved += (*raw_len as u64).saturating_sub(enc.len() as u64);
+                *stats.codec_blocks.entry(codec.name()).or_insert(0) += 1;
             }
         }
         Ok(stats)
@@ -282,12 +284,14 @@ impl IdxVolume {
             }
             let decode_start = Instant::now();
             let decoded = try_par_map(&encoded, threads, |(block, enc)| -> Result<_> {
-                let raw = self.meta.codec.decode(enc, block_samples * sample_size)?;
-                Ok((*block, bytes_to_samples::<T>(&raw)?))
+                let mut raw = vec![0u8; block_samples * sample_size];
+                let codec = self.meta.decode_block_into(field_idx, enc, &mut raw)?;
+                Ok((*block, codec, bytes_to_samples::<T>(&raw)?))
             })?;
             stats.decode_secs += decode_start.elapsed().as_secs_f64();
             stats.blocks_decoded += decoded.len() as u64;
-            for (block, data) in decoded {
+            for (block, codec, data) in decoded {
+                *stats.codec_blocks.entry(codec.name()).or_insert(0) += 1;
                 needed.insert(block, Some(data));
             }
         }

@@ -85,6 +85,12 @@ impl NsdfError {
         matches!(self, NsdfError::NotFound(_))
     }
 
+    /// True when the error represents failed data integrity — the class the
+    /// codec decoders raise for truncated or bit-flipped block payloads.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, NsdfError::Corrupt(_))
+    }
+
     /// Produce an equivalent error preserving the variant and message.
     ///
     /// `NsdfError` is not `Clone` because `std::io::Error` is not, but the

@@ -18,7 +18,10 @@
 //! * snapshots serialize through [`std::collections::BTreeMap`], so key
 //!   order is stable;
 //! * wall-clock time is *displayed* on span trees for humans but excluded
-//!   from [`MetricsSnapshot::to_json`] and [`Obs::spans_json`].
+//!   from [`MetricsSnapshot::to_json`] and [`Obs::spans_json`]; the same
+//!   split applies to metrics — histograms registered through
+//!   [`Obs::wall_histogram`] (encode/decode wall timings) appear in
+//!   snapshots but never in the deterministic JSON.
 
 use crate::clock::SimClock;
 use parking_lot::Mutex;
@@ -95,10 +98,13 @@ pub struct HistogramMetric {
     bounds: Arc<Vec<f64>>,
     counts: Arc<Vec<AtomicU64>>,
     sum_nanos: Arc<AtomicU64>,
+    /// True for wall-clock histograms ([`Obs::wall_histogram`]): visible in
+    /// snapshots for humans, excluded from the deterministic JSON.
+    wall: bool,
 }
 
 impl HistogramMetric {
-    fn new(bounds: &[f64]) -> Self {
+    fn new(bounds: &[f64], wall: bool) -> Self {
         debug_assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -108,6 +114,7 @@ impl HistogramMetric {
             bounds: Arc::new(bounds.to_vec()),
             counts: Arc::new(counts),
             sum_nanos: Arc::new(AtomicU64::new(0)),
+            wall,
         }
     }
 
@@ -142,6 +149,7 @@ impl HistogramMetric {
             bounds: self.bounds.as_ref().clone(),
             counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             sum: self.sum(),
+            wall: self.wall,
         }
     }
 }
@@ -304,7 +312,21 @@ impl Obs {
             .histograms
             .lock()
             .entry(self.full_name(name))
-            .or_insert_with(|| HistogramMetric::new(bounds))
+            .or_insert_with(|| HistogramMetric::new(bounds, false))
+            .clone()
+    }
+
+    /// Like [`Obs::histogram`], but for *wall-clock* observations (encode
+    /// and decode timings). The metric appears in [`MetricsSnapshot`] for
+    /// humans and dashboards, but is excluded from
+    /// [`MetricsSnapshot::to_json`] so deterministic artifacts that compare
+    /// snapshot bytes stay byte-stable across runs.
+    pub fn wall_histogram(&self, name: &str, bounds: &[f64]) -> HistogramMetric {
+        self.inner
+            .histograms
+            .lock()
+            .entry(self.full_name(name))
+            .or_insert_with(|| HistogramMetric::new(bounds, true))
             .clone()
     }
 
@@ -511,6 +533,9 @@ pub struct HistogramSnapshot {
     pub counts: Vec<u64>,
     /// Sum of observations (exact: reconstructed from integer nanounits).
     pub sum: f64,
+    /// True when the histogram records wall-clock values and is therefore
+    /// excluded from [`MetricsSnapshot::to_json`].
+    pub wall: bool,
 }
 
 impl MetricsSnapshot {
@@ -546,7 +571,7 @@ impl MetricsSnapshot {
             out.push_str(&json_f64(*v));
         }
         out.push_str("},\"histograms\":{");
-        for (i, (k, h)) in self.histograms.iter().enumerate() {
+        for (i, (k, h)) in self.histograms.iter().filter(|(_, h)| !h.wall).enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -727,6 +752,25 @@ mod tests {
             "\"histograms\":{\"h\":{\"bounds\":[1.0],\"counts\":[1,0],\"sum\":0.5}}}",
         );
         assert_eq!(j1, expected);
+    }
+
+    #[test]
+    fn wall_histograms_snapshot_but_stay_out_of_json() {
+        let obs = Obs::default();
+        obs.histogram("det", &[1.0]).observe(0.5);
+        obs.wall_histogram("encode_secs", &[1.0]).observe(0.123);
+        let snap = obs.snapshot();
+        // Visible in the snapshot for humans...
+        assert!(snap.histograms["encode_secs"].wall);
+        assert_eq!(snap.histograms["encode_secs"].counts, vec![1, 0]);
+        // ...but absent from the deterministic JSON bytes.
+        let json = snap.to_json();
+        assert!(json.contains("\"det\""));
+        assert!(!json.contains("encode_secs"));
+        // First registration wins: re-registering via histogram() keeps the
+        // wall flag (and vice versa).
+        obs.histogram("encode_secs", &[1.0]).observe(0.2);
+        assert!(obs.snapshot().histograms["encode_secs"].wall);
     }
 
     #[test]

@@ -18,7 +18,11 @@ fn main() -> Result<()> {
     println!("== NSDF tutorial quickstart ==");
     println!(
         "grid {}x{} at 30 m, tiles {:?}, codec {}, storage endpoint {:?}\n",
-        cfg.width, cfg.height, cfg.tiles, cfg.codec, cfg.storage_endpoint
+        cfg.width,
+        cfg.height,
+        cfg.tiles,
+        cfg.codec.name(),
+        cfg.storage_endpoint
     );
 
     let report = run_tutorial(&client, &cfg)?;

@@ -142,7 +142,7 @@ fn convert(opts: &Opts) -> Result<()> {
     let tiff_path = req(opts, "tiff")?;
     let store_dir = req(opts, "store")?;
     let name = req(opts, "name")?;
-    let codec = Codec::parse(opts.get("codec").map(|s| s.as_str()).unwrap_or("zlib4"))?;
+    let policy = CodecPolicy::parse(opts.get("codec").map(|s| s.as_str()).unwrap_or("zlib4"))?;
     let bpb: u32 = num(opts, "bits-per-block", 14)?;
     let raster = read_tiff::<f32>(&std::fs::read(tiff_path)?)?;
     let (w, h) = raster.shape();
@@ -153,8 +153,9 @@ fn convert(opts: &Opts) -> Result<()> {
         h as u64,
         vec![Field::new("value", DType::F32)?],
         bpb,
-        codec,
-    )?;
+        Codec::Raw,
+    )?
+    .with_codec_policy(policy);
     if let Some(g) = raster.geo {
         meta = meta.with_geo(g);
     }
@@ -185,7 +186,7 @@ fn info(opts: &Opts) -> Result<()> {
     println!("bitmask:        {}", m.bitmask.to_text());
     println!("max level:      {}", ds.max_level());
     println!("bits per block: {} ({} samples)", m.bits_per_block, m.block_samples());
-    println!("codec:          {}", m.codec);
+    println!("codec:          {}", m.codec_policy.name());
     println!("timesteps:      {}", m.timesteps);
     println!(
         "fields:         {}",

@@ -50,7 +50,7 @@ pub use nsdf_workflow as workflow;
 pub mod prelude {
     pub use nsdf_catalog::{Catalog, Record};
     pub use nsdf_cloud::{provision, ClusterRequest, Provider};
-    pub use nsdf_compress::{Codec, CompressionStats};
+    pub use nsdf_compress::{Codec, CodecPolicy, CompressionStats};
     pub use nsdf_core::{
         format_table1, run_tutorial, NsdfClient, Session, SurveyModel, TutorialConfig,
     };

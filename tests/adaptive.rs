@@ -1,0 +1,281 @@
+//! Differential guarantees for per-block adaptive codec selection: a
+//! dataset written under `CodecPolicy::Adaptive` must read back bitwise
+//! identical to a `Static(Raw)` oracle — through random guillotine write
+//! partitions and the full chaos stack (20% faults + 5% corruption) — and
+//! legacy v1 datasets (no policy key, headerless blocks) must keep parsing
+//! and reading bitwise identically against a checked-in fixture.
+
+use nsdf::compress::{Codec, CodecPolicy};
+use nsdf::idx::{Field, IdxDataset, IdxMeta};
+use nsdf::storage::{
+    BreakerPolicy, BreakerStore, CloudStore, FailScope, FaultPlan, FaultStore, HedgePolicy,
+    IntegrityStore, LocalStore, MemoryStore, NetworkProfile, ObjectStore, RetryPolicy, RetryStore,
+};
+use nsdf::util::{Box2i, DType, Obs, Raster, SimClock};
+use std::sync::Arc;
+
+const W: usize = 120;
+const H: usize = 84;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Mixed-texture raster: a smooth terrain band, a noise band, and a
+/// constant band — so the adaptive picker genuinely chooses different
+/// codecs for different blocks instead of degenerating to one choice.
+fn mixed_raster() -> Raster<f32> {
+    Raster::from_fn(W, H, |x, y| {
+        if y < H / 3 {
+            ((x as f32 * 0.11).sin() * 500.0 + (y as f32 * 0.07).cos() * 120.0).floor()
+        } else if y < 2 * H / 3 {
+            let mut s = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((y as u64) << 17) | 1;
+            (xorshift(&mut s) % 100_000) as f32 * 0.013
+        } else {
+            42.0
+        }
+    })
+}
+
+fn meta_with(policy: CodecPolicy) -> IdxMeta {
+    IdxMeta::new_2d(
+        "adapt",
+        W as u64,
+        H as u64,
+        vec![Field::new("v", DType::F32).unwrap()],
+        7,
+        Codec::Raw,
+    )
+    .unwrap()
+    .with_codec_policy(policy)
+}
+
+/// Guillotine-split `w x h` into disjoint covering tiles (same scheme as
+/// the ingest tests, including a forced 1-wide sliver).
+fn random_partition(w: usize, h: usize, rng: &mut u64) -> Vec<Box2i> {
+    let mut rects = vec![Box2i::new(0, 0, w as i64, h as i64)];
+    for _ in 0..20 {
+        let i = (xorshift(rng) % rects.len() as u64) as usize;
+        let b = rects[i];
+        let (bw, bh) = (b.x1 - b.x0, b.y1 - b.y0);
+        if bw <= 1 && bh <= 1 {
+            continue;
+        }
+        let vertical = if bw <= 1 {
+            false
+        } else if bh <= 1 {
+            true
+        } else {
+            xorshift(rng).is_multiple_of(2)
+        };
+        if vertical {
+            let cut = b.x0 + 1 + (xorshift(rng) % (bw as u64 - 1)) as i64;
+            rects[i] = Box2i::new(b.x0, b.y0, cut, b.y1);
+            rects.push(Box2i::new(cut, b.y0, b.x1, b.y1));
+        } else {
+            let cut = b.y0 + 1 + (xorshift(rng) % (bh as u64 - 1)) as i64;
+            rects[i] = Box2i::new(b.x0, b.y0, b.x1, cut);
+            rects.push(Box2i::new(b.x0, cut, b.x1, b.y1));
+        }
+    }
+    if let Some(i) = rects.iter().position(|b| b.x1 - b.x0 >= 2) {
+        let b = rects[i];
+        rects[i] = Box2i::new(b.x0, b.y0, b.x0 + 1, b.y1);
+        rects.push(Box2i::new(b.x0 + 1, b.y0, b.x1, b.y1));
+    }
+    rects
+}
+
+fn sub_raster(src: &Raster<f32>, b: &Box2i) -> Raster<f32> {
+    Raster::from_fn((b.x1 - b.x0) as usize, (b.y1 - b.y0) as usize, |x, y| {
+        src.get(b.x0 as usize + x, b.y0 as usize + y)
+    })
+}
+
+/// The full resilience stack over a WAN-simulated view of `mem`.
+fn chaos_stack(
+    mem: Arc<MemoryStore>,
+    profile: NetworkProfile,
+    plan: FaultPlan,
+    clock: SimClock,
+    obs: &Obs,
+) -> Arc<dyn ObjectStore> {
+    let wan_seed = plan.seed ^ 0x57A6_57A6_57A6_57A6;
+    let wan = Arc::new(CloudStore::new(mem, profile, clock.clone(), wan_seed).with_obs(obs));
+    let fault = Arc::new(FaultStore::new(wan, plan, clock.clone()).unwrap().with_obs(obs));
+    let breaker =
+        BreakerPolicy { failure_threshold: 24, cooldown_secs: 0.05, success_threshold: 1 };
+    let guarded = Arc::new(BreakerStore::new(fault, breaker, clock.clone()).unwrap().with_obs(obs));
+    let verified = Arc::new(IntegrityStore::new(guarded).with_obs(obs));
+    let retry = RetryPolicy { max_attempts: 8, initial_backoff_secs: 0.01, multiplier: 2.0 };
+    let hedge = HedgePolicy { delay_secs: 0.005, max_hedges: 2 };
+    Arc::new(
+        RetryStore::new(verified, retry, clock).unwrap().with_hedging(hedge).unwrap().with_obs(obs),
+    )
+}
+
+/// A deterministic sweep of query regions/levels within the bounds.
+fn query_sweep(max_level: u32, n: usize, rng_seed: u64) -> Vec<(Box2i, u32)> {
+    let mut rng = rng_seed;
+    (0..n)
+        .map(|_| {
+            let x0 = (xorshift(&mut rng) % (W as u64 - 16)) as i64;
+            let y0 = (xorshift(&mut rng) % (H as u64 - 16)) as i64;
+            let w = 8 + (xorshift(&mut rng) % 56) as i64;
+            let h = 8 + (xorshift(&mut rng) % 48) as i64;
+            let region = Box2i::new(x0, y0, (x0 + w).min(W as i64), (y0 + h).min(H as i64));
+            let level = max_level - (xorshift(&mut rng) % 4) as u32;
+            (region, level)
+        })
+        .collect()
+}
+
+#[test]
+fn adaptive_partitioned_write_reads_identical_to_raw_oracle_through_chaos() {
+    let r = mixed_raster();
+
+    // Oracle: whole-raster write under Static(Raw), fault-free reads.
+    let raw_mem = Arc::new(MemoryStore::new());
+    let oracle = IdxDataset::create(
+        raw_mem.clone() as Arc<dyn ObjectStore>,
+        "adapt",
+        meta_with(CodecPolicy::Static(Codec::Raw)),
+    )
+    .unwrap();
+    oracle.write_raster("v", 0, &r).unwrap();
+
+    // Subject: adaptive policy, written tile-by-tile over a random
+    // guillotine partition in shuffled order.
+    let mem = Arc::new(MemoryStore::new());
+    let subject = IdxDataset::create(
+        mem.clone() as Arc<dyn ObjectStore>,
+        "adapt",
+        meta_with(CodecPolicy::adaptive_best()),
+    )
+    .unwrap();
+    let mut rng = 0xD1E5_E1D1_5EED_0001_u64;
+    let mut tiles = random_partition(W, H, &mut rng);
+    for i in (1..tiles.len()).rev() {
+        let j = (xorshift(&mut rng) % (i as u64 + 1)) as usize;
+        tiles.swap(i, j);
+    }
+    let mut write_stats = nsdf::idx::WriteStats::default();
+    for b in &tiles {
+        let s = subject.write_box("v", 0, b.x0 as u64, b.y0 as u64, &sub_raster(&r, b)).unwrap();
+        write_stats.merge(&s);
+    }
+    // The mixed texture must actually exercise codec diversity.
+    assert!(
+        write_stats.codec_blocks.len() >= 2,
+        "adaptive picker chose only {:?}",
+        write_stats.codec_blocks
+    );
+    assert!(write_stats.bytes_saved > 0, "adaptive storage beats raw");
+
+    // Read the adaptive dataset through the full chaos stack.
+    let clock = SimClock::new();
+    let obs = Obs::new(clock.clone());
+    let plan = FaultPlan::new(131)
+        .with_scope(FailScope::Reads)
+        .with_fault_rate(0.2)
+        .with_corrupt_rate(0.05);
+    let stack = chaos_stack(mem, NetworkProfile::public_dataverse(), plan, clock, &obs);
+    let chaotic = IdxDataset::open(stack, "adapt").unwrap();
+
+    for (region, level) in query_sweep(oracle.max_level(), 10, 0x0DDB_A115_EEDF_00D1) {
+        let (want, _) = oracle.read_box::<f32>("v", 0, region, level).unwrap();
+        let (got, qs) = chaotic.read_box::<f32>("v", 0, region, level).unwrap();
+        assert_eq!(got.data(), want.data(), "region {region:?} level {level}");
+        assert!(!qs.degraded);
+        let decoded: u64 = qs.codec_blocks.values().sum();
+        assert_eq!(decoded, qs.blocks_decoded, "every decoded block is attributed to a codec");
+    }
+    let snap = obs.snapshot();
+    assert!(snap.counter("fault.injected") > 0);
+    assert!(snap.counter("integrity.rejected") > 0, "corruption was caught, not decoded");
+}
+
+#[test]
+fn adaptive_never_stores_more_than_raw_plus_header() {
+    let r = mixed_raster();
+    let run = |policy: CodecPolicy| {
+        let mem = Arc::new(MemoryStore::new());
+        let ds =
+            IdxDataset::create(mem as Arc<dyn ObjectStore>, "adapt", meta_with(policy)).unwrap();
+        ds.write_raster("v", 0, &r).unwrap()
+    };
+    let raw = run(CodecPolicy::Static(Codec::Raw));
+    let adaptive = run(CodecPolicy::adaptive_best());
+    assert_eq!(adaptive.blocks_written, raw.blocks_written);
+    // Adaptive may add at most the 1-byte header per block over raw.
+    assert!(
+        adaptive.bytes_stored <= raw.bytes_stored + adaptive.blocks_written,
+        "adaptive {} vs raw {} (+{} headers)",
+        adaptive.bytes_stored,
+        raw.bytes_stored,
+        adaptive.blocks_written
+    );
+}
+
+// ---- v1 back-compat: checked-in legacy fixture ----------------------------
+
+/// The fixture raster formula; must never change (the stored block bytes
+/// under `tests/fixtures/v1/` were produced from it).
+fn fixture_raster() -> Raster<f32> {
+    Raster::from_fn(40, 28, |x, y| {
+        ((x as u32).wrapping_mul(2654435761).wrapping_add(y as u32) % 10_000) as f32 * 0.25
+    })
+}
+
+#[test]
+#[ignore = "one-off fixture generator"]
+fn generate_v1_fixture() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v1");
+    std::fs::create_dir_all(root).unwrap();
+    let store: Arc<dyn ObjectStore> = Arc::new(LocalStore::open(root).unwrap());
+    let bitmask = IdxMeta::new_2d(
+        "legacy",
+        40,
+        28,
+        vec![Field::new("v", DType::F32).unwrap()],
+        6,
+        Codec::ShuffleLzss { sample_size: 4 },
+    )
+    .unwrap()
+    .bitmask
+    .to_text();
+    let v1 = format!(
+        "bitmask={bitmask}\nbits_per_block=6\ncodec=shuffle4-lzss\ndims=40 28\n\
+         fields=v:float32\nname=legacy\ntimesteps=1\nversion=1\n"
+    );
+    store.put("legacy/dataset.idx", v1.as_bytes()).unwrap();
+    let ds = IdxDataset::open(store, "legacy").unwrap();
+    assert!(!ds.meta().block_headers);
+    ds.write_raster("v", 0, &fixture_raster()).unwrap();
+}
+
+#[test]
+fn v1_fixture_parses_and_reads_bitwise_identically() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v1");
+    let store: Arc<dyn ObjectStore> = Arc::new(LocalStore::open(root).unwrap());
+    let ds = IdxDataset::open(store, "legacy").unwrap();
+    let m = ds.meta();
+    assert_eq!(m.codec_policy, CodecPolicy::Static(Codec::ShuffleLzss { sample_size: 4 }));
+    assert!(!m.block_headers, "v1 blocks are headerless");
+
+    let want = fixture_raster();
+    let (got, stats) =
+        ds.read_box::<f32>("v", 0, Box2i::new(0, 0, 40, 28), ds.max_level()).unwrap();
+    assert_eq!(got.data(), want.data(), "legacy blocks decode bitwise-identically");
+    assert!(stats.blocks_decoded > 0);
+    assert_eq!(
+        stats.codec_blocks.keys().collect::<Vec<_>>(),
+        ["shuffle4-lzss"],
+        "headerless blocks decode under the static policy codec"
+    );
+}

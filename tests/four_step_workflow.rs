@@ -47,7 +47,7 @@ fn every_lossless_codec_validates_exactly_end_to_end() {
     for codec in Codec::lossless_palette(4) {
         let client = NsdfClient::simulated(13);
         let mut cfg = config(13);
-        cfg.codec = codec;
+        cfg.codec = CodecPolicy::Static(codec);
         cfg.storage_endpoint = "local".into();
         let report = run_tutorial(&client, &cfg).unwrap();
         assert!(report.validation_exact(), "codec {codec}");
