@@ -1,0 +1,124 @@
+//! Multi-tenant fleet latency under QoS scheduling: fleets of 10/100/1000
+//! tenants (70/20/10 viewer/player/ingestor mix, open-loop Poisson
+//! arrivals, zipf dataset popularity) multiplexed over one shared modeled
+//! WAN, with the [`WanScheduler`] admission plane on and off, on both
+//! network profiles of §III. Emits `BENCH_fleet.json` at the repo root
+//! with p50/p99/p999 per-interaction virtual latency; numbers are quoted
+//! in EXPERIMENTS.md ("Fleet & QoS").
+//!
+//! Every latency is *virtual* time on the shared [`SimClock`]: an
+//! interaction's completion instant minus its intended (open-loop) arrival
+//! instant, so queueing delay under contention emerges from the model
+//! instead of being assumed. Reruns emit byte-identical files — CI runs
+//! the bench twice and `cmp`s the artifacts.
+//!
+//! Acceptance, asserted in-bench: with bulk contention (fleets >= 100,
+//! where offered ingest load alone exceeds the link), QoS-on interactive
+//! p99 must be strictly lower than QoS-off; and the scheduler's per-tenant
+//! accounting must reconcile exactly with the WAN counters (fault-free:
+//! service time = link busy time, granted bytes = bytes moved).
+//!
+//! [`WanScheduler`]: nsdf_storage::WanScheduler
+//! [`SimClock`]: nsdf_util::SimClock
+
+use nsdf_bench::BENCH_SEED;
+use nsdf_core::{run_fleet, FleetConfig, FleetReport, LatencySummary};
+use nsdf_storage::SchedPolicy;
+
+const SIZES: [usize; 3] = [10, 100, 1000];
+
+fn ms(vns: u64) -> f64 {
+    vns as f64 / 1e6
+}
+
+fn latency_json(l: &LatencySummary) -> String {
+    format!(
+        "{{\"count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3}}}",
+        l.count,
+        ms(l.p50_vns),
+        ms(l.p99_vns),
+        ms(l.p999_vns),
+        ms(l.max_vns),
+    )
+}
+
+fn run_json(r: &FleetReport) -> String {
+    format!(
+        "{{\"endpoint\":\"{}\",\"tenants\":{},\"qos\":{},\
+         \"interactive\":{},\"ingest\":{},\
+         \"frames\":{},\"ingest_waves\":{},\"deferrals\":{},\"prefetch_shed\":{},\
+         \"wan_mb\":{:.3},\"final_vsecs\":{:.6}}}",
+        r.endpoint,
+        r.tenants,
+        r.qos,
+        latency_json(&r.interactive),
+        latency_json(&r.ingest),
+        r.frames,
+        r.ingest_waves,
+        r.sched_deferred,
+        r.sched_shed,
+        r.wan_bytes as f64 / 1e6,
+        r.final_vns as f64 / 1e9,
+    )
+}
+
+fn run(endpoint: &str, tenants: usize, qos: bool) -> FleetReport {
+    let mut cfg = FleetConfig::sized(tenants);
+    cfg.endpoint = endpoint.into();
+    cfg.sched = if qos { SchedPolicy::qos_on() } else { SchedPolicy::qos_off() };
+    let r = run_fleet(BENCH_SEED, &cfg).expect("fleet run");
+    // The fleet plane must stay conservative no matter the size: every WAN
+    // byte and every virtual nanosecond of link time is attributed to
+    // exactly one tenant.
+    assert_eq!(r.events_generated, r.events_completed, "no event dropped or duplicated");
+    assert_eq!(r.sched_granted_bytes, r.wan_bytes, "byte attribution is exact");
+    assert_eq!(r.sched_service_vns, r.wan_busy_vns, "link-time attribution is exact");
+    assert_eq!(r.tenant_grants.values().sum::<u64>(), r.wan_bytes);
+    assert_eq!(r.ingest_errors, 0, "fault-free ingest");
+    assert!(r.min_bucket_vns >= 0.0, "token buckets never go negative");
+    r
+}
+
+fn main() {
+    let mut runs = Vec::new();
+    for endpoint in ["dataverse", "seal"] {
+        for &tenants in &SIZES {
+            let on = run(endpoint, tenants, true);
+            let off = run(endpoint, tenants, false);
+            println!(
+                "{endpoint:<10} {tenants:>4} tenants  interactive p99 {:>10.1}ms (QoS on) vs \
+                 {:>10.1}ms (off)  p999 {:>10.1}ms vs {:>10.1}ms  \
+                 ingest waves {} deferred {}x shed {}",
+                ms(on.interactive.p99_vns),
+                ms(off.interactive.p99_vns),
+                ms(on.interactive.p999_vns),
+                ms(off.interactive.p999_vns),
+                on.ingest_waves,
+                on.sched_deferred,
+                on.sched_shed,
+            );
+            if tenants >= 100 {
+                // Offered bulk load alone exceeds the link at these sizes;
+                // without admission control interactive latency collapses.
+                assert!(
+                    on.interactive.p99_vns < off.interactive.p99_vns,
+                    "{endpoint}/{tenants}: QoS-on interactive p99 ({:.1}ms) must beat \
+                     QoS-off ({:.1}ms) under bulk contention",
+                    ms(on.interactive.p99_vns),
+                    ms(off.interactive.p99_vns),
+                );
+            }
+            runs.push(run_json(&on));
+            runs.push(run_json(&off));
+        }
+    }
+    let json = format!(
+        "{{\n\"bench\":\"fleet\",\"seed\":{BENCH_SEED},\
+         \"mix\":{{\"viewers\":0.7,\"players\":0.2,\"ingestors\":0.1}},\
+         \"horizon_secs\":30.0,\n\"runs\":[\n{}\n]\n}}\n",
+        runs.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, &json).expect("write artifact");
+    println!("wrote {path}");
+}

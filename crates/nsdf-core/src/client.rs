@@ -11,7 +11,8 @@
 use nsdf_idx::{IdxDataset, QuerySession};
 use nsdf_storage::{
     BreakerPolicy, BreakerStore, CachedStore, CloudStore, FaultPlan, FaultStore, HedgePolicy,
-    IntegrityStore, MemoryStore, NetworkProfile, ObjectStore, RetryPolicy, RetryStore,
+    IntegrityStore, MemoryStore, NetworkProfile, ObjectStore, RetryPolicy, RetryStore, SchedPolicy,
+    SchedStore, WanScheduler,
 };
 use nsdf_util::obs::Obs;
 use nsdf_util::{derive_seed, NsdfError, Result, SimClock};
@@ -215,6 +216,83 @@ impl NsdfClient {
         Ok(client)
     }
 
+    /// A simulated client built for multi-tenant fleet runs: both remote
+    /// endpoints share one [`WanScheduler`] enforcing `sched_policy`, and
+    /// the raw backing [`MemoryStore`]s are exposed so fleet drivers can
+    /// seed datasets without charging the WAN.
+    ///
+    /// With `chaos = Some(plan)` each remote runs the scripted fault plan
+    /// behind the full resilience stack of [`EndpointPolicy`] (exactly the
+    /// [`NsdfClient::simulated_chaos`] assembly); with `None` the remotes
+    /// are the plain WAN + cache of [`NsdfClient::simulated`]. Tenants get
+    /// per-tenant [`SchedStore`] handles *above* the shared cache via
+    /// [`FleetClient::tenant_store`], so cache hits are free while misses
+    /// are attributed to the tenant that caused them.
+    pub fn simulated_fleet(
+        seed: u64,
+        sched_policy: SchedPolicy,
+        chaos: Option<&FaultPlan>,
+        policy: &EndpointPolicy,
+    ) -> Result<FleetClient> {
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let mut client =
+            NsdfClient { clock: clock.clone(), obs: obs.clone(), endpoints: BTreeMap::new() };
+        let scheduler = Arc::new(WanScheduler::new(clock.clone(), sched_policy).with_obs(&obs));
+        let mut backing = BTreeMap::new();
+
+        client.add_endpoint(StorageEndpoint {
+            name: "local".into(),
+            kind: EndpointKind::Local,
+            store: Arc::new(MemoryStore::new()),
+        });
+        for (name, kind, profile, label) in [
+            (
+                "dataverse",
+                EndpointKind::PublicCommons,
+                NetworkProfile::public_dataverse(),
+                "wan-dataverse",
+            ),
+            ("seal", EndpointKind::PrivateCloud, NetworkProfile::private_seal(), "wan-seal"),
+        ] {
+            let ep_obs = obs.scoped(name);
+            let mem = Arc::new(MemoryStore::new());
+            let wan = Arc::new(
+                CloudStore::new(
+                    mem.clone() as Arc<dyn ObjectStore>,
+                    profile.clone(),
+                    clock.clone(),
+                    derive_seed(seed, label),
+                )
+                .with_obs(&ep_obs),
+            );
+            let mut stack: Arc<dyn ObjectStore> = wan;
+            if let Some(plan) = chaos {
+                let mut ep_plan = plan.clone();
+                ep_plan.seed = derive_seed(plan.seed, name);
+                stack = Arc::new(FaultStore::new(stack, ep_plan, clock.clone())?.with_obs(&ep_obs));
+                if let Some(breaker) = policy.breaker {
+                    stack = Arc::new(
+                        BreakerStore::new(stack, breaker, clock.clone())?.with_obs(&ep_obs),
+                    );
+                }
+                if policy.verify_checksums {
+                    stack = Arc::new(IntegrityStore::new(stack).with_obs(&ep_obs));
+                }
+                let mut retry = RetryStore::new(stack, policy.retry, clock.clone())?;
+                if let Some(hedge) = policy.hedge {
+                    retry = retry.with_hedging(hedge)?;
+                }
+                stack = Arc::new(retry.with_obs(&ep_obs));
+            }
+            let cached = Arc::new(CachedStore::new(stack, policy.cache_bytes).with_obs(&ep_obs));
+            scheduler.register_endpoint(name, &profile, &ep_obs);
+            backing.insert(name.to_string(), mem);
+            client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: cached });
+        }
+        Ok(FleetClient { client, scheduler, backing })
+    }
+
     /// The shared virtual clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -286,6 +364,61 @@ impl NsdfClient {
     ) -> Result<QuerySession<f32>> {
         let ds = self.open_dataset(endpoint, base)?;
         Ok(QuerySession::<f32>::new(ds, field)?.with_obs(&self.obs.scoped(endpoint)))
+    }
+}
+
+/// A simulated client plus the shared-WAN scheduling plane of a fleet run:
+/// the [`WanScheduler`] every tenant handle accounts against and the raw
+/// backing stores used to seed datasets WAN-free.
+pub struct FleetClient {
+    client: NsdfClient,
+    scheduler: Arc<WanScheduler>,
+    backing: BTreeMap<String, Arc<MemoryStore>>,
+}
+
+impl FleetClient {
+    /// The underlying client (clock, registry, shared endpoint stacks).
+    pub fn client(&self) -> &NsdfClient {
+        &self.client
+    }
+
+    /// The shared admission layer.
+    pub fn scheduler(&self) -> &Arc<WanScheduler> {
+        &self.scheduler
+    }
+
+    /// The raw memory store behind a remote endpoint. Writes here bypass
+    /// the WAN entirely — the fleet generator seeds datasets this way so
+    /// setup is not part of the measured traffic.
+    pub fn backing(&self, endpoint: &str) -> Result<Arc<MemoryStore>> {
+        self.backing
+            .get(endpoint)
+            .cloned()
+            .ok_or_else(|| NsdfError::not_found(format!("backing store for {endpoint:?}")))
+    }
+
+    /// A per-tenant scheduler-accounted handle over the endpoint's shared
+    /// cache stack.
+    pub fn tenant_store(&self, endpoint: &str, tenant: &str) -> Result<Arc<SchedStore>> {
+        self.scheduler.tenant_store(endpoint, tenant, self.client.store(endpoint)?)
+    }
+
+    /// Open a [`QuerySession`] for one tenant: the dataset reads through
+    /// the tenant's [`SchedStore`], so every wave the session submits is
+    /// admitted, tagged, and accounted under that tenant. Each tenant gets
+    /// its own dataset instance (and decoded cache); only the block cache
+    /// below is shared across the fleet.
+    pub fn open_tenant_session(
+        &self,
+        endpoint: &str,
+        tenant: &str,
+        base: &str,
+        field: &str,
+    ) -> Result<QuerySession<f32>> {
+        let store = self.tenant_store(endpoint, tenant)? as Arc<dyn ObjectStore>;
+        let ep_obs = self.client.obs().scoped(endpoint);
+        let ds = Arc::new(IdxDataset::open(store, base)?.with_obs(&ep_obs));
+        Ok(QuerySession::<f32>::new(ds, field)?.with_obs(&ep_obs))
     }
 }
 

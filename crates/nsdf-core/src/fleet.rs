@@ -1,0 +1,657 @@
+//! Multi-tenant fleet simulation: thousands of concurrent trainee sessions
+//! multiplexed over the shared modeled WAN, with QoS admission control.
+//!
+//! The paper's services exist to serve *fleets* of simultaneous users —
+//! a tutorial cohort panning dashboards while ingest jobs stream new data
+//! through the same commercial-cloud links. This module turns that into a
+//! deterministic discrete-event simulation on the virtual clock:
+//!
+//! * **Open-loop arrivals**: every tenant draws Poisson inter-arrival
+//!   times from its own seed stream (`derive_seed(seed, "tenant-k")`), so
+//!   load keeps arriving whether or not the link keeps up — queueing delay
+//!   emerges instead of being modeled. Per-interaction latency is
+//!   *completion time minus intended arrival time*.
+//! * **Mixed profiles**: viewers (pan + frame + speculative neighbor
+//!   prefetch), players (time-slider playback + next-step prefetch), and
+//!   bulk ingestors (`put_many` waves). Dataset popularity across the
+//!   fleet is zipf-distributed, so the shared block cache sees realistic
+//!   skew.
+//! * **QoS on/off**: with [`SchedPolicy::qos_on`] the [`WanScheduler`]
+//!   defers bulk waves past their token budget and sheds lagging
+//!   prefetches (admitted prefetches carry a `CancelToken` deadline of the
+//!   same length); with [`SchedPolicy::qos_off`] every wave is admitted on
+//!   arrival — the baseline the fleet bench contrasts against.
+//!
+//! Every run is byte-deterministic: same seed and config give an identical
+//! [`FleetReport`], including the serialized metrics snapshot. Each
+//! viewer/player tenant chains an FNV digest over its frame bytes;
+//! because frames are a pure function of dataset content (never of cache
+//! state, shedding, or contention), a tenant's digest under full fleet
+//! contention equals its digest run alone ([`FleetConfig::only_tenant`]) —
+//! the differential oracle `tests/fleet.rs` pins down.
+//!
+//! [`WanScheduler`]: nsdf_storage::WanScheduler
+
+use crate::client::{EndpointPolicy, FleetClient, NsdfClient};
+use nsdf_compress::Codec;
+use nsdf_idx::QuerySession;
+use nsdf_idx::{Field, IdxDataset, IdxMeta};
+use nsdf_storage::{Admission, DeclaredWave, FaultPlan, ObjectStore, Priority, SchedPolicy};
+use nsdf_util::{
+    derive_seed, fnv1a64, samples_to_bytes, secs_to_ns, splitmix64, Box2i, DType, NsdfError,
+    Raster, Result,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+
+/// Grid edge of every fleet dataset (128x128 f32).
+const SIZE: usize = 128;
+/// Samples per block (2^8 = 256 -> 64 blocks per timestep).
+const BITS_PER_BLOCK: u32 = 8;
+/// Timesteps per dataset (players cycle through them).
+const TIMESTEPS: u32 = 4;
+/// The single field every fleet dataset carries.
+const FIELD: &str = "v";
+/// Initial viewport every viewer/player session opens on.
+const VIEW: Box2i = Box2i { x0: 40, y0: 40, x1: 88, y1: 88 };
+/// Coarsest refinement level sessions start from.
+const START_LEVEL: u32 = 8;
+/// Level interactive frames are gathered at.
+const FRAME_LEVEL: u32 = 12;
+/// Cells a viewer pan moves per interaction.
+const PAN_STEP: i64 = 8;
+
+/// Shape and load of one simulated fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Dashboard viewers: pan, frame, speculative neighbor prefetch.
+    pub viewers: usize,
+    /// Playback users: advance the time slider, frame, prefetch the next
+    /// timestep.
+    pub players: usize,
+    /// Bulk ingest jobs: `put_many` waves of fresh objects.
+    pub ingestors: usize,
+    /// Remote endpoint the whole fleet shares (`"dataverse"` or `"seal"`).
+    pub endpoint: String,
+    /// Arrival-generation horizon in virtual seconds (the run drains every
+    /// generated event, so it may end later than this).
+    pub horizon_secs: f64,
+    /// Number of distinct datasets tenants pick from.
+    pub datasets: usize,
+    /// Zipf skew of dataset popularity (higher = more concentrated).
+    pub zipf_s: f64,
+    /// Admission policy of the shared-WAN plane.
+    pub sched: SchedPolicy,
+    /// Optional scripted fault plan for the remote endpoints; `None` runs
+    /// fault-free on the plain WAN + cache stack.
+    pub chaos: Option<FaultPlan>,
+    /// Resilience stack (and shared cache size) of the remote endpoints.
+    pub endpoint_policy: EndpointPolicy,
+    /// Schedule only this tenant's events (identities and seed streams of
+    /// the full fleet are still generated) — the solo oracle the frame
+    /// differential compares against.
+    pub only_tenant: Option<usize>,
+    /// Mean interactions per virtual second for each viewer.
+    pub viewer_rate_hz: f64,
+    /// Mean interactions per virtual second for each player.
+    pub player_rate_hz: f64,
+    /// Mean ingest waves per virtual second for each ingestor.
+    pub ingest_rate_hz: f64,
+    /// Objects per ingest wave.
+    pub ingest_wave_blocks: u32,
+    /// Bytes per ingested object.
+    pub ingest_block_bytes: u64,
+}
+
+impl FleetConfig {
+    /// A fleet of `tenants` with the default 70/20/10 viewer/player/
+    /// ingestor mix (at least one ingestor from 10 tenants up), QoS on,
+    /// fault-free, on the public-commons endpoint.
+    pub fn sized(tenants: usize) -> FleetConfig {
+        let ingestors = tenants / 10;
+        let players = tenants / 5;
+        FleetConfig {
+            viewers: tenants - players - ingestors,
+            players,
+            ingestors,
+            endpoint: "dataverse".into(),
+            horizon_secs: 30.0,
+            datasets: 4,
+            zipf_s: 1.1,
+            sched: SchedPolicy::qos_on(),
+            chaos: None,
+            endpoint_policy: EndpointPolicy::default(),
+            only_tenant: None,
+            viewer_rate_hz: 0.5,
+            player_rate_hz: 0.5,
+            ingest_rate_hz: 0.5,
+            // 32 small objects per wave keeps ingest RTT-dominated: ~1.1 s
+            // of link time on the public profile and ~0.25 s on the
+            // private one, so ten or more ingestors at 0.5 Hz
+            // oversubscribe either link — the contention regime the QoS
+            // plane exists for — without large-fleet runs holding
+            // gigabytes of payload in the backing store.
+            ingest_wave_blocks: 32,
+            ingest_block_bytes: 16 << 10,
+        }
+    }
+
+    /// Total tenant count across all profiles.
+    pub fn tenants(&self) -> usize {
+        self.viewers + self.players + self.ingestors
+    }
+}
+
+/// Nearest-rank latency percentiles over one interaction class, in virtual
+/// nanoseconds (exact integers, so reports compare bitwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Interactions in this class.
+    pub count: u64,
+    /// Median latency (virtual ns).
+    pub p50_vns: u64,
+    /// 99th percentile latency (virtual ns).
+    pub p99_vns: u64,
+    /// 99.9th percentile latency (virtual ns).
+    pub p999_vns: u64,
+    /// Worst latency (virtual ns).
+    pub max_vns: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut v: Vec<u64>) -> LatencySummary {
+        if v.is_empty() {
+            return LatencySummary::default();
+        }
+        v.sort_unstable();
+        let nearest = |q: f64| v[((q * v.len() as f64).ceil() as usize).max(1) - 1];
+        LatencySummary {
+            count: v.len() as u64,
+            p50_vns: nearest(0.5),
+            p99_vns: nearest(0.99),
+            p999_vns: nearest(0.999),
+            max_vns: *v.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything one fleet run produced, byte-deterministic per (seed,
+/// config).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Tenants the config describes (scheduled or not).
+    pub tenants: usize,
+    /// Whether QoS admission was enforced.
+    pub qos: bool,
+    /// Endpoint the fleet shared.
+    pub endpoint: String,
+    /// Events generated by the arrival processes.
+    pub events_generated: u64,
+    /// Events that ran to completion (generated = completed: deferral
+    /// re-queues and prefetch shedding happen *inside* an interaction).
+    pub events_completed: u64,
+    /// Interactive frames delivered (viewers + players).
+    pub frames: u64,
+    /// Bulk ingest waves completed.
+    pub ingest_waves: u64,
+    /// Ingest objects whose final put still failed (0 unless chaos
+    /// overwhelms the retry budget).
+    pub ingest_errors: u64,
+    /// Interactive (viewer + player) latency percentiles.
+    pub interactive: LatencySummary,
+    /// Bulk ingest latency percentiles (includes deferral wait).
+    pub ingest: LatencySummary,
+    /// Per-tenant FNV digest chain over delivered frame bytes
+    /// (viewer/player tenants only).
+    pub digests: BTreeMap<String, u64>,
+    /// Actual WAN bytes attributed to each tenant by the scheduler.
+    pub tenant_grants: BTreeMap<String, u64>,
+    /// Lowest token-bucket level ever observed (>= 0 by construction).
+    pub min_bucket_vns: f64,
+    /// `sched.waves_submitted` at the end of the run.
+    pub sched_submitted: u64,
+    /// `sched.waves_admitted` at the end of the run.
+    pub sched_admitted: u64,
+    /// `sched.waves_deferred` at the end of the run (deferral re-asks, so
+    /// one wave may defer several times).
+    pub sched_deferred: u64,
+    /// `sched.waves_shed` at the end of the run.
+    pub sched_shed: u64,
+    /// Total link time the scheduler accounted (virtual ns).
+    pub sched_service_vns: u64,
+    /// Total WAN bytes the scheduler attributed to tenants.
+    pub sched_granted_bytes: u64,
+    /// Total link busy time the WAN models charged (virtual ns).
+    pub wan_busy_vns: u64,
+    /// Total bytes the WAN models moved (down + up, both endpoints).
+    pub wan_bytes: u64,
+    /// Virtual clock when the run drained.
+    pub final_vns: u64,
+    /// Serialized metrics snapshot (byte-stable across identical runs).
+    pub metrics_json: String,
+}
+
+/// Deterministic per-tenant draw stream (splitmix64 counter walk).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.0)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TenantKind {
+    Viewer,
+    Player,
+    Ingestor,
+}
+
+/// One scripted interaction; all randomness is resolved at generation
+/// time, so execution order cannot perturb a tenant's draw stream.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Pan { dx: i64, dy: i64 },
+    TimeStep,
+    Ingest { wave: u32 },
+}
+
+struct TenantPlan {
+    name: String,
+    kind: TenantKind,
+    dataset: usize,
+    /// (arrival virtual ns relative to trace start, action).
+    events: Vec<(u64, Action)>,
+}
+
+/// Per-tenant live state during the run.
+enum Runtime {
+    Viewer {
+        sess: QuerySession<f32>,
+    },
+    Player {
+        sess: QuerySession<f32>,
+    },
+    Ingestor {
+        store: Arc<dyn ObjectStore>,
+    },
+    /// Filtered out by [`FleetConfig::only_tenant`].
+    Absent,
+}
+
+fn kind_of(k: usize, cfg: &FleetConfig) -> TenantKind {
+    if k < cfg.viewers {
+        TenantKind::Viewer
+    } else if k < cfg.viewers + cfg.players {
+        TenantKind::Player
+    } else {
+        TenantKind::Ingestor
+    }
+}
+
+/// Pick a dataset index from the zipf cumulative weights.
+fn zipf_pick(u: f64, cum: &[f64]) -> usize {
+    let total = *cum.last().expect("at least one dataset");
+    cum.iter().position(|&c| c >= u * total).unwrap_or(cum.len() - 1)
+}
+
+/// Generate tenant `k`'s identity and full arrival script. Every draw
+/// comes from `derive_seed(seed, "tenant-k")`, so the script is identical
+/// whether the tenant runs in a full fleet or alone.
+fn plan_tenant(seed: u64, k: usize, cfg: &FleetConfig, zipf_cum: &[f64]) -> TenantPlan {
+    let name = format!("t{k:04}");
+    let mut rng = Rng::new(derive_seed(seed, &format!("tenant-{k}")));
+    let kind = kind_of(k, cfg);
+    let dataset = zipf_pick(rng.next_f64(), zipf_cum);
+    let rate = match kind {
+        TenantKind::Viewer => cfg.viewer_rate_hz,
+        TenantKind::Player => cfg.player_rate_hz,
+        TenantKind::Ingestor => cfg.ingest_rate_hz,
+    };
+    let mut events = Vec::new();
+    if rate > 0.0 {
+        let mut t = 0.0;
+        let mut wave = 0u32;
+        loop {
+            t += -(1.0 - rng.next_f64()).ln() / rate;
+            if t > cfg.horizon_secs {
+                break;
+            }
+            let action = match kind {
+                TenantKind::Viewer => match rng.next_u64() % 4 {
+                    0 => Action::Pan { dx: PAN_STEP, dy: 0 },
+                    1 => Action::Pan { dx: -PAN_STEP, dy: 0 },
+                    2 => Action::Pan { dx: 0, dy: PAN_STEP },
+                    _ => Action::Pan { dx: 0, dy: -PAN_STEP },
+                },
+                TenantKind::Player => Action::TimeStep,
+                TenantKind::Ingestor => {
+                    wave += 1;
+                    Action::Ingest { wave: wave - 1 }
+                }
+            };
+            events.push((secs_to_ns(t), action));
+        }
+    }
+    TenantPlan { name, kind, dataset, events }
+}
+
+/// Seed `cfg.datasets` synthetic datasets straight into the endpoint's
+/// backing store (setup, not measured WAN traffic).
+fn seed_datasets(fc: &FleetClient, cfg: &FleetConfig) -> Result<()> {
+    let mem = fc.backing(&cfg.endpoint)?;
+    for j in 0..cfg.datasets {
+        let meta = IdxMeta::new_2d(
+            format!("d{j}"),
+            SIZE as u64,
+            SIZE as u64,
+            vec![Field::new(FIELD, DType::F32)?],
+            BITS_PER_BLOCK,
+            Codec::Raw,
+        )?
+        .with_timesteps(TIMESTEPS)?;
+        let ds =
+            IdxDataset::create(mem.clone() as Arc<dyn ObjectStore>, &format!("fleet/d{j}"), meta)?;
+        for t in 0..TIMESTEPS {
+            let data = Raster::from_fn(SIZE, SIZE, move |x, y| {
+                (y * SIZE + x) as f32 + t as f32 * 65536.0 + j as f32 * 1.0e7
+            });
+            ds.write_raster(FIELD, t, &data)?;
+        }
+    }
+    Ok(())
+}
+
+/// Run one fleet to completion and report.
+///
+/// Sequential discrete-event loop: events pop in `(time, tier, seq)`
+/// order (`(time, seq)` with QoS off), the clock advances to each event's
+/// scheduled instant (a no-op once the link is backlogged), and the
+/// interaction runs atomically on the shared clock. Deferred bulk waves
+/// re-enter the queue at the scheduler's promised retry instant while
+/// keeping their original deadline for latency accounting.
+pub fn run_fleet(seed: u64, cfg: &FleetConfig) -> Result<FleetReport> {
+    let tenants = cfg.tenants();
+    if tenants == 0 {
+        return Err(NsdfError::invalid("fleet has no tenants"));
+    }
+    if cfg.datasets == 0 {
+        return Err(NsdfError::invalid("fleet needs at least one dataset"));
+    }
+    if let Some(k) = cfg.only_tenant {
+        if k >= tenants {
+            return Err(NsdfError::invalid(format!("only_tenant {k} out of range 0..{tenants}")));
+        }
+    }
+
+    let fc = NsdfClient::simulated_fleet(
+        seed,
+        cfg.sched.clone(),
+        cfg.chaos.as_ref(),
+        &cfg.endpoint_policy,
+    )?;
+    let clock = fc.client().clock().clone();
+    let obs = fc.client().obs().clone();
+    let sched = Arc::clone(fc.scheduler());
+    seed_datasets(&fc, cfg)?;
+
+    // Identity and arrival scripts for the whole fleet (scheduled or not,
+    // so `only_tenant` sees the identical per-tenant stream).
+    let zipf_cum: Vec<f64> = (0..cfg.datasets)
+        .scan(0.0, |acc, j| {
+            *acc += 1.0 / ((j + 1) as f64).powf(cfg.zipf_s);
+            Some(*acc)
+        })
+        .collect();
+    let plans: Vec<TenantPlan> =
+        (0..tenants).map(|k| plan_tenant(seed, k, cfg, &zipf_cum)).collect();
+    let scheduled = |k: usize| cfg.only_tenant.is_none_or(|o| o == k);
+
+    // Register tenants and open their runtimes in index order.
+    let mut runtimes = Vec::with_capacity(tenants);
+    for (k, plan) in plans.iter().enumerate() {
+        if !scheduled(k) {
+            runtimes.push(Runtime::Absent);
+            continue;
+        }
+        let tier = match plan.kind {
+            TenantKind::Viewer | TenantKind::Player => Priority::Interactive,
+            TenantKind::Ingestor => Priority::Bulk,
+        };
+        sched.register_tenant(&plan.name, tier, 1);
+        runtimes.push(match plan.kind {
+            TenantKind::Ingestor => Runtime::Ingestor {
+                store: fc.tenant_store(&cfg.endpoint, &plan.name)? as Arc<dyn ObjectStore>,
+            },
+            _ => {
+                let mut sess = fc.open_tenant_session(
+                    &cfg.endpoint,
+                    &plan.name,
+                    &format!("fleet/d{}", plan.dataset),
+                    FIELD,
+                )?;
+                sess.set_view(VIEW, START_LEVEL, FRAME_LEVEL)?;
+                match plan.kind {
+                    TenantKind::Viewer => Runtime::Viewer { sess },
+                    _ => Runtime::Player { sess },
+                }
+            }
+        });
+    }
+
+    // Session opens advanced the clock; deadlines start at the trace base
+    // so the first arrivals are not born late.
+    let base = clock.now_ns();
+    struct Event {
+        due_vns: u64,
+        tenant: usize,
+        action: Action,
+    }
+    let mut events = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u8, u64)>> = BinaryHeap::new();
+    for (k, plan) in plans.iter().enumerate() {
+        if !scheduled(k) {
+            continue;
+        }
+        for &(arr, action) in &plan.events {
+            let due = base + arr;
+            let tier = match (cfg.sched.qos, action) {
+                (true, Action::Ingest { .. }) => Priority::Bulk.rank(),
+                _ => 0,
+            };
+            heap.push(Reverse((due, tier, events.len() as u64)));
+            events.push(Event { due_vns: due, tenant: k, action });
+        }
+    }
+    let events_generated = events.len() as u64;
+
+    let shed_lag_vns = secs_to_ns(cfg.sched.shed_lag_secs);
+    let ingest_decl = DeclaredWave::write(
+        cfg.ingest_wave_blocks,
+        cfg.ingest_wave_blocks as u64 * cfg.ingest_block_bytes,
+    );
+    let mut interactive_lat = Vec::new();
+    let mut ingest_lat = Vec::new();
+    let mut digests: BTreeMap<String, u64> = BTreeMap::new();
+    let (mut frames, mut ingest_waves, mut ingest_errors, mut completed) = (0u64, 0u64, 0u64, 0u64);
+
+    while let Some(Reverse((at, tier, seq))) = heap.pop() {
+        let ev = &events[seq as usize];
+        clock.advance_to_ns(at);
+        let name = plans[ev.tenant].name.as_str();
+        // One digest-and-account step shared by viewers and players.
+        let mut deliver =
+            |sess: &mut QuerySession<f32>, digests: &mut BTreeMap<String, u64>| -> Result<()> {
+                sched.admit(
+                    &cfg.endpoint,
+                    name,
+                    Priority::Interactive,
+                    &DeclaredWave::read(8, 8 << 10),
+                    ev.due_vns,
+                );
+                let frame = sess.frame_at(FRAME_LEVEL)?;
+                debug_assert!(!frame.cancelled, "demand frames never carry a cancel deadline");
+                let d = digests.entry(name.to_string()).or_insert(0);
+                *d = splitmix64(*d ^ fnv1a64(&samples_to_bytes(frame.raster.data())));
+                frames += 1;
+                interactive_lat.push(clock.now_ns().saturating_sub(ev.due_vns));
+                Ok(())
+            };
+        match ev.action {
+            Action::Pan { dx, dy } => {
+                let Runtime::Viewer { sess } = &mut runtimes[ev.tenant] else {
+                    unreachable!("pan events only target viewers")
+                };
+                sess.pan(dx, dy)?;
+                deliver(sess, &mut digests)?;
+                completed += 1;
+                let decl = DeclaredWave::read(8, 8 << 10);
+                if let Admission::Admit =
+                    sched.admit(&cfg.endpoint, name, Priority::Prefetch, &decl, ev.due_vns)
+                {
+                    sess.cancel_token().cancel_at(clock.now_ns() + shed_lag_vns);
+                    sess.prefetch_pan_neighbor(FRAME_LEVEL)?;
+                    sess.reset_cancel();
+                }
+            }
+            Action::TimeStep => {
+                let Runtime::Player { sess } = &mut runtimes[ev.tenant] else {
+                    unreachable!("time-step events only target players")
+                };
+                let next = (sess.time() + 1) % TIMESTEPS;
+                sess.set_time(next)?;
+                deliver(sess, &mut digests)?;
+                completed += 1;
+                let decl = DeclaredWave::read(8, 8 << 10);
+                if let Admission::Admit =
+                    sched.admit(&cfg.endpoint, name, Priority::Prefetch, &decl, ev.due_vns)
+                {
+                    sess.cancel_token().cancel_at(clock.now_ns() + shed_lag_vns);
+                    sess.prefetch_time((next + 1) % TIMESTEPS, FRAME_LEVEL)?;
+                    sess.reset_cancel();
+                }
+            }
+            Action::Ingest { wave } => {
+                let Runtime::Ingestor { store } = &runtimes[ev.tenant] else {
+                    unreachable!("ingest events only target ingestors")
+                };
+                match sched.admit(&cfg.endpoint, name, Priority::Bulk, &ingest_decl, ev.due_vns) {
+                    Admission::Admit | Admission::Shed => {
+                        store.set_wave_priority(Priority::Bulk);
+                        let keys: Vec<String> = (0..cfg.ingest_wave_blocks)
+                            .map(|i| format!("ingest/{name}/w{wave:06}/b{i:02}"))
+                            .collect();
+                        let payloads: Vec<Vec<u8>> = (0..cfg.ingest_wave_blocks)
+                            .map(|i| {
+                                let fill =
+                                    splitmix64(ev.tenant as u64 ^ ((wave as u64) << 16) ^ i as u64);
+                                vec![fill as u8; cfg.ingest_block_bytes as usize]
+                            })
+                            .collect();
+                        let items: Vec<(&str, &[u8])> = keys
+                            .iter()
+                            .zip(&payloads)
+                            .map(|(k, d)| (k.as_str(), d.as_slice()))
+                            .collect();
+                        ingest_errors +=
+                            store.put_many(&items).iter().filter(|m| m.is_err()).count() as u64;
+                        ingest_waves += 1;
+                        ingest_lat.push(clock.now_ns().saturating_sub(ev.due_vns));
+                        completed += 1;
+                    }
+                    Admission::Defer { retry_at_vns } => {
+                        heap.push(Reverse((retry_at_vns.max(at + 1), tier, seq)));
+                    }
+                }
+            }
+        }
+    }
+
+    let snap = obs.snapshot();
+    let remote =
+        |m: &str| snap.counter(&format!("dataverse.{m}")) + snap.counter(&format!("seal.{m}"));
+    Ok(FleetReport {
+        tenants,
+        qos: cfg.sched.qos,
+        endpoint: cfg.endpoint.clone(),
+        events_generated,
+        events_completed: completed,
+        frames,
+        ingest_waves,
+        ingest_errors,
+        interactive: LatencySummary::from_samples(interactive_lat),
+        ingest: LatencySummary::from_samples(ingest_lat),
+        digests,
+        tenant_grants: sched.tenant_grants(),
+        min_bucket_vns: sched.min_bucket_vns(),
+        sched_submitted: snap.counter("sched.waves_submitted"),
+        sched_admitted: snap.counter("sched.waves_admitted"),
+        sched_deferred: snap.counter("sched.waves_deferred"),
+        sched_shed: snap.counter("sched.waves_shed"),
+        sched_service_vns: snap.counter("sched.service_vns"),
+        sched_granted_bytes: snap.counter("sched.granted_bytes"),
+        wan_busy_vns: remote("wan.busy_vns"),
+        wan_bytes: remote("wan.bytes_down") + remote("wan.bytes_up"),
+        final_vns: clock.now_ns(),
+        metrics_json: snap.to_json(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetConfig {
+        let mut cfg = FleetConfig::sized(10);
+        cfg.horizon_secs = 6.0;
+        cfg
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic_and_conserves_accounting() {
+        let a = run_fleet(11, &small()).unwrap();
+        let b = run_fleet(11, &small()).unwrap();
+        assert_eq!(a, b, "same seed and config must reproduce bitwise");
+        assert!(a.events_generated > 0 && a.events_generated == a.events_completed);
+        assert!(a.frames > 0 && a.ingest_waves > 0);
+        assert_eq!(a.ingest_errors, 0, "fault-free run");
+        // Fault-free: scheduler accounting reconciles exactly with the WAN.
+        assert_eq!(a.sched_service_vns, a.wan_busy_vns);
+        assert_eq!(a.sched_granted_bytes, a.wan_bytes);
+        assert_eq!(a.tenant_grants.values().sum::<u64>(), a.wan_bytes);
+        assert!(a.min_bucket_vns >= 0.0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_traffic() {
+        let a = run_fleet(1, &small()).unwrap();
+        let b = run_fleet(2, &small()).unwrap();
+        assert_ne!(a.final_vns, b.final_vns);
+        assert_ne!(a.digests, b.digests);
+    }
+
+    #[test]
+    fn only_tenant_schedules_one_tenant() {
+        let mut cfg = small();
+        cfg.only_tenant = Some(0);
+        let r = run_fleet(11, &cfg).unwrap();
+        assert_eq!(r.digests.len(), 1, "exactly the solo viewer produced frames");
+        assert_eq!(r.tenant_grants.len(), 1);
+        let full = run_fleet(11, &small()).unwrap();
+        assert_eq!(
+            r.digests["t0000"], full.digests["t0000"],
+            "frames are a pure function of dataset content, not contention"
+        );
+    }
+}

@@ -2,17 +2,20 @@
 //!
 //! The top of the NSDF stack: a client session over named storage
 //! endpoints ([`client`]), the paper's four-step tutorial workflow as an
-//! instrumented pipeline ([`pipeline`]), and the tutorial-delivery /
-//! survey simulation behind Table I and Fig. 8 ([`tutorial`]).
+//! instrumented pipeline ([`pipeline`]), the tutorial-delivery / survey
+//! simulation behind Table I and Fig. 8 ([`tutorial`]), and the
+//! multi-tenant fleet simulator with QoS scheduling ([`fleet`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fleet;
 pub mod pipeline;
 pub mod tutorial;
 
-pub use client::{EndpointKind, EndpointPolicy, NsdfClient, StorageEndpoint};
+pub use client::{EndpointKind, EndpointPolicy, FleetClient, NsdfClient, StorageEndpoint};
+pub use fleet::{run_fleet, FleetConfig, FleetReport, LatencySummary};
 pub use pipeline::{run_tutorial, Interaction, TutorialConfig, TutorialReport};
 pub use tutorial::{
     format_table1, Background, Modality, QuestionTally, Session, SurveyModel, SurveyQuestion,

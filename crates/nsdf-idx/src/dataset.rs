@@ -13,7 +13,7 @@
 
 use crate::meta::IdxMeta;
 use nsdf_hz::{hz_from_z, HzCurve};
-use nsdf_storage::ObjectStore;
+use nsdf_storage::{ObjectStore, Priority};
 use nsdf_util::obs::{Counter, HistogramMetric, Obs};
 use nsdf_util::par::{num_threads, try_par_map};
 use nsdf_util::{bytes_to_samples, samples_to_bytes, Box2i, NsdfError, Raster, Result, Sample};
@@ -579,6 +579,8 @@ impl IdxDataset {
         stats.encode_secs += encode_secs;
         self.m.encode_secs.observe(encode_secs);
 
+        // Upload waves are bulk ingest to a scheduler-aware store wrapper.
+        self.store.set_wave_priority(Priority::Bulk);
         for batch in encoded.chunks(self.write_concurrency.max(1)) {
             let keys: Vec<String> =
                 batch.iter().map(|(b, _, _, _)| self.block_key(field_idx, time, *b)).collect();
@@ -734,7 +736,11 @@ impl IdxDataset {
 
         // Batched RMW fetches through the same `get_many` path reads use;
         // `NotFound` means the block was never written (zero contents), any
-        // other error aborts the write.
+        // other error aborts the write. They are part of the ingest, so a
+        // scheduler-aware store accounts them as bulk.
+        if !to_fetch.is_empty() {
+            self.store.set_wave_priority(Priority::Bulk);
+        }
         for chunk in to_fetch.chunks(self.fetch_concurrency.max(1)) {
             let keys: Vec<String> =
                 chunk.iter().map(|&b| self.block_key(field_idx, time, b)).collect();

@@ -29,6 +29,7 @@
 use crate::dataset::{DecodedEntry, IdxDataset, QueryStats};
 use crate::volume::IdxVolume;
 use nsdf_hz::hz_from_z;
+use nsdf_storage::Priority;
 use nsdf_util::obs::{Counter, Obs};
 use nsdf_util::par::{num_threads, try_par_map};
 use nsdf_util::{
@@ -512,6 +513,16 @@ impl<T: Sample> QuerySession<T> {
             }
         }
 
+        if !misses.is_empty() {
+            // Tag the store handle so a scheduler-aware wrapper accounts
+            // these waves under the right QoS tier: speculative prefetch
+            // is sheddable, demand fetches are interactive.
+            ds.store().set_wave_priority(if prefetch {
+                Priority::Prefetch
+            } else {
+                Priority::Interactive
+            });
+        }
         for chunk in misses.chunks(ds.fetch_concurrency().max(1)) {
             if self.cancel.is_cancelled_at(self.clock.now_ns()) {
                 return Ok(true);

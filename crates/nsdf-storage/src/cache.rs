@@ -36,6 +36,11 @@ pub struct CacheStats {
     /// Reads that piggy-backed on another thread's in-flight fetch instead
     /// of issuing their own (single-flight deduplication).
     pub coalesced_waits: u64,
+    /// Reads that declined to share an in-flight fetch because a write
+    /// landed after that fetch started — sharing its (possibly pre-write)
+    /// payload would not be linearizable — and went to the inner store
+    /// directly instead.
+    pub stale_flight_bypasses: u64,
 }
 
 impl CacheStats {
@@ -54,6 +59,12 @@ impl CacheStats {
 struct Entry {
     data: Arc<Vec<u8>>,
     tick: u64,
+    /// Modification stamp of the write that produced this entry
+    /// (`ObjectMeta::modified`, monotonic per backend), or `None` for
+    /// read-through admissions. Orders racing write-throughs: a put whose
+    /// inner write completed first but reached the cache lock second must
+    /// not clobber the newer payload.
+    stamp: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -84,9 +95,26 @@ impl LruState {
 
     /// Admit `data`; returns the number of live entries evicted to stay
     /// within `capacity` (reported to the metrics registry by the caller).
-    fn insert(&mut self, key: String, data: Arc<Vec<u8>>, capacity: u64) -> u64 {
+    ///
+    /// `stamp` is `Some(modified)` for write-throughs and `None` for
+    /// read-through admissions. A write-through older than the entry
+    /// already cached is dropped: two tenants racing `put`s on one key can
+    /// reach this lock in the opposite order of their inner writes, and
+    /// the cache must converge on whichever payload the store kept.
+    fn insert(
+        &mut self,
+        key: String,
+        data: Arc<Vec<u8>>,
+        stamp: Option<u64>,
+        capacity: u64,
+    ) -> u64 {
         if data.len() as u64 > capacity {
             return 0; // Larger than the whole cache: never admit.
+        }
+        if let (Some(new), Some(Entry { stamp: Some(old), .. })) = (stamp, self.entries.get(&key)) {
+            if *old > new {
+                return 0; // A newer write-through already landed.
+            }
         }
         if let Some(old) = self.entries.remove(&key) {
             self.resident -= old.data.len() as u64;
@@ -94,7 +122,7 @@ impl LruState {
         self.resident += data.len() as u64;
         let tick = self.next_tick;
         self.next_tick += 1;
-        self.entries.insert(key.clone(), Entry { data, tick });
+        self.entries.insert(key.clone(), Entry { data, tick, stamp });
         self.queue.push_back((key, tick));
         self.evict_to(capacity)
     }
@@ -124,13 +152,20 @@ impl LruState {
 /// The leader publishes into `done` and signals `cv`; waiters block on the
 /// condvar until the slot fills. Results are replicated per waiter (the
 /// payload through the `Arc`, errors via [`NsdfError::replicate`]).
-#[derive(Default)]
 struct InFlight {
+    /// Write epoch at which the leader missed. A reader whose own miss
+    /// epoch differs saw the cache *after* a write this fetch may predate,
+    /// so it must not share the result.
+    epoch: u64,
     done: Mutex<Option<std::result::Result<Arc<Vec<u8>>, NsdfError>>>,
     cv: Condvar,
 }
 
 impl InFlight {
+    fn new(epoch: u64) -> Self {
+        InFlight { epoch, done: Mutex::new(None), cv: Condvar::new() }
+    }
+
     /// Block until the leader publishes, then return a replica of its
     /// result.
     fn wait(&self) -> Result<Arc<Vec<u8>>> {
@@ -151,6 +186,10 @@ enum Flight {
     Leader(Arc<InFlight>),
     /// Another thread is already fetching; wait on its slot.
     Follower(Arc<InFlight>),
+    /// A fetch is in flight but a write landed between its start and this
+    /// read's start: its payload may predate the write, so this reader
+    /// goes to the inner store directly and caches nothing.
+    Bypass,
 }
 
 /// Registry handles for one `CachedStore`, under the `cache` scope.
@@ -160,6 +199,7 @@ struct CacheMetrics {
     misses: Counter,
     evictions: Counter,
     coalesced_waits: Counter,
+    stale_flight_bypasses: Counter,
     resident_bytes: Gauge,
 }
 
@@ -171,6 +211,7 @@ impl CacheMetrics {
             misses: obs.counter("misses"),
             evictions: obs.counter("evictions"),
             coalesced_waits: obs.counter("coalesced_waits"),
+            stale_flight_bypasses: obs.counter("stale_flight_bypasses"),
             resident_bytes: obs.gauge("resident_bytes"),
             obs,
         }
@@ -222,6 +263,7 @@ impl CachedStore {
             evictions: self.m.evictions.get(),
             resident_bytes: self.state.lock().resident,
             coalesced_waits: self.m.coalesced_waits.get(),
+            stale_flight_bypasses: self.m.stale_flight_bypasses.get(),
         }
     }
 
@@ -239,13 +281,18 @@ impl CachedStore {
         self.capacity
     }
 
-    /// Claim or join the in-flight slot for a missing key.
-    fn join_flight(&self, key: &str) -> Flight {
+    /// Claim or join the in-flight slot for a missing key. `epoch` is the
+    /// write epoch this reader observed when it missed; joining a flight
+    /// started under a different epoch would let a read that began after
+    /// an acked write return pre-write bytes, so such readers bypass the
+    /// flight instead.
+    fn join_flight(&self, key: &str, epoch: u64) -> Flight {
         let mut inflight = self.inflight.lock();
         match inflight.get(key) {
-            Some(f) => Flight::Follower(f.clone()),
+            Some(f) if f.epoch == epoch => Flight::Follower(f.clone()),
+            Some(_) => Flight::Bypass,
             None => {
-                let f = Arc::new(InFlight::default());
+                let f = Arc::new(InFlight::new(epoch));
                 inflight.insert(key.to_string(), f.clone());
                 Flight::Leader(f)
             }
@@ -260,7 +307,7 @@ impl CachedStore {
         if let Ok(data) = &result {
             let mut st = self.state.lock();
             if st.write_epoch == epoch {
-                let evicted = st.insert(key.to_string(), data.clone(), self.capacity);
+                let evicted = st.insert(key.to_string(), data.clone(), None, self.capacity);
                 self.m.evictions.add(evicted);
                 self.m.resident_bytes.set(st.resident as f64);
             }
@@ -279,7 +326,7 @@ impl CachedStore {
             }
             st.write_epoch
         };
-        match self.join_flight(key) {
+        match self.join_flight(key, epoch) {
             Flight::Leader(f) => {
                 self.m.misses.inc();
                 // Fetch outside every lock so a slow WAN get serializes
@@ -297,6 +344,11 @@ impl CachedStore {
                 self.m.coalesced_waits.inc();
                 result
             }
+            Flight::Bypass => {
+                self.m.misses.inc();
+                self.m.stale_flight_bypasses.inc();
+                self.inner.get(key).map(Arc::new)
+            }
         }
     }
 }
@@ -306,7 +358,8 @@ impl ObjectStore for CachedStore {
         let meta = self.inner.put(key, data)?;
         let mut st = self.state.lock();
         st.write_epoch += 1;
-        let evicted = st.insert(key.to_string(), Arc::new(data.to_vec()), self.capacity);
+        let evicted =
+            st.insert(key.to_string(), Arc::new(data.to_vec()), Some(meta.modified), self.capacity);
         self.m.evictions.add(evicted);
         self.m.resident_bytes.set(st.resident as f64);
         Ok(meta)
@@ -315,14 +368,21 @@ impl ObjectStore for CachedStore {
     fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
         // One inner batch (so the WAN amortizes the upload wave), then
         // write-through every stored payload under one lock acquisition —
-        // the cache can never serve bytes older than an acked write.
+        // the cache can never serve bytes older than an acked write. Each
+        // insert carries the inner store's modification stamp so racing
+        // writers from other tenants cannot reorder into staleness.
         let results = self.inner.put_many(items);
         let mut st = self.state.lock();
         st.write_epoch += 1;
         let mut evicted = 0;
         for ((k, d), r) in items.iter().zip(&results) {
-            if r.is_ok() {
-                evicted += st.insert(k.to_string(), Arc::new(d.to_vec()), self.capacity);
+            if let Ok(meta) = r {
+                evicted += st.insert(
+                    k.to_string(),
+                    Arc::new(d.to_vec()),
+                    Some(meta.modified),
+                    self.capacity,
+                );
             }
         }
         self.m.evictions.add(evicted);
@@ -362,19 +422,24 @@ impl ObjectStore for CachedStore {
 
         // Phase 2: claim leadership for keys nobody is fetching; keys
         // already in flight (here or in another thread) are joined as
-        // followers. All leaderships are claimed before any waiting, and
-        // leaders never wait, so batches cannot deadlock each other — and
-        // a key repeated within this batch is fetched once.
+        // followers — unless that flight started under an older write
+        // epoch, in which case its payload may predate a write this batch
+        // has already observed: those keys are fetched directly (bypass)
+        // and cached nothing. All leaderships are claimed before any
+        // waiting, and leaders never wait, so batches cannot deadlock each
+        // other — and a key repeated within this batch is fetched once.
         let mut leaders = Vec::new();
         let mut followers = Vec::new();
+        let mut bypasses = Vec::new();
         {
             let mut inflight = self.inflight.lock();
             for i in missing {
                 let k = keys[i];
                 match inflight.get(k) {
-                    Some(f) => followers.push((i, f.clone())),
+                    Some(f) if f.epoch == epoch => followers.push((i, f.clone())),
+                    Some(_) => bypasses.push(i),
                     None => {
-                        let f = Arc::new(InFlight::default());
+                        let f = Arc::new(InFlight::new(epoch));
                         inflight.insert(k.to_string(), f.clone());
                         leaders.push((i, f));
                     }
@@ -382,19 +447,26 @@ impl ObjectStore for CachedStore {
             }
         }
 
-        // Phase 3: fetch all led keys as one inner batch, then publish.
-        if !leaders.is_empty() {
-            self.m.misses.add(leaders.len() as u64);
-            let lead_keys: Vec<&str> = leaders.iter().map(|&(i, _)| keys[i]).collect();
-            let results = self.inner.get_many(&lead_keys);
-            for ((i, f), r) in leaders.into_iter().zip(results) {
-                let r = r.map(Arc::new);
+        // Phase 3: fetch all led and bypassed keys as one inner batch (so
+        // the WAN amortizes the round trips), then publish the led ones.
+        if !leaders.is_empty() || !bypasses.is_empty() {
+            self.m.misses.add((leaders.len() + bypasses.len()) as u64);
+            self.m.stale_flight_bypasses.add(bypasses.len() as u64);
+            let fetch_idx: Vec<usize> =
+                leaders.iter().map(|&(i, _)| i).chain(bypasses.iter().copied()).collect();
+            let fetch_keys: Vec<&str> = fetch_idx.iter().map(|&i| keys[i]).collect();
+            let mut results = self.inner.get_many(&fetch_keys).into_iter();
+            for (i, f) in leaders {
+                let r = results.next().expect("result per led key").map(Arc::new);
                 let replica = match &r {
                     Ok(data) => Ok(data.clone()),
                     Err(e) => Err(e.replicate()),
                 };
                 self.publish(keys[i], &f, replica, epoch);
                 out[i] = Some(r.map(|d| d.as_ref().clone()));
+            }
+            for i in bypasses {
+                out[i] = Some(results.next().expect("result per bypassed key"));
             }
         }
 
@@ -441,6 +513,10 @@ impl ObjectStore for CachedStore {
 
     fn describe(&self) -> String {
         format!("{} with {} byte LRU cache", self.inner.describe(), self.capacity)
+    }
+
+    fn set_wave_priority(&self, priority: crate::store::Priority) {
+        self.inner.set_wave_priority(priority);
     }
 }
 
@@ -820,6 +896,177 @@ mod tests {
         let s = cached.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 1, "the fresh payload is served from cache, not refetched");
+    }
+
+    /// Inner store whose `put` completes the inner write, then parks while
+    /// the payload matches `gate_value` — freezing a write-through between
+    /// its inner write and its cache insert, so a second writer can
+    /// deterministically overtake it at the cache lock.
+    struct WriteGateStore {
+        inner: MemoryStore,
+        gate_value: Vec<u8>,
+        entered: Mutex<bool>,
+        entered_cv: Condvar,
+        release: Mutex<bool>,
+        release_cv: Condvar,
+    }
+
+    impl WriteGateStore {
+        fn new(gate_value: &[u8]) -> Self {
+            WriteGateStore {
+                inner: MemoryStore::new(),
+                gate_value: gate_value.to_vec(),
+                entered: Mutex::new(false),
+                entered_cv: Condvar::new(),
+                release: Mutex::new(false),
+                release_cv: Condvar::new(),
+            }
+        }
+
+        fn wait_entered(&self) {
+            let mut e = self.entered.lock();
+            while !*e {
+                e = self.entered_cv.wait(e);
+            }
+        }
+
+        fn open(&self) {
+            *self.release.lock() = true;
+            self.release_cv.notify_all();
+        }
+    }
+
+    impl ObjectStore for WriteGateStore {
+        fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+            let meta = self.inner.put(key, data); // inner write completes first
+            if data == self.gate_value.as_slice() {
+                *self.entered.lock() = true;
+                self.entered_cv.notify_all();
+                let mut r = self.release.lock();
+                while !*r {
+                    r = self.release_cv.wait(r);
+                }
+            }
+            meta
+        }
+
+        fn get(&self, key: &str) -> Result<Vec<u8>> {
+            self.inner.get(key)
+        }
+
+        fn head(&self, key: &str) -> Result<ObjectMeta> {
+            self.inner.head(key)
+        }
+
+        fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+            self.inner.list(prefix)
+        }
+
+        fn delete(&self, key: &str) -> Result<()> {
+            self.inner.delete(key)
+        }
+    }
+
+    #[test]
+    fn racing_writers_converge_on_the_stored_payload() {
+        // Regression (multi-tenant write/write): tenant A's inner write
+        // completes first but A reaches the cache lock *after* tenant B's
+        // complete put. Without modification-stamp ordering the cache
+        // would keep A's stale payload forever while the store holds B's.
+        let gate = Arc::new(WriteGateStore::new(b"v1"));
+        let cached = Arc::new(CachedStore::new(gate.clone(), 1 << 20));
+        crossbeam::scope(|s| {
+            let a = {
+                let cached = cached.clone();
+                s.spawn(move |_| cached.put("k", b"v1").unwrap())
+            };
+            gate.wait_entered(); // A's inner write is durable, insert pending
+            cached.put("k", b"v2").unwrap(); // B completes fully
+            gate.open();
+            a.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(gate.get("k").unwrap(), b"v2", "the store kept the later write");
+        assert_eq!(
+            cached.get("k").unwrap(),
+            b"v2",
+            "an overtaken write-through must not clobber the newer cached payload"
+        );
+        assert_eq!(cached.stats().misses, 0, "the agreeing payload is served from cache");
+    }
+
+    #[test]
+    fn two_tenants_miss_in_flight_while_a_third_writes() {
+        // Two tenants miss on one key (leader + coalesced follower) while
+        // a third tenant's put lands mid-flight. Both in-flight readers
+        // began before the write, so the pre-write payload is linearizable
+        // for them — but the cache must end up serving the new bytes.
+        let gate = Arc::new(GateStore::new());
+        gate.put("k", b"old-bytes").unwrap();
+        let cached = Arc::new(CachedStore::new(gate.clone(), 1 << 20));
+        crossbeam::scope(|s| {
+            let r1 = {
+                let cached = cached.clone();
+                s.spawn(move |_| cached.get("k").unwrap())
+            };
+            gate.wait_entered(); // the leader holds the pre-write payload
+            let r2 = {
+                let cached = cached.clone();
+                s.spawn(move |_| cached.get("k").unwrap())
+            };
+            // Give the second reader a moment to coalesce onto the flight
+            // (if it instead arrives after the write it bypasses the
+            // flight, which only changes which linearizable value it sees
+            // — the lenient assert below covers both interleavings).
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            cached.put("k", b"new-bytes").unwrap();
+            gate.open();
+            let (v1, v2) = (r1.join().unwrap(), r2.join().unwrap());
+            assert_eq!(v1, b"old-bytes");
+            assert!(v2 == b"old-bytes" || v2 == b"new-bytes");
+        })
+        .unwrap();
+        assert_eq!(
+            cached.get("k").unwrap(),
+            b"new-bytes",
+            "the write-through must survive both in-flight publishes"
+        );
+    }
+
+    #[test]
+    fn read_after_write_never_shares_a_pre_write_flight() {
+        // Linearizability regression: a leader is mid-fetch when a write
+        // lands whose payload is too large to write through (so the cache
+        // holds nothing). A read that *starts after the acked write* must
+        // not coalesce onto the stale flight and return pre-write bytes.
+        let gate = Arc::new(GateStore::new());
+        gate.put("k", &[1u8; 64]).unwrap();
+        let cached = Arc::new(CachedStore::new(gate.clone(), 32)); // 64B objects never cached
+        crossbeam::scope(|s| {
+            let leader = {
+                let cached = cached.clone();
+                s.spawn(move |_| cached.get("k").unwrap())
+            };
+            gate.wait_entered(); // leader captured the pre-write payload
+            cached.put("k", &[2u8; 64]).unwrap(); // acked write, not cacheable
+            let late = {
+                let cached = cached.clone();
+                s.spawn(move |_| cached.get("k").unwrap())
+            };
+            // The late reader must bypass the stale flight and fetch the
+            // new payload itself; it parks at the gate too, so open the
+            // gate once it has arrived there.
+            gate.wait_entered();
+            gate.open();
+            assert_eq!(leader.join().unwrap(), vec![1u8; 64], "pre-write read keeps old bytes");
+            assert_eq!(
+                late.join().unwrap(),
+                vec![2u8; 64],
+                "a read that began after the acked write must see the new bytes"
+            );
+        })
+        .unwrap();
+        assert!(cached.stats().stale_flight_bypasses >= 1);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!    identically-seeded runs see identical fault sequences regardless of
 //!    wall-clock scheduling.
 
-use crate::store::{ObjectMeta, ObjectStore};
+use crate::store::{ObjectMeta, ObjectStore, Priority};
 use nsdf_util::obs::{Counter, Obs};
 use nsdf_util::{fnv1a64, secs_to_ns, splitmix64, NsdfError, Result, SimClock};
 use parking_lot::Mutex;
@@ -666,6 +666,10 @@ impl ObjectStore for FaultStore {
             self.plan.corrupt_rate * 100.0,
             self.plan.windows.len()
         )
+    }
+
+    fn set_wave_priority(&self, priority: Priority) {
+        self.inner.set_wave_priority(priority);
     }
 }
 

@@ -15,7 +15,10 @@
 //!   executed by [`fault::FaultStore`] on the virtual clock;
 //! * [`reliability`] — the resilience stack: failure injection, retries
 //!   with hedged backup waves, a per-endpoint circuit breaker, and
-//!   checksum verification.
+//!   checksum verification;
+//! * [`sched`] — shared-WAN admission control: [`sched::WanScheduler`]
+//!   priority tiers, per-tenant token buckets, prefetch shedding, and the
+//!   per-tenant [`sched::SchedStore`] accounting handle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@ pub mod fault;
 pub mod local;
 pub mod memory;
 pub mod reliability;
+pub mod sched;
 pub mod store;
 pub mod wan;
 
@@ -36,5 +40,6 @@ pub use reliability::{
     BreakerPolicy, BreakerState, BreakerStore, FailScope, FlakyStore, HedgePolicy, IntegrityStore,
     RetryPolicy, RetryStore,
 };
-pub use store::{validate_key, ObjectMeta, ObjectStore};
+pub use sched::{Admission, DeclaredWave, SchedPolicy, SchedStore, WanScheduler};
+pub use store::{validate_key, ObjectMeta, ObjectStore, Priority};
 pub use wan::{CloudStore, NetworkProfile, TransferLog};

@@ -16,7 +16,7 @@
 //! datasets.
 
 use crate::fault::{FaultPlan, FaultStore};
-use crate::store::{ObjectMeta, ObjectStore};
+use crate::store::{ObjectMeta, ObjectStore, Priority};
 use nsdf_util::obs::{Counter, Gauge, Obs};
 use nsdf_util::{fnv1a64, secs_to_ns, NsdfError, Result, SimClock};
 use parking_lot::Mutex;
@@ -114,6 +114,10 @@ impl ObjectStore for FlakyStore {
             self.inner.inner_describe(),
             self.fail_rate * 100.0
         )
+    }
+
+    fn set_wave_priority(&self, priority: Priority) {
+        self.inner.set_wave_priority(priority);
     }
 }
 
@@ -381,6 +385,10 @@ impl ObjectStore for RetryStore {
 
     fn describe(&self) -> String {
         format!("{} with {}-attempt retry", self.inner.describe(), self.policy.max_attempts)
+    }
+
+    fn set_wave_priority(&self, priority: Priority) {
+        self.inner.set_wave_priority(priority);
     }
 }
 
@@ -654,6 +662,10 @@ impl ObjectStore for BreakerStore {
             self.policy.failure_threshold
         )
     }
+
+    fn set_wave_priority(&self, priority: Priority) {
+        self.inner.set_wave_priority(priority);
+    }
 }
 
 /// Registry handles for one `IntegrityStore`, under the `integrity` scope.
@@ -796,6 +808,10 @@ impl ObjectStore for IntegrityStore {
 
     fn describe(&self) -> String {
         format!("{} with checksum verification", self.inner.describe())
+    }
+
+    fn set_wave_priority(&self, priority: Priority) {
+        self.inner.set_wave_priority(priority);
     }
 }
 

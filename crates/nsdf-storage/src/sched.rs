@@ -1,0 +1,691 @@
+//! Shared-WAN admission control: multiplexing a fleet of tenants over the
+//! modeled cloud links on one virtual clock.
+//!
+//! The paper's NSDF services exist to serve *many* simultaneous trainees
+//! over shared commercial-cloud links; this module is the fairness layer
+//! that keeps that sharing civil. A [`WanScheduler`] owns the admission
+//! decision for every wave a tenant submits against a modeled endpoint:
+//!
+//! * **Priority tiers** ([`Priority`]): interactive demand outranks
+//!   speculative prefetch outranks bulk ingest. The fleet driver orders
+//!   same-deadline events by tier, so an interactive pan never queues
+//!   behind an ingest wave that arrived in the same instant.
+//! * **Per-tenant token buckets** (bulk tier): each bulk tenant accrues
+//!   *link-time* budget at `bulk_share * weight_i / Σ bulk weights` —
+//!   a dimensionless share of the endpoint's virtual seconds. A wave is
+//!   admitted only when the tenant has banked its estimated service time;
+//!   otherwise the scheduler answers [`Admission::Defer`] with the exact
+//!   virtual instant at which the budget suffices. Deferral happens
+//!   *without* advancing the shared clock, which is precisely what keeps
+//!   one bulk ingest from starving everyone else: the link stays free for
+//!   interactive waves while the ingest waits out its own budget. Charging
+//!   link-time rather than raw bytes makes the cap honest for RTT-dominated
+//!   waves (many small blocks) and transfer-dominated waves alike.
+//! * **Backpressure sheds speculation first**: a prefetch wave arriving
+//!   when the link has already fallen `shed_lag_secs` behind that wave's
+//!   intended deadline is answered [`Admission::Shed`]; the session's
+//!   `CancelToken` deadline gives the same determinism to prefetches that
+//!   slow down mid-flight.
+//!
+//! Accounting lives in [`SchedStore`], a per-tenant [`ObjectStore`] handle
+//! layered *above* the shared cache stack: it measures each wave's actual
+//! service time (virtual-clock delta) and actual WAN traffic (delta of the
+//! endpoint's `wan.bytes_down`/`wan.bytes_up` counters), debits the token
+//! bucket, and feeds the `sched.*` metric family. Fault-free, per-tier
+//! `sched.<tier>.service_vns` therefore sums exactly to the endpoints'
+//! `wan.busy_vns`, and per-tenant granted bytes sum exactly to the WAN
+//! byte counters — invariants the fleet property suite pins down.
+//!
+//! The accounting assumes the fleet driver submits waves sequentially on
+//! the virtual clock (the discrete-event loop in `nsdf-core::fleet` does);
+//! concurrent wall-clock callers would attribute each other's clock
+//! advances to whichever wave happened to be open.
+
+use crate::store::{ObjectMeta, ObjectStore, Priority};
+use crate::wan::NetworkProfile;
+use nsdf_util::obs::{Counter, HistogramMetric, Obs};
+use nsdf_util::{secs_to_ns, NsdfError, Result, SimClock};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Histogram bounds (virtual seconds) for per-tier queue delay.
+const QUEUE_DELAY_BOUNDS: [f64; 10] = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0];
+
+/// What a tenant declares about a wave when asking for admission.
+///
+/// The scheduler prices the wave with the endpoint's link model — the
+/// same arithmetic the WAN simulator charges — so bulk token buckets are
+/// debited in link-time, not bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeclaredWave {
+    /// Number of objects in the wave (prices the round trips).
+    pub ops: u32,
+    /// Total payload bytes (prices the transfer time).
+    pub bytes: u64,
+    /// Writes pay the WAN's two round trips per batch.
+    pub write: bool,
+}
+
+impl DeclaredWave {
+    /// A read wave of `ops` objects totalling `bytes`.
+    pub fn read(ops: u32, bytes: u64) -> Self {
+        DeclaredWave { ops, bytes, write: false }
+    }
+
+    /// A write wave of `ops` objects totalling `bytes`.
+    pub fn write(ops: u32, bytes: u64) -> Self {
+        DeclaredWave { ops, bytes, write: true }
+    }
+}
+
+/// The scheduler's answer to an admission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the wave now.
+    Admit,
+    /// Token budget is short: re-ask at `retry_at_vns` (virtual ns). The
+    /// shared clock is *not* advanced; the caller keeps the wave queued
+    /// and the original deadline for latency accounting.
+    Defer {
+        /// Earliest virtual instant at which the budget will suffice.
+        retry_at_vns: u64,
+    },
+    /// Backpressure: drop this speculative wave entirely.
+    Shed,
+}
+
+/// Fairness knobs for the shared-WAN plane.
+#[derive(Debug, Clone)]
+pub struct SchedPolicy {
+    /// Master switch. Off = pure FIFO admission (every wave admitted on
+    /// arrival), which is the "demo, not a service" baseline the fleet
+    /// bench contrasts against.
+    pub qos: bool,
+    /// Fraction of each endpoint's link time the bulk tier may consume in
+    /// aggregate; tenant weights split it.
+    pub bulk_share: f64,
+    /// Token-bucket burst capacity, in virtual seconds of link time a
+    /// bulk tenant may bank.
+    pub bucket_burst_secs: f64,
+    /// A prefetch wave already this many virtual seconds past its
+    /// intended deadline is shed instead of admitted, and admitted
+    /// prefetches carry a cancel deadline of the same length.
+    pub shed_lag_secs: f64,
+}
+
+impl SchedPolicy {
+    /// QoS enabled with the default shares.
+    pub fn qos_on() -> Self {
+        SchedPolicy { qos: true, bulk_share: 0.3, bucket_burst_secs: 1.0, shed_lag_secs: 0.5 }
+    }
+
+    /// Admission disabled: every wave admitted on arrival (FIFO).
+    pub fn qos_off() -> Self {
+        SchedPolicy { qos: false, ..SchedPolicy::qos_on() }
+    }
+}
+
+/// Per-endpoint link model plus the WAN byte counters used to attribute
+/// actual traffic back to tenants.
+struct LinkState {
+    rtt_secs: f64,
+    bytes_per_sec: f64,
+    streams: u32,
+    wan_down: Counter,
+    wan_up: Counter,
+}
+
+impl LinkState {
+    /// Estimated service time of `wave` in virtual seconds — the same
+    /// pricing the WAN simulator will charge, minus jitter.
+    fn estimate_secs(&self, wave: &DeclaredWave) -> f64 {
+        if wave.ops == 0 && wave.bytes == 0 {
+            return 0.0;
+        }
+        let per_batch = wave.ops.max(1).div_ceil(self.streams.max(1));
+        let trips = if wave.write { 2 * per_batch } else { per_batch };
+        self.rtt_secs * trips as f64 + wave.bytes as f64 / self.bytes_per_sec
+    }
+}
+
+/// Per-tenant scheduling state: registered tier, fair-share weight, and
+/// the bulk token bucket (in virtual ns of link time).
+struct TenantState {
+    tier: Priority,
+    weight: u64,
+    /// Whether this tenant's weight is counted in the bulk denominator.
+    bulk_active: bool,
+    budget_vns: f64,
+    last_refill_vns: u64,
+    /// Lowest bucket level ever observed (post-debit); the property suite
+    /// asserts it never goes negative.
+    min_budget_vns: f64,
+    granted_bytes: u64,
+}
+
+impl TenantState {
+    fn new(tier: Priority, weight: u64) -> Self {
+        TenantState {
+            tier,
+            weight,
+            bulk_active: tier == Priority::Bulk,
+            budget_vns: 0.0,
+            last_refill_vns: 0,
+            min_budget_vns: 0.0,
+            granted_bytes: 0,
+        }
+    }
+}
+
+struct SchedState {
+    links: BTreeMap<String, LinkState>,
+    tenants: BTreeMap<String, TenantState>,
+    /// Σ weights of bulk-active tenants — the fair-share denominator.
+    bulk_weight_total: u64,
+}
+
+/// One tier's metric handles under the `sched.<tier>.*` scope.
+struct TierMetrics {
+    submitted: Counter,
+    admitted: Counter,
+    deferred: Counter,
+    shed: Counter,
+    waves: Counter,
+    service_vns: Counter,
+    queue_delay_vns: Counter,
+    granted_bytes: Counter,
+    queue_delay: HistogramMetric,
+}
+
+impl TierMetrics {
+    fn new(obs: &Obs, tier: Priority) -> Self {
+        let t = obs.scoped(tier.name());
+        TierMetrics {
+            submitted: t.counter("waves_submitted"),
+            admitted: t.counter("waves_admitted"),
+            deferred: t.counter("waves_deferred"),
+            shed: t.counter("waves_shed"),
+            waves: t.counter("waves"),
+            service_vns: t.counter("service_vns"),
+            queue_delay_vns: t.counter("queue_delay_vns"),
+            granted_bytes: t.counter("granted_bytes"),
+            queue_delay: t.histogram("queue_delay_secs", &QUEUE_DELAY_BOUNDS),
+        }
+    }
+}
+
+struct SchedMetrics {
+    tiers: [TierMetrics; 3],
+    submitted: Counter,
+    admitted: Counter,
+    deferred: Counter,
+    shed: Counter,
+    waves: Counter,
+    service_vns: Counter,
+    queue_delay_vns: Counter,
+    granted_bytes: Counter,
+}
+
+impl SchedMetrics {
+    fn new(obs: &Obs) -> Self {
+        let s = obs.scoped("sched");
+        SchedMetrics {
+            tiers: [
+                TierMetrics::new(&s, Priority::Interactive),
+                TierMetrics::new(&s, Priority::Prefetch),
+                TierMetrics::new(&s, Priority::Bulk),
+            ],
+            submitted: s.counter("waves_submitted"),
+            admitted: s.counter("waves_admitted"),
+            deferred: s.counter("waves_deferred"),
+            shed: s.counter("waves_shed"),
+            waves: s.counter("waves"),
+            service_vns: s.counter("service_vns"),
+            queue_delay_vns: s.counter("queue_delay_vns"),
+            granted_bytes: s.counter("granted_bytes"),
+        }
+    }
+
+    fn tier(&self, tier: Priority) -> &TierMetrics {
+        &self.tiers[tier.rank() as usize]
+    }
+}
+
+/// The shared-WAN admission layer: one instance per simulated fleet,
+/// shared by every tenant's [`SchedStore`] handle.
+pub struct WanScheduler {
+    clock: SimClock,
+    policy: SchedPolicy,
+    state: Mutex<SchedState>,
+    m: SchedMetrics,
+}
+
+impl WanScheduler {
+    /// New scheduler on `clock` with `policy`. Metrics land in a private
+    /// registry until [`WanScheduler::with_obs`] is called.
+    pub fn new(clock: SimClock, policy: SchedPolicy) -> Self {
+        let obs = Obs::new(clock.clone());
+        WanScheduler {
+            clock,
+            policy,
+            state: Mutex::new(SchedState {
+                links: BTreeMap::new(),
+                tenants: BTreeMap::new(),
+                bulk_weight_total: 0,
+            }),
+            m: SchedMetrics::new(&obs),
+        }
+    }
+
+    /// Route `sched.*` metrics into `obs`.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.m = SchedMetrics::new(obs);
+        self
+    }
+
+    /// The policy this scheduler enforces.
+    pub fn policy(&self) -> &SchedPolicy {
+        &self.policy
+    }
+
+    /// The virtual clock every admission decision reads.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Register a modeled endpoint. `ep_obs` must be the same scoped
+    /// registry the endpoint's `CloudStore` reports into — the scheduler
+    /// reads its `wan.bytes_down`/`wan.bytes_up` counters to attribute
+    /// actual traffic to tenants.
+    pub fn register_endpoint(&self, name: &str, profile: &NetworkProfile, ep_obs: &Obs) {
+        let link = LinkState {
+            rtt_secs: profile.rtt_ms / 1000.0,
+            bytes_per_sec: profile.bandwidth_mbps * 1e6 / 8.0 * profile.streams.max(1) as f64,
+            streams: profile.streams,
+            wan_down: ep_obs.counter("wan.bytes_down"),
+            wan_up: ep_obs.counter("wan.bytes_up"),
+        };
+        self.state.lock().links.insert(name.to_string(), link);
+    }
+
+    /// Register a tenant with its default tier and fair-share weight.
+    /// Bulk-tier weights form the denominator of the bulk link share.
+    pub fn register_tenant(&self, tenant: &str, tier: Priority, weight: u64) {
+        let mut st = self.state.lock();
+        if st.tenants.contains_key(tenant) {
+            return;
+        }
+        let t = TenantState::new(tier, weight.max(1));
+        if t.bulk_active {
+            st.bulk_weight_total += t.weight;
+        }
+        st.tenants.insert(tenant.to_string(), t);
+    }
+
+    /// Ask to run a wave for `tenant` against `endpoint` at tier `tier`.
+    ///
+    /// `due_vns` is the wave's *intended* virtual deadline (its arrival
+    /// time for open-loop traffic); the gap to the current clock is the
+    /// queue delay recorded on admission and the lag prefetch shedding
+    /// keys off. Deferral never advances the clock.
+    pub fn admit(
+        &self,
+        endpoint: &str,
+        tenant: &str,
+        tier: Priority,
+        wave: &DeclaredWave,
+        due_vns: u64,
+    ) -> Admission {
+        let now = self.clock.now_ns();
+        let delay = now.saturating_sub(due_vns);
+        self.m.tier(tier).submitted.inc();
+        self.m.submitted.inc();
+        if !self.policy.qos {
+            return self.admitted(tier, delay);
+        }
+        match tier {
+            Priority::Interactive => self.admitted(tier, delay),
+            Priority::Prefetch => {
+                if delay > secs_to_ns(self.policy.shed_lag_secs) {
+                    self.m.tier(tier).shed.inc();
+                    self.m.shed.inc();
+                    Admission::Shed
+                } else {
+                    self.admitted(tier, delay)
+                }
+            }
+            Priority::Bulk => {
+                let mut st = self.state.lock();
+                let est_vns = match st.links.get(endpoint) {
+                    Some(link) => link.estimate_secs(wave) * 1e9,
+                    // Unmodeled endpoint: nothing to price, admit.
+                    None => {
+                        drop(st);
+                        return self.admitted(tier, delay);
+                    }
+                };
+                if !st.tenants.contains_key(tenant) {
+                    st.tenants.insert(tenant.to_string(), TenantState::new(tier, 1));
+                }
+                // A tenant that was not registered as bulk but submits a
+                // bulk wave joins the fair-share denominator on first use.
+                let was_active = st.tenants[tenant].bulk_active;
+                if !was_active {
+                    let w = st.tenants[tenant].weight;
+                    st.bulk_weight_total += w;
+                    st.tenants.get_mut(tenant).expect("tenant just ensured").bulk_active = true;
+                }
+                let denom = st.bulk_weight_total.max(1);
+                let t = st.tenants.get_mut(tenant).expect("tenant just ensured");
+                let rate = self.policy.bulk_share * t.weight as f64 / denom as f64;
+                let capacity = secs_to_ns(self.policy.bucket_burst_secs) as f64;
+                refill(t, rate, now, capacity);
+                let need = est_vns.min(capacity.max(1.0));
+                if t.budget_vns + 1e-6 >= need {
+                    drop(st);
+                    self.admitted(tier, delay)
+                } else {
+                    let deficit = need - t.budget_vns;
+                    let wait_vns = (deficit / rate.max(1e-12)).ceil() as u64;
+                    drop(st);
+                    self.m.tier(tier).deferred.inc();
+                    self.m.deferred.inc();
+                    Admission::Defer { retry_at_vns: now + wait_vns.max(1) }
+                }
+            }
+        }
+    }
+
+    fn admitted(&self, tier: Priority, delay_vns: u64) -> Admission {
+        let tm = self.m.tier(tier);
+        tm.admitted.inc();
+        tm.queue_delay_vns.add(delay_vns);
+        tm.queue_delay.observe(delay_vns as f64 / 1e9);
+        self.m.admitted.inc();
+        self.m.queue_delay_vns.add(delay_vns);
+        Admission::Admit
+    }
+
+    /// Record a finished wave: `service_vns` of link time consumed and
+    /// `bytes` of actual WAN traffic, attributed to `tenant` at `tier`.
+    /// Bulk waves debit the tenant's token bucket, clamped at zero.
+    /// Called by [`SchedStore`] around every store operation.
+    pub fn wave_done(&self, tenant: &str, tier: Priority, service_vns: u64, bytes: u64) {
+        let tm = self.m.tier(tier);
+        tm.waves.inc();
+        tm.service_vns.add(service_vns);
+        tm.granted_bytes.add(bytes);
+        self.m.waves.inc();
+        self.m.service_vns.add(service_vns);
+        self.m.granted_bytes.add(bytes);
+        let mut st = self.state.lock();
+        let t = st.tenants.entry(tenant.to_string()).or_insert_with(|| TenantState::new(tier, 1));
+        t.granted_bytes += bytes;
+        if tier == Priority::Bulk && self.policy.qos {
+            t.budget_vns = (t.budget_vns - service_vns as f64).max(0.0);
+            t.min_budget_vns = t.min_budget_vns.min(t.budget_vns);
+        }
+    }
+
+    /// Actual WAN bytes granted to each tenant so far. Fault-free or not,
+    /// these sum exactly to the endpoints' `wan.bytes_down + wan.bytes_up`
+    /// when all traffic flows through [`SchedStore`] handles.
+    pub fn tenant_grants(&self) -> BTreeMap<String, u64> {
+        self.state.lock().tenants.iter().map(|(k, t)| (k.clone(), t.granted_bytes)).collect()
+    }
+
+    /// Lowest token-bucket level (virtual ns) ever observed across all
+    /// tenants; ≥ 0 by construction, asserted by the property suite.
+    pub fn min_bucket_vns(&self) -> f64 {
+        self.state.lock().tenants.values().map(|t| t.min_budget_vns).fold(0.0f64, |a, b| {
+            if b < a {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// A per-tenant store handle over `inner` (typically the endpoint's
+    /// shared cache stack) that accounts every wave against this
+    /// scheduler. The endpoint must have been registered.
+    pub fn tenant_store(
+        self: &Arc<Self>,
+        endpoint: &str,
+        tenant: &str,
+        inner: Arc<dyn ObjectStore>,
+    ) -> Result<Arc<SchedStore>> {
+        let st = self.state.lock();
+        let link = st
+            .links
+            .get(endpoint)
+            .ok_or_else(|| NsdfError::invalid(format!("endpoint {endpoint:?} not registered")))?;
+        let (wan_down, wan_up) = (link.wan_down.clone(), link.wan_up.clone());
+        let tier = st.tenants.get(tenant).map(|t| t.tier).unwrap_or(Priority::Interactive);
+        drop(st);
+        Ok(Arc::new(SchedStore {
+            inner,
+            sched: Arc::clone(self),
+            tenant: tenant.to_string(),
+            tier: AtomicU8::new(tier.rank()),
+            wan_down,
+            wan_up,
+        }))
+    }
+}
+
+/// Refill a tenant's bucket at `rate` (link-seconds per virtual second)
+/// up to `now`, capped at the burst capacity.
+fn refill(t: &mut TenantState, rate: f64, now: u64, capacity_vns: f64) {
+    if now > t.last_refill_vns {
+        t.budget_vns = (t.budget_vns + rate * (now - t.last_refill_vns) as f64).min(capacity_vns);
+    }
+    t.last_refill_vns = now;
+}
+
+fn tier_from_rank(rank: u8) -> Priority {
+    match rank {
+        0 => Priority::Interactive,
+        1 => Priority::Prefetch,
+        _ => Priority::Bulk,
+    }
+}
+
+/// Per-tenant scheduler-aware store handle.
+///
+/// Sits *above* the endpoint's shared cache stack, so cache hits cost a
+/// tenant nothing while misses are attributed to whoever triggered them.
+/// Every operation measures its virtual service time and the actual WAN
+/// bytes it caused (delta of the endpoint's WAN counters) and reports
+/// them via [`WanScheduler::wave_done`] under the handle's current
+/// [`Priority`] tag.
+pub struct SchedStore {
+    inner: Arc<dyn ObjectStore>,
+    sched: Arc<WanScheduler>,
+    tenant: String,
+    tier: AtomicU8,
+    wan_down: Counter,
+    wan_up: Counter,
+}
+
+impl SchedStore {
+    /// The tenant this handle belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The tier the next wave will be accounted under.
+    pub fn current_priority(&self) -> Priority {
+        tier_from_rank(self.tier.load(Ordering::Relaxed))
+    }
+
+    fn accounted<R>(&self, f: impl FnOnce(&dyn ObjectStore) -> R) -> R {
+        let tier = self.current_priority();
+        let v0 = self.sched.clock.now_ns();
+        let b0 = self.wan_down.get() + self.wan_up.get();
+        let out = f(self.inner.as_ref());
+        let service = self.sched.clock.now_ns().saturating_sub(v0);
+        let bytes = (self.wan_down.get() + self.wan_up.get()).saturating_sub(b0);
+        self.sched.wave_done(&self.tenant, tier, service, bytes);
+        out
+    }
+}
+
+impl ObjectStore for SchedStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        self.accounted(|s| s.put(key, data))
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.accounted(|s| s.get(key))
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.accounted(|s| s.get_range(key, offset, len))
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        self.accounted(|s| s.get_many(keys))
+    }
+
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        self.accounted(|s| s.put_many(items))
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.accounted(|s| s.head(key))
+    }
+
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        self.accounted(|s| s.head_many(keys))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.accounted(|s| s.list(prefix))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.accounted(|s| s.delete(key))
+    }
+
+    fn describe(&self) -> String {
+        format!("sched[{}] over {}", self.tenant, self.inner.describe())
+    }
+
+    fn set_wave_priority(&self, priority: Priority) {
+        self.tier.store(priority.rank(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+    use crate::wan::CloudStore;
+
+    fn scheduler(policy: SchedPolicy) -> (SimClock, Obs, Arc<WanScheduler>) {
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let sched = Arc::new(WanScheduler::new(clock.clone(), policy).with_obs(&obs));
+        (clock, obs, sched)
+    }
+
+    #[test]
+    fn qos_off_admits_everything() {
+        let (_clock, obs, sched) = scheduler(SchedPolicy::qos_off());
+        sched.register_endpoint("ep", &NetworkProfile::public_dataverse(), &obs.scoped("ep"));
+        sched.register_tenant("t0", Priority::Bulk, 1);
+        for _ in 0..50 {
+            let a = sched.admit("ep", "t0", Priority::Bulk, &DeclaredWave::write(32, 32 << 20), 0);
+            assert_eq!(a, Admission::Admit);
+        }
+    }
+
+    #[test]
+    fn bulk_waves_defer_until_budget_accrues() {
+        let (clock, obs, sched) = scheduler(SchedPolicy::qos_on());
+        sched.register_endpoint("ep", &NetworkProfile::public_dataverse(), &obs.scoped("ep"));
+        sched.register_tenant("ingest", Priority::Bulk, 1);
+        let wave = DeclaredWave::write(8, 8 << 20);
+        // Bank some budget first, then drain it.
+        clock.advance_secs(10.0);
+        let now = clock.now_ns();
+        assert_eq!(sched.admit("ep", "ingest", Priority::Bulk, &wave, now), Admission::Admit);
+        // Pretend the wave consumed a big slab of link time.
+        sched.wave_done("ingest", Priority::Bulk, secs_to_ns(5.0), 8 << 20);
+        match sched.admit("ep", "ingest", Priority::Bulk, &wave, now) {
+            Admission::Defer { retry_at_vns } => {
+                assert!(retry_at_vns > clock.now_ns());
+                // At the promised instant the budget suffices.
+                clock.advance_to_ns(retry_at_vns);
+                assert_eq!(
+                    sched.admit("ep", "ingest", Priority::Bulk, &wave, now),
+                    Admission::Admit
+                );
+            }
+            other => panic!("expected deferral, got {other:?}"),
+        }
+        assert!(sched.min_bucket_vns() >= 0.0);
+    }
+
+    #[test]
+    fn prefetch_sheds_when_lagging() {
+        let (clock, obs, sched) = scheduler(SchedPolicy::qos_on());
+        sched.register_endpoint("ep", &NetworkProfile::private_seal(), &obs.scoped("ep"));
+        sched.register_tenant("viewer", Priority::Interactive, 1);
+        let wave = DeclaredWave::read(4, 4096);
+        let due = clock.now_ns();
+        assert_eq!(sched.admit("ep", "viewer", Priority::Prefetch, &wave, due), Admission::Admit);
+        clock.advance_secs(2.0); // link fell far behind the intended time
+        assert_eq!(sched.admit("ep", "viewer", Priority::Prefetch, &wave, due), Admission::Shed);
+        // Interactive demand is never shed, no matter the lag.
+        assert_eq!(
+            sched.admit("ep", "viewer", Priority::Interactive, &wave, due),
+            Admission::Admit
+        );
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("sched.prefetch.waves_shed"), 1);
+        assert_eq!(snap.counter("sched.waves_shed"), 1);
+    }
+
+    #[test]
+    fn sched_store_reconciles_with_wan_counters() {
+        let (clock, obs, sched) = scheduler(SchedPolicy::qos_on());
+        let ep_obs = obs.scoped("ep");
+        let profile = NetworkProfile::public_dataverse();
+        sched.register_endpoint("ep", &profile, &ep_obs);
+        sched.register_tenant("a", Priority::Interactive, 1);
+        sched.register_tenant("b", Priority::Bulk, 1);
+        let wan = Arc::new(
+            CloudStore::new(Arc::new(MemoryStore::new()), profile, clock.clone(), 7)
+                .with_obs(&ep_obs),
+        );
+        let sa = sched.tenant_store("ep", "a", wan.clone()).unwrap();
+        let sb = sched.tenant_store("ep", "b", wan).unwrap();
+        sb.put("shared/x", &[7u8; 4096]).unwrap();
+        assert_eq!(sa.get("shared/x").unwrap(), vec![7u8; 4096]);
+        sa.set_wave_priority(Priority::Prefetch);
+        assert_eq!(sa.get("shared/x").unwrap(), vec![7u8; 4096]);
+        let snap = obs.snapshot();
+        let wan_busy = snap.counter("ep.wan.busy_vns");
+        let wan_bytes = snap.counter("ep.wan.bytes_down") + snap.counter("ep.wan.bytes_up");
+        assert_eq!(snap.counter("sched.service_vns"), wan_busy);
+        assert_eq!(snap.counter("sched.granted_bytes"), wan_bytes);
+        let grants = sched.tenant_grants();
+        assert_eq!(grants.values().sum::<u64>(), wan_bytes);
+        assert!(grants["a"] > 0 && grants["b"] > 0);
+        // The prefetch-tagged wave landed in the prefetch tier.
+        assert_eq!(snap.counter("sched.prefetch.waves"), 1);
+        assert!(snap.counter("sched.prefetch.granted_bytes") >= 4096);
+    }
+
+    #[test]
+    fn unregistered_endpoint_admits_bulk() {
+        let (clock, _obs, sched) = scheduler(SchedPolicy::qos_on());
+        let a = sched.admit("ghost", "t", Priority::Bulk, &DeclaredWave::write(8, 1 << 20), 0);
+        assert_eq!(a, Admission::Admit);
+        let _ = clock;
+    }
+}

@@ -8,6 +8,50 @@
 
 use nsdf_util::{NsdfError, Result};
 
+/// Scheduling class of the waves a store handle is about to submit.
+///
+/// The shared-WAN admission layer ([`crate::sched`]) multiplexes many
+/// tenants over one modeled link; callers that know *why* they are about
+/// to issue a wave (an interactive pan, a speculative prefetch, a bulk
+/// ingest upload) tag the handle so the scheduler can order and shed
+/// work by urgency. Stores that do not schedule simply ignore the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// A user is waiting on this wave right now (pans, refines, playback
+    /// frames). Never deferred, never shed.
+    Interactive,
+    /// Speculative work issued during think time (viewport/timestep
+    /// prefetch). First to be shed under backpressure.
+    Prefetch,
+    /// Throughput-oriented background transfers (dataset ingest, RMW
+    /// fetches of the write path). Rate-limited by per-tenant token
+    /// buckets so they cannot starve interactive waves.
+    Bulk,
+}
+
+impl Priority {
+    /// All tiers, in urgency order (most urgent first).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Prefetch, Priority::Bulk];
+
+    /// Stable lowercase name used in metric scopes and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Prefetch => "prefetch",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// Urgency rank: lower is served first at equal virtual deadlines.
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Prefetch => 1,
+            Priority::Bulk => 2,
+        }
+    }
+}
+
 /// Metadata for one stored object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectMeta {
@@ -100,6 +144,15 @@ pub trait ObjectStore: Send + Sync {
     fn describe(&self) -> String {
         "object store".to_string()
     }
+
+    /// Tag the scheduling class of the waves this handle submits next.
+    ///
+    /// Callers that distinguish demand from speculation (the session
+    /// engine's fetch vs prefetch waves, the dataset write path) set this
+    /// immediately before issuing a wave; the scheduler-aware wrapper
+    /// ([`crate::sched::SchedStore`]) records it, layered wrappers forward
+    /// it inward, and plain backends ignore it.
+    fn set_wave_priority(&self, _priority: Priority) {}
 }
 
 /// Validate an object key: non-empty `/`-separated segments, no `.`/`..`,

@@ -52,7 +52,8 @@ pub mod prelude {
     pub use nsdf_cloud::{provision, ClusterRequest, Provider};
     pub use nsdf_compress::{Codec, CodecPolicy, CompressionStats};
     pub use nsdf_core::{
-        format_table1, run_tutorial, NsdfClient, Session, SurveyModel, TutorialConfig,
+        format_table1, run_fleet, run_tutorial, FleetClient, FleetConfig, FleetReport, NsdfClient,
+        Session, SurveyModel, TutorialConfig,
     };
     pub use nsdf_dashboard::{Colormap, Dashboard, Image, RangeMode, VolumeExplorer};
     pub use nsdf_fuse::{Mapping, VirtualFs};
@@ -66,7 +67,8 @@ pub mod prelude {
     pub use nsdf_plugin::{run_campaign, select_entry_point, Testbed};
     pub use nsdf_somospie::{downscale_knn, KnnRegressor, SyntheticTruth};
     pub use nsdf_storage::{
-        CachedStore, CloudStore, LocalStore, MemoryStore, NetworkProfile, ObjectStore,
+        CachedStore, CloudStore, LocalStore, MemoryStore, NetworkProfile, ObjectStore, SchedPolicy,
+        WanScheduler,
     };
     pub use nsdf_tiff::{read_tiff, tiff_info, write_tiff, TiffCompression};
     pub use nsdf_util::{

@@ -1,0 +1,175 @@
+//! Differential and property sweep of the shared-WAN fleet plane.
+//!
+//! The multi-tenant simulator (`nsdf_core::fleet`) multiplexes viewers,
+//! players, and bulk ingestors over one modeled WAN behind the
+//! `WanScheduler` admission layer. This suite pins down the contracts the
+//! plane must keep no matter the fleet shape:
+//!
+//! * **byte determinism** — same seed and config reproduce the entire
+//!   report bitwise, including the serialized metrics snapshot;
+//! * **solo-oracle differential** — every tenant's frame digest under full
+//!   fleet contention (QoS admission, prefetch shedding, cache pressure)
+//!   equals the digest of the same tenant run alone and fault-free;
+//! * **starvation regression** — with bulk contention, QoS-on keeps
+//!   interactive p99 within a fixed factor of the uncontended p99, while
+//!   QoS-off demonstrably violates that bound;
+//! * **chaos composition** — the fleet through a 20% fault / 5% corruption
+//!   plan behind the hedging/breaker/integrity stack neither deadlocks nor
+//!   diverges from the fault-free frame bytes;
+//! * **conservation properties** (proptest) — no event dropped or
+//!   duplicated, per-tenant granted bytes sum exactly to the WAN byte
+//!   counters, link-time attribution matches WAN busy time fault-free, and
+//!   token buckets never go negative.
+
+use nsdf_core::{run_fleet, FleetConfig};
+use nsdf_storage::{FaultPlan, RetryPolicy, SchedPolicy};
+use proptest::prelude::*;
+
+fn fleet(tenants: usize, horizon_secs: f64) -> FleetConfig {
+    let mut cfg = FleetConfig::sized(tenants);
+    cfg.horizon_secs = horizon_secs;
+    cfg
+}
+
+#[test]
+fn fleet_runs_are_byte_deterministic() {
+    let cfg = fleet(20, 10.0);
+    let a = run_fleet(2024, &cfg).unwrap();
+    let b = run_fleet(2024, &cfg).unwrap();
+    assert_eq!(a, b, "identical seed + config must reproduce the full report bitwise");
+    assert_eq!(a.metrics_json, b.metrics_json);
+    assert_eq!(a.final_vns, b.final_vns);
+    assert_ne!(a, run_fleet(2025, &cfg).unwrap(), "a different seed must actually change the run");
+}
+
+/// Every sampled tenant's refined-frame digest under full fleet contention
+/// (QoS on, prefetch shedding, shared-cache pressure from everyone else)
+/// must be bitwise identical to the same tenant running alone, fault-free.
+#[test]
+fn frames_under_contention_match_the_solo_oracle() {
+    let cfg = fleet(24, 10.0);
+    let full = run_fleet(7, &cfg).unwrap();
+    assert!(full.digests.len() >= 3, "need viewers/players to compare");
+    // Sample tenants across the profile ranges: two viewers and a player.
+    for k in [0usize, 5, cfg.viewers + 1] {
+        let name = format!("t{k:04}");
+        let mut solo = cfg.clone();
+        solo.only_tenant = Some(k);
+        let alone = run_fleet(7, &solo).unwrap();
+        assert_eq!(
+            alone.digests.get(&name),
+            full.digests.get(&name),
+            "tenant {name}: contention must never change delivered frame bytes"
+        );
+    }
+}
+
+/// Interactive latency under bulk contention: QoS-on must stay within a
+/// fixed factor of the uncontended baseline; QoS-off must demonstrably
+/// blow through it (that is what makes the admission plane a service
+/// rather than a demo).
+#[test]
+fn qos_bounds_interactive_latency_under_bulk_contention() {
+    const FACTOR: u64 = 8;
+    // Uncontended baseline: the same interactive population, no ingestors.
+    let mut baseline = fleet(36, 12.0);
+    baseline.viewers += baseline.ingestors;
+    baseline.ingestors = 0;
+    let calm = run_fleet(2024, &baseline).unwrap();
+    assert!(calm.interactive.p99_vns > 0);
+
+    // Contended: enough ingest offered load to oversubscribe the link.
+    let mut contended = fleet(36, 12.0);
+    contended.ingest_rate_hz = 2.0;
+    let on = run_fleet(2024, &contended).unwrap();
+    let mut off_cfg = contended.clone();
+    off_cfg.sched = SchedPolicy::qos_off();
+    let off = run_fleet(2024, &off_cfg).unwrap();
+
+    assert!(on.sched_deferred > 0, "QoS must actually defer bulk waves");
+    assert!(
+        on.interactive.p99_vns <= FACTOR * calm.interactive.p99_vns,
+        "QoS on: contended p99 {}ms exceeds {FACTOR}x uncontended {}ms",
+        on.interactive.p99_vns / 1_000_000,
+        calm.interactive.p99_vns / 1_000_000,
+    );
+    assert!(
+        off.interactive.p99_vns > FACTOR * calm.interactive.p99_vns,
+        "QoS off: expected starvation, but p99 {}ms stayed within {FACTOR}x of {}ms",
+        off.interactive.p99_vns / 1_000_000,
+        calm.interactive.p99_vns / 1_000_000,
+    );
+    assert!(on.interactive.p99_vns < off.interactive.p99_vns);
+}
+
+/// The full fleet through a 20% fault / 5% corruption plan behind the
+/// resilience stack: no deadlock, no lost events, no frame divergence from
+/// the fault-free run, and byte attribution still exact.
+#[test]
+fn chaos_composition_preserves_frames_and_accounting() {
+    let mut cfg = fleet(16, 8.0);
+    cfg.chaos = Some(FaultPlan::new(41).with_fault_rate(0.2).with_corrupt_rate(0.05));
+    // 0.2^8 residual failure odds per op: deterministic given the seed,
+    // and small enough that every wave lands within the retry budget.
+    cfg.endpoint_policy.retry = RetryPolicy { max_attempts: 8, ..RetryPolicy::default() };
+    let chaotic = run_fleet(2024, &cfg).unwrap();
+    let mut clean_cfg = cfg.clone();
+    clean_cfg.chaos = None;
+    let clean = run_fleet(2024, &clean_cfg).unwrap();
+
+    assert_eq!(chaotic.events_generated, chaotic.events_completed, "no event lost to faults");
+    assert_eq!(chaotic.ingest_errors, 0, "retry budget absorbs the fault rate");
+    assert_eq!(
+        chaotic.digests, clean.digests,
+        "masked faults must never change delivered frame bytes"
+    );
+    // Byte conservation is exact even under chaos: every WAN byte the
+    // retries and hedges moved is attributed to some tenant.
+    assert_eq!(chaotic.sched_granted_bytes, chaotic.wan_bytes);
+    assert_eq!(chaotic.tenant_grants.values().sum::<u64>(), chaotic.wan_bytes);
+    // Backoff advances the clock outside WAN busy time, so attributed
+    // service dominates link busy time (equality only holds fault-free).
+    assert!(chaotic.sched_service_vns >= chaotic.wan_busy_vns);
+    assert!(chaotic.wan_bytes > clean.wan_bytes, "faults cost real retry traffic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation sweep over random small fleets on both endpoints and
+    /// both QoS settings: no event dropped or duplicated, scheduler byte
+    /// and link-time attribution reconcile exactly with the WAN counters,
+    /// and token buckets never go negative.
+    #[test]
+    fn fleet_accounting_is_conservative(
+        seed in 0u64..1_000_000,
+        viewers in 2usize..8,
+        players in 0usize..4,
+        ingestors in 1usize..4,
+        qos in any::<bool>(),
+        seal in any::<bool>(),
+    ) {
+        let mut cfg = FleetConfig::sized(4);
+        cfg.viewers = viewers;
+        cfg.players = players;
+        cfg.ingestors = ingestors;
+        cfg.horizon_secs = 4.0;
+        cfg.sched = if qos { SchedPolicy::qos_on() } else { SchedPolicy::qos_off() };
+        cfg.endpoint = if seal { "seal".into() } else { "dataverse".into() };
+        let r = run_fleet(seed, &cfg).unwrap();
+
+        prop_assert_eq!(r.events_generated, r.events_completed);
+        prop_assert!(r.frames > 0 || r.events_generated == r.ingest_waves);
+        prop_assert_eq!(r.ingest_errors, 0);
+        // Exact reconciliation with the WAN plane (fault-free).
+        prop_assert_eq!(r.sched_granted_bytes, r.wan_bytes);
+        prop_assert_eq!(r.tenant_grants.values().sum::<u64>(), r.wan_bytes);
+        prop_assert_eq!(r.sched_service_vns, r.wan_busy_vns);
+        prop_assert!(r.min_bucket_vns >= 0.0);
+        // Admission arithmetic: every submitted wave was answered.
+        prop_assert_eq!(
+            r.sched_submitted,
+            r.sched_admitted + r.sched_deferred + r.sched_shed
+        );
+    }
+}
