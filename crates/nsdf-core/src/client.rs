@@ -12,7 +12,7 @@ use nsdf_idx::{IdxDataset, QuerySession};
 use nsdf_storage::{
     BreakerPolicy, BreakerStore, CachedStore, CloudStore, FaultPlan, FaultStore, HedgePolicy,
     IntegrityStore, MemoryStore, NetworkProfile, ObjectStore, RetryPolicy, RetryStore, SchedPolicy,
-    SchedStore, WanScheduler,
+    SchedStore, TieredConfig, TieredStore, WanScheduler,
 };
 use nsdf_util::obs::Obs;
 use nsdf_util::{derive_seed, NsdfError, Result, SimClock};
@@ -151,6 +151,55 @@ impl NsdfClient {
         client
     }
 
+    /// Like [`NsdfClient::simulated`], but each remote endpoint reads
+    /// through a persistent two-tier cache ([`TieredStore`]): TinyLFU-
+    /// admitted RAM over a content-addressed disk tier rooted at
+    /// `tier.root/<endpoint>`.
+    ///
+    /// The disk tier survives the client: a second `simulated_tiered`
+    /// client opened on the same root (same seed or not) serves previously
+    /// fetched objects from disk with `wan.read_ops == 0` — the
+    /// restart-warm path the tutorial's repeated training sessions rely
+    /// on. Disk accounting lands under each endpoint's scope
+    /// (`seal.disk.hits`, `dataverse.disk.spills`, ...).
+    pub fn simulated_tiered(seed: u64, tier: &TieredConfig) -> Result<NsdfClient> {
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let mut client =
+            NsdfClient { clock: clock.clone(), obs: obs.clone(), endpoints: BTreeMap::new() };
+
+        client.add_endpoint(StorageEndpoint {
+            name: "local".into(),
+            kind: EndpointKind::Local,
+            store: Arc::new(MemoryStore::new()),
+        });
+        for (name, kind, profile, label) in [
+            (
+                "dataverse",
+                EndpointKind::PublicCommons,
+                NetworkProfile::public_dataverse(),
+                "wan-dataverse",
+            ),
+            ("seal", EndpointKind::PrivateCloud, NetworkProfile::private_seal(), "wan-seal"),
+        ] {
+            let ep_obs = obs.scoped(name);
+            let wan = Arc::new(
+                CloudStore::new(
+                    Arc::new(MemoryStore::new()),
+                    profile,
+                    clock.clone(),
+                    derive_seed(seed, label),
+                )
+                .with_obs(&ep_obs),
+            );
+            let mut ep_tier = tier.clone();
+            ep_tier.root = tier.root.join(name);
+            let tiered = Arc::new(TieredStore::open(wan, &ep_tier, clock.clone(), &ep_obs)?);
+            client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: tiered });
+        }
+        Ok(client)
+    }
+
     /// A simulated client whose remote endpoints run a scripted fault plan
     /// behind the full resilience stack described by [`EndpointPolicy`].
     ///
@@ -228,11 +277,21 @@ impl NsdfClient {
     /// per-tenant [`SchedStore`] handles *above* the shared cache via
     /// [`FleetClient::tenant_store`], so cache hits are free while misses
     /// are attributed to the tenant that caused them.
+    ///
+    /// With `tier = Some(cfg)` each remote's shared cache becomes the
+    /// persistent two-tier stack of [`NsdfClient::simulated_tiered`]
+    /// (rooted at `cfg.root/<endpoint>`), so all fleet tenants share one
+    /// disk tier: the first tenant to pull a popular block pays the WAN,
+    /// everyone after hits RAM or disk. Disk service time lands inside the
+    /// tenants' attributed service time but not in their WAN byte grants,
+    /// so with a disk tier `sched_service_vns >= wan_busy_vns` while
+    /// grants ≡ WAN bytes stays exact.
     pub fn simulated_fleet(
         seed: u64,
         sched_policy: SchedPolicy,
         chaos: Option<&FaultPlan>,
         policy: &EndpointPolicy,
+        tier: Option<&TieredConfig>,
     ) -> Result<FleetClient> {
         let clock = SimClock::new();
         let obs = Obs::new(clock.clone());
@@ -285,10 +344,20 @@ impl NsdfClient {
                 }
                 stack = Arc::new(retry.with_obs(&ep_obs));
             }
-            let cached = Arc::new(CachedStore::new(stack, policy.cache_bytes).with_obs(&ep_obs));
+            let front: Arc<dyn ObjectStore> = match tier {
+                Some(cfg) => {
+                    let mut ep_tier = cfg.clone();
+                    ep_tier.root = cfg.root.join(name);
+                    // The RAM tier budget stays the fleet's cache knob so
+                    // tiered and non-tiered runs are comparable.
+                    ep_tier.ram_capacity_bytes = policy.cache_bytes;
+                    Arc::new(TieredStore::open(stack, &ep_tier, clock.clone(), &ep_obs)?)
+                }
+                None => Arc::new(CachedStore::new(stack, policy.cache_bytes).with_obs(&ep_obs)),
+            };
             scheduler.register_endpoint(name, &profile, &ep_obs);
             backing.insert(name.to_string(), mem);
-            client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: cached });
+            client.add_endpoint(StorageEndpoint { name: name.into(), kind, store: front });
         }
         Ok(FleetClient { client, scheduler, backing })
     }

@@ -36,7 +36,9 @@ use crate::client::{EndpointPolicy, FleetClient, NsdfClient};
 use nsdf_compress::Codec;
 use nsdf_idx::QuerySession;
 use nsdf_idx::{Field, IdxDataset, IdxMeta};
-use nsdf_storage::{Admission, DeclaredWave, FaultPlan, ObjectStore, Priority, SchedPolicy};
+use nsdf_storage::{
+    Admission, DeclaredWave, FaultPlan, ObjectStore, Priority, SchedPolicy, TieredConfig,
+};
 use nsdf_util::{
     derive_seed, fnv1a64, samples_to_bytes, secs_to_ns, splitmix64, Box2i, DType, NsdfError,
     Raster, Result,
@@ -102,6 +104,25 @@ pub struct FleetConfig {
     pub ingest_wave_blocks: u32,
     /// Bytes per ingested object.
     pub ingest_block_bytes: u64,
+    /// Fair-share weight registered for every viewer. Interactive tenants
+    /// only join the bulk denominator if they ever submit a bulk wave, so
+    /// this is inert under the default workload.
+    pub viewer_weight: u64,
+    /// Fair-share weight registered for every player (see
+    /// [`FleetConfig::viewer_weight`]).
+    pub player_weight: u64,
+    /// Fair-share weights assigned to ingestors round-robin (ingestor `i`
+    /// gets `ingest_weights[i % len]`). Bulk link share splits
+    /// proportionally to these, so `vec![1, 3]` gives the second ingestor
+    /// 3x the first's sustained grant rate. Must be non-empty. The
+    /// single-element default keeps every ingestor at the same share (the
+    /// ratio is all that matters), matching historical behavior.
+    pub ingest_weights: Vec<u64>,
+    /// Shared persistent disk tier under every endpoint's RAM cache
+    /// (`None` = RAM-only, the historical stack). All tenants share it:
+    /// the first to pull a popular block pays the WAN, everyone after
+    /// hits RAM or disk.
+    pub disk: Option<TieredConfig>,
 }
 
 impl FleetConfig {
@@ -134,6 +155,10 @@ impl FleetConfig {
             // gigabytes of payload in the backing store.
             ingest_wave_blocks: 32,
             ingest_block_bytes: 16 << 10,
+            viewer_weight: 1,
+            player_weight: 1,
+            ingest_weights: vec![2],
+            disk: None,
         }
     }
 
@@ -207,6 +232,14 @@ pub struct FleetReport {
     pub digests: BTreeMap<String, u64>,
     /// Actual WAN bytes attributed to each tenant by the scheduler.
     pub tenant_grants: BTreeMap<String, u64>,
+    /// Per-tenant grants snapshotted when the event queue first crossed
+    /// the arrival horizon. End-of-run grants equalize as the queue drains
+    /// (every deferred wave eventually lands), so weight proportionality
+    /// is visible here, not in [`FleetReport::tenant_grants`].
+    pub grants_at_horizon: BTreeMap<String, u64>,
+    /// Reads served by the shared persistent disk tier across both
+    /// endpoints (0 without [`FleetConfig::disk`]).
+    pub disk_hits: u64,
     /// Lowest token-bucket level ever observed (>= 0 by construction).
     pub min_bucket_vns: f64,
     /// `sched.waves_submitted` at the end of the run.
@@ -394,12 +427,16 @@ pub fn run_fleet(seed: u64, cfg: &FleetConfig) -> Result<FleetReport> {
             return Err(NsdfError::invalid(format!("only_tenant {k} out of range 0..{tenants}")));
         }
     }
+    if cfg.ingest_weights.is_empty() {
+        return Err(NsdfError::invalid("ingest_weights must be non-empty"));
+    }
 
     let fc = NsdfClient::simulated_fleet(
         seed,
         cfg.sched.clone(),
         cfg.chaos.as_ref(),
         &cfg.endpoint_policy,
+        cfg.disk.as_ref(),
     )?;
     let clock = fc.client().clock().clone();
     let obs = fc.client().obs().clone();
@@ -429,7 +466,15 @@ pub fn run_fleet(seed: u64, cfg: &FleetConfig) -> Result<FleetReport> {
             TenantKind::Viewer | TenantKind::Player => Priority::Interactive,
             TenantKind::Ingestor => Priority::Bulk,
         };
-        sched.register_tenant(&plan.name, tier, 1);
+        let weight = match plan.kind {
+            TenantKind::Viewer => cfg.viewer_weight,
+            TenantKind::Player => cfg.player_weight,
+            TenantKind::Ingestor => {
+                let i = k - cfg.viewers - cfg.players;
+                cfg.ingest_weights[i % cfg.ingest_weights.len()]
+            }
+        };
+        sched.register_tenant(&plan.name, tier, weight);
         runtimes.push(match plan.kind {
             TenantKind::Ingestor => Runtime::Ingestor {
                 store: fc.tenant_store(&cfg.endpoint, &plan.name)? as Arc<dyn ObjectStore>,
@@ -485,9 +530,17 @@ pub fn run_fleet(seed: u64, cfg: &FleetConfig) -> Result<FleetReport> {
     let mut ingest_lat = Vec::new();
     let mut digests: BTreeMap<String, u64> = BTreeMap::new();
     let (mut frames, mut ingest_waves, mut ingest_errors, mut completed) = (0u64, 0u64, 0u64, 0u64);
+    let horizon_vns = base + secs_to_ns(cfg.horizon_secs);
+    let mut grants_at_horizon: Option<BTreeMap<String, u64>> = None;
 
     while let Some(Reverse((at, tier, seq))) = heap.pop() {
         let ev = &events[seq as usize];
+        if grants_at_horizon.is_none() && at >= horizon_vns {
+            // First event at/past the horizon: snapshot the per-tenant
+            // grants while the link is still contended. (By drain time
+            // every deferred wave has landed and grants equalize.)
+            grants_at_horizon = Some(sched.tenant_grants());
+        }
         clock.advance_to_ns(at);
         let name = plans[ev.tenant].name.as_str();
         // One digest-and-account step shared by viewers and players.
@@ -594,6 +647,8 @@ pub fn run_fleet(seed: u64, cfg: &FleetConfig) -> Result<FleetReport> {
         ingest: LatencySummary::from_samples(ingest_lat),
         digests,
         tenant_grants: sched.tenant_grants(),
+        grants_at_horizon: grants_at_horizon.unwrap_or_else(|| sched.tenant_grants()),
+        disk_hits: remote("disk.hits"),
         min_bucket_vns: sched.min_bucket_vns(),
         sched_submitted: snap.counter("sched.waves_submitted"),
         sched_admitted: snap.counter("sched.waves_admitted"),

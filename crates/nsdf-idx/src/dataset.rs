@@ -119,6 +119,12 @@ pub struct QueryStats {
     /// Blocks decoded per codec name — shows which codecs an adaptive
     /// writer actually chose for the blocks this query touched.
     pub codec_blocks: BTreeMap<String, u64>,
+    /// Store-layer RAM cache hits this query's fetches caused (0 when the
+    /// dataset's registry is not shared with a `CachedStore`).
+    pub cache_hits: u64,
+    /// Store-layer persistent disk-tier hits this query's fetches caused
+    /// (0 on non-tiered stacks).
+    pub disk_hits: u64,
 }
 
 impl QueryStats {
@@ -142,6 +148,8 @@ impl QueryStats {
         for (codec, n) in &other.codec_blocks {
             *self.codec_blocks.entry(codec.clone()).or_default() += n;
         }
+        self.cache_hits += other.cache_hits;
+        self.disk_hits += other.disk_hits;
     }
 }
 
@@ -253,6 +261,13 @@ struct IdxMetrics {
     put_batches: Counter,
     rmw_fetch_vns: Counter,
     put_vns: Counter,
+    /// Handle on the *store layer's* `cache.hits` counter (sibling scope,
+    /// not under `idx`) — deltas around a fetch attribute RAM-tier hits to
+    /// the query that made them.
+    store_cache_hits: Counter,
+    /// Handle on the store layer's `disk.hits` counter (persistent tier;
+    /// stays 0 on non-tiered stacks).
+    store_disk_hits: Counter,
     /// Raw-minus-stored bytes across all writes (`idx.compress.bytes_saved`).
     bytes_saved: Counter,
     /// Wall-clock encode/decode timings; registered as wall histograms so
@@ -263,8 +278,16 @@ struct IdxMetrics {
 
 impl IdxMetrics {
     fn new(obs: &Obs) -> Self {
+        // Grab the cache/disk hit counters from the *parent* scope before
+        // narrowing to `idx`: get-or-register semantics make these the very
+        // atomics the endpoint's CachedStore/DiskTier report into (e.g.
+        // `seal.cache.hits`), so per-query deltas are exact.
+        let store_cache_hits = obs.scoped("cache").counter("hits");
+        let store_disk_hits = obs.scoped("disk").counter("hits");
         let obs = obs.scoped("idx");
         IdxMetrics {
+            store_cache_hits,
+            store_disk_hits,
             queries: obs.counter("queries"),
             blocks_touched: obs.counter("blocks_touched"),
             blocks_missing: obs.counter("blocks_missing"),
@@ -925,6 +948,8 @@ impl IdxDataset {
                 chunk.iter().map(|&b| self.block_key(field_idx, time, b)).collect();
             let key_refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
             let t_fetch = Instant::now();
+            let c0 = self.m.store_cache_hits.get();
+            let d0 = self.m.store_disk_hits.get();
             let results = {
                 let _fetch_span = self.m.obs.span("fetch");
                 let v0 = self.m.obs.clock().now_ns();
@@ -934,6 +959,8 @@ impl IdxDataset {
             };
             stats.fetch_secs += t_fetch.elapsed().as_secs_f64();
             stats.fetch_batches += 1;
+            stats.cache_hits += self.m.store_cache_hits.get().saturating_sub(c0);
+            stats.disk_hits += self.m.store_disk_hits.get().saturating_sub(d0);
 
             let mut encoded: Vec<(u64, Option<Vec<u8>>)> = Vec::with_capacity(chunk.len());
             for (&block, r) in chunk.iter().zip(results) {
@@ -1455,6 +1482,8 @@ mod tests {
             blocks_unavailable: 1,
             degraded: true,
             codec_blocks: [("lz4".to_string(), 5u64)].into_iter().collect(),
+            cache_hits: 4,
+            disk_hits: 1,
         };
         // default ∪ x == x, and x ∪ default == x.
         let mut from_default = QueryStats::default();

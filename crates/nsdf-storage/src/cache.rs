@@ -14,10 +14,19 @@
 //! are handed to the waiters but never cached, so the next reader retries.
 //! Hits are served under a lock held only for the map lookup — they are
 //! never queued behind a slow WAN miss.
+//!
+//! Admission is pluggable ([`AdmissionPolicy`]): the default is plain LRU,
+//! and [`CachedStore::with_admission`] can enable a TinyLFU-style
+//! scan-resistant policy — a new key that would force evictions is
+//! admitted only if its estimated access frequency (per
+//! [`crate::tiered::FrequencySketch`]) beats every victim it would
+//! displace, so one bulk scan streaming through the cache cannot flush an
+//! interactive working set that is re-read many times.
 
 use crate::store::{slice_range, ObjectMeta, ObjectStore};
+use crate::tiered::FrequencySketch;
 use nsdf_util::obs::{Counter, Gauge, Obs};
-use nsdf_util::{NsdfError, Result};
+use nsdf_util::{fnv1a64, NsdfError, Result};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -41,6 +50,24 @@ pub struct CacheStats {
     /// payload would not be linearizable — and went to the inner store
     /// directly instead.
     pub stale_flight_bypasses: u64,
+    /// Insertions the admission policy declined (TinyLFU only): the new
+    /// key's estimated frequency did not beat the entries it would evict.
+    pub admission_rejects: u64,
+}
+
+/// How [`CachedStore`] decides whether a new object may displace resident
+/// ones once the byte budget is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Always admit; evict in recency order. Recency-friendly but a bulk
+    /// scan flushes everything.
+    #[default]
+    Lru,
+    /// TinyLFU: admit a new key over eviction only if its sketch-estimated
+    /// frequency beats every victim it would displace. Scan-resistant —
+    /// one-hit wonders bounce off the doorkeeper while the hot working set
+    /// stays resident.
+    TinyLfu,
 }
 
 impl CacheStats {
@@ -81,10 +108,18 @@ struct LruState {
     /// pre-write) payload is handed to waiters but never admitted — so a
     /// fetch that raced a write can never clobber the newer write-through.
     write_epoch: u64,
+    /// Access-frequency sketch, present only under
+    /// [`AdmissionPolicy::TinyLfu`]. Reads feed it in [`LruState::touch`]
+    /// (hits and misses alike); write-throughs feed it in
+    /// [`LruState::insert`].
+    sketch: Option<FrequencySketch>,
 }
 
 impl LruState {
     fn touch(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+        if let Some(sketch) = &mut self.sketch {
+            sketch.record(fnv1a64(key.as_bytes()));
+        }
         let tick = self.next_tick;
         let entry = self.entries.get_mut(key)?;
         entry.tick = tick;
@@ -94,26 +129,61 @@ impl LruState {
     }
 
     /// Admit `data`; returns the number of live entries evicted to stay
-    /// within `capacity` (reported to the metrics registry by the caller).
+    /// within `capacity` (reported to the metrics registry by the caller)
+    /// and whether the admission policy rejected the insert outright.
     ///
     /// `stamp` is `Some(modified)` for write-throughs and `None` for
     /// read-through admissions. A write-through older than the entry
     /// already cached is dropped: two tenants racing `put`s on one key can
     /// reach this lock in the opposite order of their inner writes, and
     /// the cache must converge on whichever payload the store kept.
+    ///
+    /// Under TinyLFU, a *new* key whose insert would force evictions is
+    /// admitted only if its sketch frequency beats every victim it would
+    /// displace; updates to already-resident keys are always admitted so a
+    /// write-through can never be rejected into staleness.
     fn insert(
         &mut self,
         key: String,
         data: Arc<Vec<u8>>,
         stamp: Option<u64>,
         capacity: u64,
-    ) -> u64 {
+    ) -> (u64, bool) {
         if data.len() as u64 > capacity {
-            return 0; // Larger than the whole cache: never admit.
+            return (0, false); // Larger than the whole cache: never admit.
         }
         if let (Some(new), Some(Entry { stamp: Some(old), .. })) = (stamp, self.entries.get(&key)) {
             if *old > new {
-                return 0; // A newer write-through already landed.
+                return (0, false); // A newer write-through already landed.
+            }
+        }
+        if stamp.is_some() {
+            // Write-throughs never pass through `touch`; count the access
+            // here so repeated writers build frequency. (Read-throughs were
+            // already recorded by their miss-time `touch`.)
+            if let Some(sketch) = &mut self.sketch {
+                sketch.record(fnv1a64(key.as_bytes()));
+            }
+        }
+        if let Some(sketch) = &self.sketch {
+            let need = data.len() as u64;
+            if !self.entries.contains_key(&key) && self.resident + need > capacity {
+                let cand = sketch.frequency(fnv1a64(key.as_bytes()));
+                let deficit = self.resident + need - capacity;
+                let mut freed = 0u64;
+                for (k, tick) in &self.queue {
+                    if freed >= deficit {
+                        break;
+                    }
+                    // Dead queue pairs (stale ticks) are not victims.
+                    let Some(e) = self.entries.get(k).filter(|e| e.tick == *tick) else {
+                        continue;
+                    };
+                    if sketch.frequency(fnv1a64(k.as_bytes())) >= cand {
+                        return (0, true); // The victim is at least as hot.
+                    }
+                    freed += e.data.len() as u64;
+                }
             }
         }
         if let Some(old) = self.entries.remove(&key) {
@@ -124,7 +194,7 @@ impl LruState {
         self.next_tick += 1;
         self.entries.insert(key.clone(), Entry { data, tick, stamp });
         self.queue.push_back((key, tick));
-        self.evict_to(capacity)
+        (self.evict_to(capacity), false)
     }
 
     fn remove(&mut self, key: &str) {
@@ -200,6 +270,7 @@ struct CacheMetrics {
     evictions: Counter,
     coalesced_waits: Counter,
     stale_flight_bypasses: Counter,
+    admission_rejects: Counter,
     resident_bytes: Gauge,
 }
 
@@ -212,6 +283,7 @@ impl CacheMetrics {
             evictions: obs.counter("evictions"),
             coalesced_waits: obs.counter("coalesced_waits"),
             stale_flight_bypasses: obs.counter("stale_flight_bypasses"),
+            admission_rejects: obs.counter("admission_rejects"),
             resident_bytes: obs.gauge("resident_bytes"),
             obs,
         }
@@ -249,6 +321,20 @@ impl CachedStore {
         self
     }
 
+    /// Select the admission policy. [`AdmissionPolicy::TinyLfu`] attaches a
+    /// frequency sketch sized for the byte budget (assuming ~4 KiB
+    /// objects); [`AdmissionPolicy::Lru`] detaches it, restoring the
+    /// always-admit default.
+    pub fn with_admission(self, policy: AdmissionPolicy) -> Self {
+        self.state.lock().sketch = match policy {
+            AdmissionPolicy::Lru => None,
+            AdmissionPolicy::TinyLfu => {
+                Some(FrequencySketch::with_entries((self.capacity / 4096).clamp(64, 1 << 20)))
+            }
+        };
+        self
+    }
+
     /// The observability handle this cache reports into (scoped `…cache`).
     pub fn obs(&self) -> &Obs {
         &self.m.obs
@@ -264,6 +350,7 @@ impl CachedStore {
             resident_bytes: self.state.lock().resident,
             coalesced_waits: self.m.coalesced_waits.get(),
             stale_flight_bypasses: self.m.stale_flight_bypasses.get(),
+            admission_rejects: self.m.admission_rejects.get(),
         }
     }
 
@@ -307,8 +394,10 @@ impl CachedStore {
         if let Ok(data) = &result {
             let mut st = self.state.lock();
             if st.write_epoch == epoch {
-                let evicted = st.insert(key.to_string(), data.clone(), None, self.capacity);
+                let (evicted, rejected) =
+                    st.insert(key.to_string(), data.clone(), None, self.capacity);
                 self.m.evictions.add(evicted);
+                self.m.admission_rejects.add(u64::from(rejected));
                 self.m.resident_bytes.set(st.resident as f64);
             }
         }
@@ -358,9 +447,10 @@ impl ObjectStore for CachedStore {
         let meta = self.inner.put(key, data)?;
         let mut st = self.state.lock();
         st.write_epoch += 1;
-        let evicted =
+        let (evicted, rejected) =
             st.insert(key.to_string(), Arc::new(data.to_vec()), Some(meta.modified), self.capacity);
         self.m.evictions.add(evicted);
+        self.m.admission_rejects.add(u64::from(rejected));
         self.m.resident_bytes.set(st.resident as f64);
         Ok(meta)
     }
@@ -374,18 +464,21 @@ impl ObjectStore for CachedStore {
         let results = self.inner.put_many(items);
         let mut st = self.state.lock();
         st.write_epoch += 1;
-        let mut evicted = 0;
+        let (mut evicted, mut rejected) = (0, 0);
         for ((k, d), r) in items.iter().zip(&results) {
             if let Ok(meta) = r {
-                evicted += st.insert(
+                let (e, rej) = st.insert(
                     k.to_string(),
                     Arc::new(d.to_vec()),
                     Some(meta.modified),
                     self.capacity,
                 );
+                evicted += e;
+                rejected += u64::from(rej);
             }
         }
         self.m.evictions.add(evicted);
+        self.m.admission_rejects.add(rejected);
         self.m.resident_bytes.set(st.resident as f64);
         results
     }

@@ -18,7 +18,10 @@
 //!   checksum verification;
 //! * [`sched`] — shared-WAN admission control: [`sched::WanScheduler`]
 //!   priority tiers, per-tenant token buckets, prefetch shedding, and the
-//!   per-tenant [`sched::SchedStore`] accounting handle.
+//!   per-tenant [`sched::SchedStore`] accounting handle;
+//! * [`tiered`] — persistent content-addressed disk tier
+//!   ([`tiered::DiskTier`]) under the RAM cache ([`tiered::TieredStore`]),
+//!   with the [`tiered::FrequencySketch`] backing TinyLFU admission.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,9 +33,10 @@ pub mod memory;
 pub mod reliability;
 pub mod sched;
 pub mod store;
+pub mod tiered;
 pub mod wan;
 
-pub use cache::{CacheStats, CachedStore};
+pub use cache::{AdmissionPolicy, CacheStats, CachedStore};
 pub use fault::{FaultKind, FaultPlan, FaultStore, FaultWindow};
 pub use local::LocalStore;
 pub use memory::MemoryStore;
@@ -42,4 +46,8 @@ pub use reliability::{
 };
 pub use sched::{Admission, DeclaredWave, SchedPolicy, SchedStore, WanScheduler};
 pub use store::{validate_key, ObjectMeta, ObjectStore, Priority};
+pub use tiered::{
+    hash_to_path, path_to_hash, DiskProfile, DiskStats, DiskTier, FrequencySketch, TieredConfig,
+    TieredStore,
+};
 pub use wan::{CloudStore, NetworkProfile, TransferLog};

@@ -1,0 +1,1133 @@
+//! Persistent content-addressed disk tier below the RAM cache.
+//!
+//! The tutorial's training workflows reopen the same NSDF datasets across
+//! sessions and across students, yet a [`CachedStore`] is per-process and
+//! memory-only — a restart or a second tenant pays full WAN price for
+//! blocks somebody already pulled. Community data fabrics answer that with
+//! shared multi-tier storage close to the user; this module is that layer:
+//!
+//! ```text
+//! CachedStore (RAM, TinyLFU admission)      — hot tier, instant hits
+//!   └── DiskTier (LocalStore, hash fan-out) — warm tier, survives restart
+//!         └── inner store (WAN stack)       — cold tier, full price
+//! ```
+//!
+//! * **Content-addressed layout** — every cached object lives at
+//!   [`hash_to_path`]`(fnv1a64(key))`: the 16-hex-digit key hash split into
+//!   two 2-character fan-out directories plus the remainder
+//!   (`objects/ab/cd/ef0123456789ab`), the CRFS/OCFL sharding idiom that
+//!   keeps any one directory small no matter how many objects spill.
+//! * **Self-verifying entries** — each on-disk entry frames its payload
+//!   with the full object key and an FNV-1a payload checksum. Every
+//!   disk→RAM promotion re-verifies both; a bit flip (or a 64-bit hash
+//!   collision) is *rejected*: the entry is deleted, the read counts as a
+//!   miss and refetches from the inner store, and the RAM tier never sees
+//!   the bad bytes.
+//! * **Write-epoch coherence** — the disk tier keeps its own write epoch
+//!   mirroring the RAM tier's: a read-through spill is admitted only if no
+//!   write landed since the fetch began, and write-throughs carry the
+//!   inner store's modification stamp so racing writers converge on
+//!   whichever payload the store kept.
+//! * **Modeled disk time** — hits and spills charge a [`DiskProfile`]
+//!   (seek latency + bandwidth) to the shared virtual clock, so the
+//!   cold / warm-disk / warm-ram cost triple is meaningful: warm-disk is
+//!   orders of magnitude cheaper than the WAN but never free, while RAM
+//!   hits stay at zero virtual time.
+//!
+//! Restart recovery: [`DiskTier::open`] walks the `objects/` tree,
+//! validates every entry (bad ones are deleted), and rebuilds the
+//! in-memory LRU index from the per-entry recency ticks persisted at
+//! spill time. Recency updates between spills live only in memory, so
+//! recovered order is spill order — a documented approximation. Recovery
+//! I/O is mount-time setup and charges no virtual time.
+
+use crate::cache::{AdmissionPolicy, CachedStore};
+use crate::local::LocalStore;
+use crate::store::{slice_range, ObjectMeta, ObjectStore};
+use nsdf_util::obs::{Counter, Gauge, Obs};
+use nsdf_util::{fnv1a64, secs_to_ns, NsdfError, Result, SimClock};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Directory under the tier root holding all content-addressed objects.
+pub const OBJECT_DIR: &str = "objects";
+/// Fan-out directory levels between [`OBJECT_DIR`] and the object file.
+pub const FANOUT_LEVELS: usize = 2;
+/// Hex characters consumed by each fan-out level.
+pub const FANOUT_CHARS: usize = 2;
+
+/// Map a 64-bit key hash to its sharded store path:
+/// `objects/<hex[0..2]>/<hex[2..4]>/<hex[4..16]>`.
+///
+/// The hash is rendered as exactly 16 zero-padded hex digits, so the
+/// mapping is a bijection with [`path_to_hash`] and every path is a valid
+/// object key (lowercase hex only, no dot segments) that stays inside the
+/// cache root.
+pub fn hash_to_path(hash: u64) -> String {
+    let hex = format!("{hash:016x}");
+    let mut out = String::with_capacity(OBJECT_DIR.len() + hex.len() + FANOUT_LEVELS + 1);
+    out.push_str(OBJECT_DIR);
+    for level in 0..FANOUT_LEVELS {
+        out.push('/');
+        out.push_str(&hex[level * FANOUT_CHARS..(level + 1) * FANOUT_CHARS]);
+    }
+    out.push('/');
+    out.push_str(&hex[FANOUT_LEVELS * FANOUT_CHARS..]);
+    out
+}
+
+/// Invert [`hash_to_path`]; `None` for any path not produced by it
+/// (wrong prefix, wrong fan-out shape, non-hex or wrongly sized segments).
+pub fn path_to_hash(path: &str) -> Option<u64> {
+    let rest = path.strip_prefix(OBJECT_DIR)?.strip_prefix('/')?;
+    let mut hex = String::with_capacity(16);
+    let mut segments = rest.split('/');
+    for _ in 0..FANOUT_LEVELS {
+        let seg = segments.next()?;
+        if seg.len() != FANOUT_CHARS {
+            return None;
+        }
+        hex.push_str(seg);
+    }
+    let tail = segments.next()?;
+    if segments.next().is_some() || tail.len() != 16 - FANOUT_LEVELS * FANOUT_CHARS {
+        return None;
+    }
+    hex.push_str(tail);
+    if hex.bytes().any(|b| b.is_ascii_uppercase()) {
+        return None; // hash_to_path emits lowercase only; stay bijective
+    }
+    u64::from_str_radix(&hex, 16).ok()
+}
+
+/// TinyLFU-style frequency sketch: a 4-row count-min sketch over 4-bit
+/// saturating counters, fronted by a doorkeeper bloom filter so one-hit
+/// wonders (bulk scans) never reach the main sketch, aged by halving once
+/// a sample window of increments has accumulated.
+#[derive(Debug)]
+pub struct FrequencySketch {
+    /// 4 rows x `width` 4-bit counters, packed two per byte.
+    rows: Vec<u8>,
+    width_mask: u64,
+    /// Doorkeeper bloom bits (one word per 64 slots).
+    door: Vec<u64>,
+    samples: u64,
+    sample_limit: u64,
+}
+
+/// Per-row hash salts (arbitrary odd constants).
+const ROW_SEEDS: [u64; 4] =
+    [0x9e37_79b9_7f4a_7c15, 0xc2b2_ae3d_27d4_eb4f, 0x1656_67b1_9e37_79f9, 0x27d4_eb2f_1656_67c5];
+
+impl FrequencySketch {
+    /// Size the sketch for roughly `entries` resident objects.
+    pub fn with_entries(entries: u64) -> FrequencySketch {
+        let width = (entries.max(64) * 4).next_power_of_two();
+        FrequencySketch {
+            rows: vec![0u8; (width as usize * 4).div_ceil(2)],
+            width_mask: width - 1,
+            door: vec![0u64; (width as usize).div_ceil(64)],
+            samples: 0,
+            sample_limit: entries.max(64) * 8,
+        }
+    }
+
+    fn slot(&self, hash: u64, row: usize) -> usize {
+        let mixed = nsdf_util::splitmix64(hash ^ ROW_SEEDS[row]);
+        (row * (self.width_mask as usize + 1)) + (mixed & self.width_mask) as usize
+    }
+
+    fn counter_get(&self, slot: usize) -> u8 {
+        let byte = self.rows[slot / 2];
+        if slot.is_multiple_of(2) {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        }
+    }
+
+    fn counter_bump(&mut self, slot: usize) {
+        let cur = self.counter_get(slot);
+        if cur < 15 {
+            if slot.is_multiple_of(2) {
+                self.rows[slot / 2] = (self.rows[slot / 2] & 0xf0) | (cur + 1);
+            } else {
+                self.rows[slot / 2] = (self.rows[slot / 2] & 0x0f) | ((cur + 1) << 4);
+            }
+        }
+    }
+
+    fn door_bit(&self, hash: u64) -> (usize, u64) {
+        let mixed = nsdf_util::splitmix64(hash ^ 0x94d0_49bb_1331_11eb);
+        let bit = mixed & self.width_mask;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    /// Record one access. The first sighting of a hash only sets the
+    /// doorkeeper bit; repeat sightings feed the count-min rows.
+    pub fn record(&mut self, hash: u64) {
+        let (word, mask) = self.door_bit(hash);
+        if self.door[word] & mask == 0 {
+            self.door[word] |= mask;
+            return;
+        }
+        for row in 0..ROW_SEEDS.len() {
+            let slot = self.slot(hash, row);
+            self.counter_bump(slot);
+        }
+        self.samples += 1;
+        if self.samples >= self.sample_limit {
+            self.age();
+        }
+    }
+
+    /// Estimated access frequency: count-min minimum plus the doorkeeper
+    /// bit, saturating at 16.
+    pub fn frequency(&self, hash: u64) -> u32 {
+        let mut min = u8::MAX;
+        for row in 0..ROW_SEEDS.len() {
+            min = min.min(self.counter_get(self.slot(hash, row)));
+        }
+        let (word, mask) = self.door_bit(hash);
+        min as u32 + u32::from(self.door[word] & mask != 0)
+    }
+
+    /// Halve every counter and reset the doorkeeper — the aging step that
+    /// lets the sketch forget stale popularity.
+    fn age(&mut self) {
+        for byte in &mut self.rows {
+            *byte = (*byte >> 1) & 0x77;
+        }
+        self.door.fill(0);
+        self.samples = 0;
+    }
+}
+
+/// Cost model of the local disk behind a [`DiskTier`], charged to the
+/// shared virtual clock: `access time = latency + bytes / bandwidth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskProfile {
+    /// Human-readable profile name.
+    pub name: String,
+    /// Per-access latency in milliseconds (seek + syscall overhead).
+    pub latency_ms: f64,
+    /// Sustained throughput in megabits per second.
+    pub bandwidth_mbps: f64,
+}
+
+impl DiskProfile {
+    /// A local NVMe-class SSD: 0.1 ms access, ~2 GB/s sustained.
+    pub fn local_ssd() -> DiskProfile {
+        DiskProfile { name: "local-ssd".into(), latency_ms: 0.1, bandwidth_mbps: 16_000.0 }
+    }
+
+    /// Seconds one access episode moving `bytes` costs.
+    pub fn access_secs(&self, bytes: u64) -> f64 {
+        self.latency_ms / 1000.0 + bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6)
+    }
+}
+
+/// Shape of one two-tier cache stack ([`TieredStore`]).
+#[derive(Debug, Clone)]
+pub struct TieredConfig {
+    /// Directory the disk tier persists into (shared across restarts and
+    /// tenants).
+    pub root: PathBuf,
+    /// Disk-tier byte budget.
+    pub disk_capacity_bytes: u64,
+    /// RAM-tier byte budget.
+    pub ram_capacity_bytes: u64,
+    /// RAM-tier admission policy (TinyLFU by default, so bulk scans cannot
+    /// flush the interactive working set).
+    pub admission: AdmissionPolicy,
+    /// Cost model of the disk medium.
+    pub profile: DiskProfile,
+}
+
+impl TieredConfig {
+    /// Defaults at `root`: 1 GiB disk tier, 256 MiB RAM tier, TinyLFU
+    /// admission, local-SSD cost model.
+    pub fn at(root: impl Into<PathBuf>) -> TieredConfig {
+        TieredConfig {
+            root: root.into(),
+            disk_capacity_bytes: 1 << 30,
+            ram_capacity_bytes: 256 << 20,
+            admission: AdmissionPolicy::TinyLfu,
+            profile: DiskProfile::local_ssd(),
+        }
+    }
+}
+
+/// Disk-tier accounting, reconstructed from the registry counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Reads served (verified) from the disk tier.
+    pub hits: u64,
+    /// Reads that had to go to the inner store.
+    pub misses: u64,
+    /// Entries written to disk (read-through spills and write-throughs).
+    pub spills: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Entries rejected by integrity verification (bad checksum, framing,
+    /// or key mismatch) and deleted; each becomes a miss that refetches.
+    pub integrity_rejected: u64,
+    /// Bytes currently resident on disk (payloads only).
+    pub resident_bytes: u64,
+}
+
+/// On-disk entry framing: magic, version, stamp, recency tick, key, and an
+/// FNV-1a payload checksum ahead of the payload itself.
+const ENTRY_MAGIC: &[u8; 4] = b"NSDT";
+const ENTRY_VERSION: u8 = 1;
+/// magic(4) + version(1) + has_stamp(1) + stamp(8) + tick(8) + key_len(4)
+/// + checksum(8)
+const ENTRY_HEADER_LEN: usize = 34;
+/// Byte offset of the checksum field within the header.
+const ENTRY_CHECKSUM_OFFSET: usize = 26;
+
+/// FNV-1a continued from `seed` — lets the entry checksum cover the header
+/// and body as one stream while skipping the checksum field itself.
+fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Checksum over the whole entry except the checksum field: header prefix,
+/// then key + payload. Covers stamp/tick/key_len corruption, not just the
+/// payload bytes.
+fn entry_checksum(blob: &[u8]) -> u64 {
+    let head = fnv1a64_seeded(FNV_OFFSET_BASIS, &blob[..ENTRY_CHECKSUM_OFFSET]);
+    fnv1a64_seeded(head, &blob[ENTRY_HEADER_LEN..])
+}
+
+fn encode_entry(key: &str, stamp: Option<u64>, tick: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENTRY_HEADER_LEN + key.len() + payload.len());
+    out.extend_from_slice(ENTRY_MAGIC);
+    out.push(ENTRY_VERSION);
+    out.push(u8::from(stamp.is_some()));
+    out.extend_from_slice(&stamp.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&tick.to_le_bytes());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 8]); // checksum placeholder
+    out.extend_from_slice(key.as_bytes());
+    out.extend_from_slice(payload);
+    let checksum = entry_checksum(&out);
+    out[ENTRY_CHECKSUM_OFFSET..ENTRY_HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode and fully verify one on-disk entry. Any framing damage, key
+/// corruption, or payload checksum mismatch is an error — callers treat it
+/// as an integrity rejection.
+fn decode_entry(blob: &[u8]) -> Result<(String, Option<u64>, u64, Vec<u8>)> {
+    let fail = |what: &str| NsdfError::corrupt(format!("disk tier entry: {what}"));
+    if blob.len() < ENTRY_HEADER_LEN || &blob[0..4] != ENTRY_MAGIC {
+        return Err(fail("bad magic or truncated header"));
+    }
+    if blob[4] != ENTRY_VERSION {
+        return Err(fail("unknown version"));
+    }
+    let u64_at = |o: usize| u64::from_le_bytes(blob[o..o + 8].try_into().expect("8 bytes"));
+    if blob[5] > 1 {
+        return Err(fail("invalid stamp flag"));
+    }
+    let stamp = (blob[5] != 0).then(|| u64_at(6));
+    let tick = u64_at(14);
+    let key_len = u32::from_le_bytes(blob[22..26].try_into().expect("4 bytes")) as usize;
+    let checksum = u64_at(ENTRY_CHECKSUM_OFFSET);
+    if entry_checksum(blob) != checksum {
+        return Err(fail("entry checksum mismatch"));
+    }
+    let key_end = ENTRY_HEADER_LEN.checked_add(key_len).ok_or_else(|| fail("key length"))?;
+    if key_end > blob.len() {
+        return Err(fail("key overruns entry"));
+    }
+    let key = std::str::from_utf8(&blob[ENTRY_HEADER_LEN..key_end])
+        .map_err(|_| fail("key not UTF-8"))?
+        .to_string();
+    let payload = blob[key_end..].to_vec();
+    Ok((key, stamp, tick, payload))
+}
+
+/// In-memory LRU index over the on-disk entries, keyed by key hash.
+#[derive(Debug)]
+struct DiskEntry {
+    size: u64,
+    tick: u64,
+    /// Modification stamp of the write-through that produced this entry,
+    /// `None` for read-through spills (same ordering rule as the RAM LRU).
+    stamp: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct DiskIndex {
+    entries: HashMap<u64, DiskEntry>,
+    /// Recency queue with lazy invalidation: `(hash, tick)` pairs, live
+    /// only while the entry's current tick matches.
+    queue: VecDeque<(u64, u64)>,
+    next_tick: u64,
+    resident: u64,
+    /// Bumped by every write/delete; a read-through spill is admitted only
+    /// if the epoch is unchanged since its fetch began.
+    write_epoch: u64,
+}
+
+impl DiskIndex {
+    fn alloc_tick(&mut self) -> u64 {
+        let t = self.next_tick;
+        self.next_tick += 1;
+        t
+    }
+
+    fn touch(&mut self, hash: u64) {
+        let tick = self.next_tick;
+        if let Some(e) = self.entries.get_mut(&hash) {
+            e.tick = tick;
+            self.next_tick += 1;
+            self.queue.push_back((hash, tick));
+        }
+    }
+
+    fn insert(&mut self, hash: u64, size: u64, stamp: Option<u64>, tick: u64) {
+        if let Some(old) = self.entries.remove(&hash) {
+            self.resident -= old.size;
+        }
+        self.resident += size;
+        self.entries.insert(hash, DiskEntry { size, tick, stamp });
+        self.queue.push_back((hash, tick));
+    }
+
+    fn remove(&mut self, hash: u64) {
+        if let Some(old) = self.entries.remove(&hash) {
+            self.resident -= old.size;
+        }
+    }
+
+    /// Evict LRU entries until `resident <= capacity`; returns the evicted
+    /// hashes so the caller can delete their files.
+    fn evict_to(&mut self, capacity: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        while self.resident > capacity {
+            let Some((hash, tick)) = self.queue.pop_front() else { break };
+            if self.entries.get(&hash).is_some_and(|e| e.tick == tick) {
+                self.remove(hash);
+                out.push(hash);
+            }
+        }
+        out
+    }
+}
+
+/// Registry handles for one `DiskTier`, under the `disk` scope.
+struct DiskMetrics {
+    obs: Obs,
+    hits: Counter,
+    misses: Counter,
+    spills: Counter,
+    evictions: Counter,
+    integrity_rejected: Counter,
+    busy_vns: Counter,
+    resident_bytes: Gauge,
+}
+
+impl DiskMetrics {
+    fn new(obs: &Obs) -> Self {
+        let obs = obs.scoped("disk");
+        DiskMetrics {
+            hits: obs.counter("hits"),
+            misses: obs.counter("misses"),
+            spills: obs.counter("spills"),
+            evictions: obs.counter("evictions"),
+            integrity_rejected: obs.counter("integrity_rejected"),
+            busy_vns: obs.counter("busy_vns"),
+            resident_bytes: obs.gauge("resident_bytes"),
+            obs,
+        }
+    }
+}
+
+/// Persistent read-through / write-through disk cache over an inner store,
+/// content-addressed via [`hash_to_path`] and integrity-checked on every
+/// read (see the module docs for the full contract).
+///
+/// The index lock is held across file I/O: local disk is fast and the RAM
+/// tier above absorbs concurrency (single-flight misses), so the tier
+/// trades lock granularity for a simple, linearizable spill/evict path.
+pub struct DiskTier {
+    inner: Arc<dyn ObjectStore>,
+    media: LocalStore,
+    profile: DiskProfile,
+    clock: SimClock,
+    capacity: u64,
+    state: Mutex<DiskIndex>,
+    m: DiskMetrics,
+}
+
+impl DiskTier {
+    /// Open (or recover) the disk tier at `cfg.root` in front of `inner`,
+    /// charging disk time to `clock`.
+    ///
+    /// Recovery walks `objects/`, deletes every entry that fails framing,
+    /// key-hash, or checksum verification, rebuilds the LRU order from the
+    /// persisted recency ticks, and evicts down to the configured budget.
+    pub fn open(inner: Arc<dyn ObjectStore>, cfg: &TieredConfig, clock: SimClock) -> Result<Self> {
+        let media = LocalStore::open(&cfg.root)?;
+        let mut recovered: Vec<(u64, u64, u64, Option<u64>)> = Vec::new();
+        let mut rejected = 0u64;
+        for meta in media.list(OBJECT_DIR)? {
+            let Some(hash) = path_to_hash(&meta.key) else {
+                let _ = media.delete(&meta.key);
+                rejected += 1;
+                continue;
+            };
+            match media.get(&meta.key).and_then(|b| decode_entry(&b)) {
+                Ok((key, stamp, tick, payload)) if fnv1a64(key.as_bytes()) == hash => {
+                    recovered.push((tick, hash, payload.len() as u64, stamp));
+                }
+                _ => {
+                    let _ = media.delete(&meta.key);
+                    rejected += 1;
+                }
+            }
+        }
+        recovered.sort_unstable_by_key(|&(tick, hash, ..)| (tick, hash));
+        let mut idx = DiskIndex::default();
+        for (tick, hash, size, stamp) in recovered {
+            idx.insert(hash, size, stamp, tick);
+            idx.next_tick = idx.next_tick.max(tick + 1);
+        }
+        let tier = DiskTier {
+            inner,
+            media,
+            profile: cfg.profile.clone(),
+            clock,
+            capacity: cfg.disk_capacity_bytes,
+            state: Mutex::new(idx),
+            m: DiskMetrics::new(&Obs::default()),
+        };
+        tier.m.integrity_rejected.add(rejected);
+        {
+            let mut st = tier.state.lock();
+            let evicted = st.evict_to(tier.capacity);
+            for hash in &evicted {
+                let _ = tier.media.delete(&hash_to_path(*hash));
+            }
+            tier.m.evictions.add(evicted.len() as u64);
+            tier.m.resident_bytes.set(st.resident as f64);
+        }
+        Ok(tier)
+    }
+
+    /// Re-home accounting into `obs` (under its scope + `.disk`), sharing
+    /// the registry with the stores around it. Counter values accumulated
+    /// so far (recovery rejections/evictions) are carried over.
+    pub fn with_obs(self, obs: &Obs) -> Self {
+        let m = DiskMetrics::new(obs);
+        m.integrity_rejected.add(self.m.integrity_rejected.get());
+        m.evictions.add(self.m.evictions.get());
+        m.resident_bytes.set(self.state.lock().resident as f64);
+        DiskTier { m, ..self }
+    }
+
+    /// The observability handle this tier reports into (scoped `…disk`).
+    pub fn obs(&self) -> &Obs {
+        &self.m.obs
+    }
+
+    /// Directory the tier persists into.
+    pub fn root(&self) -> &Path {
+        self.media.root()
+    }
+
+    /// Configured byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Current statistics, reconstructed from the registry counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.m.hits.get(),
+            misses: self.m.misses.get(),
+            spills: self.m.spills.get(),
+            evictions: self.m.evictions.get(),
+            integrity_rejected: self.m.integrity_rejected.get(),
+            resident_bytes: self.state.lock().resident,
+        }
+    }
+
+    /// Charge one disk access episode moving `bytes` to the virtual clock.
+    fn charge(&self, bytes: u64) {
+        let secs = self.profile.access_secs(bytes);
+        self.clock.advance_secs(secs);
+        self.m.busy_vns.add(secs_to_ns(secs));
+    }
+
+    /// Read and verify the entry for `key`, or `None` on miss. Corrupt or
+    /// colliding entries are deleted and counted — the caller refetches
+    /// from the inner store, so bad bytes never propagate upward.
+    fn disk_read(&self, key: &str, st: &mut DiskIndex) -> Option<Vec<u8>> {
+        let hash = fnv1a64(key.as_bytes());
+        st.entries.get(&hash)?;
+        let path = hash_to_path(hash);
+        match self.media.get(&path).and_then(|b| decode_entry(&b)) {
+            Ok((entry_key, _stamp, _tick, payload)) if entry_key == key => {
+                st.touch(hash);
+                Some(payload)
+            }
+            _ => {
+                let _ = self.media.delete(&path);
+                st.remove(hash);
+                self.m.integrity_rejected.inc();
+                self.m.resident_bytes.set(st.resident as f64);
+                None
+            }
+        }
+    }
+
+    /// Write `data` to the tier (read-through spill when `stamp` is `None`,
+    /// write-through otherwise). Returns spilled payload bytes (0 when the
+    /// entry was not admitted).
+    fn spill(&self, key: &str, data: &[u8], stamp: Option<u64>, st: &mut DiskIndex) -> u64 {
+        if data.len() as u64 > self.capacity {
+            return 0; // Larger than the whole tier: never admit.
+        }
+        let hash = fnv1a64(key.as_bytes());
+        if let (Some(new), Some(entry)) = (stamp, st.entries.get(&hash)) {
+            if entry.stamp.is_some_and(|old| old > new) {
+                return 0; // A newer write-through already landed.
+            }
+        }
+        let tick = st.alloc_tick();
+        if self.media.put(&hash_to_path(hash), &encode_entry(key, stamp, tick, data)).is_err() {
+            return 0; // Media failure degrades the tier, never the read.
+        }
+        st.insert(hash, data.len() as u64, stamp, tick);
+        let evicted = st.evict_to(self.capacity);
+        for victim in &evicted {
+            let _ = self.media.delete(&hash_to_path(*victim));
+        }
+        self.m.spills.inc();
+        self.m.evictions.add(evicted.len() as u64);
+        self.m.resident_bytes.set(st.resident as f64);
+        data.len() as u64
+    }
+}
+
+impl ObjectStore for DiskTier {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        let meta = self.inner.put(key, data)?;
+        let spilled = {
+            let mut st = self.state.lock();
+            st.write_epoch += 1;
+            self.spill(key, data, Some(meta.modified), &mut st)
+        };
+        if spilled > 0 {
+            self.charge(spilled);
+        }
+        Ok(meta)
+    }
+
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        let results = self.inner.put_many(items);
+        let mut spilled = 0u64;
+        {
+            let mut st = self.state.lock();
+            st.write_epoch += 1;
+            for ((key, data), result) in items.iter().zip(&results) {
+                if let Ok(meta) = result {
+                    spilled += self.spill(key, data, Some(meta.modified), &mut st);
+                }
+            }
+        }
+        if spilled > 0 {
+            self.charge(spilled); // One disk episode for the write wave.
+        }
+        results
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let epoch = {
+            let mut st = self.state.lock();
+            if let Some(data) = self.disk_read(key, &mut st) {
+                drop(st);
+                self.m.hits.inc();
+                self.charge(data.len() as u64);
+                return Ok(data);
+            }
+            st.write_epoch
+        };
+        self.m.misses.inc();
+        let data = self.inner.get(key)?;
+        let spilled = {
+            let mut st = self.state.lock();
+            if st.write_epoch == epoch {
+                self.spill(key, &data, None, &mut st)
+            } else {
+                0
+            }
+        };
+        if spilled > 0 {
+            self.charge(spilled);
+        }
+        Ok(data)
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        let mut out: Vec<Option<Result<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut missing = Vec::new();
+        let epoch;
+        let mut hit_bytes = 0u64;
+        let mut hit_count = 0u64;
+        {
+            let mut st = self.state.lock();
+            epoch = st.write_epoch;
+            for (i, key) in keys.iter().enumerate() {
+                match self.disk_read(key, &mut st) {
+                    Some(data) => {
+                        hit_count += 1;
+                        hit_bytes += data.len() as u64;
+                        out[i] = Some(Ok(data));
+                    }
+                    None => missing.push(i),
+                }
+            }
+        }
+        if hit_count > 0 {
+            self.m.hits.add(hit_count);
+            self.charge(hit_bytes); // One disk episode for the hit batch.
+        }
+        if !missing.is_empty() {
+            self.m.misses.add(missing.len() as u64);
+            let fetch_keys: Vec<&str> = missing.iter().map(|&i| keys[i]).collect();
+            let results = self.inner.get_many(&fetch_keys);
+            let mut spilled = 0u64;
+            {
+                let mut st = self.state.lock();
+                for (&i, result) in missing.iter().zip(results) {
+                    if let Ok(data) = &result {
+                        if st.write_epoch == epoch {
+                            spilled += self.spill(keys[i], data, None, &mut st);
+                        }
+                    }
+                    out[i] = Some(result);
+                }
+            }
+            if spilled > 0 {
+                self.charge(spilled); // One disk episode for the spill wave.
+            }
+        }
+        out.into_iter().map(|o| o.expect("every slot decided")).collect()
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let cached = {
+            let mut st = self.state.lock();
+            self.disk_read(key, &mut st)
+        };
+        match cached {
+            Some(data) => {
+                self.m.hits.inc();
+                self.charge(len);
+                slice_range(&data, offset, len, key)
+            }
+            None => {
+                // Partial payloads are never spilled — the tier only holds
+                // whole, checksummed objects.
+                self.m.misses.inc();
+                self.inner.get_range(key, offset, len)
+            }
+        }
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.inner.head(key)
+    }
+
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        self.inner.head_many(keys)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(key)?;
+        let mut st = self.state.lock();
+        st.write_epoch += 1;
+        let hash = fnv1a64(key.as_bytes());
+        if st.entries.contains_key(&hash) {
+            st.remove(hash);
+            let _ = self.media.delete(&hash_to_path(hash));
+            self.m.resident_bytes.set(st.resident as f64);
+        }
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} with {} byte disk tier at {}",
+            self.inner.describe(),
+            self.capacity,
+            self.media.root().display()
+        )
+    }
+
+    fn set_wave_priority(&self, priority: crate::store::Priority) {
+        self.inner.set_wave_priority(priority);
+    }
+}
+
+/// The assembled two-tier stack: a TinyLFU-admitted RAM [`CachedStore`]
+/// over a persistent [`DiskTier`], presented as one [`ObjectStore`].
+pub struct TieredStore {
+    ram: Arc<CachedStore>,
+    disk: Arc<DiskTier>,
+}
+
+impl TieredStore {
+    /// Open the stack at `cfg.root` in front of `inner`, wiring both tiers
+    /// into `obs` (`…cache.*` for RAM, `…disk.*` for disk) on `clock`.
+    pub fn open(
+        inner: Arc<dyn ObjectStore>,
+        cfg: &TieredConfig,
+        clock: SimClock,
+        obs: &Obs,
+    ) -> Result<TieredStore> {
+        let disk = Arc::new(DiskTier::open(inner, cfg, clock)?.with_obs(obs));
+        let ram = Arc::new(
+            CachedStore::new(disk.clone() as Arc<dyn ObjectStore>, cfg.ram_capacity_bytes)
+                .with_admission(cfg.admission)
+                .with_obs(obs),
+        );
+        Ok(TieredStore { ram, disk })
+    }
+
+    /// The hot RAM tier.
+    pub fn ram(&self) -> &Arc<CachedStore> {
+        &self.ram
+    }
+
+    /// The warm persistent tier.
+    pub fn disk(&self) -> &Arc<DiskTier> {
+        &self.disk
+    }
+}
+
+impl ObjectStore for TieredStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<ObjectMeta> {
+        self.ram.put(key, data)
+    }
+
+    fn put_many(&self, items: &[(&str, &[u8])]) -> Vec<Result<ObjectMeta>> {
+        self.ram.put_many(items)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.ram.get(key)
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Vec<Result<Vec<u8>>> {
+        self.ram.get_many(keys)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.ram.get_range(key, offset, len)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.ram.head(key)
+    }
+
+    fn head_many(&self, keys: &[&str]) -> Vec<Result<ObjectMeta>> {
+        self.ram.head_many(keys)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        self.ram.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.ram.delete(key)
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        self.ram.exists(key)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} under a RAM tier", self.disk.describe())
+    }
+
+    fn set_wave_priority(&self, priority: crate::store::Priority) {
+        self.ram.set_wave_priority(priority);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+    use crate::wan::{CloudStore, NetworkProfile};
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nsdf-tiered-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tier_at(name: &str) -> (Arc<MemoryStore>, TieredStore, SimClock) {
+        let mem = Arc::new(MemoryStore::new());
+        let clock = SimClock::new();
+        let cfg = TieredConfig::at(temp_root(name));
+        let obs = Obs::new(clock.clone());
+        let tiered =
+            TieredStore::open(mem.clone() as Arc<dyn ObjectStore>, &cfg, clock.clone(), &obs)
+                .unwrap();
+        (mem, tiered, clock)
+    }
+
+    #[test]
+    fn hash_path_roundtrip_and_shape() {
+        for hash in [0u64, 1, 0xdead_beef, u64::MAX, fnv1a64(b"some/key")] {
+            let path = hash_to_path(hash);
+            assert_eq!(path_to_hash(&path), Some(hash), "{path}");
+            let segs: Vec<&str> = path.split('/').collect();
+            assert_eq!(segs.len(), FANOUT_LEVELS + 2);
+            assert_eq!(segs[0], OBJECT_DIR);
+            for level in &segs[1..=FANOUT_LEVELS] {
+                assert_eq!(level.len(), FANOUT_CHARS);
+            }
+            crate::store::validate_key(&path).expect("sharded path is a valid store key");
+        }
+        assert_eq!(path_to_hash("objects/zz/aa/000000000000"), None);
+        assert_eq!(path_to_hash("other/ab/cd/ef0000000000"), None);
+        assert_eq!(path_to_hash("objects/ab/cdef0000000000"), None);
+    }
+
+    #[test]
+    fn sketch_separates_hot_from_one_hit_wonders() {
+        let mut sketch = FrequencySketch::with_entries(256);
+        let hot = fnv1a64(b"hot");
+        for _ in 0..6 {
+            sketch.record(hot);
+        }
+        let cold = fnv1a64(b"cold");
+        sketch.record(cold);
+        assert!(sketch.frequency(hot) > sketch.frequency(cold));
+        assert_eq!(sketch.frequency(fnv1a64(b"never-seen")), 0);
+    }
+
+    #[test]
+    fn sketch_aging_halves_counters() {
+        let mut sketch = FrequencySketch::with_entries(64);
+        let h = fnv1a64(b"k");
+        for _ in 0..10 {
+            sketch.record(h);
+        }
+        let before = sketch.frequency(h);
+        sketch.age();
+        let after = sketch.frequency(h);
+        assert!(after < before, "aging must decay frequency ({before} -> {after})");
+    }
+
+    #[test]
+    fn entry_framing_roundtrip_and_corruption_detected() {
+        let blob = encode_entry("data/block-7", Some(42), 9, b"payload-bytes");
+        let (key, stamp, tick, payload) = decode_entry(&blob).unwrap();
+        assert_eq!(
+            (key.as_str(), stamp, tick, payload.as_slice()),
+            ("data/block-7", Some(42), 9, b"payload-bytes".as_slice())
+        );
+        for i in [0usize, 5, 30, blob.len() - 1] {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_entry(&bad).is_err(), "flip at byte {i} must be detected");
+        }
+    }
+
+    #[test]
+    fn read_through_spills_and_restart_serves_from_disk() {
+        let root = temp_root("restart");
+        let cfg = TieredConfig::at(&root);
+        let payload = vec![7u8; 32 << 10];
+        {
+            let mem = Arc::new(MemoryStore::new());
+            mem.put("blocks/b0", &payload).unwrap();
+            let clock = SimClock::new();
+            let obs = Obs::new(clock.clone());
+            let tiered = TieredStore::open(mem as Arc<dyn ObjectStore>, &cfg, clock, &obs).unwrap();
+            assert_eq!(tiered.get("blocks/b0").unwrap(), payload);
+            assert_eq!(tiered.disk().stats().spills, 1);
+        }
+        // Restart: empty inner store — only the disk tier can answer.
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let tiered = TieredStore::open(
+            Arc::new(MemoryStore::new()) as Arc<dyn ObjectStore>,
+            &cfg,
+            clock.clone(),
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(tiered.get("blocks/b0").unwrap(), payload);
+        let stats = tiered.disk().stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert!(clock.now_ns() > 0, "disk hits charge modeled disk time");
+    }
+
+    #[test]
+    fn disk_hit_is_cheaper_than_wan_but_not_free() {
+        let mem = Arc::new(MemoryStore::new());
+        mem.put("k", &vec![1u8; 1 << 20]).unwrap();
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let wan = Arc::new(CloudStore::new(
+            mem as Arc<dyn ObjectStore>,
+            NetworkProfile::public_dataverse(),
+            clock.clone(),
+            7,
+        ));
+        let cfg = TieredConfig::at(temp_root("cheaper"));
+        let tiered = TieredStore::open(wan, &cfg, clock.clone(), &obs).unwrap();
+        let t0 = clock.now_ns();
+        tiered.get("k").unwrap();
+        let cold = clock.now_ns() - t0;
+        tiered.ram().clear();
+        let t1 = clock.now_ns();
+        tiered.get("k").unwrap();
+        let warm_disk = clock.now_ns() - t1;
+        let t2 = clock.now_ns();
+        tiered.get("k").unwrap();
+        let warm_ram = clock.now_ns() - t2;
+        assert!(cold > warm_disk, "cold {cold} must exceed warm-disk {warm_disk}");
+        assert!(warm_disk > 0, "disk is modeled, not free");
+        assert_eq!(warm_ram, 0, "RAM hits are free");
+    }
+
+    #[test]
+    fn corrupt_entry_rejected_and_refetched() {
+        let (mem, tiered, _clock) = tier_at("corrupt");
+        let payload = vec![9u8; 4096];
+        mem.put("obj", &payload).unwrap();
+        assert_eq!(tiered.get("obj").unwrap(), payload);
+        tiered.ram().clear();
+        // Flip one payload bit in the on-disk entry.
+        let path = tiered.disk().root().join(hash_to_path(fnv1a64(b"obj")));
+        let mut blob = std::fs::read(&path).unwrap();
+        let last = blob.len() - 1;
+        blob[last] ^= 0x01;
+        std::fs::write(&path, &blob).unwrap();
+        assert_eq!(tiered.get("obj").unwrap(), payload, "rejection refetches clean bytes");
+        let stats = tiered.disk().stats();
+        assert_eq!(stats.integrity_rejected, 1);
+        assert_eq!(stats.misses, 2, "cold read + the rejected read both count as misses");
+        // The refetch re-spilled a clean entry and RAM serves clean bytes.
+        tiered.ram().clear();
+        assert_eq!(tiered.get("obj").unwrap(), payload);
+        assert_eq!(tiered.disk().stats().integrity_rejected, 1);
+    }
+
+    #[test]
+    fn recovery_deletes_invalid_entries_and_keeps_valid_ones() {
+        let root = temp_root("recover");
+        let cfg = TieredConfig::at(&root);
+        {
+            let mem = Arc::new(MemoryStore::new());
+            mem.put("good", b"good-bytes").unwrap();
+            mem.put("bad", b"bad-bytes").unwrap();
+            let clock = SimClock::new();
+            let obs = Obs::new(clock.clone());
+            let tiered = TieredStore::open(mem as Arc<dyn ObjectStore>, &cfg, clock, &obs).unwrap();
+            tiered.get("good").unwrap();
+            tiered.get("bad").unwrap();
+        }
+        // Corrupt one entry on disk, then recover.
+        let bad_path = LocalStore::open(&root).unwrap().root().join(hash_to_path(fnv1a64(b"bad")));
+        let mut blob = std::fs::read(&bad_path).unwrap();
+        blob[ENTRY_HEADER_LEN + 1] ^= 0xff;
+        std::fs::write(&bad_path, &blob).unwrap();
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let tiered = TieredStore::open(
+            Arc::new(MemoryStore::new()) as Arc<dyn ObjectStore>,
+            &cfg,
+            clock,
+            &obs,
+        )
+        .unwrap();
+        assert!(!bad_path.exists(), "recovery deletes the corrupt entry");
+        assert_eq!(tiered.disk().stats().integrity_rejected, 1);
+        assert_eq!(tiered.get("good").unwrap(), b"good-bytes");
+        assert!(tiered.get("bad").unwrap_err().is_not_found(), "corrupt entry gone, inner empty");
+    }
+
+    #[test]
+    fn write_through_keeps_tiers_coherent() {
+        let (mem, tiered, _clock) = tier_at("coherent");
+        tiered.put("k", b"v1").unwrap();
+        assert_eq!(tiered.get("k").unwrap(), b"v1");
+        tiered.put("k", b"v2-longer").unwrap();
+        assert_eq!(tiered.get("k").unwrap(), b"v2-longer");
+        tiered.ram().clear();
+        assert_eq!(tiered.get("k").unwrap(), b"v2-longer", "disk tier holds the newest write");
+        assert_eq!(mem.get("k").unwrap(), b"v2-longer");
+        tiered.delete("k").unwrap();
+        assert!(tiered.get("k").unwrap_err().is_not_found());
+        tiered.ram().clear();
+        assert!(tiered.get("k").unwrap_err().is_not_found(), "delete invalidates the disk entry");
+    }
+
+    #[test]
+    fn disk_eviction_respects_budget() {
+        let mem = Arc::new(MemoryStore::new());
+        let clock = SimClock::new();
+        let obs = Obs::new(clock.clone());
+        let mut cfg = TieredConfig::at(temp_root("evict"));
+        cfg.disk_capacity_bytes = 10 << 10;
+        cfg.ram_capacity_bytes = 1 << 10;
+        let tiered =
+            TieredStore::open(mem.clone() as Arc<dyn ObjectStore>, &cfg, clock, &obs).unwrap();
+        for i in 0..8 {
+            mem.put(&format!("k{i}"), &vec![i as u8; 4 << 10]).unwrap();
+        }
+        for i in 0..8 {
+            tiered.get(&format!("k{i}")).unwrap();
+        }
+        let stats = tiered.disk().stats();
+        assert!(stats.resident_bytes <= 10 << 10);
+        assert!(stats.evictions >= 6, "old entries evicted: {}", stats.evictions);
+        // Evicted entries' files are gone from the medium too.
+        let files = LocalStore::open(&cfg.root).unwrap().list(OBJECT_DIR).unwrap();
+        assert_eq!(files.len() as u64, 8 - stats.evictions);
+    }
+
+    #[test]
+    fn get_many_partitions_disk_hits_and_misses() {
+        let (mem, tiered, _clock) = tier_at("getmany");
+        for k in ["a", "b", "c", "d"] {
+            mem.put(k, k.as_bytes()).unwrap();
+        }
+        tiered.get("a").unwrap();
+        tiered.get("c").unwrap();
+        tiered.ram().clear();
+        let results = tiered.get_many(&["a", "b", "c", "d", "missing"]);
+        assert_eq!(results[0].as_ref().unwrap(), b"a");
+        assert_eq!(results[3].as_ref().unwrap(), b"d");
+        assert!(results[4].as_ref().unwrap_err().is_not_found());
+        let stats = tiered.disk().stats();
+        assert_eq!(stats.hits, 2, "a and c came from disk");
+        assert_eq!(stats.spills, 4, "b and d spilled on top of the two warming spills");
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end sweep of the persistent tiered cache (`nsdf_storage::tiered`).
+//!
+//! The disk tier's whole value proposition is what survives a process
+//! boundary, so these tests exercise the full client stack rather than the
+//! module internals:
+//!
+//! * **crash/restart differential** — populate the disk tier through one
+//!   client, drop it, reopen on a fresh `SimClock`/registry with an *empty*
+//!   WAN backing, and require every read to come back bitwise identical to
+//!   the cold oracle with `wan.read_ops == 0`;
+//! * **layout properties** (proptest) — `hash_to_path` round-trips through
+//!   `path_to_hash`, is injective, keeps the fixed fan-out shape, and only
+//!   produces keys `validate_key` accepts (no escape from the cache root);
+//! * **corruption containment** — a bit-flipped on-disk entry is rejected
+//!   by the full-entry checksum, refetched from the WAN, re-spilled, and
+//!   the correct bytes are all any reader ever sees;
+//! * **scan resistance** — a 10x bulk scan cannot flush the working set
+//!   under TinyLFU admission, while the plain-LRU control demonstrably
+//!   loses everything;
+//! * **fleet composition** — a multi-tenant run over one shared disk tier
+//!   stays byte-deterministic, serves cross-tenant disk hits, keeps the
+//!   grants ≡ WAN-bytes conservation exact, and never changes delivered
+//!   frame bytes relative to the RAM-only stack.
+
+use nsdf_core::{run_fleet, FleetConfig, NsdfClient};
+use nsdf_storage::{
+    hash_to_path, path_to_hash, validate_key, AdmissionPolicy, CachedStore, CloudStore,
+    MemoryStore, NetworkProfile, ObjectStore, TieredConfig, TieredStore,
+};
+use nsdf_util::obs::Obs;
+use nsdf_util::{fnv1a64, SimClock};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fresh per-test scratch root (pid-salted so parallel CI jobs on one
+/// machine never collide), cleared of any previous run's leftovers.
+fn temp_root(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("nsdf-tiered-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn payload(i: usize) -> Vec<u8> {
+    (0..2048).map(|j| ((i * 131 + j * 7) % 251) as u8).collect()
+}
+
+/// The headline contract: a client restart hits disk, not the WAN. Phase A
+/// uploads through the tiered client (write-through spills to disk); phase
+/// B reopens the same cache root under a *fresh* clock, registry, and an
+/// empty WAN backing, so the only possible source of correct bytes is the
+/// persistent tier.
+#[test]
+fn restart_serves_reads_from_disk_with_zero_wan_ops() {
+    let root = temp_root("restart");
+    let tier = TieredConfig::at(&root);
+    let keys: Vec<String> = (0..24).map(|i| format!("demo/block/{i:04}")).collect();
+
+    // Phase A: populate. Uploads write through RAM -> disk -> WAN.
+    {
+        let a = NsdfClient::simulated_tiered(11, &tier).unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            a.upload("dataverse", key, &payload(i)).unwrap();
+        }
+        // The cold oracle: read back through the same client.
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(a.download("dataverse", key).unwrap(), payload(i));
+        }
+    } // Client dropped: RAM tier, clock, and WAN backing all gone.
+
+    // Phase B: restart. The simulated WAN starts empty, so any read that
+    // missed disk would be a hard NotFound — correctness and wan.read_ops
+    // are independent witnesses that every byte came from the tier.
+    let b = NsdfClient::simulated_tiered(11, &tier).unwrap();
+    for (i, key) in keys.iter().enumerate() {
+        assert_eq!(
+            b.download("dataverse", key).unwrap(),
+            payload(i),
+            "warm-disk read must be bitwise identical to the cold oracle"
+        );
+    }
+    let snap = b.obs().snapshot();
+    assert_eq!(snap.counter("dataverse.wan.read_ops"), 0, "restart reads must never touch the WAN");
+    assert_eq!(snap.counter("dataverse.disk.hits"), keys.len() as u64);
+    assert!(b.clock().now_ns() > 0, "disk is cheaper than the WAN, not free");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every hash maps into the cache namespace and back to itself.
+    #[test]
+    fn hash_to_path_roundtrips(h in any::<u64>()) {
+        let path = hash_to_path(h);
+        prop_assert_eq!(path_to_hash(&path), Some(h));
+        // The layout is a valid object key, so it can never traverse out
+        // of the cache root (no `..`, no absolute segments).
+        prop_assert!(validate_key(&path).is_ok());
+        prop_assert!(!path.contains(".."));
+    }
+
+    /// Fixed two-level fan-out: `objects/<2 hex>/<2 hex>/<12 hex>`.
+    #[test]
+    fn hash_to_path_keeps_the_fanout_shape(h in any::<u64>()) {
+        let path = hash_to_path(h);
+        let parts: Vec<&str> = path.split('/').collect();
+        prop_assert_eq!(parts.len(), 4);
+        prop_assert_eq!(parts[0], "objects");
+        prop_assert_eq!(parts[1].len(), 2);
+        prop_assert_eq!(parts[2].len(), 2);
+        prop_assert_eq!(parts[3].len(), 12);
+        prop_assert!(parts[1..].iter().all(|s| s.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())));
+    }
+
+    /// Distinct hashes never share a path (the layout is a bijection, so a
+    /// collision would mean two cached objects overwriting each other).
+    #[test]
+    fn hash_to_path_is_injective(hashes in proptest::collection::vec(any::<u64>(), 2..64)) {
+        let unique: HashSet<u64> = hashes.iter().copied().collect();
+        let paths: HashSet<String> = hashes.iter().map(|&h| hash_to_path(h)).collect();
+        prop_assert_eq!(paths.len(), unique.len());
+    }
+}
+
+/// A bit-flipped on-disk entry must be caught by the entry checksum,
+/// counted, dropped, and transparently refetched from the WAN — the bad
+/// bytes never reach a caller or the RAM tier.
+#[test]
+fn corrupted_disk_entry_refetches_and_never_poisons_ram() {
+    let root = temp_root("corrupt");
+    let clock = SimClock::new();
+    let obs = Obs::new(clock.clone());
+    let backing = Arc::new(MemoryStore::new());
+    let key = "sci/vol/0000";
+    let good = payload(3);
+    backing.put(key, &good).unwrap();
+    let wan = Arc::new(
+        CloudStore::new(backing, NetworkProfile::public_dataverse(), clock.clone(), 7)
+            .with_obs(&obs),
+    );
+    // RAM budget below the object size: every read reaches the disk tier,
+    // so the corruption path is exercised on the second read.
+    let mut cfg = TieredConfig::at(&root);
+    cfg.ram_capacity_bytes = 64;
+    let store = TieredStore::open(wan, &cfg, clock, &obs).unwrap();
+
+    assert_eq!(store.get(key).unwrap(), good, "cold read spills to disk");
+
+    // Flip one payload bit in the content-addressed entry file.
+    let file = root.join(hash_to_path(fnv1a64(key.as_bytes())));
+    let mut blob = std::fs::read(&file).unwrap();
+    let last = blob.len() - 1;
+    blob[last] ^= 0x10;
+    std::fs::write(&file, &blob).unwrap();
+
+    assert_eq!(store.get(key).unwrap(), good, "rejected entry must refetch from the WAN");
+    let stats = store.disk().stats();
+    assert_eq!(stats.integrity_rejected, 1);
+    // The refetch re-spilled a clean copy: the third read is a disk hit
+    // serving the correct bytes again.
+    assert_eq!(store.get(key).unwrap(), good);
+    assert_eq!(store.disk().stats().hits, 1, "the clean re-spill serves the next read");
+    assert_eq!(store.disk().stats().integrity_rejected, 1, "clean re-spill passes verification");
+}
+
+/// Scan-resistance regression: a one-shot bulk scan 10x the cache size
+/// must not flush a working set that is re-referenced often, and the
+/// plain-LRU control must demonstrably lose it (that contrast is what the
+/// admission sketch buys).
+#[test]
+fn tinylfu_admission_survives_a_bulk_scan_that_flushes_lru() {
+    const WS: usize = 16; // working-set keys, 1 KiB each
+    const SCAN: usize = 160; // one-shot scan keys, 10x the cache budget
+    let run = |policy: AdmissionPolicy| -> (u64, u64) {
+        let inner = Arc::new(MemoryStore::new());
+        for i in 0..WS {
+            inner.put(&format!("ws/{i:03}"), &vec![0xA5u8; 1024]).unwrap();
+        }
+        for i in 0..SCAN {
+            inner.put(&format!("scan/{i:04}"), &vec![0x5Au8; 1024]).unwrap();
+        }
+        let cache = CachedStore::new(inner, (WS as u64) * 1024).with_admission(policy);
+        // Build frequency: replay the working set four times.
+        for _ in 0..4 {
+            for i in 0..WS {
+                cache.get(&format!("ws/{i:03}")).unwrap();
+            }
+        }
+        // The hostile scan: every key seen exactly once.
+        for i in 0..SCAN {
+            cache.get(&format!("scan/{i:04}")).unwrap();
+        }
+        let before = cache.stats().hits;
+        for i in 0..WS {
+            cache.get(&format!("ws/{i:03}")).unwrap();
+        }
+        (cache.stats().hits - before, cache.stats().admission_rejects)
+    };
+
+    let (lfu_hits, lfu_rejects) = run(AdmissionPolicy::TinyLfu);
+    let (lru_hits, lru_rejects) = run(AdmissionPolicy::Lru);
+    assert!(
+        lfu_hits >= 14,
+        "TinyLFU must keep the working set through the scan (kept {lfu_hits}/{WS})"
+    );
+    assert_eq!(lfu_rejects, SCAN as u64, "every scan key loses the frequency duel");
+    assert_eq!(lru_hits, 0, "the LRU control must be flushed by the same scan");
+    assert_eq!(lru_rejects, 0, "LRU never rejects, which is exactly its weakness");
+}
+
+/// The fleet over one shared disk tier: byte-deterministic, cross-tenant
+/// disk hits actually happen under RAM pressure, the PR 7 conservation
+/// laws survive (grants ≡ WAN bytes exactly; attributed service dominates
+/// link busy time once disk time is in the path), and delivered frame
+/// bytes are unchanged from the RAM-only stack.
+#[test]
+fn fleet_with_shared_disk_tier_is_deterministic_and_conserves_bytes() {
+    let root = temp_root("fleet");
+    let mut cfg = FleetConfig::sized(12);
+    cfg.horizon_secs = 8.0;
+    // Starve the RAM tier so cross-tenant re-reads of popular blocks fall
+    // through to disk instead of being absorbed by RAM (or the WAN).
+    cfg.endpoint_policy.cache_bytes = 32 << 10;
+    cfg.disk = Some(TieredConfig::at(&root));
+
+    let a = run_fleet(5, &cfg).unwrap();
+    let _ = std::fs::remove_dir_all(&root); // identical starting disk state
+    let b = run_fleet(5, &cfg).unwrap();
+    assert_eq!(a, b, "same seed + config + empty tier root must reproduce the report bitwise");
+
+    assert!(a.disk_hits > 0, "RAM pressure must actually surface disk hits");
+    assert_eq!(a.events_generated, a.events_completed);
+    // Conservation: disk hits move zero WAN bytes, so the scheduler's byte
+    // attribution still reconciles exactly with the WAN counters...
+    assert_eq!(a.sched_granted_bytes, a.wan_bytes);
+    assert_eq!(a.tenant_grants.values().sum::<u64>(), a.wan_bytes);
+    // ...while disk access time lands in attributed service but not in
+    // WAN link busy time (equality only holds for the no-disk stack).
+    assert!(a.sched_service_vns >= a.wan_busy_vns);
+
+    // The tier changes where bytes come from, never which bytes arrive.
+    let mut ram_only = cfg.clone();
+    ram_only.disk = None;
+    let c = run_fleet(5, &ram_only).unwrap();
+    assert_eq!(a.digests, c.digests, "disk tier must not change delivered frame bytes");
+    assert!(
+        a.wan_bytes <= c.wan_bytes,
+        "reads absorbed by the disk tier must not add WAN traffic ({} > {})",
+        a.wan_bytes,
+        c.wan_bytes,
+    );
+}
